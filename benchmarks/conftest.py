@@ -1,0 +1,37 @@
+"""Shared state for the benchmark harness.
+
+The full-scale corpus (~230k LOC) and its assessment are expensive
+(~30 s), so they are built once per session and shared by every
+table/figure benchmark.
+"""
+
+import pytest
+
+from repro.corpus import apollo_spec, generate_corpus
+from repro.core import assess_corpus
+
+
+@pytest.fixture(scope="session")
+def full_corpus():
+    """The calibrated Apollo-like corpus at full scale."""
+    return generate_corpus(apollo_spec(scale=1.0))
+
+
+@pytest.fixture(scope="session")
+def full_assessment(full_corpus):
+    """The complete ISO 26262 assessment of the full corpus."""
+    return assess_corpus(full_corpus)
+
+
+@pytest.fixture(scope="session")
+def yolo_campaign():
+    """The Figure 5 coverage campaign (real-scenario tests)."""
+    from repro.dnn.minic_yolo import run_yolo_coverage
+    return run_yolo_coverage()
+
+
+@pytest.fixture(scope="session")
+def case_study_results():
+    """The Figure 7 performance case study."""
+    from repro.perf import run_case_study
+    return run_case_study()

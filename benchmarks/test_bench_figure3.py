@@ -1,0 +1,61 @@
+"""Benchmark regenerating Figure 3: complexity, LOC and functions per module.
+
+Paper anchors: >220k LOC total, modules in the tens of kLOC with hundreds
+to thousands of functions, and 554 functions of moderate-or-higher
+cyclomatic complexity framework-wide.
+"""
+
+from repro.metrics import figure3_rows, total_moderate_or_higher
+
+
+def _render_figure3(rows):
+    header = (f"{'module':<16}{'LOC':>8}{'functions':>11}"
+              f"{'cc>5':>7}{'cc>10':>7}{'cc>20':>7}{'cc>50':>7}")
+    lines = [header, "-" * len(header)]
+    for row in sorted(rows, key=lambda entry: -entry["loc"]):
+        lines.append(f"{row['module']:<16}{row['loc']:>8}"
+                     f"{row['functions']:>11}{row['cc>5']:>7}"
+                     f"{row['cc>10']:>7}{row['cc>20']:>7}{row['cc>50']:>7}")
+    return "\n".join(lines)
+
+
+class TestFigure3:
+    def test_figure3(self, benchmark, full_assessment):
+        rows = benchmark.pedantic(
+            lambda: figure3_rows(full_assessment.modules),
+            rounds=3, iterations=1)
+        print("\n" + _render_figure3(rows))
+
+        # Paper: the entire framework exceeds 220k LOC.
+        assert full_assessment.total_loc > 220_000
+        # Paper: modules range from 5k to 60k LOC.
+        locs = [row["loc"] for row in rows]
+        assert min(locs) >= 5_000
+        assert max(locs) <= 62_000
+        # Paper: 554 functions with moderate or higher complexity.
+        assert total_moderate_or_higher(full_assessment.modules) == 554
+        # Modules have hundreds-to-thousands of functions.
+        for row in rows:
+            assert row["functions"] >= 100
+        # Bars are monotone in the threshold.
+        for row in rows:
+            assert row["cc>5"] >= row["cc>10"] >= row["cc>20"] \
+                >= row["cc>50"]
+
+    def test_perception_dominates(self, full_assessment):
+        rows = {row["module"]: row for row in full_assessment.figure3()}
+        assert rows["perception"]["loc"] == max(row["loc"]
+                                                for row in rows.values())
+        assert rows["perception"]["cc>10"] == 150
+
+    def test_full_corpus_parse_benchmark(self, benchmark, full_corpus):
+        """Benchmark the raw analysis front end on one large module."""
+        from repro.lang import parse_translation_unit
+        files = full_corpus.files_of("canbus")
+
+        def parse_module():
+            return [parse_translation_unit(record.source, record.path)
+                    for record in files]
+
+        units = benchmark.pedantic(parse_module, rounds=2, iterations=1)
+        assert len(units) == len(files)

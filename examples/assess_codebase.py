@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Assess an Apollo-scale codebase: generate, write to disk, analyze.
+
+This is the paper's main experiment end to end: materialize the
+synthetic Apollo-like source tree, read it back like any other codebase,
+run the full ISO 26262-6 assessment, and print Figure 3, Tables 1-3 and
+the observations.
+
+Usage::
+
+    python examples/assess_codebase.py [--scale 0.1] [--out report.json]
+
+At ``--scale 1.0`` the corpus exceeds 220k LOC and the run takes about a
+minute; the default 0.1 finishes in seconds while preserving every
+qualitative result except the component-size observation.
+"""
+
+import argparse
+import json
+import tempfile
+
+from repro import apollo_spec, assess_sources, generate_corpus
+from repro.corpus import read_tree, write_corpus
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.1,
+                        help="corpus scale (1.0 = full 220k+ LOC)")
+    parser.add_argument("--out", help="also write the report as JSON")
+    args = parser.parse_args()
+
+    print(f"generating Apollo-like corpus at scale {args.scale} ...")
+    corpus = generate_corpus(apollo_spec(scale=args.scale))
+    print(f"  {len(corpus.files)} files, {corpus.total_lines} lines")
+
+    with tempfile.TemporaryDirectory(prefix="apollo_like_") as root:
+        write_corpus(corpus, root)
+        print(f"  materialized under {root}")
+        sources = read_tree(root)
+
+        print("running the ISO 26262-6 assessment ...")
+        result = assess_sources(sources)
+
+    print()
+    print(result.render_summary())
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(result.to_dict(), handle, indent=2)
+        print(f"\nJSON report written to {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""The Figure 5 experiment: structural coverage of YOLO's C modules.
+
+Runs the real-scenario test vectors over every YOLO MiniC module,
+prints the per-file statement/branch/MC-DC table (the reproduction of
+Figure 5), and then demonstrates the paper's remediation: adding
+coverage-directed test cases drives a badly covered file to 100%.
+
+Usage::
+
+    python examples/coverage_campaign.py
+"""
+
+from repro.coverage import CoverageRunner, TestVector
+from repro.dnn.minic_yolo import YOLO_FILES, run_yolo_coverage, \
+    scenario_suite
+from repro.iso26262 import tooling_observations
+
+
+def main() -> None:
+    print("Figure 5 — coverage of YOLO modules under real-scenario "
+          "tests")
+    print("(uncalled functions excluded, as in the paper)\n")
+    campaign = run_yolo_coverage()
+    print(campaign.render())
+    print()
+    print(f"paper reports averages 83 / 75 / 61 and minima 19 / 37 / 10; "
+          f"measured averages "
+          f"{campaign.average('statement'):.0f} / "
+          f"{campaign.average('branch'):.0f} / "
+          f"{campaign.average('mcdc'):.0f} and minima "
+          f"{campaign.minimum('statement'):.0f} / "
+          f"{campaign.minimum('branch'):.0f} / "
+          f"{campaign.minimum('mcdc'):.0f}")
+    print()
+    observation = tooling_observations(
+        coverage_average=campaign.average("statement"))[0]
+    print(observation.render())
+
+    print("\n--- remediation: coverage-directed testing ---")
+    source = YOLO_FILES["gemm.c"]
+    runner = CoverageRunner(source, "gemm.c")
+    runner.run_suite(scenario_suite("gemm.c"))
+    before = runner.coverage(exclude_uncalled=True)
+    print(f"gemm.c with real-scenario tests only: "
+          f"stmt {before.statement_percent:.1f}%  "
+          f"branch {before.branch_percent:.1f}%  "
+          f"mcdc {before.mcdc_percent:.1f}%")
+
+    # Directed vectors: exercise every transpose variant and both beta
+    # paths, with shapes that hit the unrolled and tail loops.
+    m, n, k = 5, 6, 7
+    a = [0.5 * i for i in range(m * k)]
+    b = [0.25 * i for i in range(k * n)]
+    for ta in (0, 1):
+        for tb in (0, 1):
+            for beta in (0.0, 1.0):
+                runner.run_vector(TestVector(
+                    "gemm_cpu",
+                    (ta, tb, m, n, k, 1.0, list(a), k if not ta else m,
+                     list(b), n if not tb else k, beta,
+                     [0.0] * (m * n), n),
+                    name=f"directed ta={ta} tb={tb} beta={beta}"))
+    runner.run_vector(TestVector("gemm_flops", (m, n, k, 0)))
+    runner.run_vector(TestVector("gemm_flops", (-1, 1, 1, 1)))
+    after = runner.coverage(exclude_uncalled=True)
+    print(f"gemm.c plus coverage-directed tests:  "
+          f"stmt {after.statement_percent:.1f}%  "
+          f"branch {after.branch_percent:.1f}%  "
+          f"mcdc {after.mcdc_percent:.1f}%")
+    if runner.failures:
+        raise SystemExit(
+            f"directed vectors failed: {[f.error for f in runner.failures]}")
+
+
+if __name__ == "__main__":
+    main()

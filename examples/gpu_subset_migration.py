@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Migrating GPU code to a certification-friendly subset (Brook Auto).
+
+The paper's Observations 3/4: no language subset exists for GPU code, and
+CUDA intrinsically uses pointers and dynamic memory.  Its proposed
+direction is Brook Auto — a stream subset that removes those features.
+This example runs the reproduction's GPU-safe-subset checker over:
+
+1. the shipped YOLO/stencil kernels (all compliant — they follow the
+   guarded-index idiom);
+2. deliberately unsafe kernels (pointer arithmetic, unbounded loop,
+   missing range guard), showing the findings a migration would fix;
+3. the paper's Figure 4 host wrapper, quantifying the stream rewrites a
+   Brook Auto port needs.
+
+Usage::
+
+    python examples/gpu_subset_migration.py
+"""
+
+from repro.checkers import GpuSubsetChecker, MisraChecker
+from repro.gpu.kernels import ALL_KERNELS_SOURCE, SCALE_BIAS_CUDA_EXCERPT
+from repro.lang import parse_translation_unit
+from repro.lang.minic import parse_program
+
+UNSAFE_KERNELS = """
+__global__ void unguarded_write(float *out, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  out[i] = 1.0f;
+}
+
+__global__ void pointer_walk(float *out, float *in, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    (out + i)[0] = (in + i)[0] * 2.0f;
+  }
+}
+
+__global__ void spin_wait(float *flag, int n) {
+  int i = threadIdx.x;
+  if (i < n) {
+    while (1) {
+      if (flag[i] > 0.0f) {
+        break;
+      }
+    }
+  }
+}
+"""
+
+
+def main() -> None:
+    checker = GpuSubsetChecker()
+
+    print("=== shipped kernels (stencils, GEMM, YOLO layers) ===")
+    report = checker.check_program(parse_program(ALL_KERNELS_SOURCE),
+                                   "kernels.cu")
+    print(f"kernels checked: {report.stats['kernels_checked']:.0f}; "
+          f"subset-compliant: "
+          f"{report.stats['subset_compliant_kernels']:.0f}; "
+          f"buffer parameters to lift into streams: "
+          f"{report.stats['stream_rewrites_needed']:.0f}")
+
+    print("\n=== deliberately unsafe kernels ===")
+    report = checker.check_program(parse_program(UNSAFE_KERNELS),
+                                   "unsafe.cu")
+    for finding in report.findings:
+        print("  " + finding.located())
+    print(f"subset-compliant: "
+          f"{report.stats['subset_compliant_kernels']:.0f} of "
+          f"{report.stats['kernels_checked']:.0f}")
+
+    print("\n=== the paper's Figure 4 unit (kernel + host wrapper) ===")
+    unit = parse_translation_unit(SCALE_BIAS_CUDA_EXCERPT, "scale_bias.cu")
+    fuzzy = checker.check_unit(unit)
+    misra = MisraChecker().check_project([unit])
+    wrapper = unit.function("scale_bias_gpu")
+    print(f"kernel pointer parameters (stream rewrites): "
+          f"{fuzzy.stats['stream_rewrites_needed']:.0f}")
+    print(f"host-side cudaMalloc/cudaFree pairs to eliminate: "
+          f"{wrapper.allocation_calls:.0f}/"
+          f"{wrapper.deallocation_calls:.0f}")
+    print(f"MISRA dynamic-memory findings on the unit: "
+          f"{sum(1 for finding in misra.findings if finding.rule == 'D4.12'):.0f}")
+    print("\nIn Brook Auto, the buffers become stream parameters and the "
+          "runtime owns\nallocation and transfer — the findings above are "
+          "exactly what disappears.")
+
+
+if __name__ == "__main__":
+    main()

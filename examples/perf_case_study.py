@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""The open- vs closed-source library case study (Figures 7, 8a, 8b).
+
+Prices YOLO-lite's convolution workloads under cuBLAS, cuDNN, CUTLASS,
+ISAAC, ATLAS and OpenBLAS, then runs the GEMM and convolution kernel
+sweeps — the quantitative backbone of the paper's Observation 12 argument
+that open-source libraries are a viable route to certifiable AD stacks.
+
+Usage::
+
+    python examples/perf_case_study.py
+"""
+
+from repro.iso26262 import tooling_observations
+from repro.perf import (
+    compare_conv,
+    compare_gemm,
+    relative_to_baseline,
+    render_case_study,
+    render_conv_table,
+    render_gemm_table,
+    run_case_study,
+)
+
+
+def main() -> None:
+    print("Figure 7 — Apollo object detection per implementation")
+    results = run_case_study()
+    print(render_case_study(results))
+    relatives = relative_to_baseline(results)
+    cpu_slowdown = min(relatives["ATLAS"], relatives["OpenBLAS"])
+    print(f"\nCPU BLAS is >= {cpu_slowdown:.0f}x slower than the GPU "
+          f"baseline — the paper's 'two orders of magnitude'.")
+
+    print("\nFigure 8(a) — GEMM kernels, CUTLASS vs cuBLAS")
+    print(render_gemm_table(compare_gemm()))
+
+    print("\nFigure 8(b) — convolution kernels, ISAAC vs cuDNN")
+    print(render_conv_table(compare_conv()))
+
+    open_vs_closed = relatives["cuDNN"] / relatives["ISAAC"]
+    observation = tooling_observations(
+        coverage_average=80.0,
+        open_vs_closed_relative=open_vs_closed)[2]
+    print()
+    print(observation.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Quickstart: assess a few C++/CUDA files against ISO 26262-6.
+
+Runs the full assessment pipeline on a handful of in-memory sources and
+prints the three requirement tables with verdicts, plus the derived
+observations.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import assess_sources
+
+SOURCES = {
+    # A perception-style file with typical industrial-AD constructs:
+    # a mutable global, a complex function, casts, dynamic allocation.
+    "perception/tracker.cc": """
+#include <vector>
+#include "perception/types.h"
+
+namespace apollo {
+namespace perception {
+
+int g_track_count = 0;
+
+float UpdateTrack(float* positions, int n, float gain) {
+  float score = 0.0f;
+  int matched;
+  float* scratch = new float[n];
+  for (int i = 0; i < n; i++) {
+    if (positions[i] > 0.0f && i % 2 == 0) {
+      score += positions[i] * gain;
+    } else if (positions[i] < -1.0f || gain > 2.0f) {
+      score -= 0.5f;
+    }
+  }
+  int rounded = (int)score;
+  if (rounded > 100) {
+    delete[] scratch;
+    return 100.0f;
+  }
+  delete[] scratch;
+  return score;
+}
+
+}  // namespace perception
+}  // namespace apollo
+""",
+    # The GPU side: a darknet-style kernel plus its host wrapper, the
+    # idiom the paper's Figure 4 highlights.
+    "perception/kernels.cu": """
+__global__ void scale_bias_kernel(float *output, float *biases, int n,
+                                  int size) {
+  int offset = blockIdx.x * blockDim.x + threadIdx.x;
+  int filter = blockIdx.y;
+  int batch = blockIdx.z;
+  if (offset < size) {
+    output[(batch * n + filter) * size + offset] *= biases[filter];
+  }
+}
+
+void scale_bias_gpu(float *output, float *biases, int batch, int n,
+                    int size) {
+  dim3 grid((size - 1) / 512 + 1, n, batch);
+  dim3 block(512);
+  float *d_output;
+  cudaMalloc((void**)&d_output, batch * n * size * sizeof(float));
+  scale_bias_kernel<<<grid, block>>>(d_output, biases, n, size);
+  cudaFree(d_output);
+}
+""",
+    # A control-style file that is closer to compliant.
+    "control/pid.cc": """
+namespace apollo {
+namespace control {
+
+float Clamp(float value, float low, float high) {
+  float result = value;
+  if (value < low) {
+    result = low;
+  }
+  if (value > high) {
+    result = high;
+  }
+  return result;
+}
+
+}  // namespace control
+}  // namespace apollo
+""",
+}
+
+
+def main() -> None:
+    result = assess_sources(SOURCES)
+    print(result.render_summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""repro: ISO 26262-6 adherence assessment for C/C++/CUDA AD codebases.
+
+A full reproduction of "Assessing the Adherence of an Industrial
+Autonomous Driving Framework to ISO 26262 Software Guidelines"
+(Tabani et al., DAC 2019): static analyzers for every guideline the paper
+measures, a statement/branch/MC-DC coverage engine over an executable C
+subset, a CUDA-on-CPU emulation layer, calibrated GPU-library performance
+models, and a synthetic Apollo-like corpus generator.
+
+Typical use::
+
+    from repro import assess_corpus, apollo_spec, generate_corpus
+    result = assess_corpus(generate_corpus(apollo_spec(scale=0.1)))
+    print(result.render_summary())
+"""
+
+from .core import (
+    AssessmentPipeline,
+    AssessmentResult,
+    PipelineConfig,
+    assess_corpus,
+    assess_sources,
+)
+from .corpus import apollo_spec, generate_corpus
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AssessmentPipeline",
+    "AssessmentResult",
+    "PipelineConfig",
+    "ReproError",
+    "__version__",
+    "apollo_spec",
+    "assess_corpus",
+    "assess_sources",
+    "generate_corpus",
+]

@@ -1,0 +1,47 @@
+"""Static checkers producing ISO 26262 compliance evidence."""
+
+from .architecture import (
+    ArchitectureChecker,
+    ArchitectureConfig,
+    module_from_path,
+)
+from .base import (
+    Checker,
+    CheckerReport,
+    Finding,
+    Severity,
+    enclosing_function_name,
+    run_checkers,
+)
+from .casts import CastChecker
+from .defensive import DefensiveChecker, project_validation_ratio
+from .globals_check import GlobalVariableChecker
+from .gpu_subset import GpuSubsetChecker, KernelAudit
+from .misra import MisraChecker, cuda_intrinsic_violations
+from .naming import NamingChecker
+from .style import StyleChecker, StyleConfig
+from .unitdesign import UnitDesignChecker
+
+__all__ = [
+    "ArchitectureChecker",
+    "ArchitectureConfig",
+    "CastChecker",
+    "Checker",
+    "CheckerReport",
+    "DefensiveChecker",
+    "Finding",
+    "GlobalVariableChecker",
+    "GpuSubsetChecker",
+    "KernelAudit",
+    "MisraChecker",
+    "NamingChecker",
+    "Severity",
+    "StyleChecker",
+    "StyleConfig",
+    "UnitDesignChecker",
+    "cuda_intrinsic_violations",
+    "enclosing_function_name",
+    "module_from_path",
+    "project_validation_ratio",
+    "run_checkers",
+]

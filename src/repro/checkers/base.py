@@ -1,0 +1,151 @@
+"""Checker framework: findings, reports, and the checker base class.
+
+Each checker inspects the fuzzy model (:class:`~repro.lang.cppmodel.
+TranslationUnit`) of one or more source files and produces a
+:class:`CheckerReport` — a list of located :class:`Finding` objects plus a
+dictionary of aggregate statistics.  The statistics are the *evidence* the
+ISO 26262 compliance engine consumes (see
+:mod:`repro.iso26262.compliance`); the findings are what a developer would
+fix.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..lang.cppmodel import TranslationUnit
+
+
+class Severity(enum.IntEnum):
+    """How strongly a finding blocks ISO 26262 compliance."""
+
+    INFO = 0
+    MINOR = 1
+    MAJOR = 2
+    CRITICAL = 3
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One located rule violation or noteworthy fact.
+
+    Attributes:
+        rule: stable rule identifier, e.g. ``"M15.1"`` or ``"UD.exits"``.
+        message: human-readable description.
+        filename: source file of the finding.
+        line: 1-based line number (0 for file-level findings).
+        severity: blocking strength.
+        function: qualified name of the enclosing function, when known.
+    """
+
+    rule: str
+    message: str
+    filename: str
+    line: int = 0
+    severity: Severity = Severity.MINOR
+    function: str = ""
+
+    def located(self) -> str:
+        """``file:line rule message`` string for reports."""
+        location = f"{self.filename}:{self.line}" if self.line else self.filename
+        return f"{location}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class CheckerReport:
+    """The outcome of running one checker over one or more units."""
+
+    checker: str
+    findings: List[Finding] = field(default_factory=list)
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def finding_count(self) -> int:
+        return len(self.findings)
+
+    def count_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+    def merge(self, other: "CheckerReport") -> None:
+        """Fold another report of the same checker into this one.
+
+        Statistics are summed; derived ratios must be recomputed by the
+        owning checker afterwards.
+        """
+        if other.checker != self.checker:
+            raise ValueError(
+                f"cannot merge report of {other.checker!r} into "
+                f"{self.checker!r}")
+        self.findings.extend(other.findings)
+        for key, value in other.stats.items():
+            self.stats[key] = self.stats.get(key, 0) + value
+
+
+class Checker(abc.ABC):
+    """Base class for all static checkers.
+
+    Subclasses implement :meth:`check_unit`; project-level checkers that
+    need cross-file information (call graphs, include graphs) additionally
+    override :meth:`check_project`.
+    """
+
+    #: Stable checker name, used as the report key.
+    name: str = "checker"
+
+    @abc.abstractmethod
+    def check_unit(self, unit: TranslationUnit) -> CheckerReport:
+        """Analyze one translation unit."""
+
+    def check_project(self,
+                      units: Iterable[TranslationUnit]) -> CheckerReport:
+        """Analyze a set of translation units.
+
+        The default implementation merges per-unit reports and then calls
+        :meth:`finalize` so ratio statistics can be recomputed from the
+        summed counters.
+        """
+        report = CheckerReport(checker=self.name)
+        for unit in units:
+            report.merge(self.check_unit(unit))
+        self.finalize(report)
+        return report
+
+    def finalize(self, report: CheckerReport) -> None:
+        """Recompute derived statistics after merging; default no-op."""
+
+    @staticmethod
+    def ratio(numerator: float, denominator: float) -> float:
+        """A safe ratio: 0.0 when the denominator is zero."""
+        if denominator == 0:
+            return 0.0
+        return numerator / denominator
+
+
+def run_checkers(checkers: Iterable[Checker],
+                 units: Iterable[TranslationUnit],
+                 ) -> Dict[str, CheckerReport]:
+    """Run several checkers over the same units; returns name -> report."""
+    units = list(units)
+    reports: Dict[str, CheckerReport] = {}
+    for checker in checkers:
+        reports[checker.name] = checker.check_project(units)
+    return reports
+
+
+def enclosing_function_name(unit: TranslationUnit, line: int) -> str:
+    """Qualified name of the function containing ``line``, or ``""``."""
+    best: Optional[str] = None
+    best_span = 0
+    for function in unit.functions:
+        if function.start_line <= line <= function.end_line:
+            span = function.end_line - function.start_line
+            if best is None or span < best_span:
+                best = function.qualified_name
+                best_span = span
+    return best or ""

@@ -1,0 +1,231 @@
+"""Strong-typing evidence: explicit casts and implicit-conversion risks.
+
+Section 3.1.3 of the paper: "In Apollo, we have observed more than 1,400
+explicit castings, which confronts the requirements of the ISO 26262
+standard" (Observation 5).  This checker counts:
+
+* C++ named casts (``static_cast`` etc.) — unambiguous on the token stream;
+* C-style casts ``(type)expr`` — detected with the conservative heuristic
+  every metric tool uses (parenthesized pure-type spelling followed by a
+  castable operand);
+* functional casts of builtin types, e.g. ``int(x)``;
+* implicit narrowing risks: builtin integer declarations initialized with
+  floating literals, and float declarations initialized from integer
+  division (heuristic evidence for Table 8 item 7).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..lang.cppmodel import TYPE_KEYWORDS, TranslationUnit
+from ..lang.tokens import Token, TokenKind
+from .base import Checker, CheckerReport, Finding, Severity, \
+    enclosing_function_name
+
+#: Identifiers commonly spelling types in automotive C++ (fixed-width ints
+#: and common aliases); extends the builtin keywords for the C-style-cast
+#: heuristic.
+TYPE_LIKE_IDENTIFIERS = frozenset({
+    "int8_t", "int16_t", "int32_t", "int64_t", "uint8_t", "uint16_t",
+    "uint32_t", "uint64_t", "size_t", "ssize_t", "ptrdiff_t", "intptr_t",
+    "uintptr_t", "uchar", "uint", "ulong", "byte", "wchar_t", "char16_t",
+    "char32_t",
+})
+
+NAMED_CASTS = ("static_cast", "dynamic_cast", "const_cast",
+               "reinterpret_cast")
+
+
+def _is_type_like(token: Token) -> bool:
+    if token.kind is TokenKind.KEYWORD and token.text in TYPE_KEYWORDS:
+        return True
+    if token.kind is TokenKind.KEYWORD and token.text == "const":
+        return True
+    if token.kind is TokenKind.IDENTIFIER:
+        return (token.text in TYPE_LIKE_IDENTIFIERS
+                or token.text.endswith("_t"))
+    return False
+
+
+class CastChecker(Checker):
+    """Counts explicit casts and flags implicit-conversion risks."""
+
+    name = "casts"
+
+    def check_unit(self, unit: TranslationUnit) -> CheckerReport:
+        report = CheckerReport(checker=self.name)
+        code = unit.code
+        named = 0
+        c_style = 0
+        functional = 0
+        for index, token in enumerate(code):
+            if token.kind is TokenKind.KEYWORD and token.text in NAMED_CASTS:
+                named += 1
+                report.findings.append(Finding(
+                    rule="ST.named_cast",
+                    message=f"{token.text} expression",
+                    filename=unit.filename,
+                    line=token.line,
+                    severity=Severity.MINOR,
+                    function=enclosing_function_name(unit, token.line),
+                ))
+            elif token.is_punct("(") and self._is_c_style_cast(code, index):
+                c_style += 1
+                report.findings.append(Finding(
+                    rule="ST.c_cast",
+                    message="C-style cast",
+                    filename=unit.filename,
+                    line=token.line,
+                    severity=Severity.MAJOR,
+                    function=enclosing_function_name(unit, token.line),
+                ))
+            elif (token.kind is TokenKind.KEYWORD
+                  and token.text in TYPE_KEYWORDS
+                  and index + 1 < len(code)
+                  and code[index + 1].is_punct("(")
+                  and not self._is_declaration_context(code, index)):
+                functional += 1
+                report.findings.append(Finding(
+                    rule="ST.functional_cast",
+                    message=f"functional cast to {token.text}",
+                    filename=unit.filename,
+                    line=token.line,
+                    severity=Severity.MINOR,
+                    function=enclosing_function_name(unit, token.line),
+                ))
+        narrowing = self._implicit_narrowing(unit, report)
+        report.stats.update({
+            "named_casts": named,
+            "c_style_casts": c_style,
+            "functional_casts": functional,
+            "explicit_casts": named + c_style + functional,
+            "implicit_narrowing_risks": narrowing,
+        })
+        return report
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _is_c_style_cast(code: List[Token], index: int) -> bool:
+        """True when ``code[index]`` opens a C-style cast ``(type)x``.
+
+        Requires: every token inside the parens is type-like (type keyword,
+        ``const``, ``*``, ``&``, or a type-spelling identifier), at least
+        one is a real type spelling, and the token after the close paren
+        can start an operand.  The token *before* the open paren must not
+        be an identifier or closing bracket (that would be a call).
+        """
+        if index > 0:
+            previous = code[index - 1]
+            if previous.kind in (TokenKind.IDENTIFIER, TokenKind.NUMBER):
+                return False
+            if previous.kind is TokenKind.PUNCT and previous.text in (")", "]"):
+                return False
+            if previous.kind is TokenKind.KEYWORD and previous.text in (
+                    "if", "while", "for", "switch", "return", "sizeof"):
+                # `return (x);` style parens and sizeof are not casts
+                # unless the contents are purely type-like *and* followed
+                # by an operand; be conservative and skip sizeof/control.
+                if previous.text != "return":
+                    return False
+        cursor = index + 1
+        saw_type = False
+        saw_pointer = False
+        while cursor < len(code) and not code[cursor].is_punct(")"):
+            token = code[cursor]
+            if _is_type_like(token):
+                if not (token.is_keyword("const")):
+                    saw_type = True
+            elif token.kind is TokenKind.PUNCT and token.text in ("*", "&"):
+                saw_pointer = True
+            elif token.is_punct("::"):
+                pass  # qualified type name
+            else:
+                return False
+            cursor += 1
+            if cursor - index > 8:
+                return False
+        if cursor >= len(code) or not saw_type:
+            return False
+        # An identifier alone in parens is ambiguous (`(size_t)` vs
+        # `(variable)`); require a builtin keyword, a pointer, or an
+        # identifier-typed spelling when followed by a castable operand.
+        after = code[cursor + 1] if cursor + 1 < len(code) else None
+        if after is None:
+            return False
+        operand_ok = (
+            after.kind in (TokenKind.IDENTIFIER, TokenKind.NUMBER,
+                           TokenKind.STRING, TokenKind.CHAR)
+            or after.is_punct("(")
+            or (after.kind is TokenKind.PUNCT and after.text in ("*", "&",
+                                                                 "-", "~",
+                                                                 "!"))
+            or (after.kind is TokenKind.KEYWORD and after.text in (
+                "sizeof", "new", "true", "false", "nullptr"))
+        )
+        if not operand_ok:
+            return False
+        only_identifier = all(
+            code[position].kind is TokenKind.IDENTIFIER
+            or code[position].is_punct("::")
+            for position in range(index + 1, cursor)
+        )
+        if only_identifier and not saw_pointer:
+            # `(name) x` with a bare non-_t identifier is too ambiguous.
+            inner = [code[position] for position in range(index + 1, cursor)
+                     if code[position].kind is TokenKind.IDENTIFIER]
+            if not any(_is_type_like(token) for token in inner):
+                return False
+        return True
+
+    @staticmethod
+    def _is_declaration_context(code: List[Token], index: int) -> bool:
+        """True when ``type (`` is a declaration, not a functional cast.
+
+        ``int (*fp)(void)`` declares a function pointer; ``int (x)`` with a
+        preceding type keyword is a declaration too.  The functional-cast
+        heuristic only fires when the type keyword starts an expression:
+        preceded by an operator, ``(``, ``,``, ``=`` or ``return``.
+        """
+        if index == 0:
+            return True
+        previous = code[index - 1]
+        if previous.kind is TokenKind.PUNCT and previous.text in (
+                "=", "(", ",", "+", "-", "*", "/", "%", "<", ">", "<=",
+                ">=", "==", "!=", "&&", "||", "[", "?", ":", "<<", ">>"):
+            return False
+        if previous.kind is TokenKind.KEYWORD and previous.text == "return":
+            return False
+        return True
+
+    @staticmethod
+    def _implicit_narrowing(unit: TranslationUnit,
+                            report: CheckerReport) -> int:
+        """Count `int x = <float literal>` style initializations."""
+        code = unit.code
+        count = 0
+        integer_types = {"int", "long", "short", "char", "unsigned", "signed"}
+        for index in range(len(code) - 3):
+            token = code[index]
+            if not (token.kind is TokenKind.KEYWORD
+                    and token.text in integer_types):
+                continue
+            name = code[index + 1]
+            equals = code[index + 2]
+            value = code[index + 3]
+            if (name.kind is TokenKind.IDENTIFIER and equals.is_punct("=")
+                    and value.kind is TokenKind.NUMBER
+                    and ("." in value.text or "e" in value.text.lower())
+                    and not value.text.lower().startswith("0x")):
+                count += 1
+                report.findings.append(Finding(
+                    rule="ST.narrowing_init",
+                    message=(f"integer variable {name.text!r} initialized "
+                             f"with floating literal {value.text}"),
+                    filename=unit.filename,
+                    line=token.line,
+                    severity=Severity.MAJOR,
+                    function=enclosing_function_name(unit, token.line),
+                ))
+        return count

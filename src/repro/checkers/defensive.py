@@ -1,0 +1,201 @@
+"""Defensive-implementation evidence — Table 1 item 4, Observation 6.
+
+Section 3.1.4: defensive code "must behave predictably despite unexpected
+inputs", which requires that (a) functions validate their input parameters
+before using them, and (b) callers handle the return values of the
+functions they call.  Both properties are approximated statically:
+
+* *parameter validation*: a function with pointer/reference/arithmetic
+  parameters is considered defensive when its body's leading region
+  mentions a parameter inside a validation construct (``if``, ``assert``,
+  ``CHECK*``-style macro, or an early ``return``/``throw`` guard);
+* *return-value handling*: a call whose result is discarded (a bare
+  call-statement) to a function that is known, from the same analysis run,
+  to return non-void, counts as an unchecked return.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+from ..lang.cppmodel import FunctionInfo, TranslationUnit
+from ..lang.tokens import Token, TokenKind
+from .base import Checker, CheckerReport, Finding, Severity
+
+#: Macro/function names that perform validation in industrial C++.
+VALIDATION_CALLS = frozenset({
+    "assert", "CHECK", "CHECK_NOTNULL", "CHECK_GT", "CHECK_GE", "CHECK_LT",
+    "CHECK_LE", "CHECK_EQ", "CHECK_NE", "DCHECK", "ACHECK", "CHECK_NULL",
+    "ASSERT", "VALIDATE", "EXPECT", "REQUIRE",
+})
+
+#: How many leading statements of a body count as the "validation region".
+GUARD_WINDOW_STATEMENTS = 6
+
+
+class DefensiveChecker(Checker):
+    """Measures parameter-validation and return-value-handling discipline."""
+
+    name = "defensive"
+
+    def check_unit(self, unit: TranslationUnit) -> CheckerReport:
+        report = CheckerReport(checker=self.name)
+        guardable = 0
+        guarded = 0
+        for function in unit.functions:
+            riskful = [parameter for parameter in function.parameters
+                       if parameter.name]
+            if not riskful:
+                continue
+            guardable += 1
+            if self._validates_parameters(unit, function):
+                guarded += 1
+            else:
+                report.findings.append(Finding(
+                    rule="DF.unvalidated_params",
+                    message=(f"function {function.name!r} uses its "
+                             f"{len(riskful)} parameter(s) without a "
+                             f"leading validity check"),
+                    filename=unit.filename,
+                    line=function.start_line,
+                    severity=Severity.MAJOR,
+                    function=function.qualified_name,
+                ))
+        unchecked = self._unchecked_returns(unit, report)
+        report.stats.update({
+            "guardable_functions": guardable,
+            "guarded_functions": guarded,
+            "unchecked_return_calls": unchecked,
+        })
+        self.finalize(report)
+        return report
+
+    def finalize(self, report: CheckerReport) -> None:
+        report.stats["validation_ratio"] = self.ratio(
+            report.stats.get("guarded_functions", 0),
+            report.stats.get("guardable_functions", 0))
+
+    # ------------------------------------------------------------------
+
+    def _validates_parameters(self, unit: TranslationUnit,
+                              function: FunctionInfo) -> bool:
+        """True when the body's leading region checks any parameter."""
+        parameter_names: Set[str] = {parameter.name
+                                     for parameter in function.parameters
+                                     if parameter.name}
+        if not parameter_names:
+            return True
+        statements = self._leading_statements(unit.body_tokens(function))
+        for statement in statements:
+            if self._is_validation_statement(statement, parameter_names):
+                return True
+        return False
+
+    @staticmethod
+    def _leading_statements(body: List[Token]) -> List[List[Token]]:
+        """Split the leading region of a body into statements.
+
+        Statements are token runs separated by ``;`` at nesting depth zero
+        relative to the body braces; an ``if (...) { ... }`` guard counts
+        as one statement including its condition.
+        """
+        statements: List[List[Token]] = []
+        current: List[Token] = []
+        depth = 0
+        for token in body[1:-1]:  # strip outer braces
+            current.append(token)
+            if token.kind is TokenKind.PUNCT:
+                if token.text in ("{", "(", "["):
+                    depth += 1
+                elif token.text in ("}", ")", "]"):
+                    depth -= 1
+                    if token.text == "}" and depth == 0:
+                        statements.append(current)
+                        current = []
+                elif token.text == ";" and depth == 0:
+                    statements.append(current)
+                    current = []
+            if len(statements) >= GUARD_WINDOW_STATEMENTS:
+                break
+        if current:
+            statements.append(current)
+        return statements[:GUARD_WINDOW_STATEMENTS]
+
+    @staticmethod
+    def _is_validation_statement(statement: List[Token],
+                                 parameter_names: Set[str]) -> bool:
+        mentions_parameter = any(
+            token.kind is TokenKind.IDENTIFIER
+            and token.text in parameter_names
+            for token in statement)
+        if not mentions_parameter:
+            return False
+        for token in statement:
+            if token.is_keyword("if"):
+                return True
+            if (token.kind is TokenKind.IDENTIFIER
+                    and (token.text in VALIDATION_CALLS
+                         or token.text.startswith("CHECK"))):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+
+    def _unchecked_returns(self, unit: TranslationUnit,
+                           report: CheckerReport) -> int:
+        """Count bare call-statements to functions returning non-void.
+
+        Only functions defined in the same unit are classified (we know
+        their return type from the definition head); this mirrors what a
+        file-local static analysis can prove.
+        """
+        returning: Set[str] = set()
+        for function in unit.functions:
+            if function.return_count > 0 and self._returns_value(unit,
+                                                                 function):
+                returning.add(function.name)
+        if not returning:
+            return 0
+        count = 0
+        code = unit.code
+        for index in range(1, len(code) - 1):
+            token = code[index]
+            if token.kind is not TokenKind.IDENTIFIER \
+                    or token.text not in returning:
+                continue
+            previous = code[index - 1]
+            after = code[index + 1]
+            starts_statement = previous.kind is TokenKind.PUNCT \
+                and previous.text in (";", "{", "}")
+            if starts_statement and after.is_punct("("):
+                count += 1
+                report.findings.append(Finding(
+                    rule="DF.unchecked_return",
+                    message=(f"return value of {token.text!r} is discarded"),
+                    filename=unit.filename,
+                    line=token.line,
+                    severity=Severity.MINOR,
+                ))
+        return count
+
+    @staticmethod
+    def _returns_value(unit: TranslationUnit,
+                       function: FunctionInfo) -> bool:
+        """True when any `return` in the body carries an expression."""
+        body = unit.body_tokens(function)
+        for index, token in enumerate(body):
+            if token.is_keyword("return"):
+                if index + 1 < len(body) and not body[index + 1].is_punct(";"):
+                    return True
+        return False
+
+
+def project_validation_ratio(reports: Iterable[CheckerReport]) -> float:
+    """Combined validation ratio over several per-module reports."""
+    guarded = sum(report.stats.get("guarded_functions", 0)
+                  for report in reports)
+    guardable = sum(report.stats.get("guardable_functions", 0)
+                    for report in reports)
+    if guardable == 0:
+        return 0.0
+    return guarded / guardable

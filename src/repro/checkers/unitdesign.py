@@ -1,0 +1,350 @@
+"""Software unit design & implementation checks — paper Table 3 (ISO Table 8).
+
+Section 3.5 walks through the ten principles and reports, for Apollo:
+
+1. 41% of functions in the object-detection module have several exit points;
+2. most data structures are allocated dynamically;
+3. several variables are uninitialized;
+4. variable-name uniqueness is complicated by libraries and namespaces;
+5. ~900 globals in the perception module;
+6. pointers are used pervasively (CUDA makes them indispensable);
+7. >1,400 explicit type conversions;
+8. hidden data/control flow (function-like macros, conditional compilation);
+9. several unconditional jumps;
+10. a few recursive functions (tree processing).
+
+This checker produces one finding stream and one statistics block covering
+all ten items.  Recursion detection is project-level (indirect recursion
+needs the whole call graph), so :meth:`check_project` overrides the default.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from ..lang.cppmodel import TYPE_KEYWORDS, FunctionInfo, TranslationUnit
+from ..lang.tokens import Token, TokenKind
+from .base import Checker, CheckerReport, Finding, Severity
+
+#: Scalar types whose declaration without initializer is flagged (item 3).
+_SCALAR_TYPES = TYPE_KEYWORDS - {"void", "auto"}
+
+#: Statement-context tokens after which a declaration can begin.
+_STATEMENT_STARTERS = frozenset({";", "{", "}"})
+
+
+class UnitDesignChecker(Checker):
+    """Implements the ten Table 8 unit-design checks."""
+
+    name = "unit_design"
+
+    def check_unit(self, unit: TranslationUnit) -> CheckerReport:
+        report = CheckerReport(checker=self.name)
+        multi_exit = 0
+        dynamic = 0
+        pointer_users = 0
+        goto_users = 0
+        for function in unit.functions:
+            body = unit.body_tokens(function)
+            if function.has_multiple_exits:
+                multi_exit += 1
+                report.findings.append(Finding(
+                    rule="UD1.multi_exit",
+                    message=(f"{function.name!r} has "
+                             f"{function.exit_points} exit points"),
+                    filename=unit.filename,
+                    line=function.start_line,
+                    severity=Severity.MINOR,
+                    function=function.qualified_name,
+                ))
+            if function.uses_dynamic_memory:
+                dynamic += 1
+                report.findings.append(Finding(
+                    rule="UD2.dynamic_alloc",
+                    message=(f"{function.name!r} allocates dynamically "
+                             f"({function.allocation_calls} calls, "
+                             f"{function.new_expressions} new)"),
+                    filename=unit.filename,
+                    line=function.start_line,
+                    severity=Severity.MAJOR,
+                    function=function.qualified_name,
+                ))
+            uses_pointers = (function.pointer_operations > 0
+                             or any(parameter.is_pointer
+                                    for parameter in function.parameters))
+            if uses_pointers:
+                pointer_users += 1
+            if function.goto_count > 0:
+                goto_users += 1
+                report.findings.append(Finding(
+                    rule="UD9.goto",
+                    message=f"{function.name!r} uses goto",
+                    filename=unit.filename,
+                    line=function.start_line,
+                    severity=Severity.MAJOR,
+                    function=function.qualified_name,
+                ))
+            self._check_uninitialized(unit, function, body, report)
+            self._check_shadowing(unit, function, body, report)
+        hidden = self._check_hidden_flow(unit, report)
+
+        report.stats.update({
+            "functions": len(unit.functions),
+            "multi_exit_functions": multi_exit,
+            "dynamic_alloc_functions": dynamic,
+            "pointer_functions": pointer_users,
+            "goto_functions": goto_users,
+            "uninitialized_declarations": sum(
+                1 for finding in report.findings
+                if finding.rule == "UD3.uninitialized"),
+            "shadowed_names": sum(
+                1 for finding in report.findings
+                if finding.rule == "UD4.shadowing"),
+            "hidden_flow_sites": hidden,
+            "mutable_globals": len(unit.mutable_globals),
+        })
+        return report
+
+    def check_project(self,
+                      units: Iterable[TranslationUnit]) -> CheckerReport:
+        units = list(units)
+        report = CheckerReport(checker=self.name)
+        for unit in units:
+            report.merge(self.check_unit(unit))
+        recursive = self._check_recursion(units, report)
+        report.stats["recursive_functions"] = len(recursive)
+        self.finalize(report)
+        return report
+
+    def finalize(self, report: CheckerReport) -> None:
+        functions = report.stats.get("functions", 0)
+        for key, stat in (("multi_exit_ratio", "multi_exit_functions"),
+                          ("dynamic_alloc_ratio", "dynamic_alloc_functions"),
+                          ("pointer_ratio", "pointer_functions")):
+            report.stats[key] = self.ratio(report.stats.get(stat, 0),
+                                           functions)
+
+    # ------------------------------------------------------------------
+    # item 3: initialization of variables
+
+    def _check_uninitialized(self, unit: TranslationUnit,
+                             function: FunctionInfo, body: List[Token],
+                             report: CheckerReport) -> None:
+        """Flag `type name;` scalar declarations with no initializer.
+
+        The heuristic mirrors what "static code analysis tools and compiler
+        options" (Section 3.5 item 3) report: a scalar local declared
+        without an initializer.  Whether a later assignment happens before
+        first use is undecidable fuzzily, so this over-approximates the
+        same way ``-Wuninitialized``-style diagnostics do at declaration
+        granularity.
+        """
+        for index in range(1, len(body) - 2):
+            token = body[index]
+            if not (token.kind is TokenKind.KEYWORD
+                    and token.text in _SCALAR_TYPES):
+                continue
+            previous = body[index - 1]
+            if not (previous.kind is TokenKind.PUNCT
+                    and previous.text in _STATEMENT_STARTERS):
+                continue
+            name = body[index + 1]
+            terminator = body[index + 2]
+            if name.kind is TokenKind.IDENTIFIER \
+                    and terminator.is_punct(";"):
+                report.findings.append(Finding(
+                    rule="UD3.uninitialized",
+                    message=(f"local {name.text!r} declared without an "
+                             f"initializer"),
+                    filename=unit.filename,
+                    line=token.line,
+                    severity=Severity.MAJOR,
+                    function=function.qualified_name,
+                ))
+
+    # ------------------------------------------------------------------
+    # item 4: no multiple use of variable names (shadowing)
+
+    def _check_shadowing(self, unit: TranslationUnit,
+                         function: FunctionInfo, body: List[Token],
+                         report: CheckerReport) -> None:
+        """Flag a local declaration reusing a name visible in an outer scope."""
+        scopes: List[Set[str]] = [
+            {parameter.name for parameter in function.parameters
+             if parameter.name}]
+        index = 1  # skip opening brace
+        while index < len(body) - 1:
+            token = body[index]
+            if token.is_punct("{"):
+                scopes.append(set())
+            elif token.is_punct("}"):
+                if len(scopes) > 1:
+                    scopes.pop()
+            else:
+                declared = self._declared_name(body, index)
+                if declared is not None:
+                    name, line = declared
+                    if any(name in scope for scope in scopes[:-1]) \
+                            or name in scopes[-1]:
+                        report.findings.append(Finding(
+                            rule="UD4.shadowing",
+                            message=(f"declaration of {name!r} shadows an "
+                                     f"outer declaration"),
+                            filename=unit.filename,
+                            line=line,
+                            severity=Severity.MINOR,
+                            function=function.qualified_name,
+                        ))
+                    scopes[-1].add(name)
+            index += 1
+
+    @staticmethod
+    def _declared_name(body: List[Token], index: int):
+        """Name declared by `type name [=...]` starting at ``index``."""
+        token = body[index]
+        if not (token.kind is TokenKind.KEYWORD
+                and token.text in _SCALAR_TYPES):
+            return None
+        previous = body[index - 1]
+        if not (previous.kind is TokenKind.PUNCT
+                and previous.text in (_STATEMENT_STARTERS | {"("})):
+            return None
+        cursor = index + 1
+        # Skip further type keywords and pointer declarators.
+        while cursor < len(body) and (
+                (body[cursor].kind is TokenKind.KEYWORD
+                 and body[cursor].text in (_SCALAR_TYPES | {"const"}))
+                or body[cursor].is_punct("*") or body[cursor].is_punct("&")):
+            cursor += 1
+        if cursor < len(body) \
+                and body[cursor].kind is TokenKind.IDENTIFIER:
+            after = body[cursor + 1] if cursor + 1 < len(body) else None
+            if after is not None and (after.is_punct("=")
+                                      or after.is_punct(";")
+                                      or after.is_punct("[")):
+                return body[cursor].text, body[cursor].line
+        return None
+
+    # ------------------------------------------------------------------
+    # item 8: hidden data/control flow
+
+    def _check_hidden_flow(self, unit: TranslationUnit,
+                           report: CheckerReport) -> int:
+        """Function-like macros and in-function conditional compilation.
+
+        Both hide flow from review and coverage tools, which is how the
+        paper connects item 8 to its coverage findings.
+        """
+        sites = 0
+        macro_names = {macro.name
+                       for macro in unit.preprocessor.function_like_macros}
+        if macro_names:
+            for function in unit.functions:
+                hidden_calls = [call for call in function.calls
+                                if call in macro_names]
+                if hidden_calls:
+                    sites += len(hidden_calls)
+                    report.findings.append(Finding(
+                        rule="UD8.macro_flow",
+                        message=(f"{function.name!r} invokes function-like "
+                                 f"macro(s) {sorted(set(hidden_calls))}"),
+                        filename=unit.filename,
+                        line=function.start_line,
+                        severity=Severity.MINOR,
+                        function=function.qualified_name,
+                    ))
+        conditionals = unit.preprocessor.conditionals
+        if conditionals:
+            sites += conditionals
+            report.findings.append(Finding(
+                rule="UD8.cond_compilation",
+                message=(f"{conditionals} conditional-compilation "
+                         f"directive(s) in translation unit"),
+                filename=unit.filename,
+                severity=Severity.INFO,
+            ))
+        return sites
+
+    # ------------------------------------------------------------------
+    # item 10: recursion (direct and indirect)
+
+    def _check_recursion(self, units: List[TranslationUnit],
+                         report: CheckerReport) -> Set[str]:
+        """Functions on a call-graph cycle, matched by name project-wide."""
+        graph: Dict[str, Set[str]] = {}
+        locations: Dict[str, Tuple[str, int]] = {}
+        defined: Set[str] = set()
+        for unit in units:
+            for function in unit.functions:
+                defined.add(function.name)
+                locations.setdefault(function.name,
+                                     (unit.filename, function.start_line))
+        for unit in units:
+            for function in unit.functions:
+                edges = graph.setdefault(function.name, set())
+                edges.update(call for call in function.calls
+                             if call in defined)
+        recursive = _functions_on_cycles(graph)
+        for name in sorted(recursive):
+            filename, line = locations.get(name, ("<unknown>", 0))
+            report.findings.append(Finding(
+                rule="UD10.recursion",
+                message=f"{name!r} participates in a call-graph cycle",
+                filename=filename,
+                line=line,
+                severity=Severity.MAJOR,
+                function=name,
+            ))
+        return recursive
+
+
+def _functions_on_cycles(graph: Dict[str, Set[str]]) -> Set[str]:
+    """Names on any cycle of the call graph (iterative Tarjan SCC)."""
+    index_counter = [0]
+    indices: Dict[str, int] = {}
+    lowlinks: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    result: Set[str] = set()
+
+    for root in graph:
+        if root in indices:
+            continue
+        work: List[Tuple[str, int]] = [(root, 0)]
+        while work:
+            node, child_index = work.pop()
+            if child_index == 0:
+                indices[node] = index_counter[0]
+                lowlinks[node] = index_counter[0]
+                index_counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            children = sorted(graph.get(node, ()))
+            recurse = False
+            for position in range(child_index, len(children)):
+                child = children[position]
+                if child not in indices:
+                    work.append((node, position + 1))
+                    work.append((child, 0))
+                    recurse = True
+                    break
+                if child in on_stack:
+                    lowlinks[node] = min(lowlinks[node], indices[child])
+            if recurse:
+                continue
+            if lowlinks[node] == indices[node]:
+                component: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1:
+                    result.update(component)
+                elif node in graph.get(node, ()):
+                    result.add(node)  # direct self-recursion
+            if work:
+                parent = work[-1][0]
+                lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
+    return result

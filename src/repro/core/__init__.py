@@ -1,0 +1,32 @@
+"""The assessment pipeline: the paper's methodology as one call."""
+
+from .assessment import AssessmentResult
+from .config import PipelineConfig
+from .diff import AssessmentDiff, VerdictTransition, diff_assessments, gap_reduction
+from .markdown import render_markdown
+from .remediation import (
+    Effort,
+    RemediationItem,
+    effort_histogram,
+    plan_remediation,
+    render_plan,
+)
+from .pipeline import AssessmentPipeline, assess_corpus, assess_sources
+
+__all__ = [
+    "AssessmentDiff",
+    "VerdictTransition",
+    "diff_assessments",
+    "gap_reduction",
+    "Effort",
+    "RemediationItem",
+    "effort_histogram",
+    "plan_remediation",
+    "render_markdown",
+    "render_plan",
+    "AssessmentPipeline",
+    "AssessmentResult",
+    "PipelineConfig",
+    "assess_corpus",
+    "assess_sources",
+]

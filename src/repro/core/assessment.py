@@ -1,0 +1,108 @@
+"""The assessment result object and its renderers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..checkers.base import CheckerReport
+from ..iso26262.compliance import TableAssessment, Verdict
+from ..iso26262.evidence import EvidenceSet
+from ..iso26262.observations import Observation
+from ..iso26262.report import (
+    assessment_to_dict,
+    observations_to_dict,
+    render_observations,
+    render_rationales,
+    render_table,
+)
+from ..metrics.report import ModuleMetrics, figure3_rows, \
+    total_moderate_or_higher
+
+
+@dataclass
+class AssessmentResult:
+    """Everything one pipeline run produced."""
+
+    modules: List[ModuleMetrics]
+    reports: Dict[str, CheckerReport]
+    evidence: EvidenceSet
+    tables: Dict[str, TableAssessment]
+    observations: List[Observation]
+    unit_count: int = 0
+    unparseable: List[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def total_loc(self) -> int:
+        return sum(module.loc for module in self.modules)
+
+    @property
+    def total_functions(self) -> int:
+        return sum(module.function_count for module in self.modules)
+
+    @property
+    def moderate_or_higher(self) -> int:
+        """Framework-wide CC>10 count (the paper's 554)."""
+        return total_moderate_or_higher(self.modules)
+
+    def figure3(self) -> List[Dict[str, object]]:
+        return figure3_rows(self.modules)
+
+    def verdict_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {verdict.value: 0 for verdict in Verdict}
+        for table in self.tables.values():
+            for entry in table.assessments:
+                counts[entry.verdict.value] += 1
+        return counts
+
+    # ------------------------------------------------------------------
+
+    def render_summary(self) -> str:
+        lines = [
+            "ISO 26262-6 adherence assessment",
+            "=" * 60,
+            f"translation units analyzed : {self.unit_count}",
+            f"total lines of code        : {self.total_loc}",
+            f"functions                  : {self.total_functions}",
+            f"functions with CC > 10     : {self.moderate_or_higher}",
+            "",
+        ]
+        if self.unparseable:
+            lines.append(f"unparseable files          : "
+                         f"{len(self.unparseable)}")
+            lines.append("")
+        lines.append(f"{'module':<16}{'LOC':>8}{'functions':>11}"
+                     f"{'cc>10':>7}{'cc>20':>7}{'cc>50':>7}")
+        lines.append("-" * 56)
+        for row in self.figure3():
+            lines.append(f"{row['module']:<16}{row['loc']:>8}"
+                         f"{row['functions']:>11}{row['cc>10']:>7}"
+                         f"{row['cc>20']:>7}{row['cc>50']:>7}")
+        lines.append("")
+        for key in ("modeling_coding", "architectural_design",
+                    "unit_design"):
+            lines.append(render_table(self.tables[key]))
+            lines.append("")
+            lines.append(render_rationales(self.tables[key]))
+            lines.append("")
+        lines.append("Observations")
+        lines.append("-" * 60)
+        lines.append(render_observations(self.observations))
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        return {
+            "unit_count": self.unit_count,
+            "total_loc": self.total_loc,
+            "total_functions": self.total_functions,
+            "moderate_or_higher": self.moderate_or_higher,
+            "figure3": self.figure3(),
+            "tables": {key: assessment_to_dict(table)
+                       for key, table in self.tables.items()},
+            "observations": observations_to_dict(self.observations),
+            "verdicts": self.verdict_counts(),
+            "checker_findings": {name: report.finding_count
+                                 for name, report in self.reports.items()},
+        }

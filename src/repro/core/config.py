@@ -1,0 +1,37 @@
+"""Configuration of the assessment pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..checkers.architecture import ArchitectureConfig, module_from_path
+from ..checkers.style import StyleConfig
+from ..iso26262.asil import Asil, TARGET_ASIL
+from ..iso26262.compliance import ComplianceThresholds
+
+
+@dataclass
+class PipelineConfig:
+    """Everything tunable about one assessment run.
+
+    Attributes:
+        target_asil: the ASIL the verdicts are computed against (the paper
+            argues ASIL D for the full AD pipeline).
+        thresholds: verdict cut-offs.
+        style: style-checker limits (Google defaults).
+        architecture: architectural-design limits.
+        module_of: maps a file path to its module name.
+        skip_unparseable: tolerate files the fuzzy parser rejects
+            (they are recorded, not fatal) — industrial trees always
+            contain a few.
+    """
+
+    target_asil: Asil = TARGET_ASIL
+    thresholds: ComplianceThresholds = field(
+        default_factory=ComplianceThresholds)
+    style: StyleConfig = field(default_factory=StyleConfig)
+    architecture: ArchitectureConfig = field(
+        default_factory=ArchitectureConfig)
+    module_of: Callable[[str], str] = module_from_path
+    skip_unparseable: bool = True

@@ -1,0 +1,122 @@
+"""Assessment diffing: quantify what a remediation campaign achieved.
+
+Compares two :class:`~repro.core.assessment.AssessmentResult` objects
+(e.g. baseline vs. remediated codebase) technique by technique, reporting
+verdict transitions and residual gaps — the evidence a safety case would
+attach to a remediation milestone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..iso26262.compliance import GapSeverity, Verdict
+from .assessment import AssessmentResult
+
+#: Ordering used to decide whether a transition is an improvement.
+_VERDICT_RANK: Dict[Verdict, int] = {
+    Verdict.NON_COMPLIANT: 0,
+    Verdict.UNKNOWN: 1,
+    Verdict.PARTIAL: 2,
+    Verdict.NOT_APPLICABLE: 3,
+    Verdict.COMPLIANT: 3,
+}
+
+
+@dataclass(frozen=True)
+class VerdictTransition:
+    """One technique's verdict movement between two assessments."""
+
+    table_key: str
+    technique_key: str
+    title: str
+    before: Verdict
+    after: Verdict
+
+    @property
+    def improved(self) -> bool:
+        return _VERDICT_RANK[self.after] > _VERDICT_RANK[self.before]
+
+    @property
+    def regressed(self) -> bool:
+        return _VERDICT_RANK[self.after] < _VERDICT_RANK[self.before]
+
+    @property
+    def unchanged(self) -> bool:
+        return self.before is self.after
+
+
+@dataclass
+class AssessmentDiff:
+    """The full comparison."""
+
+    transitions: List[VerdictTransition]
+
+    @property
+    def improved(self) -> List[VerdictTransition]:
+        return [entry for entry in self.transitions if entry.improved]
+
+    @property
+    def regressed(self) -> List[VerdictTransition]:
+        return [entry for entry in self.transitions if entry.regressed]
+
+    @property
+    def residual_gaps(self) -> List[VerdictTransition]:
+        return [entry for entry in self.transitions
+                if entry.after in (Verdict.NON_COMPLIANT, Verdict.PARTIAL)]
+
+    def render(self) -> str:
+        lines = ["Assessment diff (baseline -> remediated)",
+                 "=" * 60]
+        for entry in self.transitions:
+            if entry.unchanged:
+                continue
+            marker = "+" if entry.improved else "-"
+            lines.append(f" {marker} {entry.title}: "
+                         f"{entry.before.value} -> {entry.after.value}")
+        lines.append("")
+        lines.append(f"improved: {len(self.improved)}  "
+                     f"regressed: {len(self.regressed)}  "
+                     f"residual gaps: {len(self.residual_gaps)}")
+        if self.residual_gaps:
+            lines.append("residual (need deeper/research effort):")
+            for entry in self.residual_gaps:
+                lines.append(f"  - {entry.title} ({entry.after.value})")
+        return "\n".join(lines)
+
+
+def diff_assessments(before: AssessmentResult,
+                     after: AssessmentResult) -> AssessmentDiff:
+    """Compare two assessments over the same requirement tables."""
+    transitions: List[VerdictTransition] = []
+    for table_key, before_table in before.tables.items():
+        after_table = after.tables[table_key]
+        for entry in before_table.assessments:
+            after_entry = after_table.assessment(entry.technique.key)
+            transitions.append(VerdictTransition(
+                table_key=table_key,
+                technique_key=entry.technique.key,
+                title=entry.technique.title,
+                before=entry.verdict,
+                after=after_entry.verdict,
+            ))
+    return AssessmentDiff(transitions=transitions)
+
+
+def gap_reduction(before: AssessmentResult,
+                  after: AssessmentResult) -> Dict[str, int]:
+    """Weighted-gap totals before/after (minor=1, major=2, critical=3)."""
+    def weighted(result: AssessmentResult) -> int:
+        total = 0
+        for table in result.tables.values():
+            for entry in table.assessments:
+                if entry.gap is GapSeverity.MINOR:
+                    total += 1
+                elif entry.gap is GapSeverity.MAJOR:
+                    total += 2
+                elif entry.gap is GapSeverity.CRITICAL:
+                    total += 3
+        return total
+
+    return {"before": weighted(before), "after": weighted(after)}

@@ -1,0 +1,70 @@
+"""Markdown rendering of a complete assessment — the shareable report."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..iso26262.asil import TABLE_COLUMNS
+from ..iso26262.compliance import TableAssessment
+from .assessment import AssessmentResult
+from .remediation import plan_remediation, render_plan
+
+
+def _table_markdown(assessment: TableAssessment) -> List[str]:
+    lines = [
+        f"### Table {assessment.table.paper_number}: "
+        f"{assessment.table.caption}",
+        "",
+        "| # | technique | " + " | ".join(asil.name
+                                          for asil in TABLE_COLUMNS)
+        + " | verdict | rationale |",
+        "|---|---|" + "---|" * len(TABLE_COLUMNS) + "---|---|",
+    ]
+    for entry in assessment.assessments:
+        grades = " | ".join(entry.technique.grades[asil].symbol
+                            for asil in TABLE_COLUMNS)
+        lines.append(
+            f"| {entry.technique.index} | {entry.technique.title} | "
+            f"{grades} | **{entry.verdict.value}** | "
+            f"{entry.rationale} |")
+    lines.append("")
+    return lines
+
+
+def render_markdown(result: AssessmentResult,
+                    title: str = "ISO 26262-6 adherence assessment"
+                    ) -> str:
+    """Render the whole assessment as a Markdown document."""
+    lines: List[str] = [
+        f"# {title}",
+        "",
+        "## Summary",
+        "",
+        f"- translation units analyzed: **{result.unit_count}**",
+        f"- total lines of code: **{result.total_loc}**",
+        f"- functions: **{result.total_functions}**",
+        f"- functions with cyclomatic complexity > 10: "
+        f"**{result.moderate_or_higher}**",
+        "",
+        "## Module metrics (Figure 3)",
+        "",
+        "| module | LOC | functions | cc>5 | cc>10 | cc>20 | cc>50 |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for row in result.figure3():
+        lines.append(f"| {row['module']} | {row['loc']} | "
+                     f"{row['functions']} | {row['cc>5']} | "
+                     f"{row['cc>10']} | {row['cc>20']} | {row['cc>50']} |")
+    lines += ["", "## Requirement tables", ""]
+    for key in ("modeling_coding", "architectural_design", "unit_design"):
+        lines.extend(_table_markdown(result.tables[key]))
+
+    lines += ["## Observations", ""]
+    for observation in sorted(result.observations,
+                              key=lambda entry: entry.number):
+        badge = "✔" if observation.supported else "✘"
+        lines.append(f"- **Observation {observation.number}** {badge} "
+                     f"*{observation.title}* — {observation.statement}")
+    lines += ["", "## Remediation", "", "```",
+              render_plan(plan_remediation(result.tables)), "```", ""]
+    return "\n".join(lines)

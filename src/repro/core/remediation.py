@@ -1,0 +1,186 @@
+"""Remediation planning: the paper's effort taxonomy, made executable.
+
+The paper classifies its findings into gaps "that can be solved with
+limited software engineering effort and those that are much deeper and
+require research innovations".  This module turns a completed assessment
+into a prioritized remediation plan using exactly that taxonomy:
+
+* LOW — the paper says "limited effort" / "minor modifications"
+  (defensive programming, gotos, recursion-to-iteration, style);
+* MODERATE — "possible with moderate effort" (MISRA adherence for CPU
+  code, cast cleanup, initialization, shadowing);
+* SIGNIFICANT — "significant redesign and recoding" / "non-negligible
+  effort" (complexity reduction, component/interface restructuring,
+  global-state elimination);
+* RESEARCH — "require research innovations" (a certification-friendly
+  GPU language subset, qualified GPU coverage tooling, open library
+  stacks) — the Brook Auto / ISAAC directions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..iso26262.compliance import GapSeverity, TableAssessment, Verdict
+
+
+class Effort(enum.IntEnum):
+    """The paper's effort classes, ordered by cost."""
+
+    LOW = 0
+    MODERATE = 1
+    SIGNIFICANT = 2
+    RESEARCH = 3
+
+
+#: technique key -> (effort, recommended action), straight from the
+#: paper's prose per requirement.
+_PLAYBOOK: Dict[str, tuple] = {
+    "low_complexity": (
+        Effort.SIGNIFICANT,
+        "redesign and recode high-complexity functions; split functions "
+        "above CC 10 (paper: 'significant redesign and recoding is "
+        "needed')"),
+    "language_subsets": (
+        Effort.RESEARCH,
+        "adopt MISRA C for CPU code (moderate effort) and a Brook "
+        "Auto-style certification-friendly subset for GPU code "
+        "(research direction, Observations 3-4)"),
+    "strong_typing": (
+        Effort.MODERATE,
+        "replace C-style casts with checked conversions and eliminate "
+        "narrowing initializations"),
+    "defensive_implementation": (
+        Effort.LOW,
+        "add parameter-validity checks and handle all return values "
+        "(paper: 'with limited effort, this feature can be added')"),
+    "design_principles": (
+        Effort.SIGNIFICANT,
+        "eliminate mutable globals or produce per-global justification "
+        "and value-range argumentation"),
+    "style_guides": (Effort.LOW, "keep enforcing the style checker in CI"),
+    "naming_conventions": (Effort.LOW,
+                           "keep enforcing naming checks in CI"),
+    "graphical_representation": (Effort.LOW, "not applicable to C/C++"),
+    "hierarchical_structure": (
+        Effort.LOW, "maintain the existing component hierarchy tooling"),
+    "restricted_component_size": (
+        Effort.SIGNIFICANT,
+        "reorganize modules above the size limit (paper: 'it can be "
+        "reorganized or redesigned to stay below the maximum size')"),
+    "restricted_interface_size": (
+        Effort.MODERATE, "split wide public interfaces"),
+    "high_cohesion": (Effort.MODERATE,
+                      "relocate misplaced responsibilities"),
+    "restricted_coupling": (Effort.MODERATE,
+                            "cut cross-module include dependencies"),
+    "scheduling_properties": (
+        Effort.SIGNIFICANT,
+        "replace dynamic thread/timer creation with a static cyclic "
+        "executive and document scheduling properties"),
+    "restricted_interrupts": (Effort.LOW,
+                              "remove or justify signal handling"),
+    "single_entry_exit": (
+        Effort.MODERATE,
+        "restructure multi-exit functions to a single exit point"),
+    "no_dynamic_objects": (
+        Effort.SIGNIFICANT,
+        "pre-allocate pools for runtime-sized data; CUDA buffers need "
+        "the GPU-subset migration (Observation 4)"),
+    "variable_initialization": (
+        Effort.MODERATE, "initialize every variable at declaration"),
+    "no_name_reuse": (Effort.MODERATE,
+                      "rename shadowed variables; enable -Wshadow"),
+    "avoid_globals": (
+        Effort.SIGNIFICANT,
+        "eliminate globals or provide justified-usage argumentation "
+        "(the standard permits justified usage)"),
+    "limited_pointers": (
+        Effort.RESEARCH,
+        "CPU: replace raw pointers with references/spans; GPU: pointers "
+        "are intrinsic to CUDA — adopt a stream language subset "
+        "(Brook Auto direction)"),
+    "no_implicit_conversions": (
+        Effort.MODERATE, "make all conversions explicit and checked"),
+    "no_hidden_flow": (
+        Effort.MODERATE,
+        "replace function-like macros with inline functions; minimize "
+        "conditional compilation"),
+    "no_unconditional_jumps": (
+        Effort.LOW,
+        "remove gotos (paper: 'by applying minor modifications to the "
+        "code, they can be eliminated')"),
+    "no_recursion": (
+        Effort.LOW,
+        "transform tree-walk recursion into iterative form with an "
+        "explicit stack"),
+}
+
+
+@dataclass(frozen=True)
+class RemediationItem:
+    """One prioritized remediation action."""
+
+    technique_key: str
+    title: str
+    verdict: Verdict
+    gap: GapSeverity
+    effort: Effort
+    action: str
+
+    @property
+    def priority(self) -> float:
+        """Higher = act sooner: big gaps first, cheap fixes break ties."""
+        return self.gap * 10 - self.effort
+
+    def render(self) -> str:
+        return (f"[{self.gap.name.lower():<8}] [{self.effort.name.lower():<11}] "
+                f"{self.title}\n    -> {self.action}")
+
+
+def plan_remediation(tables: Dict[str, TableAssessment]
+                     ) -> List[RemediationItem]:
+    """Build the prioritized plan from a completed assessment."""
+    items: List[RemediationItem] = []
+    for table in tables.values():
+        for entry in table.assessments:
+            if entry.gap is GapSeverity.NONE:
+                continue
+            effort, action = _PLAYBOOK.get(
+                entry.technique.key,
+                (Effort.MODERATE, "analyze and remediate"))
+            items.append(RemediationItem(
+                technique_key=entry.technique.key,
+                title=entry.technique.title,
+                verdict=entry.verdict,
+                gap=entry.gap,
+                effort=effort,
+                action=action,
+            ))
+    items.sort(key=lambda item: (-item.priority, item.technique_key))
+    return items
+
+
+def render_plan(items: List[RemediationItem]) -> str:
+    """The plan as text, grouped by effort class."""
+    lines = ["Remediation plan (gaps only, highest priority first)",
+             "=" * 60]
+    for item in items:
+        lines.append(item.render())
+    research = [item for item in items if item.effort is Effort.RESEARCH]
+    if research:
+        lines.append("")
+        lines.append("Research innovations required (cannot be closed by "
+                     "engineering effort alone):")
+        for item in research:
+            lines.append(f"  - {item.title}")
+    return "\n".join(lines)
+
+
+def effort_histogram(items: List[RemediationItem]) -> Dict[str, int]:
+    histogram = {effort.name: 0 for effort in Effort}
+    for item in items:
+        histogram[item.effort.name] += 1
+    return histogram

@@ -1,0 +1,26 @@
+"""Synthetic Apollo-like corpus generation (the paper's analysis subject)."""
+
+from .apollo import APOLLO_MODULES, APOLLO_SPEC, EXPECTED_OVER_TEN, apollo_remediated_spec, apollo_spec
+from .autoware import AUTOWARE_MODULES, AUTOWARE_SPEC, autoware_spec
+from .generator import Corpus, CorpusFile, generate_corpus
+from .spec import ComplexityProfile, CorpusSpec, ModuleSpec
+from .writer import read_tree, write_corpus
+
+__all__ = [
+    "APOLLO_MODULES",
+    "APOLLO_SPEC",
+    "AUTOWARE_MODULES",
+    "AUTOWARE_SPEC",
+    "autoware_spec",
+    "ComplexityProfile",
+    "Corpus",
+    "CorpusFile",
+    "CorpusSpec",
+    "EXPECTED_OVER_TEN",
+    "ModuleSpec",
+    "apollo_remediated_spec",
+    "apollo_spec",
+    "generate_corpus",
+    "read_tree",
+    "write_corpus",
+]

@@ -1,0 +1,113 @@
+"""A second calibrated corpus: Autoware-like.
+
+Section 2 of the paper: "These are the main stages of Apollo and also
+other state-of-the-art AD frameworks [Autoware, Udacity].  All of them
+have similar design and implementation characteristics, so the
+conclusions we derive for Apollo in this work hold to a large extent for
+all AD frameworks."
+
+This spec models Autoware's public characteristics circa 2018: a smaller
+ROS-based stack (~140k LOC) with the same module decomposition, the same
+mainstream-C++ idioms (dynamic allocation, globals, multi-exit
+functions), and GPU perception code — so the assessment pipeline should
+reach the same observations, which is exactly the generalization claim
+the integration tests verify.
+"""
+
+from __future__ import annotations
+
+from .spec import ComplexityProfile, CorpusSpec, ModuleSpec
+
+
+def _profile(low: int, moderate: int, risky: int,
+             unstable: int) -> ComplexityProfile:
+    return ComplexityProfile(low=low, moderate=moderate, risky=risky,
+                             unstable=unstable)
+
+
+AUTOWARE_MODULES = (
+    ModuleSpec(
+        name="perception",
+        profile=_profile(low=1800, moderate=70, risky=24, unstable=4),
+        globals_count=420,
+        cast_count=260,
+        multi_exit_ratio=0.39,
+        cuda_kernel_count=32,
+        goto_count=4,
+        recursive_functions=1,
+        uninitialized_count=10,
+        submodules=("lidar_tracker", "vision_detector", "fusion"),
+    ),
+    ModuleSpec(
+        name="planning",
+        profile=_profile(low=1350, moderate=48, risky=16, unstable=3),
+        globals_count=110,
+        cast_count=170,
+        multi_exit_ratio=0.36,
+        goto_count=3,
+        recursive_functions=1,
+        uninitialized_count=8,
+        submodules=("mission", "motion", "lattice"),
+    ),
+    ModuleSpec(
+        name="localization",
+        profile=_profile(low=760, moderate=26, risky=9, unstable=2),
+        globals_count=70,
+        cast_count=110,
+        multi_exit_ratio=0.34,
+        goto_count=2,
+        uninitialized_count=6,
+        submodules=("ndt", "gnss"),
+    ),
+    ModuleSpec(
+        name="detection",
+        profile=_profile(low=620, moderate=22, risky=8, unstable=1),
+        globals_count=80,
+        cast_count=90,
+        multi_exit_ratio=0.40,
+        cuda_kernel_count=8,
+        goto_count=2,
+        uninitialized_count=6,
+        submodules=("yolo", "euclidean_cluster"),
+    ),
+    ModuleSpec(
+        name="control",
+        profile=_profile(low=520, moderate=18, risky=6, unstable=1),
+        globals_count=50,
+        cast_count=70,
+        multi_exit_ratio=0.31,
+        goto_count=1,
+        uninitialized_count=5,
+        submodules=("waypoint_follower", "twist"),
+    ),
+    ModuleSpec(
+        name="map",
+        profile=_profile(low=680, moderate=20, risky=7, unstable=1),
+        globals_count=60,
+        cast_count=80,
+        multi_exit_ratio=0.32,
+        goto_count=1,
+        recursive_functions=1,
+        uninitialized_count=5,
+        submodules=("vector_map", "lanelet"),
+    ),
+    ModuleSpec(
+        name="common",
+        profile=_profile(low=540, moderate=12, risky=4, unstable=1),
+        globals_count=45,
+        cast_count=60,
+        multi_exit_ratio=0.28,
+        goto_count=1,
+        uninitialized_count=4,
+        submodules=("ros_bridge", "util"),
+    ),
+)
+
+#: The Autoware-like corpus (~140k LOC at scale 1.0).
+AUTOWARE_SPEC = CorpusSpec(modules=AUTOWARE_MODULES, seed=20160825,
+                           scale=1.0)
+
+
+def autoware_spec(scale: float = 1.0, seed: int = 20160825) -> CorpusSpec:
+    """The Autoware-like spec, optionally scaled."""
+    return CorpusSpec(modules=AUTOWARE_MODULES, seed=seed, scale=scale)

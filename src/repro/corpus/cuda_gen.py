@@ -1,0 +1,97 @@
+"""CUDA translation-unit generator for the synthetic corpus.
+
+Perception's GPU code follows the exact structure of the paper's Figure 4
+excerpt: a ``__global__`` kernel indexing through raw pointers, and a host
+wrapper that ``cudaMalloc``s device buffers, copies data in, launches with
+``<<<grid, block>>>``, copies results back and frees.  Every generated
+kernel therefore exhibits Observation 4's intrinsic violations (pointers +
+dynamic memory) by construction — because that *is* the CUDA idiom.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+_KERNEL_OPS = [
+    ("scale", "{out}[index] = {a}[index] * factor;"),
+    ("offset", "{out}[index] = {a}[index] + factor;"),
+    ("blend", "{out}[index] = {a}[index] * factor + {b}[index];"),
+    ("clip", "{out}[index] = {a}[index] > factor ? factor : {a}[index];"),
+    ("square", "{out}[index] = {a}[index] * {a}[index] * factor;"),
+]
+
+
+def generate_cuda_unit(rng: random.Random, module: str,
+                       kernel_count: int) -> Tuple[str, List[str]]:
+    """Generate one ``.cu`` translation unit.
+
+    Returns:
+        (source text, list of kernel names).
+    """
+    lines: List[str] = [
+        f'#include "{module}/cuda/device_buffers.h"',
+        "#include <cuda_runtime.h>",
+        "",
+        "#define BLOCK 512",
+        "",
+        f"namespace apollo {{",
+        f"namespace {module} {{",
+        "",
+    ]
+    kernel_names: List[str] = []
+    for index in range(kernel_count):
+        op_name, op_template = rng.choice(_KERNEL_OPS)
+        kernel = f"{op_name}_{module}_kernel_{index}"
+        wrapper = f"{op_name}_{module}_gpu_{index}"
+        kernel_names.append(kernel)
+        needs_b = "{b}" in op_template
+        body = op_template.format(out="output", a="input", b="aux")
+        aux_param = ", float *aux" if needs_b else ""
+        lines += [
+            f"__global__ void {kernel}(float *output, float *input"
+            f"{aux_param},",
+            f"                         float factor, int n) {{",
+            "  int index = blockIdx.x * blockDim.x + threadIdx.x;",
+            "  if (index < n) {",
+            f"    {body}",
+            "  }",
+            "}",
+            "",
+        ]
+        aux_arg = ", d_aux" if needs_b else ""
+        aux_decl = ["  float *d_aux;"] if needs_b else []
+        aux_alloc = (["  cudaMalloc((void**)&d_aux, n * sizeof(float));",
+                      "  cudaMemcpy(d_aux, input, n * sizeof(float),",
+                      "             cudaMemcpyHostToDevice);"]
+                     if needs_b else [])
+        aux_free = ["  cudaFree(d_aux);"] if needs_b else []
+        lines += [
+            f"void {wrapper}(float *output, float *input, float factor,",
+            f"               int n) {{",
+            "  dim3 grid((n - 1) / BLOCK + 1);",
+            "  dim3 block(BLOCK);",
+            "  float *d_output;",
+            "  float *d_input;",
+            *aux_decl,
+            "  cudaMalloc((void**)&d_output, n * sizeof(float));",
+            "  cudaMalloc((void**)&d_input, n * sizeof(float));",
+            *aux_alloc,
+            "  cudaMemcpy(d_input, input, n * sizeof(float),",
+            "             cudaMemcpyHostToDevice);",
+            f"  {kernel}<<<grid, block>>>(d_output, d_input{aux_arg},",
+            "                            factor, n);",
+            "  cudaMemcpy(output, d_output, n * sizeof(float),",
+            "             cudaMemcpyDeviceToHost);",
+            "  cudaFree(d_output);",
+            "  cudaFree(d_input);",
+            *aux_free,
+            "}",
+            "",
+        ]
+    lines += [
+        f"}}  // namespace {module}",
+        "}  // namespace apollo",
+        "",
+    ]
+    return "\n".join(lines), kernel_names

@@ -1,0 +1,415 @@
+"""Function-body factory for the synthetic corpus.
+
+Builds C++ function definitions whose *measured* properties are exact:
+cyclomatic complexity hits a requested target because every snippet
+template has a known decision cost; casts, early exits, gotos, dynamic
+allocation, and uninitialized locals are planted on request and nowhere
+else.  Generated code is Google-style-clean (2-space indent, braces at end
+of line, < 80 columns, CamelCase names) because the paper finds Apollo
+style- and naming-compliant.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+_VERBS = ["Compute", "Update", "Estimate", "Filter", "Track", "Predict",
+          "Plan", "Evaluate", "Resolve", "Project", "Fuse", "Align",
+          "Validate", "Extract", "Publish", "Select"]
+_NOUNS = ["Trajectory", "Obstacle", "Lane", "Signal", "Pose", "Velocity",
+          "Boundary", "Waypoint", "Cost", "Heading", "Curvature", "Frame",
+          "Cloud", "Grid", "Route", "Command"]
+_SUFFIXES = ["", "State", "Delta", "Profile", "Window", "Batch", "Index",
+             "Margin"]
+
+
+@dataclass
+class FunctionRequest:
+    """What the factory should produce for one function."""
+
+    name: str
+    complexity: int
+    multi_exit: bool = False
+    cast_count: int = 0
+    use_goto: bool = False
+    uninitialized: bool = False
+    dynamic_alloc: bool = False
+    recursive: bool = False
+    defensive: bool = False
+    return_type: str = "float"
+    callees: Sequence[str] = field(default_factory=tuple)
+    static: bool = False
+    parameters: Sequence[str] = field(default_factory=tuple)
+
+
+class NamePool:
+    """Deterministic unique CamelCase name generator."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self._used = set()
+
+    def function_name(self) -> str:
+        while True:
+            name = (self._rng.choice(_VERBS) + self._rng.choice(_NOUNS)
+                    + self._rng.choice(_SUFFIXES))
+            if name not in self._used:
+                self._used.add(name)
+                return name
+            name += str(self._rng.randint(2, 99))
+            if name not in self._used:
+                self._used.add(name)
+                return name
+
+    def class_name(self) -> str:
+        while True:
+            name = (self._rng.choice(_NOUNS) + self._rng.choice(
+                ["Tracker", "Planner", "Filter", "Manager", "Builder",
+                 "Monitor", "Adapter", "Estimator"]))
+            if name not in self._used:
+                self._used.add(name)
+                return name
+            name += str(self._rng.randint(2, 99))
+            if name not in self._used:
+                self._used.add(name)
+                return name
+
+
+class _Emitter:
+    """Indented line buffer with a local-variable pool."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+        self.lines: List[str] = []
+        self.indent = 0
+        self._locals: List[str] = []
+        self._int_locals: List[str] = []
+        self._counter = 0
+
+    def emit(self, text: str) -> None:
+        self.lines.append("  " * self.indent + text if text else "")
+
+    def fresh_local(self, type_name: str = "float",
+                    initializer: Optional[str] = None) -> str:
+        stem = self.rng.choice(["value", "delta", "score", "ratio",
+                                "accum"])
+        name = f"{stem}_{self._counter}"
+        self._counter += 1
+        if initializer is None:
+            initializer = (f"{self.rng.randint(1, 9)}.{self.rng.randint(0, 9)}f"
+                           if type_name == "float"
+                           else str(self.rng.randint(0, 16)))
+        self.emit(f"{type_name} {name} = {initializer};")
+        self._locals.append(name)
+        if type_name == "int":
+            self._int_locals.append(name)
+        return name
+
+    def any_local(self) -> str:
+        if not self._locals:
+            return self.fresh_local()
+        return self.rng.choice(self._locals)
+
+    def any_int_local(self) -> str:
+        if not self._int_locals:
+            return self.fresh_local("int")
+        return self.rng.choice(self._int_locals)
+
+
+class FunctionFactory:
+    """Renders :class:`FunctionRequest` objects into C++ source text."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+
+    # ------------------------------------------------------------------
+
+    def render(self, request: FunctionRequest,
+               method_of: str = "") -> List[str]:
+        """Produce the lines of one function definition.
+
+        Args:
+            request: generation targets.
+            method_of: when non-empty, render an out-of-line method
+                definition ``Ret Class::Name(...)``.
+        """
+        if request.recursive:
+            return self._render_recursive(request, method_of)
+        emitter = _Emitter(self.rng)
+        parameters = self.parameters_for(request)
+        qualifier = "static " if request.static and not method_of else ""
+        scope = f"{method_of}::" if method_of else ""
+        for line in self._signature_lines(
+                f"{qualifier}{request.return_type} {scope}{request.name}",
+                parameters):
+            emitter.emit(line)
+        emitter.indent += 1
+
+        if request.defensive:
+            # Validate the first named parameter before any use — the
+            # defensive idiom the paper finds missing (Observation 6).
+            for parameter in parameters:
+                name = parameter.split()[-1].lstrip("*&")
+                if name.isidentifier():
+                    emitter.emit(f"CHECK_GE({name}, 0);")
+                    break
+        seed_local = emitter.fresh_local("float")
+        count_local = emitter.fresh_local("int",
+                                          str(self.rng.randint(4, 32)))
+        if request.uninitialized:
+            emitter.emit(f"int raw_{emitter._counter};")
+            emitter._counter += 1
+        if request.dynamic_alloc:
+            emitter.emit(f"float* buffer_{emitter._counter} = "
+                         f"new float[{count_local}];")
+            buffer_name = f"buffer_{emitter._counter}"
+            emitter._counter += 1
+        else:
+            buffer_name = ""
+        for _ in range(request.cast_count):
+            self._emit_cast(emitter)
+
+        remaining = request.complexity - 1
+        if request.multi_exit and remaining > 0:
+            self._emit_early_return(emitter, request, count_local)
+            remaining -= 1
+        while remaining > 0:
+            remaining -= self._emit_decision_snippet(emitter, remaining,
+                                                     request)
+        if request.use_goto:
+            emitter.emit(f"goto finalize_{request.name.lower()};")
+            emitter.emit(f"finalize_{request.name.lower()}:")
+        if buffer_name:
+            emitter.emit(f"delete[] {buffer_name};")
+        self._emit_return(emitter, request, seed_local)
+        emitter.indent -= 1
+        emitter.emit("}")
+        return emitter.lines
+
+    # ------------------------------------------------------------------
+
+    def parameters_for(self, request: FunctionRequest) -> List[str]:
+        """The parameter list of ``request``, generated once and cached."""
+        if request.parameters:
+            return list(request.parameters)
+        parameters = self._parameters(request)
+        request.parameters = tuple(parameters)
+        return parameters
+
+    @staticmethod
+    def _signature_lines(head: str, parameters: List[str],
+                         terminator: str = " {",
+                         indent: str = "    ") -> List[str]:
+        """Google-style signature, wrapped to stay under 80 columns."""
+        single = f"{head}({', '.join(parameters)}){terminator}"
+        if len(single) <= 79:
+            return [single]
+        lines = [f"{head}("]
+        current = indent
+        for index, parameter in enumerate(parameters):
+            suffix = ("," if index < len(parameters) - 1
+                      else ")" + terminator)
+            piece = parameter + suffix
+            if current.strip() and len(current) + len(piece) + 1 > 79:
+                lines.append(current.rstrip())
+                current = indent
+            current += piece + (" " if suffix == "," else "")
+        lines.append(current.rstrip())
+        return lines
+
+    @classmethod
+    def declaration_lines(cls, return_type: str, name: str,
+                          parameters: List[str],
+                          indent: str = "  ") -> List[str]:
+        """A wrapped method declaration for a class body."""
+        return cls._signature_lines(f"{indent}{return_type} {name}",
+                                    parameters, terminator=";",
+                                    indent=indent + "    ")
+
+    def _parameters(self, request: FunctionRequest) -> List[str]:
+        count = self.rng.randint(1, 4)
+        names = ["input", "limit", "gain", "horizon", "threshold"]
+        self.rng.shuffle(names)
+        parameters = []
+        for index in range(count):
+            kind = self.rng.random()
+            name = names[index]
+            if kind < 0.45:
+                parameters.append(f"float {name}")
+            elif kind < 0.70:
+                parameters.append(f"int {name}")
+            elif kind < 0.85:
+                parameters.append(f"const std::vector<float>& {name}")
+            else:
+                parameters.append(f"float* {name}")
+        return parameters
+
+    def _emit_cast(self, emitter: _Emitter) -> None:
+        source = emitter.any_local()
+        style = self.rng.random()
+        target = f"cast_{emitter._counter}"
+        emitter._counter += 1
+        if style < 0.5:
+            emitter.emit(f"int {target} = (int){source};")
+        elif style < 0.8:
+            emitter.emit(f"int {target} = static_cast<int>({source});")
+        else:
+            emitter.emit(f"float {target} = "
+                         f"static_cast<float>({emitter._counter});")
+        emitter._locals.append(target)
+
+    def _emit_early_return(self, emitter: _Emitter,
+                           request: FunctionRequest,
+                           count_local: str) -> None:
+        value = "0" if request.return_type == "int" else "0.0f"
+        emitter.emit(f"if ({count_local} > {self.rng.randint(24, 64)}) {{")
+        emitter.indent += 1
+        if request.return_type == "void":
+            emitter.emit("return;")
+        else:
+            emitter.emit(f"return {value};")
+        emitter.indent -= 1
+        emitter.emit("}")
+
+    def _emit_decision_snippet(self, emitter: _Emitter, budget: int,
+                               request: FunctionRequest) -> int:
+        """Emit one control-flow snippet; returns its decision cost."""
+        choices = ["if"]
+        if budget >= 2:
+            choices += ["if_and", "for", "nested_if"]
+        if budget >= 3:
+            choices += ["switch3", "if_or3", "for_if"]
+        if budget >= 5:
+            choices += ["switch5"]
+        kind = self.rng.choice(choices)
+        local = emitter.any_local()
+        if kind == "if":
+            emitter.emit(f"if ({local} > {self._const()}) {{")
+            emitter.indent += 1
+            self._emit_work(emitter, request)
+            emitter.indent -= 1
+            emitter.emit("} else {")
+            emitter.indent += 1
+            self._emit_work(emitter, request)
+            emitter.indent -= 1
+            emitter.emit("}")
+            return 1
+        if kind == "if_and":
+            other = emitter.any_local()
+            emitter.emit(f"if ({local} > {self._const()} && "
+                         f"{other} < {self._const()}) {{")
+            emitter.indent += 1
+            self._emit_work(emitter, request)
+            emitter.indent -= 1
+            emitter.emit("}")
+            return 2
+        if kind == "if_or3":
+            emitter.emit(f"if ({local} > {self._const()} || "
+                         f"{local} < -{self._const()} || "
+                         f"{emitter.any_local()} == 0) {{")
+            emitter.indent += 1
+            self._emit_work(emitter, request)
+            emitter.indent -= 1
+            emitter.emit("}")
+            return 3
+        if kind == "for":
+            index = f"i{emitter._counter}"
+            emitter._counter += 1
+            emitter.emit(f"for (int {index} = 0; {index} < "
+                         f"{self.rng.randint(4, 16)}; ++{index}) {{")
+            emitter.indent += 1
+            emitter.emit(f"{local} += 0.5f * {index};")
+            emitter.indent -= 1
+            emitter.emit("}")
+            return 1
+        if kind == "nested_if":
+            emitter.emit(f"if ({local} > {self._const()}) {{")
+            emitter.indent += 1
+            emitter.emit(f"if ({emitter.any_local()} < {self._const()}) {{")
+            emitter.indent += 1
+            self._emit_work(emitter, request)
+            emitter.indent -= 1
+            emitter.emit("}")
+            emitter.indent -= 1
+            emitter.emit("}")
+            return 2
+        if kind == "for_if":
+            index = f"i{emitter._counter}"
+            emitter._counter += 1
+            emitter.emit(f"for (int {index} = 0; {index} < "
+                         f"{self.rng.randint(4, 16)}; ++{index}) {{")
+            emitter.indent += 1
+            emitter.emit(f"if ({index} % 2 == 0 && {local} > 0.0f) {{")
+            emitter.indent += 1
+            self._emit_work(emitter, request)
+            emitter.indent -= 1
+            emitter.emit("}")
+            emitter.indent -= 1
+            emitter.emit("}")
+            return 3
+        if kind in ("switch3", "switch5"):
+            cases = 3 if kind == "switch3" else 5
+            selector = f"mode_{emitter._counter}"
+            emitter._counter += 1
+            emitter.emit(f"int {selector} = "
+                         f"{emitter.any_int_local()} % {cases};")
+            emitter.emit(f"switch ({selector}) {{")
+            emitter.indent += 1
+            for case_index in range(cases):
+                emitter.emit(f"case {case_index}:")
+                emitter.indent += 1
+                emitter.emit(f"{local} += {case_index}.5f;")
+                emitter.emit("break;")
+                emitter.indent -= 1
+            emitter.emit("default:")
+            emitter.indent += 1
+            emitter.emit("break;")
+            emitter.indent -= 1
+            emitter.indent -= 1
+            emitter.emit("}")
+            return cases
+        raise AssertionError(f"unknown snippet kind {kind}")
+
+    def _emit_work(self, emitter: _Emitter,
+                   request: FunctionRequest) -> None:
+        if request.callees and self.rng.random() < 0.4:
+            callee = self.rng.choice(list(request.callees))
+            emitter.emit(f"{emitter.any_local()} += "
+                         f"{callee}({emitter.any_local()});")
+        else:
+            emitter.emit(f"{emitter.any_local()} *= "
+                         f"1.0f + {emitter.any_local()} * 0.01f;")
+
+    def _emit_return(self, emitter: _Emitter, request: FunctionRequest,
+                     seed_local: str) -> None:
+        if request.return_type == "void":
+            return
+        if request.return_type == "int":
+            emitter.emit(f"return {emitter.any_int_local()};")
+        else:
+            emitter.emit(f"return {seed_local};")
+
+    def _const(self) -> str:
+        return f"{self.rng.randint(1, 99)}.0f"
+
+    # ------------------------------------------------------------------
+
+    def _render_recursive(self, request: FunctionRequest,
+                          method_of: str) -> List[str]:
+        """A tree-walk recursive helper, as Section 3.5 item 10 describes."""
+        name = request.name
+        scope = f"{method_of}::" if method_of else ""
+        return [
+            f"int {scope}{name}(int depth, int fanout) {{",
+            "  if (depth <= 0) {",
+            "    return 1;",
+            "  }",
+            "  int total = 1;",
+            f"  for (int child = 0; child < fanout; ++child) {{",
+            f"    total += {name}(depth - 1, fanout);",
+            "  }",
+            "  return total;",
+            "}",
+        ]

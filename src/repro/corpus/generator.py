@@ -1,0 +1,345 @@
+"""The synthetic Apollo-like corpus generator.
+
+Emits a deterministic tree of C++/CUDA translation units whose measured
+statistics reproduce the paper's numbers (see
+:mod:`repro.corpus.apollo` for the calibration and DESIGN.md for the
+substitution rationale).  Everything is driven by one
+:class:`random.Random` seeded from the spec, so the same spec always
+yields byte-identical sources.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .cuda_gen import generate_cuda_unit
+from .functions import FunctionFactory, FunctionRequest, NamePool
+from .spec import CorpusSpec, ModuleSpec
+
+_COMPLEXITY_BANDS = {
+    "low": (1, 10),
+    "moderate": (11, 20),
+    "risky": (21, 50),
+    "unstable": (51, 68),
+}
+
+_SYSTEM_HEADERS = ["vector", "cmath", "memory", "string", "algorithm",
+                   "map", "utility"]
+
+
+@dataclass(frozen=True)
+class CorpusFile:
+    """One generated translation unit."""
+
+    path: str
+    source: str
+    module: str
+
+    @property
+    def line_count(self) -> int:
+        return self.source.count("\n")
+
+
+class Corpus:
+    """A generated corpus: files plus the spec that produced them."""
+
+    def __init__(self, spec: CorpusSpec, files: List[CorpusFile]) -> None:
+        self.spec = spec
+        self.files = files
+
+    def sources(self) -> Dict[str, str]:
+        return {record.path: record.source for record in self.files}
+
+    def module_names(self) -> List[str]:
+        seen: List[str] = []
+        for record in self.files:
+            if record.module not in seen:
+                seen.append(record.module)
+        return seen
+
+    def files_of(self, module: str) -> List[CorpusFile]:
+        return [record for record in self.files if record.module == module]
+
+    @property
+    def total_lines(self) -> int:
+        return sum(record.line_count for record in self.files)
+
+    def describe(self) -> str:
+        """A one-screen summary of the generated tree and its targets."""
+        lines = [
+            f"corpus: {len(self.files)} files, {self.total_lines} lines, "
+            f"seed {self.spec.seed}, scale {self.spec.scale}",
+            f"{'module':<16}{'files':>7}{'lines':>9}{'cc>10 target':>14}",
+            "-" * 46,
+        ]
+        targets = {module.name: module.profile.over_ten
+                   for module in self.spec.effective_modules()}
+        for name in self.module_names():
+            members = self.files_of(name)
+            lines.append(f"{name:<16}{len(members):>7}"
+                         f"{sum(record.line_count for record in members):>9}"
+                         f"{targets.get(name, 0):>14}")
+        return "\n".join(lines)
+
+
+def generate_corpus(spec: CorpusSpec) -> Corpus:
+    """Generate the full corpus for ``spec`` (deterministic)."""
+    rng = random.Random(spec.seed)
+    files: List[CorpusFile] = []
+    defined_by_module: Dict[str, List[str]] = {}
+    # One shared pool keeps function names unique across modules, so the
+    # name-matched call graph cannot manufacture spurious cycles.
+    pool = NamePool(rng)
+    for module_spec in spec.effective_modules():
+        module_files, names = _generate_module(
+            rng, module_spec, defined_by_module, pool)
+        files.extend(module_files)
+        defined_by_module[module_spec.name] = names
+    return Corpus(spec, files)
+
+
+# ---------------------------------------------------------------------------
+# module generation
+
+
+def _generate_module(rng: random.Random, module: ModuleSpec,
+                     other_modules: Dict[str, List[str]],
+                     pool: NamePool) -> Tuple[List[CorpusFile], List[str]]:
+    factory = FunctionFactory(rng)
+    requests = _build_requests(rng, module, pool)
+    files: List[CorpusFile] = [_module_header(module)]
+    defined: List[str] = []
+
+    per_file = module.functions_per_file
+    chunks = [requests[start:start + per_file]
+              for start in range(0, len(requests), per_file)]
+    globals_remaining = module.globals_count
+    for chunk_index, chunk in enumerate(chunks):
+        callees = _pick_callees(rng, defined, other_modules)
+        for request in chunk:
+            request.callees = callees
+        globals_here = min(globals_remaining,
+                           _globals_for_file(rng, module, len(chunks)))
+        globals_remaining -= globals_here
+        as_class = chunk_index % 2 == 1
+        submodule = module.submodules[chunk_index % len(module.submodules)]
+        path = (f"{module.name}/{submodule}/"
+                f"{_file_stem(chunk, chunk_index)}.cc")
+        source = _render_unit(rng, module, pool, factory, chunk,
+                              globals_here, as_class, chunk_index)
+        files.append(CorpusFile(path=path, source=source,
+                                module=module.name))
+        defined.extend(request.name for request in chunk)
+    # Any globals the chunking left over go into a dedicated state file.
+    if globals_remaining > 0:
+        files.append(_globals_file(rng, module, globals_remaining))
+    for cuda_index, kernel_count in enumerate(
+            _chunk_kernels(module.cuda_kernel_count)):
+        source, kernel_names = generate_cuda_unit(rng, module.name,
+                                                  kernel_count)
+        files.append(CorpusFile(
+            path=f"{module.name}/cuda/kernels_{cuda_index}.cu",
+            source=source, module=module.name))
+        defined.extend(kernel_names)
+    return files, defined
+
+
+def _build_requests(rng: random.Random, module: ModuleSpec,
+                    pool: NamePool) -> List[FunctionRequest]:
+    requests: List[FunctionRequest] = []
+    for band, count in (("low", module.profile.low),
+                        ("moderate", module.profile.moderate),
+                        ("risky", module.profile.risky),
+                        ("unstable", module.profile.unstable)):
+        lower, upper = _COMPLEXITY_BANDS[band]
+        for _ in range(count):
+            if band == "low":
+                # Real code skews strongly toward trivial functions.
+                complexity = min(upper, max(lower,
+                                            1 + int(rng.expovariate(0.45))))
+            else:
+                complexity = rng.randint(lower, upper)
+            requests.append(FunctionRequest(
+                name=pool.function_name(),
+                complexity=complexity,
+                return_type=rng.choice(["float", "float", "int", "void"]),
+            ))
+    rng.shuffle(requests)
+    multi_exit_count = round(module.multi_exit_ratio * len(requests))
+    for request in requests[:multi_exit_count]:
+        request.multi_exit = True
+        if request.return_type == "void":
+            request.return_type = "float"
+        if request.complexity < 2:
+            request.complexity = 2
+    casts_left = module.cast_count
+    while casts_left > 0:
+        request = rng.choice(requests)
+        request.cast_count += 1
+        casts_left -= 1
+    for request in rng.sample(requests,
+                              min(module.goto_count, len(requests))):
+        request.use_goto = True
+    for request in rng.sample(requests,
+                              min(module.uninitialized_count,
+                                  len(requests))):
+        request.uninitialized = True
+    for request in requests:
+        if rng.random() < module.dynamic_alloc_ratio:
+            request.dynamic_alloc = True
+        if rng.random() < module.defensive_ratio:
+            request.defensive = True
+    for _ in range(module.recursive_functions):
+        requests.append(FunctionRequest(
+            name=pool.function_name() + "Tree",
+            complexity=3,
+            return_type="int",
+            recursive=True,
+        ))
+    return requests
+
+
+# ---------------------------------------------------------------------------
+# rendering
+
+
+def _render_unit(rng: random.Random, module: ModuleSpec, pool: NamePool,
+                 factory: FunctionFactory,
+                 chunk: Sequence[FunctionRequest], globals_count: int,
+                 as_class: bool, chunk_index: int) -> str:
+    lines: List[str] = []
+    lines += _include_block(rng, module)
+    if chunk_index % 5 == 0:
+        lines += [
+            "#define CLAMP_VALUE(x, lo, hi) "
+            "((x) < (lo) ? (lo) : ((x) > (hi) ? (hi) : (x)))",
+            "",
+        ]
+    lines += ["namespace apollo {", f"namespace {module.name} {{", ""]
+    for index in range(globals_count):
+        noun = rng.choice(["frame", "cycle", "retry", "drop", "sync",
+                           "fault", "mode", "seq"])
+        lines.append(f"int g_{noun}_count_{chunk_index}_{index} = 0;")
+    if globals_count:
+        lines.append(f"const float kEpsilon{chunk_index} = 1e-6f;")
+        lines.append("")
+    class_name = ""
+    if as_class:
+        class_name = pool.class_name()
+        lines += _class_declaration(factory, class_name, chunk)
+    for request in chunk:
+        lines += factory.render(request, method_of=class_name)
+        lines.append("")
+    lines += [f"}}  // namespace {module.name}", "}  // namespace apollo",
+              ""]
+    return "\n".join(lines)
+
+
+def _class_declaration(factory: FunctionFactory, class_name: str,
+                       chunk: Sequence[FunctionRequest]) -> List[str]:
+    lines = [f"class {class_name} {{", " public:"]
+    for request in chunk:
+        if request.recursive:
+            lines.append(f"  int {request.name}(int depth, int fanout);")
+            continue
+        parameters = factory.parameters_for(request)
+        lines.extend(FunctionFactory.declaration_lines(
+            request.return_type, request.name, parameters))
+    lines += [" private:", "  int state_ = 0;", "};", ""]
+    return lines
+
+
+def _include_block(rng: random.Random, module: ModuleSpec) -> List[str]:
+    lines = [f'#include "{module.name}/common/types.h"']
+    for _ in range(rng.randint(1, 2)):
+        submodule = rng.choice(module.submodules)
+        lines.append(f'#include "{module.name}/{submodule}/'
+                     f'{rng.choice(["util", "config", "state"])}.h"')
+    lines.append(f"#include <{rng.choice(_SYSTEM_HEADERS)}>")
+    lines.append(f"#include <{rng.choice(_SYSTEM_HEADERS)}>")
+    lines.append("")
+    return lines
+
+
+def _module_header(module: ModuleSpec) -> CorpusFile:
+    guard = f"APOLLO_{module.name.upper()}_COMMON_TYPES_H_"
+    source = "\n".join([
+        f"#ifndef {guard}",
+        f"#define {guard}",
+        "",
+        "namespace apollo {",
+        f"namespace {module.name} {{",
+        "",
+        "struct Header {",
+        "  double timestamp_sec = 0.0;",
+        "  int sequence_num = 0;",
+        "};",
+        "",
+        f"constexpr int k{module.name.capitalize()}Version = 3;",
+        "",
+        f"}}  // namespace {module.name}",
+        "}  // namespace apollo",
+        "",
+        f"#endif  // {guard}",
+        "",
+    ])
+    return CorpusFile(path=f"{module.name}/common/types.h", source=source,
+                      module=module.name)
+
+
+def _globals_file(rng: random.Random, module: ModuleSpec,
+                  count: int) -> CorpusFile:
+    lines = [f'#include "{module.name}/common/types.h"', "",
+             "namespace apollo {", f"namespace {module.name} {{", ""]
+    for index in range(count):
+        kind = rng.choice(["int", "float", "double", "bool"])
+        initializer = {"int": "0", "float": "0.0f", "double": "0.0",
+                       "bool": "false"}[kind]
+        lines.append(f"{kind} g_shared_state_{index} = {initializer};")
+    lines += ["", f"}}  // namespace {module.name}",
+              "}  // namespace apollo", ""]
+    return CorpusFile(path=f"{module.name}/common/module_state.cc",
+                      source="\n".join(lines), module=module.name)
+
+
+# ---------------------------------------------------------------------------
+# helpers
+
+
+def _chunk_kernels(total: int, per_file: int = 4) -> List[int]:
+    """Split a kernel count into per-file chunks."""
+    chunks: List[int] = []
+    while total > 0:
+        take = min(per_file, total)
+        chunks.append(take)
+        total -= take
+    return chunks
+
+
+def _pick_callees(rng: random.Random, defined: List[str],
+                  other_modules: Dict[str, List[str]]) -> Tuple[str, ...]:
+    callees: List[str] = []
+    if defined:
+        callees.extend(rng.sample(defined, min(3, len(defined))))
+    donors = [names for names in other_modules.values() if names]
+    if donors and rng.random() < 0.35:
+        donor = rng.choice(donors)
+        callees.append(rng.choice(donor))
+    return tuple(callees)
+
+
+def _globals_for_file(rng: random.Random, module: ModuleSpec,
+                      file_count: int) -> int:
+    average = max(1, module.globals_count // max(1, file_count))
+    return max(0, average + rng.randint(-1, 1))
+
+
+def _file_stem(chunk: Sequence[FunctionRequest], index: int) -> str:
+    if not chunk:
+        return f"unit_{index}"
+    head = chunk[0].name
+    snake = "".join(f"_{ch.lower()}" if ch.isupper() else ch
+                    for ch in head).lstrip("_")
+    return f"{snake}_{index}"

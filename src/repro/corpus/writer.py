@@ -1,0 +1,51 @@
+"""Write a generated corpus to disk as a source tree."""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+from ..errors import CorpusError
+from .generator import Corpus
+
+
+def write_corpus(corpus: Corpus, root: str,
+                 overwrite: bool = False) -> List[str]:
+    """Materialize every corpus file under ``root``.
+
+    Args:
+        corpus: the generated corpus.
+        root: target directory (created if missing).
+        overwrite: refuse to clobber existing files unless True.
+
+    Returns:
+        The written paths, relative to ``root``.
+    """
+    written: List[str] = []
+    for record in corpus.files:
+        relative = record.path
+        if os.path.isabs(relative) or ".." in relative.split("/"):
+            raise CorpusError(f"unsafe corpus path {relative!r}")
+        destination = os.path.join(root, relative)
+        if os.path.exists(destination) and not overwrite:
+            raise CorpusError(f"refusing to overwrite {destination}")
+        os.makedirs(os.path.dirname(destination), exist_ok=True)
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(record.source)
+        written.append(relative)
+    return written
+
+
+def read_tree(root: str, extensions=(".cc", ".cu", ".h", ".cpp", ".cuh")
+              ) -> dict:
+    """Load a source tree back into a path -> source mapping."""
+    sources = {}
+    for directory, _, filenames in os.walk(root):
+        for filename in filenames:
+            if not filename.endswith(tuple(extensions)):
+                continue
+            full = os.path.join(directory, filename)
+            relative = os.path.relpath(full, root).replace(os.sep, "/")
+            with open(full, "r", encoding="utf-8") as handle:
+                sources[relative] = handle.read()
+    return sources

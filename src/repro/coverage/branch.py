@@ -1,0 +1,93 @@
+"""Branch/decision-coverage metric.
+
+A *branch* is one outcome of a control-flow fork:
+
+* every decision (if/while/for/do/ternary condition) contributes two
+  branches, true and false;
+* every ``case``/``default`` clause of a switch contributes one branch,
+  covered when the clause body is entered.
+
+This matches the branch counting of object-coverage tools such as
+RapiCover, where a switch compiles to an n-way fork.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from ..lang.minic import ast
+from .probes import CoverageCollector
+
+
+@dataclass(frozen=True)
+class BranchRecord:
+    """One branch: its source line, description, and covered flag."""
+
+    line: int
+    description: str
+    covered: bool
+
+
+@dataclass(frozen=True)
+class BranchCoverage:
+    """Branch-coverage result for one program."""
+
+    records: Tuple[BranchRecord, ...]
+
+    @property
+    def total(self) -> int:
+        return len(self.records)
+
+    @property
+    def covered(self) -> int:
+        return sum(1 for record in self.records if record.covered)
+
+    @property
+    def percent(self) -> float:
+        if self.total == 0:
+            return 100.0
+        return 100.0 * self.covered / self.total
+
+    @property
+    def uncovered(self) -> Tuple[BranchRecord, ...]:
+        return tuple(record for record in self.records if not record.covered)
+
+
+def measure_branch_coverage(collector: CoverageCollector,
+                            include_decisions: Optional[Set[int]] = None,
+                            include_statements: Optional[Set[int]] = None
+                            ) -> BranchCoverage:
+    """Compute branch coverage from collected probe data.
+
+    ``include_decisions``/``include_statements`` restrict the measured
+    population (the uncalled-function exclusion of the paper).
+    """
+    program = collector.program
+    records: List[BranchRecord] = []
+    for decision in program.decisions:
+        if include_decisions is not None \
+                and decision.decision_id not in include_decisions:
+            continue
+        outcomes = collector.decision_outcomes[decision.decision_id]
+        records.append(BranchRecord(
+            line=decision.line,
+            description="decision true",
+            covered=True in outcomes))
+        records.append(BranchRecord(
+            line=decision.line,
+            description="decision false",
+            covered=False in outcomes))
+    for statement in program.statements:
+        if isinstance(statement, ast.SwitchCase):
+            if include_statements is not None \
+                    and statement.statement_id not in include_statements:
+                continue
+            hits = collector.statement_hits[statement.statement_id]
+            label = ("default" if statement.value is None
+                     else "case")
+            records.append(BranchRecord(
+                line=statement.line,
+                description=f"switch {label} clause",
+                covered=hits > 0))
+    return BranchCoverage(records=tuple(records))

@@ -1,0 +1,87 @@
+"""Coverage export in LCOV tracefile format.
+
+Makes the reproduction's coverage data consumable by standard tooling
+(``genhtml``, IDE coverage gutters): statements map to LCOV ``DA`` line
+records, decisions and switch clauses to ``BRDA`` branch records, and
+functions to ``FN``/``FNDA`` records.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..lang.minic import ast
+from .instrument import build_function_maps
+from .probes import CoverageCollector
+
+
+def to_lcov(collector: CoverageCollector, source_path: str,
+            test_name: str = "repro") -> str:
+    """Serialize one collector as an LCOV tracefile section."""
+    program = collector.program
+    lines: List[str] = [f"TN:{test_name}", f"SF:{source_path}"]
+
+    # FN/FNDA — functions with their entry line and hit count.
+    maps = build_function_maps(program)
+    functions_by_name = {function.name: function
+                         for function in program.functions}
+    hit_functions = 0
+    for function_map in maps:
+        function = functions_by_name[function_map.name]
+        lines.append(f"FN:{function.line},{function.name}")
+    for function_map in maps:
+        function = functions_by_name[function_map.name]
+        hits = max((collector.statement_hits[statement_id]
+                    for statement_id in function_map.statement_ids),
+                   default=0)
+        if hits > 0:
+            hit_functions += 1
+        lines.append(f"FNDA:{hits},{function.name}")
+    lines.append(f"FNF:{len(maps)}")
+    lines.append(f"FNH:{hit_functions}")
+
+    # BRDA — decision outcomes and switch clauses.
+    branches_found = 0
+    branches_hit = 0
+    for decision in program.decisions:
+        outcomes = collector.decision_outcomes[decision.decision_id]
+        for branch_index, outcome in enumerate((True, False)):
+            taken = "1" if outcome in outcomes else "-"
+            lines.append(f"BRDA:{decision.line},0,"
+                         f"{decision.decision_id * 2 + branch_index},"
+                         f"{taken}")
+            branches_found += 1
+            if outcome in outcomes:
+                branches_hit += 1
+    for statement in program.statements:
+        if isinstance(statement, ast.SwitchCase):
+            hits = collector.statement_hits[statement.statement_id]
+            taken = str(hits) if hits > 0 else "-"
+            lines.append(f"BRDA:{statement.line},1,"
+                         f"{statement.statement_id},{taken}")
+            branches_found += 1
+            if hits > 0:
+                branches_hit += 1
+    lines.append(f"BRF:{branches_found}")
+    lines.append(f"BRH:{branches_hit}")
+
+    # DA — line execution counts (max over a line's statements).
+    per_line: Dict[int, int] = {}
+    for statement, hits in zip(program.statements,
+                               collector.statement_hits):
+        per_line[statement.line] = max(per_line.get(statement.line, 0),
+                                       hits)
+    for line, hits in sorted(per_line.items()):
+        lines.append(f"DA:{line},{hits}")
+    lines.append(f"LF:{len(per_line)}")
+    lines.append(f"LH:{sum(1 for hits in per_line.values() if hits > 0)}")
+    lines.append("end_of_record")
+    return "\n".join(lines) + "\n"
+
+
+def write_lcov(collectors: Dict[str, CoverageCollector],
+               output_path: str, test_name: str = "repro") -> None:
+    """Write several files' coverage into one tracefile."""
+    with open(output_path, "w", encoding="utf-8") as handle:
+        for source_path, collector in sorted(collectors.items()):
+            handle.write(to_lcov(collector, source_path, test_name))

@@ -1,0 +1,138 @@
+"""Instrumentation maps: which statements/decisions belong to which function.
+
+The probe ids are program-global; this module rebuilds the per-function
+partition so reports can reproduce the paper's filtering ("we excluded all
+those functions that were not called") — a function's statements and
+decisions only count once the function has been entered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set, Tuple
+
+from ..lang.minic import ast
+from .probes import CoverageCollector
+
+
+def _walk_expression(node, decisions: List[ast.Decision]) -> None:
+    if node is None:
+        return
+    if isinstance(node, ast.Conditional):
+        decisions.append(node.condition)
+        _walk_expression(node.condition.expression, decisions)
+        _walk_expression(node.then_value, decisions)
+        _walk_expression(node.else_value, decisions)
+    elif isinstance(node, (ast.Unary,)):
+        _walk_expression(node.operand, decisions)
+    elif isinstance(node, (ast.Binary, ast.Logical)):
+        _walk_expression(node.left, decisions)
+        _walk_expression(node.right, decisions)
+    elif isinstance(node, ast.Assignment):
+        _walk_expression(node.target, decisions)
+        _walk_expression(node.value, decisions)
+    elif isinstance(node, ast.IncDec):
+        _walk_expression(node.target, decisions)
+    elif isinstance(node, ast.Call):
+        for argument in node.arguments:
+            _walk_expression(argument, decisions)
+    elif isinstance(node, ast.Index):
+        _walk_expression(node.base, decisions)
+        _walk_expression(node.offset, decisions)
+    elif isinstance(node, ast.Cast):
+        _walk_expression(node.operand, decisions)
+
+
+def _statement_expressions(statement):
+    if isinstance(statement, ast.Declaration):
+        yield statement.array_size
+        yield statement.initializer
+        for expression in statement.initializer_list or ():
+            yield expression
+    elif isinstance(statement, ast.ExpressionStatement):
+        yield statement.expression
+    elif isinstance(statement, ast.If):
+        yield statement.condition.expression
+    elif isinstance(statement, (ast.While, ast.DoWhile)):
+        yield statement.condition.expression
+    elif isinstance(statement, ast.For):
+        if statement.condition is not None:
+            yield statement.condition.expression
+        yield statement.increment
+    elif isinstance(statement, ast.Switch):
+        yield statement.subject
+        for case in statement.cases:
+            yield case.value
+    elif isinstance(statement, ast.Return):
+        yield statement.value
+
+
+@dataclass(frozen=True)
+class FunctionMap:
+    """Statement and decision ids owned by one function."""
+
+    name: str
+    statement_ids: frozenset
+    decision_ids: frozenset
+
+
+def build_function_maps(program: ast.Program) -> List[FunctionMap]:
+    """Partition the program's probe ids by owning function."""
+    maps: List[FunctionMap] = []
+    for function in program.functions:
+        statements = ast.iter_statements(function.body)
+        statement_ids: Set[int] = set()
+        decisions: List[ast.Decision] = []
+        for statement in statements:
+            if statement.statement_id >= 0:
+                statement_ids.add(statement.statement_id)
+            if isinstance(statement, ast.If):
+                decisions.append(statement.condition)
+            elif isinstance(statement, (ast.While, ast.DoWhile)):
+                decisions.append(statement.condition)
+            elif isinstance(statement, ast.For) \
+                    and statement.condition is not None:
+                decisions.append(statement.condition)
+            if isinstance(statement, ast.Switch):
+                for case in statement.cases:
+                    if case.statement_id >= 0:
+                        statement_ids.add(case.statement_id)
+            for expression in _statement_expressions(statement):
+                _walk_expression(expression, decisions)
+        maps.append(FunctionMap(
+            name=function.name,
+            statement_ids=frozenset(statement_ids),
+            decision_ids=frozenset(decision.decision_id
+                                   for decision in decisions
+                                   if decision.decision_id >= 0),
+        ))
+    return maps
+
+
+def called_functions(collector: CoverageCollector,
+                     maps: List[FunctionMap]) -> List[FunctionMap]:
+    """Functions whose body executed at least one statement."""
+    return [function_map for function_map in maps
+            if any(collector.statement_hits[statement_id] > 0
+                   for statement_id in function_map.statement_ids)]
+
+
+def exclusion_sets(collector: CoverageCollector
+                   ) -> Tuple[Set[int], Set[int], List[str]]:
+    """The paper's uncalled-function exclusion.
+
+    Returns:
+        (included statement ids, included decision ids, excluded function
+        names).
+    """
+    maps = build_function_maps(collector.program)
+    called = called_functions(collector, maps)
+    called_names = {function_map.name for function_map in called}
+    include_statements: Set[int] = set()
+    include_decisions: Set[int] = set()
+    for function_map in called:
+        include_statements |= function_map.statement_ids
+        include_decisions |= function_map.decision_ids
+    excluded = [function_map.name for function_map in maps
+                if function_map.name not in called_names]
+    return include_statements, include_decisions, excluded

@@ -1,0 +1,89 @@
+"""Coverage probes: the collector that listens to interpreter events.
+
+The :class:`CoverageCollector` implements the MiniC
+:class:`~repro.lang.minic.interpreter.Tracer` interface and accumulates raw
+observations:
+
+* per-statement hit counts;
+* per-decision outcome sets;
+* per-decision condition-vector observations (for MC/DC).
+
+The collector is deliberately dumb — metric computation lives in
+:mod:`repro.coverage.statement`, :mod:`repro.coverage.branch` and
+:mod:`repro.coverage.mcdc` so each metric is independently testable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..errors import CoverageError
+from ..lang.minic import ast
+from ..lang.minic.interpreter import Tracer
+
+
+class CoverageCollector(Tracer):
+    """Accumulates probe events for one instrumented program."""
+
+    def __init__(self, program: ast.Program) -> None:
+        self.program = program
+        self.statement_hits: List[int] = [0] * program.statement_count
+        self.decision_outcomes: List[Set[bool]] = [
+            set() for _ in range(program.decision_count)]
+        self.condition_vectors: List[Set[Tuple]] = [
+            set() for _ in range(program.decision_count)]
+        self.evaluations = 0
+
+    # ------------------------------------------------------------------
+    # Tracer interface
+
+    def on_statement(self, statement_id: int) -> None:
+        if not 0 <= statement_id < len(self.statement_hits):
+            raise CoverageError(
+                f"statement id {statement_id} out of range "
+                f"(program has {len(self.statement_hits)} statements)")
+        self.statement_hits[statement_id] += 1
+
+    def on_decision(self, decision_id: int, outcome: bool,
+                    vector: Tuple) -> None:
+        if not 0 <= decision_id < len(self.decision_outcomes):
+            raise CoverageError(
+                f"decision id {decision_id} out of range "
+                f"(program has {len(self.decision_outcomes)} decisions)")
+        expected = self.program.decisions[decision_id].condition_count
+        if len(vector) != expected:
+            raise CoverageError(
+                f"decision {decision_id} expects {expected} conditions, "
+                f"probe delivered {len(vector)}")
+        self.decision_outcomes[decision_id].add(outcome)
+        self.condition_vectors[decision_id].add((outcome, vector))
+        self.evaluations += 1
+
+    # ------------------------------------------------------------------
+    # convenience views
+
+    @property
+    def executed_statements(self) -> int:
+        return sum(1 for hits in self.statement_hits if hits > 0)
+
+    def merge(self, other: "CoverageCollector") -> None:
+        """Fold the observations of another run of the *same* program."""
+        if other.program is not self.program:
+            raise CoverageError(
+                "cannot merge collectors for different programs")
+        for index, hits in enumerate(other.statement_hits):
+            self.statement_hits[index] += hits
+        for index, outcomes in enumerate(other.decision_outcomes):
+            self.decision_outcomes[index] |= outcomes
+        for index, vectors in enumerate(other.condition_vectors):
+            self.condition_vectors[index] |= vectors
+        self.evaluations += other.evaluations
+
+    def hits_by_line(self) -> Dict[int, int]:
+        """Line -> hit count, for annotated-source rendering."""
+        lines: Dict[int, int] = {}
+        for statement, hits in zip(self.program.statements,
+                                   self.statement_hits):
+            line = statement.line
+            lines[line] = max(lines.get(line, 0), hits)
+        return lines

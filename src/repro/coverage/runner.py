@@ -1,0 +1,119 @@
+"""Test-vector runner: executes MiniC test suites under coverage.
+
+This is the reproduction's analogue of "we run several real-scenario tests
+and use RapiCover to measure the object detection code coverage"
+(Section 3.2): a :class:`TestVector` names an entry function and its
+arguments; the :class:`CoverageRunner` executes every vector against an
+instrumented interpreter and accumulates one collector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from ..lang.minic.interpreter import Interpreter, ThreadContext
+from ..lang.minic.parser import parse_program
+from .probes import CoverageCollector
+from .report import FileCoverage, summarize_collector
+
+
+@dataclass
+class TestVector:
+    """One test case: entry function, arguments, optional expectation.
+
+    (``__test__ = False`` keeps pytest from collecting this data class.)
+
+    Attributes:
+        function: name of the MiniC function to call.
+        args: positional arguments (scalars, lists, ArrayValue views).
+        expected: when not None, the runner checks the return value
+            against it (exact for ints, 1e-6 relative for floats).
+        thread_context: CUDA builtins for direct kernel invocation.
+        name: label for failure messages.
+    """
+
+    __test__ = False
+
+    function: str
+    args: Sequence = ()
+    expected: Optional[object] = None
+    thread_context: Optional[ThreadContext] = None
+    name: str = ""
+
+    def label(self) -> str:
+        return self.name or f"{self.function}{tuple(self.args)!r}"
+
+
+@dataclass
+class VectorOutcome:
+    """Result of executing one test vector."""
+
+    vector: TestVector
+    value: object = None
+    passed: bool = True
+    error: str = ""
+
+
+class CoverageRunner:
+    """Runs test vectors over one MiniC program, accumulating coverage."""
+
+    def __init__(self, program_or_source, filename: str = "<memory>",
+                 max_steps: int = 50_000_000) -> None:
+        if isinstance(program_or_source, str):
+            self.program = parse_program(program_or_source, filename)
+        else:
+            self.program = program_or_source
+            filename = self.program.filename
+        self.filename = filename
+        self.collector = CoverageCollector(self.program)
+        self.interpreter = Interpreter(self.program, tracer=self.collector,
+                                       max_steps=max_steps)
+        self.outcomes: List[VectorOutcome] = []
+
+    def run_vector(self, vector: TestVector) -> VectorOutcome:
+        """Execute one vector; records coverage even when it fails."""
+        outcome = VectorOutcome(vector=vector)
+        try:
+            outcome.value = self.interpreter.run(
+                vector.function, list(vector.args),
+                thread_context=vector.thread_context)
+        except Exception as error:  # noqa: BLE001 - report, don't crash
+            outcome.passed = False
+            outcome.error = f"{type(error).__name__}: {error}"
+            self.outcomes.append(outcome)
+            return outcome
+        if vector.expected is not None:
+            outcome.passed = _matches(outcome.value, vector.expected)
+            if not outcome.passed:
+                outcome.error = (f"expected {vector.expected!r}, "
+                                 f"got {outcome.value!r}")
+        self.outcomes.append(outcome)
+        return outcome
+
+    def run_suite(self, vectors: Iterable[TestVector]) -> List[VectorOutcome]:
+        return [self.run_vector(vector) for vector in vectors]
+
+    @property
+    def failures(self) -> List[VectorOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.passed]
+
+    def coverage(self, with_mcdc: bool = True,
+                 mcdc_variant: str = "masking",
+                 exclude_uncalled: bool = False) -> FileCoverage:
+        """The accumulated coverage of everything run so far."""
+        return summarize_collector(self.collector, self.filename,
+                                   with_mcdc=with_mcdc,
+                                   mcdc_variant=mcdc_variant,
+                                   exclude_uncalled=exclude_uncalled)
+
+
+def _matches(actual, expected) -> bool:
+    if isinstance(expected, float) or isinstance(actual, float):
+        try:
+            actual_value = float(actual)
+        except (TypeError, ValueError):
+            return False
+        scale = max(1.0, abs(float(expected)))
+        return abs(actual_value - float(expected)) <= 1e-6 * scale
+    return actual == expected

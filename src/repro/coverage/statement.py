@@ -1,0 +1,57 @@
+"""Statement-coverage metric."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set
+
+from .probes import CoverageCollector
+
+
+@dataclass(frozen=True)
+class StatementCoverage:
+    """Statement-coverage result for one program.
+
+    Attributes:
+        total: number of instrumented statements.
+        covered: statements executed at least once.
+        uncovered_lines: source lines owning never-executed statements.
+    """
+
+    total: int
+    covered: int
+    uncovered_lines: tuple
+
+    @property
+    def percent(self) -> float:
+        """Coverage percentage in [0, 100]; 100 for an empty program."""
+        if self.total == 0:
+            return 100.0
+        return 100.0 * self.covered / self.total
+
+
+def measure_statement_coverage(collector: CoverageCollector,
+                               include: Optional[Set[int]] = None
+                               ) -> StatementCoverage:
+    """Compute statement coverage from collected probe data.
+
+    Args:
+        collector: the probe observations.
+        include: when given, only statement ids in this set are counted —
+            used to reproduce the paper's "we excluded all those functions
+            that were not called" filtering.
+    """
+    program = collector.program
+    total = 0
+    covered = 0
+    uncovered_lines = set()
+    for statement, hits in zip(program.statements, collector.statement_hits):
+        if include is not None and statement.statement_id not in include:
+            continue
+        total += 1
+        if hits > 0:
+            covered += 1
+        else:
+            uncovered_lines.add(statement.line)
+    return StatementCoverage(total=total, covered=covered,
+                             uncovered_lines=tuple(sorted(uncovered_lines)))

@@ -1,0 +1,183 @@
+"""MC/DC test-vector suggestion — closing the Figure 5 gap.
+
+Observation 10's remediation is "additional test cases"; for MC/DC the
+hard part is *which* condition combinations are still needed.  Given a
+decision's boolean structure and the observations collected so far, this
+module enumerates the missing independence pairs and proposes concrete
+condition assignments a test engineer must realize, exactly what
+qualified coverage tools emit as "MC/DC gaps".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..lang.minic import ast
+from .mcdc import _condition_demonstrated
+from .probes import CoverageCollector
+
+
+def evaluate_decision(decision: ast.Decision,
+                      assignment: Sequence[bool]) -> Tuple[bool, Tuple]:
+    """Evaluate a decision for a full truth assignment of its conditions.
+
+    Returns:
+        (outcome, observed vector) where short-circuited positions of the
+        vector are ``None`` — the exact record the probe would produce.
+    """
+    leaf_index = {id(leaf): position
+                  for position, leaf in enumerate(decision.conditions)}
+    observed: List[Optional[bool]] = [None] * len(decision.conditions)
+
+    def walk(node: ast.Expression) -> bool:
+        if isinstance(node, ast.Logical):
+            left = walk(node.left)
+            if node.operator == "&&":
+                if not left:
+                    return False
+                return walk(node.right)
+            if left:
+                return True
+            return walk(node.right)
+        position = leaf_index[id(node)]
+        value = bool(assignment[position])
+        observed[position] = value
+        return value
+
+    outcome = walk(decision.expression)
+    return outcome, tuple(observed)
+
+
+@dataclass(frozen=True)
+class IndependencePair:
+    """Two assignments demonstrating one condition's independence."""
+
+    condition_index: int
+    first: Tuple[bool, ...]
+    second: Tuple[bool, ...]
+
+
+def independence_pairs(decision: ast.Decision) -> List[IndependencePair]:
+    """All unique-cause-with-masking independence pairs of a decision.
+
+    Exhaustive over the 2^n assignments; decisions are small (n <= ~8 in
+    real code), so this is cheap.
+    """
+    n = decision.condition_count
+    if n == 0:
+        return []
+    outcomes = {}
+    for assignment in itertools.product((False, True), repeat=n):
+        outcomes[assignment] = evaluate_decision(decision, assignment)
+    pairs: List[IndependencePair] = []
+    for index in range(n):
+        for assignment, (outcome, vector) in outcomes.items():
+            if vector[index] is None:
+                continue
+            flipped = list(assignment)
+            flipped[index] = not flipped[index]
+            flipped = tuple(flipped)
+            other_outcome, other_vector = outcomes[flipped]
+            if other_outcome == outcome or other_vector[index] is None:
+                continue
+            if _masking_match(vector, other_vector, index):
+                if assignment < flipped:
+                    pairs.append(IndependencePair(index, assignment,
+                                                  flipped))
+    return pairs
+
+
+def _masking_match(first: Tuple, second: Tuple, index: int) -> bool:
+    for position, (a, b) in enumerate(zip(first, second)):
+        if position == index:
+            continue
+        if a is not None and b is not None and a != b:
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class McdcSuggestion:
+    """A concrete gap-closing proposal for one condition."""
+
+    decision_id: int
+    line: int
+    condition_index: int
+    condition_count: int
+    needed_assignments: Tuple[Tuple[bool, ...], ...]
+
+    def describe(self) -> str:
+        rendered = ", ".join(
+            "(" + ", ".join("T" if value else "F"
+                            for value in assignment) + ")"
+            for assignment in self.needed_assignments)
+        return (f"decision at line {self.line}: condition "
+                f"{self.condition_index + 1}/{self.condition_count} "
+                f"needs assignment(s) {rendered}")
+
+
+def suggest_mcdc_vectors(collector: CoverageCollector,
+                         variant: str = "masking"
+                         ) -> List[McdcSuggestion]:
+    """Propose condition assignments for every undemonstrated condition.
+
+    For each decision condition lacking an independence pair in the
+    observations, find a complete pair from the decision's truth table
+    and report whichever of its two assignments have not been observed.
+    """
+    masking = variant == "masking"
+    program = collector.program
+    suggestions: List[McdcSuggestion] = []
+    for decision in program.decisions:
+        n = decision.condition_count
+        observations = collector.condition_vectors[decision.decision_id]
+        observed_vectors = {vector for _, vector in observations}
+        if n == 1:
+            outcomes = collector.decision_outcomes[decision.decision_id]
+            missing = []
+            if True not in outcomes:
+                missing.append((True,))
+            if False not in outcomes:
+                missing.append((False,))
+            if missing:
+                suggestions.append(McdcSuggestion(
+                    decision_id=decision.decision_id,
+                    line=decision.line,
+                    condition_index=0,
+                    condition_count=1,
+                    needed_assignments=tuple(missing)))
+            continue
+        pairs = independence_pairs(decision)
+        for index in range(n):
+            if _condition_demonstrated(observations, index, masking):
+                continue
+            candidates = [pair for pair in pairs
+                          if pair.condition_index == index]
+            if not candidates:
+                continue  # structurally undemonstrable (e.g. a&&!a)
+            best = min(candidates,
+                       key=lambda pair: _missing_count(
+                           decision, pair, observed_vectors))
+            needed = tuple(
+                assignment for assignment in (best.first, best.second)
+                if evaluate_decision(decision, assignment)[1]
+                not in observed_vectors)
+            suggestions.append(McdcSuggestion(
+                decision_id=decision.decision_id,
+                line=decision.line,
+                condition_index=index,
+                condition_count=n,
+                needed_assignments=needed or (best.first, best.second)))
+    return suggestions
+
+
+def _missing_count(decision, pair: IndependencePair,
+                   observed_vectors) -> int:
+    count = 0
+    for assignment in (pair.first, pair.second):
+        if evaluate_decision(decision, assignment)[1] \
+                not in observed_vectors:
+            count += 1
+    return count

@@ -1,0 +1,29 @@
+"""YOLO-lite object detection: the paper's perception workload."""
+
+from .fpn_layers import RouteLayer, UpsampleLayer
+from .layers import ConvLayer, ConvShape, GemmShape, Layer, MaxPoolLayer, RegionLayer
+from .network import LayerWorkload, Network
+from .nms import Box, iou, nms
+from .weights import WeightStore
+from .yolo import DEFAULT_ANCHORS, YoloConfig, YoloDetector, build_yolo_lite
+
+__all__ = [
+    "Box",
+    "ConvLayer",
+    "ConvShape",
+    "DEFAULT_ANCHORS",
+    "GemmShape",
+    "Layer",
+    "LayerWorkload",
+    "MaxPoolLayer",
+    "Network",
+    "RegionLayer",
+    "RouteLayer",
+    "UpsampleLayer",
+    "WeightStore",
+    "YoloConfig",
+    "YoloDetector",
+    "build_yolo_lite",
+    "iou",
+    "nms",
+]

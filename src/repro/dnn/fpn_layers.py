@@ -1,0 +1,84 @@
+"""Feature-pyramid layers: upsample and route (YOLOv3-style).
+
+Apollo's later perception stacks (and YOLOv3) add feature reuse: an
+``upsample`` layer scales a coarse map up and a ``route`` layer
+concatenates it with an earlier fine-grained map.  These layers extend
+the sequential :class:`~repro.dnn.network.Network`: a route receives the
+list of all previous layer outputs instead of just its predecessor's.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .layers import Layer
+from .tensor import check_nchw
+
+
+class UpsampleLayer(Layer):
+    """Nearest-neighbour spatial upsampling by an integer stride."""
+
+    name = "upsample"
+
+    def __init__(self, stride: int = 2) -> None:
+        if stride < 1:
+            raise ValueError(f"upsample stride must be >= 1, got {stride}")
+        self.stride = stride
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        check_nchw(x)
+        return x.repeat(self.stride, axis=2).repeat(self.stride, axis=3)
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        batch, channels, height, width = input_shape
+        return (batch, channels, height * self.stride,
+                width * self.stride)
+
+
+class RouteLayer(Layer):
+    """Concatenates earlier layers' outputs along the channel axis.
+
+    Attributes:
+        sources: absolute indices of the layers whose outputs to join
+            (darknet's route layer semantics, without negative indexing).
+    """
+
+    name = "route"
+
+    def __init__(self, sources: Sequence[int]) -> None:
+        if not sources:
+            raise ValueError("route layer needs at least one source")
+        if any(index < 0 for index in sources):
+            raise ValueError("route sources are absolute layer indices")
+        self.sources = list(sources)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise RuntimeError(
+            "route layers need the output history; run them through "
+            "Network.forward or call forward_from directly")
+
+    def forward_from(self, outputs: List[np.ndarray]) -> np.ndarray:
+        """Concatenate the selected entries of the output history."""
+        selected = []
+        for index in self.sources:
+            if index >= len(outputs):
+                raise ValueError(
+                    f"route source {index} not yet produced "
+                    f"(history has {len(outputs)} outputs)")
+            selected.append(outputs[index])
+        spatial = {tensor.shape[2:] for tensor in selected}
+        if len(spatial) != 1:
+            raise ValueError(
+                f"route sources disagree on spatial size: {spatial}")
+        return np.concatenate(selected, axis=1)
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        raise RuntimeError("route output shape depends on the history; "
+                           "use shape_from")
+
+    def shape_from(self, shapes: List[Tuple[int, ...]]) -> Tuple[int, ...]:
+        channels = sum(shapes[index][1] for index in self.sources)
+        first = shapes[self.sources[0]]
+        return (first[0], channels, first[2], first[3])

@@ -1,0 +1,257 @@
+"""Layers of the YOLO-lite network.
+
+Each layer implements ``forward`` and exposes a *workload descriptor* —
+the FLOP and byte counts of its dominant kernels — which is what the
+performance models in :mod:`repro.perf` consume to predict per-library
+execution time (Figure 7).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .tensor import check_nchw, im2col, output_size, sigmoid
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """An (M, N, K) matrix-multiplication workload."""
+
+    m: int
+    n: int
+    k: int
+
+    @property
+    def flops(self) -> int:
+        """Multiply-accumulate count times two."""
+        return 2 * self.m * self.n * self.k
+
+    @property
+    def bytes_moved(self) -> int:
+        """Minimum DRAM traffic in bytes at 4 bytes/element."""
+        return 4 * (self.m * self.k + self.k * self.n + self.m * self.n)
+
+
+@dataclass(frozen=True)
+class ConvShape:
+    """A convolution workload in cuDNN terms."""
+
+    batch: int
+    in_channels: int
+    out_channels: int
+    in_h: int
+    in_w: int
+    ksize: int
+    stride: int
+    pad: int
+
+    @property
+    def out_h(self) -> int:
+        return output_size(self.in_h, self.ksize, self.stride, self.pad)
+
+    @property
+    def out_w(self) -> int:
+        return output_size(self.in_w, self.ksize, self.stride, self.pad)
+
+    @property
+    def flops(self) -> int:
+        return (2 * self.batch * self.out_channels * self.out_h * self.out_w
+                * self.in_channels * self.ksize * self.ksize)
+
+    @property
+    def bytes_moved(self) -> int:
+        inputs = self.batch * self.in_channels * self.in_h * self.in_w
+        outputs = self.batch * self.out_channels * self.out_h * self.out_w
+        weights = (self.out_channels * self.in_channels
+                   * self.ksize * self.ksize)
+        return 4 * (inputs + outputs + weights)
+
+    def as_gemm(self) -> GemmShape:
+        """The im2col-lowered GEMM of this convolution (per batch image)."""
+        return GemmShape(m=self.out_channels,
+                         n=self.out_h * self.out_w,
+                         k=self.in_channels * self.ksize * self.ksize)
+
+
+class Layer(abc.ABC):
+    """Base layer: forward pass plus workload description."""
+
+    name: str = "layer"
+
+    @abc.abstractmethod
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Compute the layer output for an NCHW batch."""
+
+    @abc.abstractmethod
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Output NCHW shape for a given input shape."""
+
+    def conv_shape(self) -> Optional[ConvShape]:
+        """The convolution workload, when this layer is a convolution."""
+        return None
+
+
+class ConvLayer(Layer):
+    """Convolution + optional batch-norm + activation, darknet-style.
+
+    Args:
+        weights: ``(out_channels, in_channels, K, K)`` filter bank.
+        biases: per-filter bias.
+        stride, pad: convolution geometry.
+        activation: ``"leaky"`` or ``"linear"``.
+        bn_scale, bn_mean, bn_variance: batch-norm parameters; all three
+            must be given together or not at all.
+    """
+
+    name = "convolutional"
+
+    def __init__(self, weights: np.ndarray, biases: np.ndarray,
+                 stride: int = 1, pad: int = 1, activation: str = "leaky",
+                 bn_scale: Optional[np.ndarray] = None,
+                 bn_mean: Optional[np.ndarray] = None,
+                 bn_variance: Optional[np.ndarray] = None) -> None:
+        if weights.ndim != 4 or weights.shape[2] != weights.shape[3]:
+            raise ValueError(
+                f"weights must be (F, C, K, K), got {weights.shape}")
+        if activation not in ("leaky", "linear"):
+            raise ValueError(f"unsupported activation {activation!r}")
+        bn_given = [parameter is not None
+                    for parameter in (bn_scale, bn_mean, bn_variance)]
+        if any(bn_given) and not all(bn_given):
+            raise ValueError("batch-norm parameters must be all-or-none")
+        self.weights = weights.astype(float)
+        self.biases = biases.astype(float)
+        self.stride = stride
+        self.pad = pad
+        self.activation = activation
+        self.bn_scale = bn_scale
+        self.bn_mean = bn_mean
+        self.bn_variance = bn_variance
+        self._last_input_shape: Optional[Tuple[int, ...]] = None
+
+    @property
+    def out_channels(self) -> int:
+        return self.weights.shape[0]
+
+    @property
+    def ksize(self) -> int:
+        return self.weights.shape[2]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        check_nchw(x)
+        if x.shape[1] != self.weights.shape[1]:
+            raise ValueError(
+                f"layer expects {self.weights.shape[1]} input channels, "
+                f"got {x.shape[1]}")
+        self._last_input_shape = x.shape
+        batch = x.shape[0]
+        columns = im2col(x, self.ksize, self.stride, self.pad)
+        kernel_matrix = self.weights.reshape(self.out_channels, -1)
+        out_h = output_size(x.shape[2], self.ksize, self.stride, self.pad)
+        out_w = output_size(x.shape[3], self.ksize, self.stride, self.pad)
+        output = np.einsum("fk,bkp->bfp", kernel_matrix, columns)
+        output = output.reshape(batch, self.out_channels, out_h, out_w)
+        if self.bn_scale is not None:
+            deviation = np.sqrt(self.bn_variance.reshape(1, -1, 1, 1)) + 1e-6
+            output = (output - self.bn_mean.reshape(1, -1, 1, 1)) / deviation
+            output = output * self.bn_scale.reshape(1, -1, 1, 1)
+        output = output + self.biases.reshape(1, -1, 1, 1)
+        if self.activation == "leaky":
+            output = np.where(output > 0, output, 0.1 * output)
+        return output
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        batch, _, height, width = input_shape
+        return (batch, self.out_channels,
+                output_size(height, self.ksize, self.stride, self.pad),
+                output_size(width, self.ksize, self.stride, self.pad))
+
+    def conv_shape(self, input_shape: Optional[Tuple[int, ...]] = None
+                   ) -> ConvShape:
+        shape = input_shape or self._last_input_shape
+        if shape is None:
+            raise ValueError("conv_shape needs an input shape (run forward "
+                             "or pass input_shape)")
+        batch, channels, height, width = shape
+        return ConvShape(batch=batch, in_channels=channels,
+                         out_channels=self.out_channels, in_h=height,
+                         in_w=width, ksize=self.ksize, stride=self.stride,
+                         pad=self.pad)
+
+
+class MaxPoolLayer(Layer):
+    """Max pooling, darknet semantics."""
+
+    name = "maxpool"
+
+    def __init__(self, size: int = 2, stride: int = 2, pad: int = 0) -> None:
+        self.size = size
+        self.stride = stride
+        self.pad = pad
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        check_nchw(x)
+        batch, channels, height, width = x.shape
+        out_h = output_size(height, self.size, self.stride, self.pad)
+        out_w = output_size(width, self.size, self.stride, self.pad)
+        padded = np.pad(x, ((0, 0), (0, 0),
+                            (self.pad, self.pad), (self.pad, self.pad)),
+                        mode="constant", constant_values=-np.inf)
+        out = np.full((batch, channels, out_h, out_w), -np.inf)
+        for ky in range(self.size):
+            for kx in range(self.size):
+                window = padded[:, :,
+                                ky:ky + self.stride * out_h:self.stride,
+                                kx:kx + self.stride * out_w:self.stride]
+                out = np.maximum(out, window)
+        return out
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        batch, channels, height, width = input_shape
+        return (batch, channels,
+                output_size(height, self.size, self.stride, self.pad),
+                output_size(width, self.size, self.stride, self.pad))
+
+
+class RegionLayer(Layer):
+    """YOLO detection head: decode raw maps into per-cell predictions.
+
+    The input must have ``anchors * (5 + classes)`` channels.  The layer
+    applies the logistic function to the x/y offsets and objectness, and a
+    softmax over class scores, exactly like darknet's region layer.
+    """
+
+    name = "region"
+
+    def __init__(self, anchors: List[Tuple[float, float]],
+                 classes: int) -> None:
+        if not anchors:
+            raise ValueError("region layer needs at least one anchor")
+        self.anchors = anchors
+        self.classes = classes
+
+    @property
+    def per_anchor(self) -> int:
+        return 5 + self.classes
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        check_nchw(x)
+        batch, channels, height, width = x.shape
+        expected = len(self.anchors) * self.per_anchor
+        if channels != expected:
+            raise ValueError(
+                f"region layer expects {expected} channels, got {channels}")
+        from .tensor import softmax  # local import to avoid cycle noise
+        output = x.reshape(batch, len(self.anchors), self.per_anchor,
+                           height, width).copy()
+        output[:, :, 0:2] = sigmoid(output[:, :, 0:2])
+        output[:, :, 4] = sigmoid(output[:, :, 4])
+        output[:, :, 5:] = softmax(output[:, :, 5:], axis=2)
+        return output.reshape(batch, channels, height, width)
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return input_shape

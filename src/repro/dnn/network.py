@@ -1,0 +1,89 @@
+"""The network container: sequential forward pass plus workload census."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from .layers import ConvShape, Layer
+
+
+@dataclass(frozen=True)
+class LayerWorkload:
+    """The compute profile of one layer for the performance models."""
+
+    index: int
+    name: str
+    conv: ConvShape
+
+    @property
+    def flops(self) -> int:
+        return self.conv.flops
+
+
+class Network:
+    """A sequential stack of layers (the YOLO-lite backbone)."""
+
+    def __init__(self, layers: List[Layer],
+                 input_shape: Tuple[int, int, int, int]) -> None:
+        if not layers:
+            raise ValueError("network needs at least one layer")
+        self.layers = layers
+        self.input_shape = input_shape
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run the full stack; validates the input shape.
+
+        Route layers receive the full output history (YOLOv3-style
+        feature reuse); every other layer receives its predecessor's
+        output.
+        """
+        from .fpn_layers import RouteLayer
+        if x.shape[1:] != self.input_shape[1:]:
+            raise ValueError(
+                f"network expects input CHW {self.input_shape[1:]}, "
+                f"got {x.shape[1:]}")
+        outputs: List[np.ndarray] = []
+        for layer in self.layers:
+            if isinstance(layer, RouteLayer):
+                x = layer.forward_from(outputs)
+            else:
+                x = layer.forward(x)
+            outputs.append(x)
+        return x
+
+    def layer_shapes(self) -> List[Tuple[int, ...]]:
+        """Input shape of every layer, derived statically."""
+        from .fpn_layers import RouteLayer
+        shapes = [self.input_shape]
+        produced: List[Tuple[int, ...]] = []
+        for layer in self.layers:
+            if isinstance(layer, RouteLayer):
+                produced.append(layer.shape_from(produced))
+            else:
+                produced.append(layer.output_shape(shapes[-1]))
+            shapes.append(produced[-1])
+        return shapes[:-1]
+
+    def conv_workloads(self) -> List[LayerWorkload]:
+        """The convolution workloads, in execution order.
+
+        These are the GEMM/conv shapes the Figure 7 performance case study
+        prices under each library.
+        """
+        workloads: List[LayerWorkload] = []
+        shapes = self.layer_shapes()
+        for index, (layer, shape) in enumerate(zip(self.layers, shapes)):
+            conv = getattr(layer, "conv_shape", None)
+            if conv is None or layer.name != "convolutional":
+                continue
+            workloads.append(LayerWorkload(
+                index=index, name=layer.name,
+                conv=layer.conv_shape(shape)))
+        return workloads
+
+    @property
+    def total_conv_flops(self) -> int:
+        return sum(workload.flops for workload in self.conv_workloads())

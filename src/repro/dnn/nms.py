@@ -1,0 +1,66 @@
+"""Bounding boxes, IoU, and greedy non-maximum suppression."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class Box:
+    """An axis-aligned box in center/size form, normalized to [0, 1]."""
+
+    x: float
+    y: float
+    w: float
+    h: float
+    score: float = 0.0
+    class_id: int = -1
+
+    @property
+    def left(self) -> float:
+        return self.x - self.w / 2
+
+    @property
+    def right(self) -> float:
+        return self.x + self.w / 2
+
+    @property
+    def top(self) -> float:
+        return self.y - self.h / 2
+
+    @property
+    def bottom(self) -> float:
+        return self.y + self.h / 2
+
+    @property
+    def area(self) -> float:
+        return max(0.0, self.w) * max(0.0, self.h)
+
+
+def iou(first: Box, second: Box) -> float:
+    """Intersection-over-union of two boxes; 0 for disjoint/degenerate."""
+    overlap_w = min(first.right, second.right) - max(first.left, second.left)
+    overlap_h = min(first.bottom, second.bottom) - max(first.top, second.top)
+    if overlap_w <= 0 or overlap_h <= 0:
+        return 0.0
+    intersection = overlap_w * overlap_h
+    union = first.area + second.area - intersection
+    if union <= 0:
+        return 0.0
+    return intersection / union
+
+
+def nms(boxes: List[Box], threshold: float = 0.45) -> List[Box]:
+    """Greedy per-class NMS: keep the best box, drop overlapping peers."""
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError(f"NMS threshold must be in [0, 1], got {threshold}")
+    kept: List[Box] = []
+    remaining = sorted(boxes, key=lambda box: -box.score)
+    while remaining:
+        best = remaining.pop(0)
+        kept.append(best)
+        remaining = [candidate for candidate in remaining
+                     if candidate.class_id != best.class_id
+                     or iou(best, candidate) < threshold]
+    return kept

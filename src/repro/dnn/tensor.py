@@ -1,0 +1,71 @@
+"""Tensor helpers for the numpy YOLO-lite implementation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_nchw(tensor: np.ndarray, name: str = "tensor") -> None:
+    """Validate an NCHW activation tensor."""
+    if tensor.ndim != 4:
+        raise ValueError(f"{name} must be 4-D NCHW, got {tensor.ndim}-D")
+
+
+def im2col(images: np.ndarray, ksize: int, stride: int,
+           pad: int) -> np.ndarray:
+    """Vectorized im2col over a batch.
+
+    Args:
+        images: NCHW input batch.
+        ksize: square kernel size.
+        stride: convolution stride.
+        pad: zero padding on every border.
+
+    Returns:
+        Array of shape ``(N, C*K*K, OH*OW)``.
+    """
+    check_nchw(images, "images")
+    batch, channels, height, width = images.shape
+    out_h = (height + 2 * pad - ksize) // stride + 1
+    out_w = (width + 2 * pad - ksize) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"kernel {ksize}/stride {stride}/pad {pad} produce empty output "
+            f"for {height}x{width} input")
+    padded = np.pad(images,
+                    ((0, 0), (0, 0), (pad, pad), (pad, pad)),
+                    mode="constant")
+    columns = np.zeros((batch, channels * ksize * ksize, out_h * out_w),
+                       dtype=images.dtype)
+    row = 0
+    for channel in range(channels):
+        for ky in range(ksize):
+            for kx in range(ksize):
+                patch = padded[:, channel,
+                               ky:ky + stride * out_h:stride,
+                               kx:kx + stride * out_w:stride]
+                columns[:, row, :] = patch.reshape(batch, -1)
+                row += 1
+    return columns
+
+
+def output_size(in_size: int, ksize: int, stride: int, pad: int) -> int:
+    """Spatial output size of a convolution/pooling along one axis."""
+    return (in_size + 2 * pad - ksize) // stride + 1
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(x, dtype=float)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    expx = np.exp(x[~positive])
+    out[~positive] = expx / (1.0 + expx)
+    return out
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable softmax along ``axis``."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)

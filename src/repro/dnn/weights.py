@@ -1,0 +1,50 @@
+"""Deterministic weight initialization for YOLO-lite.
+
+There are no pretrained Apollo/YOLO weights offline; deterministic He-
+initialized weights preserve everything the experiments need — layer
+shapes, FLOP counts, numerically well-behaved activations, and stable
+detections for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class WeightStore:
+    """A seeded source of layer parameters."""
+
+    def __init__(self, seed: int = 26262) -> None:
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def conv_weights(self, out_channels: int, in_channels: int,
+                     ksize: int) -> np.ndarray:
+        """He-normal filter bank of shape (F, C, K, K)."""
+        fan_in = in_channels * ksize * ksize
+        scale = np.sqrt(2.0 / fan_in)
+        return self._rng.normal(
+            0.0, scale, size=(out_channels, in_channels, ksize, ksize))
+
+    def biases(self, channels: int, spread: float = 0.1) -> np.ndarray:
+        return self._rng.uniform(-spread, spread, size=channels)
+
+    def bn_parameters(self, channels: int):
+        """(scale, mean, variance) resembling a trained batch norm."""
+        scale = self._rng.uniform(0.8, 1.2, size=channels)
+        mean = self._rng.normal(0.0, 0.2, size=channels)
+        variance = self._rng.uniform(0.5, 1.5, size=channels)
+        return scale, mean, variance
+
+    def image(self, height: int, width: int, channels: int = 3,
+              batch: int = 1) -> np.ndarray:
+        """A synthetic camera frame in [0, 1] with spatial structure."""
+        ys = np.linspace(0.0, 1.0, height)[None, None, :, None]
+        xs = np.linspace(0.0, 1.0, width)[None, None, None, :]
+        gradient = 0.5 * ys + 0.3 * xs
+        noise = self._rng.uniform(-0.2, 0.2,
+                                  size=(batch, channels, height, width))
+        blob_y = self._rng.uniform(0.2, 0.8)
+        blob_x = self._rng.uniform(0.2, 0.8)
+        blob = np.exp(-(((ys - blob_y) ** 2) + ((xs - blob_x) ** 2)) / 0.02)
+        return np.clip(gradient + noise + 0.6 * blob, 0.0, 1.0)

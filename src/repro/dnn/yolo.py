@@ -1,0 +1,126 @@
+"""YOLO-lite: a tiny-YOLO-style camera object detector.
+
+The reproduction's stand-in for Apollo's camera object detection: a small
+darknet-style backbone (conv/maxpool pyramid) with a region head, built on
+the layers in :mod:`repro.dnn.layers`.  Its convolution workloads are the
+quantities priced by the Figure 7 performance case study; its forward pass
+is the "real-scenario test" that drives the coverage campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .layers import ConvLayer, MaxPoolLayer, RegionLayer
+from .network import Network
+from .nms import Box, nms
+from .weights import WeightStore
+
+#: YOLOv2-tiny anchor boxes (cell units), truncated to the model's count.
+DEFAULT_ANCHORS: List[Tuple[float, float]] = [
+    (1.08, 1.19), (3.42, 4.41), (6.63, 11.38),
+]
+
+
+@dataclass(frozen=True)
+class YoloConfig:
+    """Architecture of a YOLO-lite detector.
+
+    ``width_multiple`` scales channel counts so tests can run a toy model
+    while benchmarks price a realistically sized one.
+    """
+
+    input_size: int = 416
+    classes: int = 8
+    anchors: int = 3
+    width_multiple: float = 1.0
+    batch: int = 1
+
+    def channels(self, base: int) -> int:
+        return max(1, int(round(base * self.width_multiple)))
+
+
+def build_yolo_lite(config: YoloConfig = YoloConfig(),
+                    store: Optional[WeightStore] = None) -> Network:
+    """Construct the detector with deterministic weights.
+
+    The layer plan follows tiny-YOLO: five 3x3 conv stages doubling
+    channels (16..256), each followed by 2x2 maxpool, then a 1x1 conv to
+    the detection tensor and the region head.
+    """
+    store = store or WeightStore()
+    layers = []
+    in_channels = 3
+    for base in (16, 32, 64, 128, 256):
+        out_channels = config.channels(base)
+        scale, mean, variance = store.bn_parameters(out_channels)
+        layers.append(ConvLayer(
+            weights=store.conv_weights(out_channels, in_channels, 3),
+            biases=store.biases(out_channels),
+            stride=1, pad=1, activation="leaky",
+            bn_scale=scale, bn_mean=mean, bn_variance=variance))
+        layers.append(MaxPoolLayer(size=2, stride=2))
+        in_channels = out_channels
+    anchors = DEFAULT_ANCHORS[:config.anchors]
+    head_channels = len(anchors) * (5 + config.classes)
+    layers.append(ConvLayer(
+        weights=store.conv_weights(head_channels, in_channels, 1),
+        biases=store.biases(head_channels),
+        stride=1, pad=0, activation="linear"))
+    layers.append(RegionLayer(anchors=anchors, classes=config.classes))
+    return Network(layers,
+                   input_shape=(config.batch, 3, config.input_size,
+                                config.input_size))
+
+
+class YoloDetector:
+    """End-to-end detector: network forward pass plus box decoding."""
+
+    def __init__(self, config: YoloConfig = YoloConfig(),
+                 store: Optional[WeightStore] = None) -> None:
+        self.config = config
+        self.network = build_yolo_lite(config, store)
+        self.anchors = DEFAULT_ANCHORS[:config.anchors]
+
+    def detect(self, image: np.ndarray, objectness_threshold: float = 0.5,
+               nms_threshold: float = 0.45) -> List[Box]:
+        """Detect objects in one NCHW image batch of size 1."""
+        output = self.network.forward(image)
+        return self.decode(output[0], objectness_threshold, nms_threshold)
+
+    def decode(self, feature_map: np.ndarray, objectness_threshold: float,
+               nms_threshold: float) -> List[Box]:
+        """Decode one region-layer output (CHW) into NMS-filtered boxes."""
+        per_anchor = 5 + self.config.classes
+        anchors = len(self.anchors)
+        channels, grid_h, grid_w = feature_map.shape
+        if channels != anchors * per_anchor:
+            raise ValueError(
+                f"feature map has {channels} channels, expected "
+                f"{anchors * per_anchor}")
+        maps = feature_map.reshape(anchors, per_anchor, grid_h, grid_w)
+        boxes: List[Box] = []
+        for anchor_index, (anchor_w, anchor_h) in enumerate(self.anchors):
+            for cell_y in range(grid_h):
+                for cell_x in range(grid_w):
+                    objectness = float(maps[anchor_index, 4, cell_y, cell_x])
+                    if objectness < objectness_threshold:
+                        continue
+                    tx = float(maps[anchor_index, 0, cell_y, cell_x])
+                    ty = float(maps[anchor_index, 1, cell_y, cell_x])
+                    tw = float(maps[anchor_index, 2, cell_y, cell_x])
+                    th = float(maps[anchor_index, 3, cell_y, cell_x])
+                    class_scores = maps[anchor_index, 5:, cell_y, cell_x]
+                    class_id = int(np.argmax(class_scores))
+                    score = objectness * float(class_scores[class_id])
+                    boxes.append(Box(
+                        x=(cell_x + tx) / grid_w,
+                        y=(cell_y + ty) / grid_h,
+                        w=min(4.0, np.exp(min(tw, 8.0))) * anchor_w / grid_w,
+                        h=min(4.0, np.exp(min(th, 8.0))) * anchor_h / grid_h,
+                        score=score,
+                        class_id=class_id))
+        return nms(boxes, nms_threshold)

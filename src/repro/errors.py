@@ -1,0 +1,99 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type at the API boundary.  Sub-hierarchies mirror the
+package layout: language-processing errors, coverage errors, GPU-emulation
+errors, and configuration errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SourceError(ReproError):
+    """An error tied to a location in analyzed source code.
+
+    Attributes:
+        filename: name of the translation unit, or ``"<memory>"``.
+        line: 1-based line number of the offending construct.
+        column: 1-based column number.
+    """
+
+    def __init__(self, message: str, filename: str = "<memory>",
+                 line: int = 0, column: int = 0) -> None:
+        self.filename = filename
+        self.line = line
+        self.column = column
+        location = f"{filename}:{line}:{column}: " if line else ""
+        super().__init__(f"{location}{message}")
+
+
+class LexError(SourceError):
+    """Raised when the tokenizer encounters an unrecognizable character."""
+
+
+class ParseError(SourceError):
+    """Raised when a parser cannot derive a valid construct."""
+
+
+class PreprocessorError(SourceError):
+    """Raised on malformed or unsupported preprocessor directives."""
+
+
+class InterpreterError(ReproError):
+    """Base class for MiniC runtime errors."""
+
+
+class MiniCRuntimeError(InterpreterError):
+    """A MiniC program performed an invalid operation at run time."""
+
+
+class MiniCNameError(MiniCRuntimeError):
+    """Reference to an undeclared variable or function."""
+
+
+class MiniCTypeError(MiniCRuntimeError):
+    """Operation applied to operands of an unsupported type."""
+
+
+class MiniCIndexError(MiniCRuntimeError):
+    """Array access outside the allocated bounds."""
+
+
+class MiniCStepLimitExceeded(InterpreterError):
+    """The interpreter hit its configured execution-step budget."""
+
+
+class CoverageError(ReproError):
+    """Raised on inconsistent coverage instrumentation or reporting."""
+
+
+class GpuError(ReproError):
+    """Base class for CUDA-emulation errors."""
+
+
+class GpuMemoryError(GpuError):
+    """Invalid device pointer, double free, or out-of-bounds transfer."""
+
+
+class GpuLaunchError(GpuError):
+    """Kernel launch with an invalid configuration or argument list."""
+
+
+class CorpusError(ReproError):
+    """Raised when a synthetic-corpus specification is invalid."""
+
+
+class ComplianceError(ReproError):
+    """Raised when compliance evidence is missing or inconsistent."""
+
+
+class ConfigError(ReproError):
+    """Raised on invalid assessment-pipeline configuration."""
+
+
+class PerfModelError(ReproError):
+    """Raised when a performance model is queried with an invalid workload."""

@@ -1,0 +1,15 @@
+"""CUDA-on-CPU emulation (the cuda4cpu substitute)."""
+
+from .dim3 import Dim3
+from .memory import DeviceMemory, DevicePointer
+from .runtime import MAX_EMULATED_THREADS, CudaRuntime, KernelLaunch, grid_for
+
+__all__ = [
+    "CudaRuntime",
+    "DeviceMemory",
+    "DevicePointer",
+    "Dim3",
+    "KernelLaunch",
+    "MAX_EMULATED_THREADS",
+    "grid_for",
+]

@@ -1,0 +1,53 @@
+"""CUDA ``dim3`` launch-geometry type."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple, Union
+
+from ..errors import GpuLaunchError
+
+Dim3Like = Union["Dim3", int, Tuple[int, ...]]
+
+
+@dataclass(frozen=True)
+class Dim3:
+    """A CUDA launch dimension triple; unspecified axes default to 1."""
+
+    x: int = 1
+    y: int = 1
+    z: int = 1
+
+    def __post_init__(self) -> None:
+        for axis in (self.x, self.y, self.z):
+            if not isinstance(axis, int) or axis < 1:
+                raise GpuLaunchError(
+                    f"dim3 axes must be positive integers, got {self}")
+
+    @classmethod
+    def of(cls, value: Dim3Like) -> "Dim3":
+        """Coerce an int, tuple, or Dim3 into a Dim3 (CUDA-style)."""
+        if isinstance(value, Dim3):
+            return value
+        if isinstance(value, int):
+            return cls(value)
+        if isinstance(value, tuple):
+            if not 1 <= len(value) <= 3:
+                raise GpuLaunchError(
+                    f"dim3 tuples take 1-3 elements, got {value!r}")
+            return cls(*value)
+        raise GpuLaunchError(f"cannot interpret {value!r} as dim3")
+
+    @property
+    def total(self) -> int:
+        return self.x * self.y * self.z
+
+    def indices(self) -> Iterator[Tuple[int, int, int]]:
+        """All (x, y, z) index triples, x fastest — CUDA's thread order."""
+        for z in range(self.z):
+            for y in range(self.y):
+                for x in range(self.x):
+                    yield (x, y, z)
+
+    def as_tuple(self) -> Tuple[int, int, int]:
+        return (self.x, self.y, self.z)

@@ -1,0 +1,13 @@
+"""CUDA kernel sources and launch helpers."""
+
+from . import linalg, sources, stencil, yolo_layers
+from .sources import ALL_KERNELS_SOURCE, SCALE_BIAS_CUDA_EXCERPT
+
+__all__ = [
+    "ALL_KERNELS_SOURCE",
+    "SCALE_BIAS_CUDA_EXCERPT",
+    "linalg",
+    "sources",
+    "stencil",
+    "yolo_layers",
+]

@@ -1,0 +1,41 @@
+"""GEMM kernel: launch helper and numpy reference."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dim3 import Dim3
+from ..runtime import CudaRuntime
+
+
+def gemm_reference(a: np.ndarray, b: np.ndarray, c: np.ndarray,
+                   alpha: float = 1.0, beta: float = 0.0) -> np.ndarray:
+    """``alpha * A @ B + beta * C`` with shape validation."""
+    if a.ndim != 2 or b.ndim != 2 or c.ndim != 2:
+        raise ValueError("gemm operands must be 2-D matrices")
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"inner dimensions disagree: {a.shape} @ {b.shape}")
+    if c.shape != (a.shape[0], b.shape[1]):
+        raise ValueError(f"output shape {c.shape} does not match "
+                         f"{(a.shape[0], b.shape[1])}")
+    return alpha * (a.astype(float) @ b.astype(float)) + beta * c
+
+
+def launch_gemm(runtime: CudaRuntime, a: np.ndarray, b: np.ndarray,
+                c: np.ndarray, alpha: float = 1.0, beta: float = 0.0,
+                block: Dim3 = Dim3(8, 8)) -> np.ndarray:
+    """Run the naive ``gemm_kernel`` on the emulated GPU."""
+    m, k = a.shape
+    k2, n = b.shape
+    if k != k2:
+        raise ValueError(f"inner dimensions disagree: {a.shape} @ {b.shape}")
+    d_a = runtime.to_device(a.ravel())
+    d_b = runtime.to_device(b.ravel())
+    d_c = runtime.to_device(c.ravel())
+    grid = Dim3((n - 1) // block.x + 1, (m - 1) // block.y + 1)
+    runtime.launch("gemm_kernel", grid, block,
+                   [d_a, d_b, d_c, m, n, k, alpha, beta])
+    result = np.array(runtime.cuda_memcpy_dtoh(d_c)).reshape(m, n)
+    for pointer in (d_a, d_b, d_c):
+        runtime.cuda_free(pointer)
+    return result

@@ -1,0 +1,229 @@
+"""MiniC source code of the CUDA kernels used by the experiments.
+
+Each kernel is written in the exact style of its real-world counterpart:
+``scale_bias_kernel`` is the paper's Figure 4 excerpt, the stencils follow
+the cuda4cpu evaluation kernels, and the YOLO layer kernels mirror
+darknet's ``blas_kernels.cu``/``maxpool_layer_kernels.cu``.  The sources
+are valid C, so the *same strings* can be fed to the fuzzy C++ analyzers
+(Figure 4's checker findings) and to the MiniC runtime (Figure 6's
+coverage measurements).
+"""
+
+from __future__ import annotations
+
+#: 5-point Jacobi stencil over an H x W interior with boundary branches.
+STENCIL2D_SOURCE = """
+__global__ void stencil2d(float *out, float *in, int height, int width,
+                          float factor) {
+  int col = blockIdx.x * blockDim.x + threadIdx.x;
+  int row = blockIdx.y * blockDim.y + threadIdx.y;
+  if (row >= height || col >= width) {
+    return;
+  }
+  int center = row * width + col;
+  if (row == 0 || row == height - 1 || col == 0 || col == width - 1) {
+    out[center] = in[center];
+    return;
+  }
+  float north = in[center - width];
+  float south = in[center + width];
+  float west = in[center - 1];
+  float east = in[center + 1];
+  out[center] = in[center]
+      + factor * (north + south + west + east - 4.0f * in[center]);
+}
+"""
+
+#: 7-point stencil over a D x H x W volume.
+STENCIL3D_SOURCE = """
+__global__ void stencil3d(float *out, float *in, int depth, int height,
+                          int width, float factor) {
+  int col = blockIdx.x * blockDim.x + threadIdx.x;
+  int row = blockIdx.y * blockDim.y + threadIdx.y;
+  int plane = blockIdx.z * blockDim.z + threadIdx.z;
+  if (plane >= depth || row >= height || col >= width) {
+    return;
+  }
+  int center = (plane * height + row) * width + col;
+  if (plane == 0 || plane == depth - 1 || row == 0 || row == height - 1
+      || col == 0 || col == width - 1) {
+    out[center] = in[center];
+    return;
+  }
+  float sum = in[center - width * height] + in[center + width * height]
+      + in[center - width] + in[center + width]
+      + in[center - 1] + in[center + 1];
+  out[center] = in[center] + factor * (sum - 6.0f * in[center]);
+}
+"""
+
+#: The paper's Figure 4 kernel: scale each filter's outputs by its bias.
+SCALE_BIAS_SOURCE = """
+__global__ void scale_bias_kernel(float *output, float *biases, int n,
+                                  int size) {
+  int offset = blockIdx.x * blockDim.x + threadIdx.x;
+  int filter = blockIdx.y;
+  int batch = blockIdx.z;
+  if (offset < size) {
+    output[(batch * n + filter) * size + offset] *= biases[filter];
+  }
+}
+"""
+
+#: darknet-style bias addition.
+ADD_BIAS_SOURCE = """
+__global__ void add_bias_kernel(float *output, float *biases, int n,
+                                int size) {
+  int offset = blockIdx.x * blockDim.x + threadIdx.x;
+  int filter = blockIdx.y;
+  int batch = blockIdx.z;
+  if (offset < size) {
+    output[(batch * n + filter) * size + offset] += biases[filter];
+  }
+}
+"""
+
+#: Leaky-ReLU activation (YOLO's activation function).
+LEAKY_ACTIVATE_SOURCE = """
+__global__ void leaky_activate_kernel(float *x, int n) {
+  int i = (blockIdx.y * gridDim.x + blockIdx.x) * blockDim.x + threadIdx.x;
+  if (i < n) {
+    float value = x[i];
+    x[i] = value > 0.0f ? value : 0.1f * value;
+  }
+}
+"""
+
+#: Batch-normalization normalize step.
+NORMALIZE_SOURCE = """
+__global__ void normalize_kernel(float *x, float *mean, float *variance,
+                                 int filters, int spatial, int n) {
+  int index = (blockIdx.y * gridDim.x + blockIdx.x) * blockDim.x
+      + threadIdx.x;
+  if (index >= n) {
+    return;
+  }
+  int f = (index / spatial) % filters;
+  x[index] = (x[index] - mean[f]) / (sqrtf(variance[f]) + 0.000001f);
+}
+"""
+
+#: Naive GEMM: one thread per output element, C = alpha*A*B + beta*C.
+GEMM_NAIVE_SOURCE = """
+__global__ void gemm_kernel(float *a, float *b, float *c, int m, int n,
+                            int k, float alpha, float beta) {
+  int col = blockIdx.x * blockDim.x + threadIdx.x;
+  int row = blockIdx.y * blockDim.y + threadIdx.y;
+  if (row >= m || col >= n) {
+    return;
+  }
+  float acc = 0.0f;
+  for (int i = 0; i < k; i++) {
+    acc += a[row * k + i] * b[i * n + col];
+  }
+  c[row * n + col] = alpha * acc + beta * c[row * n + col];
+}
+"""
+
+#: darknet-style max-pooling with stride/size/padding branches.
+MAXPOOL_SOURCE = """
+__global__ void maxpool_kernel(float *output, float *input, int in_h,
+                               int in_w, int channels, int size, int stride,
+                               int pad, int out_h, int out_w) {
+  int id = (blockIdx.y * gridDim.x + blockIdx.x) * blockDim.x + threadIdx.x;
+  int total = out_h * out_w * channels;
+  if (id >= total) {
+    return;
+  }
+  int ow = id % out_w;
+  int oh = (id / out_w) % out_h;
+  int ch = id / (out_w * out_h);
+  float best = -3.4e38f;
+  for (int ky = 0; ky < size; ky++) {
+    for (int kx = 0; kx < size; kx++) {
+      int iy = oh * stride + ky - pad;
+      int ix = ow * stride + kx - pad;
+      if (iy >= 0 && iy < in_h && ix >= 0 && ix < in_w) {
+        float value = input[(ch * in_h + iy) * in_w + ix];
+        if (value > best) {
+          best = value;
+        }
+      }
+    }
+  }
+  output[id] = best;
+}
+"""
+
+#: darknet's im2col: unfold convolution patches into a matrix.
+IM2COL_SOURCE = """
+__global__ void im2col_kernel(float *col, float *image, int channels,
+                              int height, int width, int ksize, int stride,
+                              int pad, int out_h, int out_w) {
+  int index = (blockIdx.y * gridDim.x + blockIdx.x) * blockDim.x
+      + threadIdx.x;
+  int total = channels * ksize * ksize * out_h * out_w;
+  if (index >= total) {
+    return;
+  }
+  int ow = index % out_w;
+  int oh = (index / out_w) % out_h;
+  int kx = (index / (out_w * out_h)) % ksize;
+  int ky = (index / (out_w * out_h * ksize)) % ksize;
+  int ch = index / (out_w * out_h * ksize * ksize);
+  int iy = oh * stride + ky - pad;
+  int ix = ow * stride + kx - pad;
+  float value = 0.0f;
+  if (iy >= 0 && iy < height && ix >= 0 && ix < width) {
+    value = image[(ch * height + iy) * width + ix];
+  }
+  int row = (ch * ksize + ky) * ksize + kx;
+  col[(row * out_h + oh) * out_w + ow] = value;
+}
+"""
+
+#: All runnable kernel sources, concatenated into one MiniC module.
+ALL_KERNELS_SOURCE = "\n".join([
+    STENCIL2D_SOURCE,
+    STENCIL3D_SOURCE,
+    SCALE_BIAS_SOURCE,
+    ADD_BIAS_SOURCE,
+    LEAKY_ACTIVATE_SOURCE,
+    NORMALIZE_SOURCE,
+    GEMM_NAIVE_SOURCE,
+    MAXPOOL_SOURCE,
+    IM2COL_SOURCE,
+])
+
+#: The paper's Figure 4 as printed: kernel plus the host-side wrapper with
+#: its explicit cudaMalloc/launch discipline.  For static analysis only —
+#: the wrapper uses the CUDA host API, which MiniC does not execute.
+SCALE_BIAS_CUDA_EXCERPT = """
+__global__ void scale_bias_kernel(float *output, float *biases, int n,
+                                  int size) {
+  int offset = blockIdx.x * blockDim.x + threadIdx.x;
+  int filter = blockIdx.y;
+  int batch = blockIdx.z;
+  if (offset < size) {
+    output[(batch * n + filter) * size + offset] *= biases[filter];
+  }
+}
+
+void scale_bias_gpu(float *output, float *biases, int batch, int n,
+                    int size) {
+  dim3 dimGrid((size - 1) / BLOCK + 1, n, batch);
+  dim3 dimBlock(BLOCK, 1, 1);
+  float *d_output;
+  float *d_biases;
+  cudaMalloc((void **)&d_output, batch * n * size * sizeof(float));
+  cudaMalloc((void **)&d_biases, n * sizeof(float));
+  cudaMemcpy(d_output, output, batch * n * size * sizeof(float),
+             cudaMemcpyHostToDevice);
+  cudaMemcpy(d_biases, biases, n * sizeof(float), cudaMemcpyHostToDevice);
+  scale_bias_kernel<<<dimGrid, dimBlock>>>(d_output, d_biases, n, size);
+  cudaMemcpy(output, d_output, batch * n * size * sizeof(float),
+             cudaMemcpyDeviceToHost);
+  cudaFree(d_output);
+  cudaFree(d_biases);
+}
+"""

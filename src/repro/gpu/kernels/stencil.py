@@ -1,0 +1,75 @@
+"""Stencil kernels: launch helpers and numpy reference implementations.
+
+The 2D and 3D stencils are the Figure 6 workloads ("we used cuda4cpu and
+applied it to 2D and 3D stencil computation GPU kernels").  The numpy
+twins exist so tests can verify the emulated GPU result bit-for-bit
+(both paths compute in double precision on the host).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dim3 import Dim3
+from ..runtime import CudaRuntime
+
+
+def stencil2d_reference(grid: np.ndarray, factor: float) -> np.ndarray:
+    """5-point Jacobi step; boundary cells copied unchanged."""
+    if grid.ndim != 2:
+        raise ValueError(f"stencil2d expects a 2-D array, got {grid.ndim}-D")
+    out = grid.astype(float).copy()
+    interior = (grid[1:-1, 1:-1]
+                + factor * (grid[:-2, 1:-1] + grid[2:, 1:-1]
+                            + grid[1:-1, :-2] + grid[1:-1, 2:]
+                            - 4.0 * grid[1:-1, 1:-1]))
+    out[1:-1, 1:-1] = interior
+    return out
+
+
+def stencil3d_reference(volume: np.ndarray, factor: float) -> np.ndarray:
+    """7-point stencil step; boundary cells copied unchanged."""
+    if volume.ndim != 3:
+        raise ValueError(f"stencil3d expects a 3-D array, got "
+                         f"{volume.ndim}-D")
+    out = volume.astype(float).copy()
+    core = volume[1:-1, 1:-1, 1:-1]
+    neighbours = (volume[:-2, 1:-1, 1:-1] + volume[2:, 1:-1, 1:-1]
+                  + volume[1:-1, :-2, 1:-1] + volume[1:-1, 2:, 1:-1]
+                  + volume[1:-1, 1:-1, :-2] + volume[1:-1, 1:-1, 2:])
+    out[1:-1, 1:-1, 1:-1] = core + factor * (neighbours - 6.0 * core)
+    return out
+
+
+def launch_stencil2d(runtime: CudaRuntime, grid: np.ndarray, factor: float,
+                     block: Dim3 = Dim3(8, 8)) -> np.ndarray:
+    """Run the ``stencil2d`` kernel on the emulated GPU."""
+    height, width = grid.shape
+    d_in = runtime.to_device(grid.ravel())
+    d_out = runtime.to_device(np.zeros(grid.size))
+    launch_grid = Dim3((width - 1) // block.x + 1,
+                       (height - 1) // block.y + 1)
+    runtime.launch("stencil2d", launch_grid, block,
+                   [d_out, d_in, height, width, factor])
+    result = np.array(runtime.cuda_memcpy_dtoh(d_out)).reshape(grid.shape)
+    runtime.cuda_free(d_in)
+    runtime.cuda_free(d_out)
+    return result
+
+
+def launch_stencil3d(runtime: CudaRuntime, volume: np.ndarray,
+                     factor: float, block: Dim3 = Dim3(4, 4, 4)
+                     ) -> np.ndarray:
+    """Run the ``stencil3d`` kernel on the emulated GPU."""
+    depth, height, width = volume.shape
+    d_in = runtime.to_device(volume.ravel())
+    d_out = runtime.to_device(np.zeros(volume.size))
+    launch_grid = Dim3((width - 1) // block.x + 1,
+                       (height - 1) // block.y + 1,
+                       (depth - 1) // block.z + 1)
+    runtime.launch("stencil3d", launch_grid, block,
+                   [d_out, d_in, depth, height, width, factor])
+    result = np.array(runtime.cuda_memcpy_dtoh(d_out)).reshape(volume.shape)
+    runtime.cuda_free(d_in)
+    runtime.cuda_free(d_out)
+    return result

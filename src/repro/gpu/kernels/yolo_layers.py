@@ -1,0 +1,174 @@
+"""YOLO layer kernels: launch helpers and numpy references.
+
+These are the darknet-style primitives (scale_bias, add_bias, leaky
+activation, batch-norm normalize, maxpool, im2col) that Apollo's camera
+object detection executes on the GPU.  Tensors use darknet's NCHW layout
+flattened row-major.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dim3 import Dim3
+from ..runtime import CudaRuntime, grid_for
+
+#: darknet's BLOCK constant.
+BLOCK = 32
+
+
+def _nchw_dims(tensor: np.ndarray):
+    if tensor.ndim != 4:
+        raise ValueError(f"expected NCHW tensor, got {tensor.ndim}-D")
+    batch, filters, height, width = tensor.shape
+    return batch, filters, height * width
+
+
+def scale_bias_reference(output: np.ndarray,
+                         biases: np.ndarray) -> np.ndarray:
+    """Per-filter scaling: NCHW tensor times per-channel scale."""
+    return output * biases.reshape(1, -1, 1, 1)
+
+
+def add_bias_reference(output: np.ndarray, biases: np.ndarray) -> np.ndarray:
+    return output + biases.reshape(1, -1, 1, 1)
+
+
+def leaky_reference(x: np.ndarray, slope: float = 0.1) -> np.ndarray:
+    return np.where(x > 0, x, slope * x)
+
+
+def normalize_reference(x: np.ndarray, mean: np.ndarray,
+                        variance: np.ndarray) -> np.ndarray:
+    mean = mean.reshape(1, -1, 1, 1)
+    deviation = np.sqrt(variance.reshape(1, -1, 1, 1)) + 1e-6
+    return (x - mean) / deviation
+
+
+def _launch_per_filter(runtime: CudaRuntime, kernel: str,
+                       tensor: np.ndarray, biases: np.ndarray) -> np.ndarray:
+    batch, filters, size = _nchw_dims(tensor)
+    if biases.shape != (filters,):
+        raise ValueError(f"expected {filters} biases, got {biases.shape}")
+    d_output = runtime.to_device(tensor.ravel())
+    d_biases = runtime.to_device(biases.ravel())
+    grid = Dim3((size - 1) // BLOCK + 1, filters, batch)
+    runtime.launch(kernel, grid, Dim3(BLOCK),
+                   [d_output, d_biases, filters, size])
+    result = np.array(runtime.cuda_memcpy_dtoh(d_output)) \
+        .reshape(tensor.shape)
+    runtime.cuda_free(d_output)
+    runtime.cuda_free(d_biases)
+    return result
+
+
+def launch_scale_bias(runtime: CudaRuntime, tensor: np.ndarray,
+                      biases: np.ndarray) -> np.ndarray:
+    """Run the paper's Figure 4 kernel on the emulated GPU."""
+    return _launch_per_filter(runtime, "scale_bias_kernel", tensor, biases)
+
+
+def launch_add_bias(runtime: CudaRuntime, tensor: np.ndarray,
+                    biases: np.ndarray) -> np.ndarray:
+    return _launch_per_filter(runtime, "add_bias_kernel", tensor, biases)
+
+
+def launch_leaky(runtime: CudaRuntime, x: np.ndarray) -> np.ndarray:
+    d_x = runtime.to_device(x.ravel())
+    runtime.launch("leaky_activate_kernel", grid_for(x.size, BLOCK),
+                   Dim3(BLOCK), [d_x, x.size])
+    result = np.array(runtime.cuda_memcpy_dtoh(d_x)).reshape(x.shape)
+    runtime.cuda_free(d_x)
+    return result
+
+
+def launch_normalize(runtime: CudaRuntime, x: np.ndarray, mean: np.ndarray,
+                     variance: np.ndarray) -> np.ndarray:
+    batch, filters, spatial = _nchw_dims(x)
+    d_x = runtime.to_device(x.ravel())
+    d_mean = runtime.to_device(mean.ravel())
+    d_var = runtime.to_device(variance.ravel())
+    total = x.size
+    runtime.launch("normalize_kernel", grid_for(total, BLOCK), Dim3(BLOCK),
+                   [d_x, d_mean, d_var, filters, spatial, total])
+    result = np.array(runtime.cuda_memcpy_dtoh(d_x)).reshape(x.shape)
+    for pointer in (d_x, d_mean, d_var):
+        runtime.cuda_free(pointer)
+    return result
+
+
+def maxpool_reference(image: np.ndarray, size: int, stride: int,
+                      pad: int) -> np.ndarray:
+    """CHW max-pooling with darknet's padding semantics."""
+    channels, in_h, in_w = image.shape
+    out_h = (in_h + 2 * pad - size) // stride + 1
+    out_w = (in_w + 2 * pad - size) // stride + 1
+    out = np.full((channels, out_h, out_w), -3.4e38)
+    for ch in range(channels):
+        for oh in range(out_h):
+            for ow in range(out_w):
+                for ky in range(size):
+                    for kx in range(size):
+                        iy = oh * stride + ky - pad
+                        ix = ow * stride + kx - pad
+                        if 0 <= iy < in_h and 0 <= ix < in_w:
+                            out[ch, oh, ow] = max(out[ch, oh, ow],
+                                                  image[ch, iy, ix])
+    return out
+
+
+def launch_maxpool(runtime: CudaRuntime, image: np.ndarray, size: int,
+                   stride: int, pad: int) -> np.ndarray:
+    channels, in_h, in_w = image.shape
+    out_h = (in_h + 2 * pad - size) // stride + 1
+    out_w = (in_w + 2 * pad - size) // stride + 1
+    total = channels * out_h * out_w
+    d_in = runtime.to_device(image.ravel())
+    d_out = runtime.to_device(np.zeros(total))
+    runtime.launch("maxpool_kernel", grid_for(total, BLOCK), Dim3(BLOCK),
+                   [d_out, d_in, in_h, in_w, channels, size, stride, pad,
+                    out_h, out_w])
+    result = np.array(runtime.cuda_memcpy_dtoh(d_out)) \
+        .reshape(channels, out_h, out_w)
+    runtime.cuda_free(d_in)
+    runtime.cuda_free(d_out)
+    return result
+
+
+def im2col_reference(image: np.ndarray, ksize: int, stride: int,
+                     pad: int) -> np.ndarray:
+    """darknet's im2col: CHW image -> (C*K*K, OH*OW) patch matrix."""
+    channels, height, width = image.shape
+    out_h = (height + 2 * pad - ksize) // stride + 1
+    out_w = (width + 2 * pad - ksize) // stride + 1
+    col = np.zeros((channels * ksize * ksize, out_h * out_w))
+    for ch in range(channels):
+        for ky in range(ksize):
+            for kx in range(ksize):
+                row = (ch * ksize + ky) * ksize + kx
+                for oh in range(out_h):
+                    for ow in range(out_w):
+                        iy = oh * stride + ky - pad
+                        ix = ow * stride + kx - pad
+                        if 0 <= iy < height and 0 <= ix < width:
+                            col[row, oh * out_w + ow] = image[ch, iy, ix]
+    return col
+
+
+def launch_im2col(runtime: CudaRuntime, image: np.ndarray, ksize: int,
+                  stride: int, pad: int) -> np.ndarray:
+    channels, height, width = image.shape
+    out_h = (height + 2 * pad - ksize) // stride + 1
+    out_w = (width + 2 * pad - ksize) // stride + 1
+    rows = channels * ksize * ksize
+    total = rows * out_h * out_w
+    d_image = runtime.to_device(image.ravel())
+    d_col = runtime.to_device(np.zeros(total))
+    runtime.launch("im2col_kernel", grid_for(total, BLOCK), Dim3(BLOCK),
+                   [d_col, d_image, channels, height, width, ksize, stride,
+                    pad, out_h, out_w])
+    result = np.array(runtime.cuda_memcpy_dtoh(d_col)) \
+        .reshape(rows, out_h * out_w)
+    runtime.cuda_free(d_image)
+    runtime.cuda_free(d_col)
+    return result

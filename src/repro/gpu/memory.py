@@ -1,0 +1,149 @@
+"""Device-memory manager for the CUDA-on-CPU runtime.
+
+Models the two-address-space discipline the paper's Figure 4 discussion
+highlights: host data must be explicitly transferred to device buffers
+(``cudaMalloc`` + ``cudaMemcpy``), kernels only ever see device pointers,
+and results are copied back.  Use-after-free and out-of-bounds transfers
+raise :class:`~repro.errors.GpuMemoryError` instead of corrupting state.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import GpuMemoryError
+from ..lang.minic.interpreter import ArrayValue
+
+
+class DevicePointer:
+    """A handle to (a view of) one device allocation."""
+
+    __slots__ = ("_memory", "allocation_id", "offset", "size")
+
+    def __init__(self, memory: "DeviceMemory", allocation_id: int,
+                 offset: int, size: int) -> None:
+        self._memory = memory
+        self.allocation_id = allocation_id
+        self.offset = offset
+        self.size = size
+
+    def view(self) -> ArrayValue:
+        """The MiniC buffer view backing this pointer (bounds-checked)."""
+        buffer = self._memory._buffer_of(self.allocation_id)
+        return ArrayValue(buffer, self.offset)
+
+    def offset_by(self, elements: int) -> "DevicePointer":
+        """Pointer arithmetic: a sub-view shifted by ``elements``."""
+        if elements < 0 or self.offset + elements > self.size + self.offset:
+            raise GpuMemoryError(
+                f"pointer offset {elements} escapes allocation "
+                f"{self.allocation_id}")
+        return DevicePointer(self._memory, self.allocation_id,
+                             self.offset + elements,
+                             self.size - elements)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"DevicePointer(alloc={self.allocation_id}, "
+                f"offset={self.offset}, size={self.size})")
+
+
+class DeviceMemory:
+    """All device allocations of one emulated GPU."""
+
+    def __init__(self, capacity_elements: int = 64 * 1024 * 1024) -> None:
+        self.capacity_elements = capacity_elements
+        self._allocations: dict = {}
+        self._next_id = 1
+        self._used = 0
+
+    # ------------------------------------------------------------------
+
+    def malloc(self, elements: int, fill: float = 0.0) -> DevicePointer:
+        """Allocate ``elements`` device elements (cudaMalloc analogue)."""
+        if elements <= 0:
+            raise GpuMemoryError(f"allocation size must be positive, "
+                                 f"got {elements}")
+        if self._used + elements > self.capacity_elements:
+            raise GpuMemoryError(
+                f"device out of memory: {self._used} + {elements} > "
+                f"{self.capacity_elements} elements")
+        allocation_id = self._next_id
+        self._next_id += 1
+        self._allocations[allocation_id] = [fill] * elements
+        self._used += elements
+        return DevicePointer(self, allocation_id, 0, elements)
+
+    def free(self, pointer: DevicePointer) -> None:
+        """Release an allocation (cudaFree analogue).
+
+        Freeing a non-base pointer or double-freeing raises.
+        """
+        if pointer.offset != 0:
+            raise GpuMemoryError(
+                "cudaFree requires the base pointer of an allocation")
+        buffer = self._allocations.pop(pointer.allocation_id, None)
+        if buffer is None:
+            raise GpuMemoryError(
+                f"double free or invalid pointer "
+                f"(allocation {pointer.allocation_id})")
+        self._used -= len(buffer)
+
+    def _buffer_of(self, allocation_id: int) -> List:
+        buffer = self._allocations.get(allocation_id)
+        if buffer is None:
+            raise GpuMemoryError(
+                f"use of freed or invalid device pointer "
+                f"(allocation {allocation_id})")
+        return buffer
+
+    # ------------------------------------------------------------------
+
+    def memcpy_htod(self, destination: DevicePointer,
+                    source: Sequence) -> None:
+        """Host-to-device copy (cudaMemcpyHostToDevice analogue)."""
+        values = [float(value) for value in source]
+        if len(values) > destination.size:
+            raise GpuMemoryError(
+                f"host buffer of {len(values)} elements exceeds device "
+                f"view of {destination.size}")
+        buffer = self._buffer_of(destination.allocation_id)
+        start = destination.offset
+        buffer[start:start + len(values)] = values
+
+    def memcpy_dtoh(self, source: DevicePointer,
+                    elements: int = -1) -> List[float]:
+        """Device-to-host copy; returns a new host list."""
+        if elements < 0:
+            elements = source.size
+        if elements > source.size:
+            raise GpuMemoryError(
+                f"requested {elements} elements from device view of "
+                f"{source.size}")
+        buffer = self._buffer_of(source.allocation_id)
+        start = source.offset
+        return list(buffer[start:start + elements])
+
+    def memcpy_dtod(self, destination: DevicePointer,
+                    source: DevicePointer, elements: int = -1) -> None:
+        """Device-to-device copy."""
+        values = self.memcpy_dtoh(source, elements)
+        self.memcpy_htod(destination, values)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def live_allocations(self) -> int:
+        return len(self._allocations)
+
+    @property
+    def used_elements(self) -> int:
+        return self._used
+
+    def check_all_freed(self) -> None:
+        """Raise when allocations leaked — useful in tests."""
+        if self._allocations:
+            raise GpuMemoryError(
+                f"{len(self._allocations)} device allocation(s) leaked")

@@ -1,0 +1,173 @@
+"""CUDA-on-CPU execution runtime (the cuda4cpu substitute).
+
+Executes ``__global__`` MiniC kernels on the host, one logical thread at a
+time, exactly like cuda4cpu does for real CUDA C: the grid/block geometry
+is honored, ``threadIdx``/``blockIdx``/``blockDim``/``gridDim`` resolve per
+thread, and device memory is a separate address space
+(:mod:`repro.gpu.memory`).
+
+Because kernels run through the instrumented MiniC interpreter, a coverage
+collector can be attached to a launch — that is the paper's Figure 6
+experiment (statement/branch coverage of CUDA code "modified to run in the
+CPU").
+
+Limitations (documented, matching DESIGN.md): no ``__shared__`` memory, no
+``__syncthreads`` (threads run to completion sequentially, so kernels must
+be data-race-free across threads — true for all the paper's workloads), no
+warp primitives.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from ..errors import GpuLaunchError
+from ..lang.minic import ast
+from ..lang.minic.interpreter import Interpreter, ThreadContext, Tracer
+from ..lang.minic.parser import parse_program
+from .dim3 import Dim3, Dim3Like
+from .memory import DeviceMemory, DevicePointer
+
+#: Safety valve: emulated launches larger than this are a usage error
+#: (tree-walking threads are ~10^5 statements/second-scale, not 10^9).
+MAX_EMULATED_THREADS = 1_000_000
+
+
+class KernelLaunch:
+    """Record of one completed launch, for inspection in tests."""
+
+    def __init__(self, kernel: str, grid: Dim3, block: Dim3) -> None:
+        self.kernel = kernel
+        self.grid = grid
+        self.block = block
+
+    @property
+    def thread_count(self) -> int:
+        return self.grid.total * self.block.total
+
+
+class CudaRuntime:
+    """An emulated GPU: device memory plus a kernel-executing interpreter.
+
+    Args:
+        source_or_program: MiniC source text (or parsed program) containing
+            ``__global__`` kernels and any ``__device__`` helpers.
+        tracer: optional coverage tracer wired into kernel execution.
+        max_steps_per_thread: interpreter budget per logical thread.
+    """
+
+    def __init__(self,
+                 source_or_program: Union[str, ast.Program],
+                 tracer: Optional[Tracer] = None,
+                 max_steps_per_thread: int = 1_000_000,
+                 memory_capacity: int = 64 * 1024 * 1024) -> None:
+        if isinstance(source_or_program, str):
+            self.program = parse_program(source_or_program, "<gpu>")
+        else:
+            self.program = source_or_program
+        self.memory = DeviceMemory(memory_capacity)
+        self.tracer = tracer
+        self.max_steps_per_thread = max_steps_per_thread
+        self.launches: List[KernelLaunch] = []
+        self._interpreter = Interpreter(self.program, tracer=tracer,
+                                        max_steps=max_steps_per_thread)
+        self._kernels = {function.name: function
+                         for function in self.program.kernels}
+
+    # ------------------------------------------------------------------
+    # memory API (cuda* analogues)
+
+    def cuda_malloc(self, elements: int) -> DevicePointer:
+        return self.memory.malloc(elements)
+
+    def cuda_free(self, pointer: DevicePointer) -> None:
+        self.memory.free(pointer)
+
+    def cuda_memcpy_htod(self, destination: DevicePointer,
+                         source: Sequence) -> None:
+        self.memory.memcpy_htod(destination, source)
+
+    def cuda_memcpy_dtoh(self, source: DevicePointer,
+                         elements: int = -1) -> List[float]:
+        return self.memory.memcpy_dtoh(source, elements)
+
+    def to_device(self, host: Sequence) -> DevicePointer:
+        """Allocate-and-upload convenience (cudaMalloc + memcpy)."""
+        host = list(host)
+        pointer = self.cuda_malloc(max(1, len(host)))
+        if host:
+            self.cuda_memcpy_htod(pointer, host)
+        return pointer
+
+    # ------------------------------------------------------------------
+    # kernel launch
+
+    def launch(self, kernel_name: str, grid: Dim3Like, block: Dim3Like,
+               args: Sequence) -> KernelLaunch:
+        """Execute ``kernel<<<grid, block>>>(*args)`` on the host.
+
+        Pointer arguments must be :class:`DevicePointer` handles — passing
+        a raw host list raises, enforcing the same host/device separation
+        real CUDA enforces at segfault-time.
+        """
+        kernel = self._kernels.get(kernel_name)
+        if kernel is None:
+            known = sorted(self._kernels)
+            raise GpuLaunchError(
+                f"no __global__ kernel named {kernel_name!r} "
+                f"(known: {known})")
+        grid = Dim3.of(grid)
+        block = Dim3.of(block)
+        threads = grid.total * block.total
+        if threads > MAX_EMULATED_THREADS:
+            raise GpuLaunchError(
+                f"launch of {threads} threads exceeds the emulation limit "
+                f"of {MAX_EMULATED_THREADS}")
+        if len(args) != len(kernel.parameters):
+            raise GpuLaunchError(
+                f"kernel {kernel_name!r} takes {len(kernel.parameters)} "
+                f"argument(s), got {len(args)}")
+        marshaled = []
+        for parameter, value in zip(kernel.parameters, args):
+            if parameter.is_pointer:
+                if isinstance(value, DevicePointer):
+                    marshaled.append(value.view())
+                elif value is None or value == 0:
+                    marshaled.append(None)
+                else:
+                    raise GpuLaunchError(
+                        f"kernel parameter {parameter.name!r} requires a "
+                        f"device pointer, got {type(value).__name__} "
+                        f"(host memory is not device-accessible)")
+            else:
+                marshaled.append(value)
+
+        for block_index in grid.indices():
+            for thread_index in block.indices():
+                context = ThreadContext(
+                    thread_idx=thread_index,
+                    block_idx=block_index,
+                    block_dim=block.as_tuple(),
+                    grid_dim=grid.as_tuple(),
+                )
+                self._interpreter.run(kernel_name, marshaled,
+                                      thread_context=context)
+        record = KernelLaunch(kernel_name, grid, block)
+        self.launches.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+
+    @property
+    def kernel_names(self) -> List[str]:
+        return sorted(self._kernels)
+
+
+def grid_for(total_threads: int, block_size: int) -> Dim3:
+    """1-D grid covering ``total_threads`` with ``block_size`` per block.
+
+    The ``(n - 1) / BLOCK + 1`` idiom from the paper's Figure 4 excerpt.
+    """
+    if total_threads <= 0 or block_size <= 0:
+        raise GpuLaunchError("thread and block counts must be positive")
+    return Dim3((total_threads - 1) // block_size + 1)

@@ -1,0 +1,74 @@
+"""ISO 26262 Part 6 model: tables, grades, compliance engine, observations."""
+
+from .asil import TABLE_COLUMNS, TARGET_ASIL, Asil
+from .compliance import (
+    ComplianceEngine,
+    ComplianceThresholds,
+    GapSeverity,
+    TableAssessment,
+    TechniqueAssessment,
+    Verdict,
+)
+from .evidence import EvidenceItem, EvidenceSet
+from .grades import Grade, format_grade_row, parse_grade_row
+from .observations import (
+    Observation,
+    generate_observations,
+    tooling_observations,
+)
+from .sensitivity import (
+    AsilGapProfile,
+    asil_sensitivity,
+    render_sensitivity,
+)
+from .report import (
+    assessment_to_dict,
+    observations_to_dict,
+    render_observations,
+    render_rationales,
+    render_table,
+)
+from .tables import (
+    ALL_TABLES,
+    ARCHITECTURAL_DESIGN_TABLE,
+    MODELING_CODING_TABLE,
+    UNIT_DESIGN_TABLE,
+    RequirementTable,
+    Technique,
+    get_table,
+)
+
+__all__ = [
+    "AsilGapProfile",
+    "asil_sensitivity",
+    "render_sensitivity",
+    "ALL_TABLES",
+    "ARCHITECTURAL_DESIGN_TABLE",
+    "Asil",
+    "ComplianceEngine",
+    "ComplianceThresholds",
+    "EvidenceItem",
+    "EvidenceSet",
+    "GapSeverity",
+    "Grade",
+    "MODELING_CODING_TABLE",
+    "Observation",
+    "RequirementTable",
+    "TABLE_COLUMNS",
+    "TARGET_ASIL",
+    "TableAssessment",
+    "Technique",
+    "TechniqueAssessment",
+    "UNIT_DESIGN_TABLE",
+    "Verdict",
+    "assessment_to_dict",
+    "format_grade_row",
+    "generate_observations",
+    "get_table",
+    "observations_to_dict",
+    "parse_grade_row",
+    "render_observations",
+    "render_rationales",
+    "render_table",
+    "tooling_observations",
+]

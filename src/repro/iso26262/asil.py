@@ -1,0 +1,58 @@
+"""Automotive Safety Integrity Levels (ASIL) as defined by ISO 26262.
+
+ISO 26262 defines four integrity levels, ASIL A (lowest) through ASIL D
+(highest), plus the Quality Management (QM) category for components whose
+failure cannot cause a safety risk.  The paper assesses the whole Apollo
+pipeline at ASIL D because every module affects car motion.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List
+
+
+class Asil(enum.IntEnum):
+    """An ASIL criticality level, ordered from QM (lowest) to D (highest).
+
+    The integer ordering matches criticality, so comparisons such as
+    ``Asil.C >= Asil.B`` behave as expected.
+    """
+
+    QM = 0
+    A = 1
+    B = 2
+    C = 3
+    D = 4
+
+    @classmethod
+    def from_string(cls, text: str) -> "Asil":
+        """Parse an ASIL from text such as ``"ASIL-D"``, ``"D"`` or ``"qm"``."""
+        normalized = text.strip().upper().replace("ASIL", "").strip("-_ ")
+        if not normalized:
+            raise ValueError(f"empty ASIL designation: {text!r}")
+        try:
+            return cls[normalized]
+        except KeyError:
+            raise ValueError(f"unknown ASIL designation: {text!r}") from None
+
+    @property
+    def is_safety_relevant(self) -> bool:
+        """True for ASIL A-D; False for QM."""
+        return self is not Asil.QM
+
+    def describe(self) -> str:
+        """Human-readable description used in compliance reports."""
+        if self is Asil.QM:
+            return "QM (quality management, no safety requirements)"
+        extremes = {Asil.A: " (lowest criticality)", Asil.D: " (highest criticality)"}
+        return f"ASIL-{self.name}{extremes.get(self, '')}"
+
+
+#: The four safety-relevant levels, in ascending criticality, as they appear
+#: as columns of the ISO 26262-6 requirement tables.
+TABLE_COLUMNS: List[Asil] = [Asil.A, Asil.B, Asil.C, Asil.D]
+
+#: The paper argues the full AD pipeline must reach ASIL D (fail-operational
+#: Level-5 autonomy), so all verdicts are computed against this level.
+TARGET_ASIL: Asil = Asil.D

@@ -1,0 +1,515 @@
+"""The compliance engine: evidence -> per-technique verdicts.
+
+For every row of the three assessed ISO 26262-6 tables, a verdict rule
+turns the gathered evidence into one of the :class:`Verdict` values, with
+a rationale quoting the deciding numbers.  The gap severity combines the
+verdict with the recommendation grade at the target ASIL — missing a
+``++`` technique at ASIL D is a critical certification gap, missing a
+``+`` one is major, and an ``o`` technique cannot gap at all.
+
+The default thresholds encode how the paper judges Apollo; they are all
+configurable so the engine is reusable for "what would it take" studies
+(see the ablation benchmarks).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from .asil import Asil, TARGET_ASIL
+from .evidence import EvidenceSet
+from .grades import Grade
+from .tables import ALL_TABLES, RequirementTable, Technique
+
+
+class Verdict(enum.Enum):
+    """Compliance verdict for one technique."""
+
+    COMPLIANT = "compliant"
+    PARTIAL = "partial"
+    NON_COMPLIANT = "non-compliant"
+    NOT_APPLICABLE = "not applicable"
+    UNKNOWN = "unknown"
+
+
+class GapSeverity(enum.IntEnum):
+    """How badly a verdict blocks certification at the target ASIL."""
+
+    NONE = 0
+    MINOR = 1
+    MAJOR = 2
+    CRITICAL = 3
+
+
+@dataclass(frozen=True)
+class ComplianceThresholds:
+    """Numeric cut-offs for the verdict rules."""
+
+    max_moderate_complexity_functions: int = 0
+    max_misra_violations_per_kloc: float = 0.5
+    max_explicit_casts: int = 0
+    min_validation_ratio: float = 0.90
+    partial_validation_ratio: float = 0.50
+    max_mutable_globals: int = 0
+    max_style_violations_per_kloc: float = 1.0
+    min_naming_conformance: float = 0.97
+    min_hierarchy_depth: int = 2
+    max_multi_exit_ratio: float = 0.05
+    partial_multi_exit_ratio: float = 0.20
+    max_dynamic_alloc_ratio: float = 0.05
+    partial_dynamic_alloc_ratio: float = 0.20
+    max_pointer_ratio: float = 0.10
+    partial_pointer_ratio: float = 0.35
+    max_recursive_functions: int = 0
+    partial_recursive_functions: int = 5
+
+
+@dataclass
+class TechniqueAssessment:
+    """Verdict for one table row."""
+
+    technique: Technique
+    verdict: Verdict
+    rationale: str
+    target_grade: Grade
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def gap(self) -> GapSeverity:
+        if self.verdict in (Verdict.COMPLIANT, Verdict.NOT_APPLICABLE):
+            return GapSeverity.NONE
+        if not self.target_grade.is_binding:
+            return GapSeverity.NONE
+        highly = self.target_grade is Grade.HIGHLY_RECOMMENDED
+        if self.verdict is Verdict.NON_COMPLIANT:
+            return GapSeverity.CRITICAL if highly else GapSeverity.MAJOR
+        if self.verdict is Verdict.PARTIAL:
+            return GapSeverity.MAJOR if highly else GapSeverity.MINOR
+        return GapSeverity.MINOR  # UNKNOWN against a binding grade
+
+
+@dataclass
+class TableAssessment:
+    """All verdicts for one requirement table."""
+
+    table: RequirementTable
+    assessments: List[TechniqueAssessment]
+
+    def assessment(self, technique_key: str) -> TechniqueAssessment:
+        for entry in self.assessments:
+            if entry.technique.key == technique_key:
+                return entry
+        raise KeyError(f"no assessment for {technique_key!r}")
+
+    @property
+    def worst_gap(self) -> GapSeverity:
+        return max((entry.gap for entry in self.assessments),
+                   default=GapSeverity.NONE)
+
+    def count(self, verdict: Verdict) -> int:
+        return sum(1 for entry in self.assessments
+                   if entry.verdict is verdict)
+
+
+class ComplianceEngine:
+    """Applies the verdict rules to an evidence set."""
+
+    def __init__(self, target_asil: Asil = TARGET_ASIL,
+                 thresholds: ComplianceThresholds = ComplianceThresholds()
+                 ) -> None:
+        self.target_asil = target_asil
+        self.thresholds = thresholds
+        self._rules: Dict[str, Callable[[EvidenceSet], tuple]] = {
+            "complexity": self._rule_complexity,
+            "language_subset": self._rule_language_subset,
+            "strong_typing": self._rule_strong_typing,
+            "defensive": self._rule_defensive,
+            "design_principles": self._rule_design_principles,
+            "style": self._rule_style,
+            "naming": self._rule_naming,
+            "hierarchy": self._rule_hierarchy,
+            "component_size": self._rule_component_size,
+            "interface_size": self._rule_interface_size,
+            "cohesion": self._rule_cohesion,
+            "coupling": self._rule_coupling,
+            "scheduling": self._rule_scheduling,
+            "interrupts": self._rule_interrupts,
+            "single_exit": self._rule_single_exit,
+            "dynamic_allocation": self._rule_dynamic_allocation,
+            "initialization": self._rule_initialization,
+            "name_reuse": self._rule_name_reuse,
+            "globals": self._rule_globals,
+            "pointers": self._rule_pointers,
+            "implicit_conversions": self._rule_implicit_conversions,
+            "hidden_flow": self._rule_hidden_flow,
+            "unconditional_jumps": self._rule_unconditional_jumps,
+            "recursion": self._rule_recursion,
+        }
+
+    # ------------------------------------------------------------------
+
+    def assess_all(self, evidence: EvidenceSet
+                   ) -> Dict[str, TableAssessment]:
+        return {key: self.assess_table(table, evidence)
+                for key, table in ALL_TABLES.items()}
+
+    def assess_table(self, table: RequirementTable,
+                     evidence: EvidenceSet) -> TableAssessment:
+        assessments = [self.assess_technique(technique, evidence)
+                       for technique in table]
+        return TableAssessment(table=table, assessments=assessments)
+
+    def assess_technique(self, technique: Technique,
+                         evidence: EvidenceSet) -> TechniqueAssessment:
+        grade = technique.grade_at(self.target_asil)
+        if technique.evidence_key is None:
+            return TechniqueAssessment(
+                technique=technique,
+                verdict=Verdict.NOT_APPLICABLE,
+                rationale="not applicable to C/C++ (no graphical model)",
+                target_grade=grade)
+        rule = self._rules.get(technique.evidence_key)
+        if rule is None or not self._rule_has_evidence(
+                technique.evidence_key, evidence):
+            return TechniqueAssessment(
+                technique=technique,
+                verdict=Verdict.UNKNOWN,
+                rationale=f"no evidence gathered for "
+                          f"{technique.evidence_key!r}",
+                target_grade=grade)
+        verdict, rationale, metrics = rule(evidence)
+        return TechniqueAssessment(technique=technique, verdict=verdict,
+                                   rationale=rationale, target_grade=grade,
+                                   metrics=metrics)
+
+    _RULE_SOURCES = {
+        "complexity": "complexity",
+        "language_subset": "language_subset",
+        "strong_typing": "strong_typing",
+        "defensive": "defensive",
+        "design_principles": "design_principles",
+        "style": "style",
+        "naming": "naming",
+        "single_exit": "unit_design",
+        "dynamic_allocation": "unit_design",
+        "initialization": "unit_design",
+        "name_reuse": "unit_design",
+        "globals": "globals",
+        "pointers": "unit_design",
+        "implicit_conversions": "strong_typing",
+        "hidden_flow": "unit_design",
+        "unconditional_jumps": "unit_design",
+        "recursion": "unit_design",
+        "hierarchy": "architecture",
+        "component_size": "architecture",
+        "interface_size": "architecture",
+        "cohesion": "architecture",
+        "coupling": "architecture",
+        "scheduling": "architecture",
+        "interrupts": "architecture",
+    }
+
+    def _rule_has_evidence(self, key: str, evidence: EvidenceSet) -> bool:
+        return evidence.has(self._RULE_SOURCES.get(key, key))
+
+    # ------------------------------------------------------------------
+    # Table 1 rules (modeling/coding guidelines)
+
+    def _rule_complexity(self, evidence: EvidenceSet):
+        item = evidence.get("complexity")
+        over = item.stat("moderate_or_higher", 0.0)
+        total = item.stat("functions", 0)
+        metrics = {"moderate_or_higher": over, "functions": total}
+        if over <= self.thresholds.max_moderate_complexity_functions:
+            return (Verdict.COMPLIANT,
+                    f"no functions above CC 10 (of {total:.0f})", metrics)
+        return (Verdict.NON_COMPLIANT,
+                f"{over:.0f} functions exceed CC 10 "
+                f"(Observation 1: high complexity)", metrics)
+
+    def _rule_language_subset(self, evidence: EvidenceSet):
+        item = evidence.get("language_subset")
+        per_kloc = item.stat("violations_per_kloc", 0.0)
+        gpu = item.stat("gpu_functions", 0)
+        metrics = {"violations_per_kloc": per_kloc, "gpu_functions": gpu}
+        if gpu > 0:
+            return (Verdict.NON_COMPLIANT,
+                    f"no language subset exists for the {gpu:.0f} GPU "
+                    f"functions (Observation 3), and CPU code shows "
+                    f"{per_kloc:.1f} MISRA violations/kLOC "
+                    f"(Observation 2)", metrics)
+        if per_kloc <= self.thresholds.max_misra_violations_per_kloc:
+            return (Verdict.COMPLIANT,
+                    f"{per_kloc:.2f} MISRA violations/kLOC within "
+                    f"threshold", metrics)
+        return (Verdict.NON_COMPLIANT,
+                f"{per_kloc:.1f} MISRA violations/kLOC "
+                f"(Observation 2)", metrics)
+
+    def _rule_strong_typing(self, evidence: EvidenceSet):
+        item = evidence.get("strong_typing")
+        casts = item.stat("explicit_casts", 0.0)
+        metrics = {"explicit_casts": casts}
+        if casts <= self.thresholds.max_explicit_casts:
+            return (Verdict.COMPLIANT, "no explicit casts found", metrics)
+        return (Verdict.NON_COMPLIANT,
+                f"{casts:.0f} explicit casts observed "
+                f"(Observation 5)", metrics)
+
+    def _rule_defensive(self, evidence: EvidenceSet):
+        item = evidence.get("defensive")
+        ratio = item.stat("validation_ratio", 1.0)
+        metrics = {"validation_ratio": ratio}
+        if ratio >= self.thresholds.min_validation_ratio:
+            return (Verdict.COMPLIANT,
+                    f"{100 * ratio:.0f}% of functions validate inputs",
+                    metrics)
+        if ratio >= self.thresholds.partial_validation_ratio:
+            return (Verdict.PARTIAL,
+                    f"only {100 * ratio:.0f}% of functions validate "
+                    f"inputs", metrics)
+        return (Verdict.NON_COMPLIANT,
+                f"defensive programming not used "
+                f"({100 * ratio:.0f}% validation; Observation 6)", metrics)
+
+    def _rule_design_principles(self, evidence: EvidenceSet):
+        item = evidence.get("design_principles")
+        globals_count = item.stat("mutable_globals", 0.0)
+        metrics = {"mutable_globals": globals_count}
+        if globals_count <= self.thresholds.max_mutable_globals:
+            return (Verdict.COMPLIANT, "no mutable global state", metrics)
+        return (Verdict.PARTIAL,
+                f"exception handling is used properly, but "
+                f"{globals_count:.0f} mutable globals challenge value-"
+                f"range analysis (Observation 7)", metrics)
+
+    def _rule_style(self, evidence: EvidenceSet):
+        item = evidence.get("style")
+        per_kloc = item.stat("violations_per_kloc", 0.0)
+        metrics = {"violations_per_kloc": per_kloc}
+        if per_kloc <= self.thresholds.max_style_violations_per_kloc:
+            return (Verdict.COMPLIANT,
+                    f"style guide followed ({per_kloc:.2f} findings/kLOC; "
+                    f"Observation 8)", metrics)
+        return (Verdict.PARTIAL,
+                f"{per_kloc:.1f} style findings/kLOC", metrics)
+
+    def _rule_naming(self, evidence: EvidenceSet):
+        item = evidence.get("naming")
+        ratio = item.stat("conformance_ratio", 1.0)
+        metrics = {"conformance_ratio": ratio}
+        if ratio >= self.thresholds.min_naming_conformance:
+            return (Verdict.COMPLIANT,
+                    f"naming conventions followed "
+                    f"({100 * ratio:.1f}%; Observation 9)", metrics)
+        return (Verdict.PARTIAL,
+                f"naming conformance only {100 * ratio:.1f}%", metrics)
+
+    # ------------------------------------------------------------------
+    # Table 2 rules (architectural design)
+
+    def _rule_hierarchy(self, evidence: EvidenceSet):
+        item = evidence.get("architecture")
+        depth = item.stat("hierarchy_depth", 2.0)
+        metrics = {"hierarchy_depth": depth}
+        if depth >= self.thresholds.min_hierarchy_depth:
+            return (Verdict.COMPLIANT,
+                    f"component tree is {depth:.0f} levels deep", metrics)
+        return (Verdict.PARTIAL,
+                f"flat component structure (depth {depth:.0f})", metrics)
+
+    def _rule_component_size(self, evidence: EvidenceSet):
+        item = evidence.get("architecture")
+        oversized = item.stat("oversized_components", 0.0)
+        metrics = {"oversized_components": oversized}
+        if oversized == 0:
+            return (Verdict.COMPLIANT, "all components within size limit",
+                    metrics)
+        return (Verdict.NON_COMPLIANT,
+                f"{oversized:.0f} components exceed the size limit "
+                f"(Observation 13)", metrics)
+
+    def _rule_interface_size(self, evidence: EvidenceSet):
+        item = evidence.get("architecture")
+        oversized = item.stat("oversized_interfaces", 0.0)
+        metrics = {"oversized_interfaces": oversized}
+        if oversized == 0:
+            return (Verdict.COMPLIANT, "all interfaces within size limit",
+                    metrics)
+        return (Verdict.PARTIAL,
+                f"{oversized:.0f} interfaces exceed the method limit "
+                f"(Observation 13)", metrics)
+
+    def _rule_cohesion(self, evidence: EvidenceSet):
+        item = evidence.get("architecture")
+        mean = item.stat("mean_cohesion", 1.0)
+        low = item.stat("low_cohesion_modules", 0)
+        metrics = {"mean_cohesion": mean, "low_cohesion_modules": low}
+        if low == 0:
+            return (Verdict.COMPLIANT,
+                    f"mean intra-module call cohesion {mean:.2f}", metrics)
+        return (Verdict.PARTIAL,
+                f"{low:.0f} modules below the cohesion threshold "
+                f"(mean {mean:.2f})", metrics)
+
+    def _rule_coupling(self, evidence: EvidenceSet):
+        item = evidence.get("architecture")
+        fanout = item.stat("max_module_fanout", 0.0)
+        metrics = {"max_module_fanout": fanout}
+        if fanout <= 15:
+            return (Verdict.COMPLIANT,
+                    f"maximum module fan-out {fanout:.0f}", metrics)
+        return (Verdict.PARTIAL,
+                f"module fan-out up to {fanout:.0f}", metrics)
+
+    def _rule_scheduling(self, evidence: EvidenceSet):
+        item = evidence.get("architecture")
+        sites = item.stat("scheduling_sites", 0.0)
+        metrics = {"scheduling_sites": sites}
+        if sites == 0:
+            return (Verdict.COMPLIANT,
+                    "no dynamic thread/timer creation observed", metrics)
+        return (Verdict.PARTIAL,
+                f"{sites:.0f} dynamic thread/timer creation sites need a "
+                f"scheduling argument", metrics)
+
+    def _rule_interrupts(self, evidence: EvidenceSet):
+        item = evidence.get("architecture")
+        sites = item.stat("interrupt_sites", 0.0)
+        metrics = {"interrupt_sites": sites}
+        if sites == 0:
+            return (Verdict.COMPLIANT, "no interrupt/signal handling",
+                    metrics)
+        return (Verdict.PARTIAL,
+                f"{sites:.0f} signal/interrupt handling sites", metrics)
+
+    # ------------------------------------------------------------------
+    # Table 3 rules (unit design & implementation)
+
+    def _rule_single_exit(self, evidence: EvidenceSet):
+        item = evidence.get("unit_design")
+        ratio = item.stat("multi_exit_ratio", 0.0)
+        metrics = {"multi_exit_ratio": ratio}
+        if ratio <= self.thresholds.max_multi_exit_ratio:
+            return (Verdict.COMPLIANT,
+                    f"{100 * ratio:.0f}% multi-exit functions", metrics)
+        if ratio <= self.thresholds.partial_multi_exit_ratio:
+            return (Verdict.PARTIAL,
+                    f"{100 * ratio:.0f}% of functions have several exit "
+                    f"points", metrics)
+        return (Verdict.NON_COMPLIANT,
+                f"{100 * ratio:.0f}% of functions have several exit "
+                f"points (Section 3.5 item 1)", metrics)
+
+    def _rule_dynamic_allocation(self, evidence: EvidenceSet):
+        item = evidence.get("unit_design")
+        ratio = item.stat("dynamic_alloc_ratio", 0.0)
+        metrics = {"dynamic_alloc_ratio": ratio}
+        if ratio <= self.thresholds.max_dynamic_alloc_ratio:
+            return (Verdict.COMPLIANT,
+                    f"{100 * ratio:.0f}% of functions allocate "
+                    f"dynamically", metrics)
+        if ratio <= self.thresholds.partial_dynamic_alloc_ratio:
+            return (Verdict.PARTIAL,
+                    f"{100 * ratio:.0f}% of functions allocate "
+                    f"dynamically", metrics)
+        return (Verdict.NON_COMPLIANT,
+                f"most data structures are allocated dynamically "
+                f"({100 * ratio:.0f}% of functions; Section 3.5 item 2)",
+                metrics)
+
+    def _rule_initialization(self, evidence: EvidenceSet):
+        item = evidence.get("unit_design")
+        count = item.stat("uninitialized_declarations", 0.0)
+        metrics = {"uninitialized_declarations": count}
+        if count == 0:
+            return (Verdict.COMPLIANT, "all locals initialized", metrics)
+        return (Verdict.NON_COMPLIANT,
+                f"{count:.0f} variables identified as uninitialized "
+                f"(Section 3.5 item 3)", metrics)
+
+    def _rule_name_reuse(self, evidence: EvidenceSet):
+        item = evidence.get("unit_design")
+        count = item.stat("shadowed_names", 0.0)
+        metrics = {"shadowed_names": count}
+        if count == 0:
+            return (Verdict.COMPLIANT, "no shadowed variable names",
+                    metrics)
+        return (Verdict.PARTIAL,
+                f"{count:.0f} shadowed declarations complicate name "
+                f"uniqueness (Section 3.5 item 4)", metrics)
+
+    def _rule_globals(self, evidence: EvidenceSet):
+        item = evidence.get("globals")
+        count = item.stat("mutable_globals", 0.0)
+        metrics = {"mutable_globals": count}
+        if count <= self.thresholds.max_mutable_globals:
+            return (Verdict.COMPLIANT, "no mutable globals", metrics)
+        return (Verdict.NON_COMPLIANT,
+                f"{count:.0f} mutable globals (Section 3.5 item 5; "
+                f"justified usage may be permitted)", metrics)
+
+    def _rule_pointers(self, evidence: EvidenceSet):
+        item = evidence.get("unit_design")
+        ratio = item.stat("pointer_ratio", 0.0)
+        metrics = {"pointer_ratio": ratio}
+        if ratio <= self.thresholds.max_pointer_ratio:
+            return (Verdict.COMPLIANT,
+                    f"pointers used in {100 * ratio:.0f}% of functions",
+                    metrics)
+        if ratio <= self.thresholds.partial_pointer_ratio:
+            return (Verdict.PARTIAL,
+                    f"pointers used in {100 * ratio:.0f}% of functions",
+                    metrics)
+        return (Verdict.NON_COMPLIANT,
+                f"pointers used pervasively ({100 * ratio:.0f}% of "
+                f"functions; CUDA makes them indispensable, "
+                f"Observation 4)", metrics)
+
+    def _rule_implicit_conversions(self, evidence: EvidenceSet):
+        item = evidence.get("strong_typing")
+        risks = item.stat("implicit_narrowing_risks", 0.0)
+        metrics = {"implicit_narrowing_risks": risks}
+        if risks == 0:
+            return (Verdict.COMPLIANT, "no implicit narrowing detected",
+                    metrics)
+        return (Verdict.NON_COMPLIANT,
+                f"{risks:.0f} implicit narrowing conversions "
+                f"(Section 3.5 item 7)", metrics)
+
+    def _rule_hidden_flow(self, evidence: EvidenceSet):
+        item = evidence.get("unit_design")
+        sites = item.stat("hidden_flow_sites", 0.0)
+        metrics = {"hidden_flow_sites": sites}
+        if sites == 0:
+            return (Verdict.COMPLIANT, "no hidden data/control flow",
+                    metrics)
+        return (Verdict.PARTIAL,
+                f"{sites:.0f} hidden-flow sites (function-like macros, "
+                f"conditional compilation; Section 3.5 item 8)", metrics)
+
+    def _rule_unconditional_jumps(self, evidence: EvidenceSet):
+        item = evidence.get("unit_design")
+        count = item.stat("goto_functions", 0.0)
+        metrics = {"goto_functions": count}
+        if count == 0:
+            return (Verdict.COMPLIANT, "no unconditional jumps", metrics)
+        return (Verdict.NON_COMPLIANT,
+                f"{count:.0f} functions use goto (Section 3.5 item 9; "
+                f"minor modifications can eliminate them)", metrics)
+
+    def _rule_recursion(self, evidence: EvidenceSet):
+        item = evidence.get("unit_design")
+        count = item.stat("recursive_functions", 0.0)
+        metrics = {"recursive_functions": count}
+        if count <= self.thresholds.max_recursive_functions:
+            return (Verdict.COMPLIANT, "no recursion", metrics)
+        if count <= self.thresholds.partial_recursive_functions:
+            return (Verdict.PARTIAL,
+                    f"{count:.0f} recursive functions for well-known "
+                    f"purposes such as processing trees (Section 3.5 "
+                    f"item 10)", metrics)
+        return (Verdict.NON_COMPLIANT,
+                f"{count:.0f} recursive functions", metrics)

@@ -1,0 +1,73 @@
+"""Evidence: the measured facts the compliance verdicts are grounded in.
+
+Each ISO 26262-6 table row names an ``evidence_key`` (see
+:mod:`repro.iso26262.tables`); an :class:`EvidenceSet` maps those keys to
+:class:`EvidenceItem` objects carrying the aggregate statistics the
+checkers and metric passes produced.  Keeping verdicts separated from
+measurement means every verdict in the final report can cite its numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..errors import ComplianceError
+
+
+@dataclass
+class EvidenceItem:
+    """One named body of evidence.
+
+    Attributes:
+        key: the evidence key a table row refers to.
+        stats: aggregate numbers (checker/metric statistics).
+        source: human-readable origin, e.g. ``"checker:language_subset"``.
+    """
+
+    key: str
+    stats: Dict[str, float] = field(default_factory=dict)
+    source: str = ""
+
+    def stat(self, name: str, default: Optional[float] = None) -> float:
+        if name in self.stats:
+            return self.stats[name]
+        if default is not None:
+            return default
+        raise ComplianceError(
+            f"evidence {self.key!r} lacks statistic {name!r} "
+            f"(has {sorted(self.stats)})")
+
+
+class EvidenceSet:
+    """All evidence gathered by one assessment run."""
+
+    def __init__(self) -> None:
+        self._items: Dict[str, EvidenceItem] = {}
+
+    def add(self, item: EvidenceItem) -> None:
+        if item.key in self._items:
+            raise ComplianceError(f"duplicate evidence key {item.key!r}")
+        self._items[item.key] = item
+
+    def put(self, key: str, stats: Dict[str, float],
+            source: str = "") -> None:
+        """Convenience: add an item from raw stats."""
+        self.add(EvidenceItem(key=key, stats=dict(stats), source=source))
+
+    def get(self, key: str) -> EvidenceItem:
+        try:
+            return self._items[key]
+        except KeyError:
+            raise ComplianceError(
+                f"no evidence for key {key!r} "
+                f"(available: {sorted(self._items)})") from None
+
+    def has(self, key: str) -> bool:
+        return key in self._items
+
+    def keys(self):
+        return self._items.keys()
+
+    def __len__(self) -> int:
+        return len(self._items)

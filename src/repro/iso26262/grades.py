@@ -1,0 +1,81 @@
+"""Recommendation grades used by the ISO 26262-6 requirement tables.
+
+ISO 26262 annotates each method/technique with a per-ASIL grade:
+
+* ``++`` — highly recommended for that ASIL;
+* ``+``  — recommended;
+* ``o``  — no recommendation for or against (the paper reads it as
+  "not required").
+
+The grade drives how a non-complying finding is weighted: missing a ``++``
+technique at the target ASIL is a major gap, missing a ``+`` one is a minor
+gap, and an ``o`` technique cannot produce a gap at all.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Mapping
+
+from .asil import Asil, TABLE_COLUMNS
+
+
+class Grade(enum.IntEnum):
+    """A per-ASIL recommendation strength, ordered by how binding it is."""
+
+    NO_RECOMMENDATION = 0
+    RECOMMENDED = 1
+    HIGHLY_RECOMMENDED = 2
+
+    @classmethod
+    def from_symbol(cls, symbol: str) -> "Grade":
+        """Parse the standard's notation: ``"++"``, ``"+"`` or ``"o"``."""
+        try:
+            return _SYMBOL_TO_GRADE[symbol.strip()]
+        except KeyError:
+            raise ValueError(f"unknown grade symbol: {symbol!r}") from None
+
+    @property
+    def symbol(self) -> str:
+        """The standard's notation for this grade."""
+        return _GRADE_TO_SYMBOL[self]
+
+    @property
+    def is_binding(self) -> bool:
+        """True when skipping the technique needs justification (``+``/``++``)."""
+        return self is not Grade.NO_RECOMMENDATION
+
+
+_SYMBOL_TO_GRADE: Dict[str, Grade] = {
+    "++": Grade.HIGHLY_RECOMMENDED,
+    "+": Grade.RECOMMENDED,
+    "o": Grade.NO_RECOMMENDATION,
+    "0": Grade.NO_RECOMMENDATION,
+}
+
+_GRADE_TO_SYMBOL: Dict[Grade, str] = {
+    Grade.HIGHLY_RECOMMENDED: "++",
+    Grade.RECOMMENDED: "+",
+    Grade.NO_RECOMMENDATION: "o",
+}
+
+
+def parse_grade_row(symbols: str) -> Dict[Asil, Grade]:
+    """Parse a whitespace-separated row of grade symbols for ASIL A-D.
+
+    ``parse_grade_row("o + ++ ++")`` yields the mapping for a technique that
+    is optional at ASIL A, recommended at B and highly recommended at C/D.
+    """
+    parts = symbols.split()
+    if len(parts) != len(TABLE_COLUMNS):
+        raise ValueError(
+            f"expected {len(TABLE_COLUMNS)} grade symbols (ASIL A-D), "
+            f"got {len(parts)} in {symbols!r}"
+        )
+    return {asil: Grade.from_symbol(symbol)
+            for asil, symbol in zip(TABLE_COLUMNS, parts)}
+
+
+def format_grade_row(grades: Mapping[Asil, Grade]) -> str:
+    """Inverse of :func:`parse_grade_row`, used by the report renderer."""
+    return " ".join(grades[asil].symbol for asil in TABLE_COLUMNS)

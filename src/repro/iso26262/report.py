@@ -1,0 +1,90 @@
+"""Rendering of compliance assessments: text tables and JSON structures."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from .asil import TABLE_COLUMNS, Asil
+from .compliance import TableAssessment, TechniqueAssessment, Verdict
+from .observations import Observation
+
+_VERDICT_MARKS = {
+    Verdict.COMPLIANT: "yes",
+    Verdict.PARTIAL: "partial",
+    Verdict.NON_COMPLIANT: "NO",
+    Verdict.NOT_APPLICABLE: "n/a",
+    Verdict.UNKNOWN: "?",
+}
+
+
+def render_table(assessment: TableAssessment,
+                 target_asil: Asil = Asil.D) -> str:
+    """One paper-style table: grades per ASIL plus the measured verdict."""
+    table = assessment.table
+    title_width = max(len(entry.technique.title)
+                      for entry in assessment.assessments) + 4
+    header = (f"{'#':<3}{'technique':<{title_width}}"
+              + "".join(f"{asil.name:>4}" for asil in TABLE_COLUMNS)
+              + f"{'verdict':>10}")
+    lines = [f"Table {table.paper_number}: {table.caption} "
+             f"(target {target_asil.describe()})",
+             header, "-" * len(header)]
+    for entry in assessment.assessments:
+        technique = entry.technique
+        grades = "".join(f"{technique.grades[asil].symbol:>4}"
+                         for asil in TABLE_COLUMNS)
+        lines.append(f"{technique.index:<3}"
+                     f"{technique.title:<{title_width}}{grades}"
+                     f"{_VERDICT_MARKS[entry.verdict]:>10}")
+    return "\n".join(lines)
+
+
+def render_rationales(assessment: TableAssessment) -> str:
+    """The verdict rationales, one paragraph per technique."""
+    lines: List[str] = []
+    for entry in assessment.assessments:
+        lines.append(f"[{entry.verdict.value}] "
+                     f"{entry.technique.title}: {entry.rationale}")
+    return "\n".join(lines)
+
+
+def render_observations(observations: Iterable[Observation]) -> str:
+    return "\n".join(observation.render()
+                     for observation in sorted(observations,
+                                               key=lambda o: o.number))
+
+
+def assessment_to_dict(assessment: TableAssessment) -> Dict:
+    """JSON-ready structure for one table assessment."""
+    return {
+        "table": assessment.table.key,
+        "paper_number": assessment.table.paper_number,
+        "caption": assessment.table.caption,
+        "techniques": [_technique_to_dict(entry)
+                       for entry in assessment.assessments],
+        "worst_gap": assessment.worst_gap.name,
+    }
+
+
+def _technique_to_dict(entry: TechniqueAssessment) -> Dict:
+    return {
+        "key": entry.technique.key,
+        "index": entry.technique.index,
+        "title": entry.technique.title,
+        "grades": {asil.name: entry.technique.grades[asil].symbol
+                   for asil in TABLE_COLUMNS},
+        "verdict": entry.verdict.value,
+        "rationale": entry.rationale,
+        "gap": entry.gap.name,
+        "metrics": entry.metrics,
+    }
+
+
+def observations_to_dict(observations: Iterable[Observation]) -> List[Dict]:
+    return [{
+        "number": observation.number,
+        "title": observation.title,
+        "statement": observation.statement,
+        "supported": observation.supported,
+        "metrics": observation.metrics,
+    } for observation in sorted(observations, key=lambda o: o.number)]

@@ -1,0 +1,78 @@
+"""ASIL sensitivity analysis: how the certification gap varies with ASIL.
+
+The requirement tables grade every technique per ASIL (``o``/``+``/``++``)
+— so the *same* measured evidence produces different gap profiles at
+different integrity levels.  The paper targets ASIL D ("AD systems will
+reach ASIL-D"); this analysis quantifies what relaxing the target would
+buy, e.g. defensive implementation is not even recommended at ASIL A
+(Table 1 row 4: ``o + ++ ++``), so its gap vanishes there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .asil import Asil, TABLE_COLUMNS
+from .compliance import (
+    ComplianceEngine,
+    ComplianceThresholds,
+    GapSeverity,
+)
+from .evidence import EvidenceSet
+
+
+@dataclass(frozen=True)
+class AsilGapProfile:
+    """Gap counts for one target ASIL."""
+
+    asil: Asil
+    none: int
+    minor: int
+    major: int
+    critical: int
+
+    @property
+    def binding_gaps(self) -> int:
+        return self.minor + self.major + self.critical
+
+    @property
+    def weighted(self) -> int:
+        """A single effort-ish score: minor=1, major=2, critical=3."""
+        return self.minor + 2 * self.major + 3 * self.critical
+
+
+def asil_sensitivity(evidence: EvidenceSet,
+                     thresholds: ComplianceThresholds = None
+                     ) -> List[AsilGapProfile]:
+    """Assess the same evidence at every ASIL A-D."""
+    profiles: List[AsilGapProfile] = []
+    for asil in TABLE_COLUMNS:
+        engine = ComplianceEngine(
+            target_asil=asil,
+            thresholds=thresholds or ComplianceThresholds())
+        counts: Dict[GapSeverity, int] = {severity: 0
+                                          for severity in GapSeverity}
+        for table in engine.assess_all(evidence).values():
+            for entry in table.assessments:
+                counts[entry.gap] += 1
+        profiles.append(AsilGapProfile(
+            asil=asil,
+            none=counts[GapSeverity.NONE],
+            minor=counts[GapSeverity.MINOR],
+            major=counts[GapSeverity.MAJOR],
+            critical=counts[GapSeverity.CRITICAL],
+        ))
+    return profiles
+
+
+def render_sensitivity(profiles: List[AsilGapProfile]) -> str:
+    """Text table: ASIL vs gap-severity counts."""
+    lines = [f"{'target':<10}{'no gap':>8}{'minor':>7}{'major':>7}"
+             f"{'critical':>10}{'weighted':>10}",
+             "-" * 52]
+    for profile in profiles:
+        lines.append(f"ASIL-{profile.asil.name:<5}{profile.none:>8}"
+                     f"{profile.minor:>7}{profile.major:>7}"
+                     f"{profile.critical:>10}{profile.weighted:>10}")
+    return "\n".join(lines)

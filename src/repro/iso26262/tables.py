@@ -1,0 +1,212 @@
+"""The ISO 26262-6 requirement tables assessed by the paper, as data.
+
+The paper reproduces three tables from Part 6 of the standard:
+
+* paper Table 1 = ISO 26262-6 Table 1 — modeling and coding guidelines
+  (software architectural design topics, Section 3.1 of the paper);
+* paper Table 2 = ISO 26262-6 Table 3 — principles of software
+  architectural design (Section 3.4);
+* paper Table 3 = ISO 26262-6 Table 8 — principles of software unit design
+  and implementation (Section 3.5).
+
+Each table row is a :class:`Technique` with a stable identifier, the grade
+per ASIL, and the key of the analyzer whose evidence decides compliance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from .asil import Asil
+from .grades import Grade, parse_grade_row
+
+
+@dataclass(frozen=True)
+class Technique:
+    """One row of an ISO 26262-6 requirement table.
+
+    Attributes:
+        key: stable machine identifier, e.g. ``"low_complexity"``.
+        index: 1-based row number within the table, as printed in the paper.
+        title: the row text as printed in the paper.
+        grades: recommendation grade for each of ASIL A-D.
+        evidence_key: name of the evidence item (produced by an analyzer)
+            that decides compliance, or ``None`` for qualitative-only rows.
+    """
+
+    key: str
+    index: int
+    title: str
+    grades: Mapping[Asil, Grade]
+    evidence_key: Optional[str] = None
+
+    def grade_at(self, asil: Asil) -> Grade:
+        """The recommendation grade at ``asil`` (QM grades as no-recommendation)."""
+        if asil is Asil.QM:
+            return Grade.NO_RECOMMENDATION
+        return self.grades[asil]
+
+
+@dataclass(frozen=True)
+class RequirementTable:
+    """A complete ISO 26262-6 requirement table."""
+
+    key: str
+    paper_number: int
+    iso_number: int
+    caption: str
+    techniques: Tuple[Technique, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        keys = [technique.key for technique in self.techniques]
+        if len(set(keys)) != len(keys):
+            raise ValueError(f"duplicate technique keys in table {self.key}")
+
+    def technique(self, key: str) -> Technique:
+        """Look up a row by its stable key."""
+        for candidate in self.techniques:
+            if candidate.key == key:
+                return candidate
+        raise KeyError(f"table {self.key} has no technique {key!r}")
+
+    def highly_recommended_at(self, asil: Asil) -> List[Technique]:
+        """Rows graded ``++`` at the given ASIL."""
+        return [technique for technique in self.techniques
+                if technique.grade_at(asil) is Grade.HIGHLY_RECOMMENDED]
+
+    def __iter__(self):
+        return iter(self.techniques)
+
+    def __len__(self) -> int:
+        return len(self.techniques)
+
+
+def _technique(key: str, index: int, title: str, grades: str,
+               evidence_key: Optional[str] = None) -> Technique:
+    return Technique(key=key, index=index, title=title,
+                     grades=parse_grade_row(grades), evidence_key=evidence_key)
+
+
+#: Paper Table 1 — "Modeling/coding guidelines (ISO26262_6 Table 1)".
+MODELING_CODING_TABLE = RequirementTable(
+    key="modeling_coding",
+    paper_number=1,
+    iso_number=1,
+    caption="Modeling/coding guidelines (ISO 26262-6 Table 1)",
+    techniques=(
+        _technique("low_complexity", 1,
+                   "Enforcement of low complexity", "++ ++ ++ ++",
+                   evidence_key="complexity"),
+        _technique("language_subsets", 2,
+                   "Use language subsets", "++ ++ ++ ++",
+                   evidence_key="language_subset"),
+        _technique("strong_typing", 3,
+                   "Enforcement of strong typing", "++ ++ ++ ++",
+                   evidence_key="strong_typing"),
+        _technique("defensive_implementation", 4,
+                   "Use defensive implementation techniques", "o + ++ ++",
+                   evidence_key="defensive"),
+        _technique("design_principles", 5,
+                   "Use established design principles", "+ + + ++",
+                   evidence_key="design_principles"),
+        _technique("graphical_representation", 6,
+                   "Use unambiguous graphical representation", "+ ++ ++ ++",
+                   evidence_key=None),
+        _technique("style_guides", 7,
+                   "Use style guides", "+ ++ ++ ++",
+                   evidence_key="style"),
+        _technique("naming_conventions", 8,
+                   "Use naming conventions", "++ ++ ++ ++",
+                   evidence_key="naming"),
+    ),
+)
+
+#: Paper Table 2 — "Architectural design (ISO26262_6 Table 3)".
+ARCHITECTURAL_DESIGN_TABLE = RequirementTable(
+    key="architectural_design",
+    paper_number=2,
+    iso_number=3,
+    caption="Architectural design (ISO 26262-6 Table 3)",
+    techniques=(
+        _technique("hierarchical_structure", 1,
+                   "Hierarchical structure of SW components", "++ ++ ++ ++",
+                   evidence_key="hierarchy"),
+        _technique("restricted_component_size", 2,
+                   "Restricted size of software components", "++ ++ ++ ++",
+                   evidence_key="component_size"),
+        _technique("restricted_interface_size", 3,
+                   "Restricted size of interfaces", "+ + + +",
+                   evidence_key="interface_size"),
+        _technique("high_cohesion", 4,
+                   "High cohesion in each software component", "+ ++ ++ ++",
+                   evidence_key="cohesion"),
+        _technique("restricted_coupling", 5,
+                   "Restricted coupling between SW components", "+ ++ ++ ++",
+                   evidence_key="coupling"),
+        _technique("scheduling_properties", 6,
+                   "Appropriate scheduling properties", "++ ++ ++ ++",
+                   evidence_key="scheduling"),
+        _technique("restricted_interrupts", 7,
+                   "Restricted use of interrupts", "+ + + ++",
+                   evidence_key="interrupts"),
+    ),
+)
+
+#: Paper Table 3 — "SW unit design & implement. (ISO26262_6 Table 8)".
+UNIT_DESIGN_TABLE = RequirementTable(
+    key="unit_design",
+    paper_number=3,
+    iso_number=8,
+    caption="SW unit design & implementation (ISO 26262-6 Table 8)",
+    techniques=(
+        _technique("single_entry_exit", 1,
+                   "One entry and one exit point in functions", "++ ++ ++ ++",
+                   evidence_key="single_exit"),
+        _technique("no_dynamic_objects", 2,
+                   "No dynamic objects or variables, or else online test "
+                   "during their creation", "+ ++ ++ ++",
+                   evidence_key="dynamic_allocation"),
+        _technique("variable_initialization", 3,
+                   "Initialization of variables", "++ ++ ++ ++",
+                   evidence_key="initialization"),
+        _technique("no_name_reuse", 4,
+                   "No multiple use of variable names", "+ ++ ++ ++",
+                   evidence_key="name_reuse"),
+        _technique("avoid_globals", 5,
+                   "Avoid global variables or justify usage", "+ + ++ ++",
+                   evidence_key="globals"),
+        _technique("limited_pointers", 6,
+                   "Limited use of pointers", "o + + ++",
+                   evidence_key="pointers"),
+        _technique("no_implicit_conversions", 7,
+                   "No implicit type conversions", "+ ++ ++ ++",
+                   evidence_key="implicit_conversions"),
+        _technique("no_hidden_flow", 8,
+                   "No hidden data flow or control flow", "+ ++ ++ ++",
+                   evidence_key="hidden_flow"),
+        _technique("no_unconditional_jumps", 9,
+                   "No unconditional jumps", "++ ++ ++ ++",
+                   evidence_key="unconditional_jumps"),
+        _technique("no_recursion", 10,
+                   "No recursions", "+ + ++ ++",
+                   evidence_key="recursion"),
+    ),
+)
+
+#: All three tables, keyed by their stable name.
+ALL_TABLES: Dict[str, RequirementTable] = {
+    table.key: table
+    for table in (MODELING_CODING_TABLE, ARCHITECTURAL_DESIGN_TABLE,
+                  UNIT_DESIGN_TABLE)
+}
+
+
+def get_table(key: str) -> RequirementTable:
+    """Look up one of the three assessed tables by key."""
+    try:
+        return ALL_TABLES[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown table {key!r}; expected one of {sorted(ALL_TABLES)}"
+        ) from None

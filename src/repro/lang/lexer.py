@@ -1,0 +1,290 @@
+"""Hand-written tokenizer for C, C++ and CUDA source text.
+
+The lexer is deliberately tolerant: it must tokenize arbitrary industrial
+code (the synthetic Apollo-like corpus, real snippets such as the paper's
+``scale_bias_gpu`` excerpt) without choking on constructs the downstream
+analyzers do not model.  It produces *all* tokens, including comments and
+whole-line preprocessor directives, so that metrics such as comment density
+and include-fan-out stay computable; consumers that want a pure code stream
+filter with :func:`code_tokens`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+from ..errors import LexError
+from .tokens import ALL_KEYWORDS, PUNCTUATORS, Token, TokenKind
+
+_IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_$")
+_IDENT_CONT = _IDENT_START | frozenset("0123456789")
+_DIGITS = frozenset("0123456789")
+_HEX_DIGITS = frozenset("0123456789abcdefABCDEF")
+_NUMBER_SUFFIX = frozenset("uUlLfF")
+
+
+class Lexer:
+    """Single-pass tokenizer over one translation unit.
+
+    Args:
+        source: the source text.
+        filename: used only for error messages.
+        strict: when True, an unrecognizable character raises
+            :class:`~repro.errors.LexError`; when False it is skipped, which
+            is the right behaviour for corpus-scale scanning.
+    """
+
+    def __init__(self, source: str, filename: str = "<memory>",
+                 strict: bool = True) -> None:
+        self.source = source
+        self.filename = filename
+        self.strict = strict
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    def tokens(self) -> Iterator[Token]:
+        """Yield every token in the source, ending with an END token."""
+        while True:
+            token = self._next_token()
+            yield token
+            if token.kind is TokenKind.END:
+                return
+
+    def tokenize(self) -> List[Token]:
+        """Return all tokens as a list (END token excluded)."""
+        result = [token for token in self.tokens()]
+        return result[:-1]
+
+    # ------------------------------------------------------------------
+    # scanning helpers
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        if index < len(self.source):
+            return self.source[index]
+        return ""
+
+    def _advance(self, count: int = 1) -> str:
+        text = self.source[self._pos:self._pos + count]
+        for character in text:
+            if character == "\n":
+                self._line += 1
+                self._column = 1
+            else:
+                self._column += 1
+        self._pos += count
+        return text
+
+    def _skip_whitespace(self) -> None:
+        while self._pos < len(self.source):
+            character = self._peek()
+            if character in " \t\r\n\f\v":
+                self._advance()
+            elif character == "\\" and self._peek(1) == "\n":
+                self._advance(2)
+            else:
+                return
+
+    def _error(self, message: str) -> LexError:
+        return LexError(message, self.filename, self._line, self._column)
+
+    # ------------------------------------------------------------------
+    # token producers
+
+    def _next_token(self) -> Token:
+        self._skip_whitespace()
+        if self._pos >= len(self.source):
+            return Token(TokenKind.END, "", self._line, self._column)
+
+        line, column = self._line, self._column
+        character = self._peek()
+
+        if character == "/" and self._peek(1) in ("/", "*"):
+            return self._lex_comment(line, column)
+        if character == "#" and self._at_line_start():
+            return self._lex_preprocessor(line, column)
+        if character in _IDENT_START:
+            return self._lex_identifier(line, column)
+        if character in _DIGITS or (character == "." and self._peek(1) in _DIGITS):
+            return self._lex_number(line, column)
+        if character == '"':
+            return self._lex_string(line, column)
+        if character == "'":
+            return self._lex_char(line, column)
+        for punct in PUNCTUATORS:
+            if self.source.startswith(punct, self._pos):
+                self._advance(len(punct))
+                return Token(TokenKind.PUNCT, punct, line, column)
+
+        if self.strict:
+            raise self._error(f"unexpected character {character!r}")
+        self._advance()
+        return self._next_token()
+
+    def _at_line_start(self) -> bool:
+        index = self._pos - 1
+        while index >= 0:
+            character = self.source[index]
+            if character == "\n":
+                return True
+            if character not in " \t\r":
+                return False
+            index -= 1
+        return True
+
+    def _lex_comment(self, line: int, column: int) -> Token:
+        if self._peek(1) == "/":
+            start = self._pos
+            while self._pos < len(self.source) and self._peek() != "\n":
+                # A line comment continued with a backslash spans lines.
+                if self._peek() == "\\" and self._peek(1) == "\n":
+                    self._advance(2)
+                    continue
+                self._advance()
+            return Token(TokenKind.COMMENT, self.source[start:self._pos],
+                         line, column)
+        start = self._pos
+        self._advance(2)
+        while self._pos < len(self.source):
+            if self._peek() == "*" and self._peek(1) == "/":
+                self._advance(2)
+                return Token(TokenKind.COMMENT, self.source[start:self._pos],
+                             line, column)
+            self._advance()
+        if not self.strict:
+            return Token(TokenKind.COMMENT, self.source[start:self._pos],
+                         line, column)
+        raise self._error("unterminated block comment")
+
+    def _lex_preprocessor(self, line: int, column: int) -> Token:
+        start = self._pos
+        while self._pos < len(self.source):
+            if self._peek() == "\\" and self._peek(1) == "\n":
+                self._advance(2)
+                continue
+            if self._peek() == "\n":
+                break
+            # Block comments inside a directive must not hide the newline.
+            if self._peek() == "/" and self._peek(1) == "*":
+                self._lex_comment(self._line, self._column)
+                continue
+            if self._peek() == "/" and self._peek(1) == "/":
+                break
+            self._advance()
+        return Token(TokenKind.PREPROCESSOR, self.source[start:self._pos],
+                     line, column)
+
+    def _lex_identifier(self, line: int, column: int) -> Token:
+        start = self._pos
+        while self._pos < len(self.source) and self._peek() in _IDENT_CONT:
+            self._advance()
+        text = self.source[start:self._pos]
+        # Raw string literal prefix, e.g. R"(...)".
+        if text in ("R", "LR", "u8R", "uR", "UR") and self._peek() == '"':
+            return self._lex_raw_string(start, line, column)
+        kind = TokenKind.KEYWORD if text in ALL_KEYWORDS else TokenKind.IDENTIFIER
+        return Token(kind, text, line, column)
+
+    def _lex_raw_string(self, start: int, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        delimiter_start = self._pos
+        while self._peek() not in ("(", ""):
+            self._advance()
+        if self._peek() != "(":
+            if not self.strict:
+                return Token(TokenKind.STRING,
+                             self.source[start:self._pos], line, column)
+            raise self._error("malformed raw string literal")
+        delimiter = self.source[delimiter_start:self._pos]
+        self._advance()
+        terminator = ")" + delimiter + '"'
+        end = self.source.find(terminator, self._pos)
+        if end < 0:
+            if not self.strict:
+                self._advance(len(self.source) - self._pos)
+                return Token(TokenKind.STRING,
+                             self.source[start:self._pos], line, column)
+            raise self._error("unterminated raw string literal")
+        self._advance(end + len(terminator) - self._pos)
+        return Token(TokenKind.STRING, self.source[start:self._pos],
+                     line, column)
+
+    def _lex_number(self, line: int, column: int) -> Token:
+        start = self._pos
+        if self._peek() == "0" and self._peek(1) in ("x", "X"):
+            self._advance(2)
+            while self._peek() in _HEX_DIGITS or self._peek() == "'":
+                self._advance()
+        else:
+            seen_exponent = False
+            while True:
+                character = self._peek()
+                if character in _DIGITS or character in (".", "'"):
+                    self._advance()
+                elif character in ("e", "E") and not seen_exponent:
+                    seen_exponent = True
+                    self._advance()
+                    if self._peek() in ("+", "-"):
+                        self._advance()
+                else:
+                    break
+        while self._peek() in _NUMBER_SUFFIX:
+            self._advance()
+        return Token(TokenKind.NUMBER, self.source[start:self._pos],
+                     line, column)
+
+    def _lex_string(self, line: int, column: int) -> Token:
+        start = self._pos
+        self._advance()
+        while self._pos < len(self.source):
+            character = self._peek()
+            if character == "\\":
+                self._advance(2)
+                continue
+            if character == "\n":
+                if not self.strict:
+                    break
+                raise self._error("unterminated string literal")
+            self._advance()
+            if character == '"':
+                return Token(TokenKind.STRING, self.source[start:self._pos],
+                             line, column)
+        if not self.strict:
+            return Token(TokenKind.STRING, self.source[start:self._pos],
+                         line, column)
+        raise self._error("unterminated string literal")
+
+    def _lex_char(self, line: int, column: int) -> Token:
+        start = self._pos
+        self._advance()
+        while self._pos < len(self.source):
+            character = self._peek()
+            if character == "\\":
+                self._advance(2)
+                continue
+            if character == "\n":
+                if not self.strict:
+                    break
+                raise self._error("unterminated character literal")
+            self._advance()
+            if character == "'":
+                return Token(TokenKind.CHAR, self.source[start:self._pos],
+                             line, column)
+        if not self.strict:
+            return Token(TokenKind.CHAR, self.source[start:self._pos],
+                         line, column)
+        raise self._error("unterminated character literal")
+
+
+def tokenize(source: str, filename: str = "<memory>",
+             strict: bool = True) -> List[Token]:
+    """Tokenize ``source`` and return all tokens (no END sentinel)."""
+    return Lexer(source, filename, strict=strict).tokenize()
+
+
+def code_tokens(tokens: Iterable[Token]) -> List[Token]:
+    """Filter out comments and preprocessor directives."""
+    return [token for token in tokens
+            if token.kind not in (TokenKind.COMMENT, TokenKind.PREPROCESSOR)]

@@ -1,0 +1,24 @@
+"""MiniC: the executable, instrumentable C subset."""
+
+from . import ast
+from .builtins import BUILTINS
+from .interpreter import ArrayValue, Interpreter, ThreadContext, Tracer
+from .parser import Parser, parse_program
+from .transforms import TransformReport, to_single_exit
+from .unparse import unparse_expression, unparse_function, unparse_program
+
+__all__ = [
+    "ArrayValue",
+    "BUILTINS",
+    "Interpreter",
+    "Parser",
+    "ThreadContext",
+    "Tracer",
+    "TransformReport",
+    "to_single_exit",
+    "ast",
+    "parse_program",
+    "unparse_expression",
+    "unparse_function",
+    "unparse_program",
+]

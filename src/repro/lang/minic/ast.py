@@ -1,0 +1,395 @@
+"""Abstract syntax tree for MiniC, the executable C subset.
+
+MiniC is the strict counterpart of the fuzzy C++ model: a small C dialect
+with real semantics, used to *execute* code under coverage instrumentation
+(paper Sections 3.2 and 3.3).  It supports scalars, one-dimensional arrays,
+pointer parameters (array aliases), full C expression syntax, the classic
+statement set, and the CUDA markers needed by the GPU emulation layer
+(``__global__``/``__device__`` qualifiers and the ``threadIdx``-family
+builtins).
+
+Every node carries a ``line`` for diagnostics.  Statements carry a
+``statement_id`` and decisions a ``decision_id``, both assigned densely by
+the parser so the coverage collector can use flat arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class Node:
+    """Base class for all MiniC AST nodes."""
+
+    line: int
+
+
+# ---------------------------------------------------------------------------
+# expressions
+
+
+@dataclass
+class Expression(Node):
+    """Base class for expressions."""
+
+
+@dataclass
+class IntLiteral(Expression):
+    value: int
+
+
+@dataclass
+class FloatLiteral(Expression):
+    value: float
+
+
+@dataclass
+class Identifier(Expression):
+    name: str
+
+
+@dataclass
+class ThreadBuiltin(Expression):
+    """A CUDA builtin component, e.g. ``threadIdx.x``.
+
+    Attributes:
+        base: one of ``threadIdx``, ``blockIdx``, ``blockDim``, ``gridDim``.
+        axis: ``x``, ``y`` or ``z``.
+    """
+
+    base: str
+    axis: str
+
+
+@dataclass
+class Unary(Expression):
+    """Prefix unary operator: ``!``, ``-``, ``+``, ``~``."""
+
+    operator: str
+    operand: Expression
+
+
+@dataclass
+class Binary(Expression):
+    """Non-short-circuit binary operator."""
+
+    operator: str
+    left: Expression
+    right: Expression
+
+
+@dataclass
+class Logical(Expression):
+    """Short-circuit ``&&`` / ``||``.
+
+    Kept distinct from :class:`Binary` because MC/DC decomposition and the
+    interpreter's short-circuit evaluation both hinge on it.
+    """
+
+    operator: str
+    left: Expression
+    right: Expression
+
+
+@dataclass
+class Conditional(Expression):
+    """The ternary operator ``condition ? then : otherwise``."""
+
+    condition: "Decision"
+    then_value: Expression
+    else_value: Expression
+
+
+@dataclass
+class Assignment(Expression):
+    """Simple or compound assignment to an lvalue."""
+
+    operator: str  # "=", "+=", "-=", "*=", "/=", "%="
+    target: Expression  # Identifier or Index
+    value: Expression
+
+
+@dataclass
+class IncDec(Expression):
+    """``++``/``--`` in prefix or postfix position."""
+
+    operator: str  # "++" or "--"
+    target: Expression
+    is_prefix: bool
+
+
+@dataclass
+class Call(Expression):
+    name: str
+    arguments: List[Expression] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expression):
+    """Array or pointer subscript ``base[offset]``."""
+
+    base: Expression
+    offset: Expression
+
+
+@dataclass
+class Cast(Expression):
+    """C-style cast to a builtin type, e.g. ``(int)x``."""
+
+    type_name: str
+    operand: Expression
+
+
+# ---------------------------------------------------------------------------
+# decisions (coverage units)
+
+
+@dataclass
+class Decision(Node):
+    """A boolean decision: the condition of an if/while/for/do/ternary.
+
+    Attributes:
+        expression: the underlying expression.
+        decision_id: dense index assigned by the parser (-1 = unassigned).
+        conditions: the atomic conditions, i.e. the leaves of the
+            ``&&``/``||`` tree, in evaluation order.  Each entry is the
+            leaf expression; a decision with one entry is a simple
+            condition.
+    """
+
+    expression: Expression
+    decision_id: int = -1
+    conditions: List[Expression] = field(default_factory=list)
+
+    @property
+    def condition_count(self) -> int:
+        return len(self.conditions)
+
+    @property
+    def is_compound(self) -> bool:
+        return len(self.conditions) > 1
+
+
+def decompose_conditions(expression: Expression) -> List[Expression]:
+    """The atomic conditions of a decision, left to right.
+
+    Leaves are everything that is not a ``&&``/``||`` node; a ``!`` applied
+    to a compound expression keeps the compound as separate leaves per the
+    usual MC/DC treatment of negation normal form is *not* applied — the
+    negation stays part of the leaf, matching how RapiCover counts
+    conditions on source operators.
+    """
+    leaves: List[Expression] = []
+
+    def walk(node: Expression) -> None:
+        if isinstance(node, Logical):
+            walk(node.left)
+            walk(node.right)
+        else:
+            leaves.append(node)
+
+    walk(expression)
+    return leaves
+
+
+# ---------------------------------------------------------------------------
+# statements
+
+
+@dataclass
+class Statement(Node):
+    """Base class for statements; carries the coverage statement id."""
+
+    statement_id: int = -1
+
+
+@dataclass
+class Declaration(Statement):
+    """``type name [size]? [= init]?`` — scalar or array declaration."""
+
+    type_name: str = "int"
+    name: str = ""
+    array_size: Optional[Expression] = None
+    initializer: Optional[Expression] = None
+    initializer_list: Optional[List[Expression]] = None
+
+
+@dataclass
+class ExpressionStatement(Statement):
+    expression: Optional[Expression] = None  # None = empty statement
+
+
+@dataclass
+class Block(Statement):
+    statements: List[Statement] = field(default_factory=list)
+
+
+@dataclass
+class If(Statement):
+    condition: Decision = None  # type: ignore[assignment]
+    then_branch: Statement = None  # type: ignore[assignment]
+    else_branch: Optional[Statement] = None
+
+
+@dataclass
+class While(Statement):
+    condition: Decision = None  # type: ignore[assignment]
+    body: Statement = None  # type: ignore[assignment]
+
+
+@dataclass
+class DoWhile(Statement):
+    body: Statement = None  # type: ignore[assignment]
+    condition: Decision = None  # type: ignore[assignment]
+
+
+@dataclass
+class For(Statement):
+    initializer: Optional[Statement] = None
+    condition: Optional[Decision] = None
+    increment: Optional[Expression] = None
+    body: Statement = None  # type: ignore[assignment]
+
+
+@dataclass
+class SwitchCase:
+    """One ``case value:`` or ``default:`` clause."""
+
+    value: Optional[Expression]  # None for default
+    body: List[Statement]
+    line: int
+    statement_id: int = -1
+
+
+@dataclass
+class Switch(Statement):
+    subject: Expression = None  # type: ignore[assignment]
+    cases: List[SwitchCase] = field(default_factory=list)
+
+
+@dataclass
+class Break(Statement):
+    pass
+
+
+@dataclass
+class Continue(Statement):
+    pass
+
+
+@dataclass
+class Return(Statement):
+    value: Optional[Expression] = None
+
+
+# ---------------------------------------------------------------------------
+# functions and programs
+
+
+@dataclass
+class ParameterDecl:
+    """A formal parameter: scalar, pointer (array alias), or array."""
+
+    type_name: str
+    name: str
+    is_pointer: bool
+    line: int
+
+
+@dataclass
+class Function(Node):
+    """A MiniC function definition."""
+
+    name: str = ""
+    return_type: str = "void"
+    parameters: List[ParameterDecl] = field(default_factory=list)
+    body: Block = None  # type: ignore[assignment]
+    is_kernel: bool = False
+    is_device: bool = False
+
+
+@dataclass
+class Program(Node):
+    """A parsed MiniC translation unit.
+
+    Attributes:
+        functions: all function definitions, in source order.
+        statement_count: number of statement ids assigned.
+        decision_count: number of decision ids assigned.
+        filename: source name for coverage reports.
+    """
+
+    functions: List[Function] = field(default_factory=list)
+    globals: List[Declaration] = field(default_factory=list)
+    statements: List[Statement] = field(default_factory=list)
+    decisions: List[Decision] = field(default_factory=list)
+    filename: str = "<memory>"
+
+    @property
+    def statement_count(self) -> int:
+        return len(self.statements)
+
+    @property
+    def decision_count(self) -> int:
+        return len(self.decisions)
+
+    def function(self, name: str) -> Function:
+        for candidate in self.functions:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"program defines no function {name!r}")
+
+    @property
+    def kernels(self) -> List[Function]:
+        return [function for function in self.functions if function.is_kernel]
+
+
+def iter_statements(node) -> List[Statement]:
+    """All statements beneath ``node`` (including it), preorder."""
+    found: List[Statement] = []
+
+    def walk(current) -> None:
+        if isinstance(current, Statement):
+            found.append(current)
+        if isinstance(current, Block):
+            for child in current.statements:
+                walk(child)
+        elif isinstance(current, If):
+            walk(current.then_branch)
+            if current.else_branch is not None:
+                walk(current.else_branch)
+        elif isinstance(current, (While, DoWhile)):
+            walk(current.body)
+        elif isinstance(current, For):
+            if current.initializer is not None:
+                walk(current.initializer)
+            walk(current.body)
+        elif isinstance(current, Switch):
+            for case in current.cases:
+                for child in case.body:
+                    walk(child)
+        elif isinstance(current, Function):
+            walk(current.body)
+
+    walk(node)
+    return found
+
+
+def iter_decisions(node) -> List[Tuple[Decision, Statement]]:
+    """All decisions beneath ``node`` with their owning statements."""
+    found: List[Tuple[Decision, Statement]] = []
+    for statement in iter_statements(node):
+        if isinstance(statement, If):
+            found.append((statement.condition, statement))
+        elif isinstance(statement, While):
+            found.append((statement.condition, statement))
+        elif isinstance(statement, DoWhile):
+            found.append((statement.condition, statement))
+        elif isinstance(statement, For) and statement.condition is not None:
+            found.append((statement.condition, statement))
+        # Ternary decisions are collected by the parser during assignment
+        # of ids; they are attached to their enclosing statement for
+        # reporting purposes only.
+    return found

@@ -1,0 +1,65 @@
+"""Builtin function library available to MiniC programs.
+
+Mirrors the slice of ``<math.h>``/CUDA math that the paper's workloads
+(YOLO layers, stencils) use.  Both the ``f``-suffixed single-precision and
+plain double-precision spellings are provided; MiniC collapses the
+distinction to Python floats, matching how cuda4cpu runs device code on
+the host.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict
+
+
+def _clamped_exp(value: float) -> float:
+    """exp with the saturation real hardware exhibits instead of raising."""
+    if value > 700.0:
+        return math.inf
+    if value < -700.0:
+        return 0.0
+    return math.exp(value)
+
+
+def _safe_log(value: float) -> float:
+    if value <= 0.0:
+        return -math.inf if value == 0.0 else math.nan
+    return math.log(value)
+
+
+def _safe_sqrt(value: float) -> float:
+    if value < 0.0:
+        return math.nan
+    return math.sqrt(value)
+
+
+BUILTINS: Dict[str, Callable] = {
+    "abs": lambda x: abs(int(x)),
+    "fabs": lambda x: abs(float(x)),
+    "fabsf": lambda x: abs(float(x)),
+    "sqrt": lambda x: _safe_sqrt(float(x)),
+    "sqrtf": lambda x: _safe_sqrt(float(x)),
+    "exp": lambda x: _clamped_exp(float(x)),
+    "expf": lambda x: _clamped_exp(float(x)),
+    "log": lambda x: _safe_log(float(x)),
+    "logf": lambda x: _safe_log(float(x)),
+    "pow": lambda x, y: float(x) ** float(y),
+    "powf": lambda x, y: float(x) ** float(y),
+    "sin": lambda x: math.sin(float(x)),
+    "sinf": lambda x: math.sin(float(x)),
+    "cos": lambda x: math.cos(float(x)),
+    "cosf": lambda x: math.cos(float(x)),
+    "tanh": lambda x: math.tanh(float(x)),
+    "tanhf": lambda x: math.tanh(float(x)),
+    "floor": lambda x: float(math.floor(float(x))),
+    "floorf": lambda x: float(math.floor(float(x))),
+    "ceil": lambda x: float(math.ceil(float(x))),
+    "ceilf": lambda x: float(math.ceil(float(x))),
+    "fmin": lambda x, y: min(float(x), float(y)),
+    "fminf": lambda x, y: min(float(x), float(y)),
+    "fmax": lambda x, y: max(float(x), float(y)),
+    "fmaxf": lambda x, y: max(float(x), float(y)),
+    "min": lambda x, y: min(x, y),
+    "max": lambda x, y: max(x, y),
+}

@@ -1,0 +1,21 @@
+"""Re-exports of MiniC error types for convenient import."""
+
+from ...errors import (
+    InterpreterError,
+    MiniCIndexError,
+    MiniCNameError,
+    MiniCRuntimeError,
+    MiniCStepLimitExceeded,
+    MiniCTypeError,
+    ParseError,
+)
+
+__all__ = [
+    "InterpreterError",
+    "MiniCIndexError",
+    "MiniCNameError",
+    "MiniCRuntimeError",
+    "MiniCStepLimitExceeded",
+    "MiniCTypeError",
+    "ParseError",
+]

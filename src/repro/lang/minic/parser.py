@@ -1,0 +1,729 @@
+"""Recursive-descent parser for MiniC.
+
+Grammar (C subset):
+
+* top level: global declarations and function definitions, with optional
+  ``__global__``/``__device__``/``static``/``inline`` qualifiers;
+* types: ``void``, ``int`` family (``char``/``short``/``long``/``unsigned``
+  collapse to ``int``), ``float`` family (``double`` collapses to
+  ``float``), ``bool`` (collapses to ``int``);
+* full C expression precedence including assignment, ternary,
+  short-circuit logic, bitwise, shifts, casts, subscripts and calls;
+* statements: declaration, expression, block, if/else, while, do-while,
+  for, switch/case/default, break, continue, return.
+
+The parser assigns dense ``statement_id``/``decision_id`` values and
+registers every statement and decision on the :class:`~.ast.Program`, which
+is what makes the coverage engine's flat probe arrays possible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ...errors import ParseError
+from ..lexer import tokenize
+from ..tokens import Token, TokenKind
+from . import ast
+
+_TYPE_STARTERS = frozenset({"void", "int", "float", "double", "bool", "char",
+                            "long", "short", "unsigned", "signed"})
+_QUALIFIERS = frozenset({"static", "inline", "const", "extern", "register",
+                         "volatile"})
+_CUDA_QUALIFIERS = frozenset({"__global__", "__device__", "__host__",
+                              "__forceinline__", "__restrict__"})
+_THREAD_BUILTINS = frozenset({"threadIdx", "blockIdx", "blockDim", "gridDim"})
+_FLOAT_TYPES = frozenset({"float", "double"})
+
+_ASSIGN_OPS = frozenset({"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+                         "<<=", ">>="})
+
+
+class Parser:
+    """One-shot parser: construct, then call :meth:`parse`."""
+
+    def __init__(self, source: str, filename: str = "<memory>") -> None:
+        self.filename = filename
+        raw = tokenize(source, filename, strict=True)
+        self.tokens = [token for token in raw
+                       if token.kind not in (TokenKind.COMMENT,
+                                             TokenKind.PREPROCESSOR)]
+        self.position = 0
+        self.program = ast.Program(line=1, filename=filename)
+
+    # ------------------------------------------------------------------
+    # token helpers
+
+    def _peek(self, offset: int = 0) -> Optional[Token]:
+        index = self.position + offset
+        if index < len(self.tokens):
+            return self.tokens[index]
+        return None
+
+    def _at_end(self) -> bool:
+        return self.position >= len(self.tokens)
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise self._error("unexpected end of input")
+        self.position += 1
+        return token
+
+    def _check_punct(self, text: str) -> bool:
+        token = self._peek()
+        return token is not None and token.is_punct(text)
+
+    def _check_keyword(self, text: str) -> bool:
+        token = self._peek()
+        return token is not None and token.is_keyword(text)
+
+    def _match_punct(self, text: str) -> bool:
+        if self._check_punct(text):
+            self.position += 1
+            return True
+        return False
+
+    def _match_keyword(self, text: str) -> bool:
+        if self._check_keyword(text):
+            self.position += 1
+            return True
+        return False
+
+    def _expect_punct(self, text: str) -> Token:
+        token = self._peek()
+        if token is None or not token.is_punct(text):
+            raise self._error(f"expected {text!r}"
+                              + (f", got {token.text!r}" if token else ""))
+        return self._advance()
+
+    def _expect_identifier(self) -> Token:
+        token = self._peek()
+        if token is None or token.kind is not TokenKind.IDENTIFIER:
+            raise self._error("expected identifier"
+                              + (f", got {token.text!r}" if token else ""))
+        return self._advance()
+
+    def _error(self, message: str) -> ParseError:
+        token = self._peek()
+        line = token.line if token else 0
+        column = token.column if token else 0
+        return ParseError(message, self.filename, line, column)
+
+    # ------------------------------------------------------------------
+    # id assignment
+
+    def _register_statement(self, statement: ast.Statement) -> None:
+        statement.statement_id = len(self.program.statements)
+        self.program.statements.append(statement)
+
+    def _make_decision(self, expression: ast.Expression,
+                       line: int) -> ast.Decision:
+        decision = ast.Decision(line=line, expression=expression)
+        decision.conditions = ast.decompose_conditions(expression)
+        decision.decision_id = len(self.program.decisions)
+        self.program.decisions.append(decision)
+        return decision
+
+    # ------------------------------------------------------------------
+    # top level
+
+    def parse(self) -> ast.Program:
+        while not self._at_end():
+            self._parse_top_level()
+        return self.program
+
+    def _parse_top_level(self) -> None:
+        is_kernel = False
+        is_device = False
+        while True:
+            token = self._peek()
+            if token is None:
+                return
+            if token.kind is TokenKind.KEYWORD \
+                    and token.text in _CUDA_QUALIFIERS:
+                if token.text == "__global__":
+                    is_kernel = True
+                elif token.text == "__device__":
+                    is_device = True
+                self._advance()
+            elif token.kind is TokenKind.KEYWORD \
+                    and token.text in _QUALIFIERS:
+                self._advance()
+            else:
+                break
+        type_name = self._parse_type()
+        # Pointer return types are not supported; a `*` here is an error.
+        if self._check_punct("*"):
+            raise self._error("pointer return types are not supported")
+        name = self._expect_identifier()
+        if self._check_punct("("):
+            self._parse_function(type_name, name, is_kernel, is_device)
+        else:
+            declaration = self._finish_declaration(type_name, name,
+                                                   register=False)
+            self.program.globals.append(declaration)
+
+    def _parse_type(self) -> str:
+        token = self._peek()
+        if token is None or token.kind is not TokenKind.KEYWORD \
+                or token.text not in _TYPE_STARTERS:
+            raise self._error("expected type name"
+                              + (f", got {token.text!r}" if token else ""))
+        parts = []
+        while True:
+            token = self._peek()
+            if token is not None and token.kind is TokenKind.KEYWORD \
+                    and token.text in _TYPE_STARTERS:
+                parts.append(token.text)
+                self._advance()
+            else:
+                break
+        if "void" in parts:
+            return "void"
+        if any(part in _FLOAT_TYPES for part in parts):
+            return "float"
+        return "int"
+
+    def _parse_function(self, return_type: str, name: Token,
+                        is_kernel: bool, is_device: bool) -> None:
+        self._expect_punct("(")
+        parameters: List[ast.ParameterDecl] = []
+        if not self._check_punct(")"):
+            if self._check_keyword("void") \
+                    and self._peek(1) is not None \
+                    and self._peek(1).is_punct(")"):
+                self._advance()
+            else:
+                while True:
+                    parameters.append(self._parse_parameter())
+                    if not self._match_punct(","):
+                        break
+        self._expect_punct(")")
+        body = self._parse_block()
+        self.program.functions.append(ast.Function(
+            line=name.line,
+            name=name.text,
+            return_type=return_type,
+            parameters=parameters,
+            body=body,
+            is_kernel=is_kernel,
+            is_device=is_device,
+        ))
+
+    def _parse_parameter(self) -> ast.ParameterDecl:
+        while self._check_keyword("const"):
+            self._advance()
+        type_name = self._parse_type()
+        while self._check_keyword("const"):
+            self._advance()
+        is_pointer = False
+        while self._check_punct("*"):
+            is_pointer = True
+            self._advance()
+        while self._peek() is not None \
+                and self._peek().kind is TokenKind.KEYWORD \
+                and self._peek().text == "__restrict__":
+            self._advance()
+        name = self._expect_identifier()
+        if self._match_punct("["):
+            is_pointer = True
+            if not self._check_punct("]"):
+                self._parse_expression()  # declared size is documentation
+            self._expect_punct("]")
+        return ast.ParameterDecl(type_name=type_name, name=name.text,
+                                 is_pointer=is_pointer, line=name.line)
+
+    # ------------------------------------------------------------------
+    # statements
+
+    def _parse_block(self) -> ast.Block:
+        open_brace = self._expect_punct("{")
+        statements: List[ast.Statement] = []
+        while not self._check_punct("}"):
+            if self._at_end():
+                raise self._error("unterminated block")
+            statements.append(self._parse_statement())
+        self._expect_punct("}")
+        return ast.Block(line=open_brace.line, statements=statements)
+
+    def _parse_statement(self) -> ast.Statement:
+        token = self._peek()
+        if token is None:
+            raise self._error("expected statement")
+        if token.is_punct("{"):
+            return self._parse_block()
+        if token.kind is TokenKind.KEYWORD:
+            if token.text in _TYPE_STARTERS or token.text == "const":
+                return self._parse_declaration()
+            if token.text == "if":
+                return self._parse_if()
+            if token.text == "while":
+                return self._parse_while()
+            if token.text == "do":
+                return self._parse_do_while()
+            if token.text == "for":
+                return self._parse_for()
+            if token.text == "switch":
+                return self._parse_switch()
+            if token.text == "break":
+                self._advance()
+                self._expect_punct(";")
+                statement = ast.Break(line=token.line)
+                self._register_statement(statement)
+                return statement
+            if token.text == "continue":
+                self._advance()
+                self._expect_punct(";")
+                statement = ast.Continue(line=token.line)
+                self._register_statement(statement)
+                return statement
+            if token.text == "return":
+                self._advance()
+                value = None
+                if not self._check_punct(";"):
+                    value = self._parse_expression()
+                self._expect_punct(";")
+                statement = ast.Return(line=token.line, value=value)
+                self._register_statement(statement)
+                return statement
+        if token.is_punct(";"):
+            self._advance()
+            return ast.ExpressionStatement(line=token.line, expression=None)
+        expression = self._parse_expression()
+        self._expect_punct(";")
+        statement = ast.ExpressionStatement(line=token.line,
+                                            expression=expression)
+        self._register_statement(statement)
+        return statement
+
+    def _parse_declaration(self) -> ast.Declaration:
+        while self._check_keyword("const"):
+            self._advance()
+        start = self._peek()
+        type_name = self._parse_type()
+        while self._check_keyword("const"):
+            self._advance()
+        name = self._expect_identifier()
+        declaration = self._finish_declaration(type_name, name,
+                                               register=True)
+        declaration.line = start.line if start else name.line
+        return declaration
+
+    def _finish_declaration(self, type_name: str, name: Token,
+                            register: bool) -> ast.Declaration:
+        declaration = ast.Declaration(line=name.line, type_name=type_name,
+                                      name=name.text)
+        if self._match_punct("["):
+            declaration.array_size = self._parse_expression()
+            self._expect_punct("]")
+            if self._match_punct("="):
+                self._expect_punct("{")
+                elements: List[ast.Expression] = []
+                if not self._check_punct("}"):
+                    while True:
+                        elements.append(self._parse_assignment())
+                        if not self._match_punct(","):
+                            break
+                self._expect_punct("}")
+                declaration.initializer_list = elements
+        elif self._match_punct("="):
+            declaration.initializer = self._parse_assignment()
+        self._expect_punct(";")
+        if register:
+            self._register_statement(declaration)
+        return declaration
+
+    def _parse_if(self) -> ast.If:
+        keyword = self._advance()
+        self._expect_punct("(")
+        condition = self._make_decision(self._parse_expression(),
+                                        keyword.line)
+        self._expect_punct(")")
+        then_branch = self._parse_statement()
+        else_branch = None
+        if self._match_keyword("else"):
+            else_branch = self._parse_statement()
+        statement = ast.If(line=keyword.line, condition=condition,
+                           then_branch=then_branch, else_branch=else_branch)
+        self._register_statement(statement)
+        return statement
+
+    def _parse_while(self) -> ast.While:
+        keyword = self._advance()
+        self._expect_punct("(")
+        condition = self._make_decision(self._parse_expression(),
+                                        keyword.line)
+        self._expect_punct(")")
+        body = self._parse_statement()
+        statement = ast.While(line=keyword.line, condition=condition,
+                              body=body)
+        self._register_statement(statement)
+        return statement
+
+    def _parse_do_while(self) -> ast.DoWhile:
+        keyword = self._advance()
+        body = self._parse_statement()
+        if not self._match_keyword("while"):
+            raise self._error("expected 'while' after do body")
+        self._expect_punct("(")
+        condition = self._make_decision(self._parse_expression(),
+                                        keyword.line)
+        self._expect_punct(")")
+        self._expect_punct(";")
+        statement = ast.DoWhile(line=keyword.line, body=body,
+                                condition=condition)
+        self._register_statement(statement)
+        return statement
+
+    def _parse_for(self) -> ast.For:
+        keyword = self._advance()
+        self._expect_punct("(")
+        initializer: Optional[ast.Statement] = None
+        if not self._check_punct(";"):
+            token = self._peek()
+            if token is not None and token.kind is TokenKind.KEYWORD \
+                    and (token.text in _TYPE_STARTERS
+                         or token.text == "const"):
+                initializer = self._parse_declaration()
+            else:
+                expression = self._parse_expression()
+                self._expect_punct(";")
+                initializer = ast.ExpressionStatement(line=token.line,
+                                                      expression=expression)
+                self._register_statement(initializer)
+        else:
+            self._advance()
+        condition: Optional[ast.Decision] = None
+        if not self._check_punct(";"):
+            condition = self._make_decision(self._parse_expression(),
+                                            keyword.line)
+        self._expect_punct(";")
+        increment: Optional[ast.Expression] = None
+        if not self._check_punct(")"):
+            increment = self._parse_expression()
+        self._expect_punct(")")
+        body = self._parse_statement()
+        statement = ast.For(line=keyword.line, initializer=initializer,
+                            condition=condition, increment=increment,
+                            body=body)
+        self._register_statement(statement)
+        return statement
+
+    def _parse_switch(self) -> ast.Switch:
+        keyword = self._advance()
+        self._expect_punct("(")
+        subject = self._parse_expression()
+        self._expect_punct(")")
+        self._expect_punct("{")
+        cases: List[ast.SwitchCase] = []
+        while not self._check_punct("}"):
+            token = self._peek()
+            if token is None:
+                raise self._error("unterminated switch")
+            if self._match_keyword("case"):
+                value = self._parse_expression()
+                self._expect_punct(":")
+                case = ast.SwitchCase(value=value, body=[], line=token.line)
+                case.statement_id = len(self.program.statements)
+                self.program.statements.append(case)  # type: ignore[arg-type]
+                cases.append(case)
+            elif self._match_keyword("default"):
+                self._expect_punct(":")
+                case = ast.SwitchCase(value=None, body=[], line=token.line)
+                case.statement_id = len(self.program.statements)
+                self.program.statements.append(case)  # type: ignore[arg-type]
+                cases.append(case)
+            else:
+                if not cases:
+                    raise self._error("statement before first case label")
+                cases[-1].body.append(self._parse_statement())
+        self._expect_punct("}")
+        statement = ast.Switch(line=keyword.line, subject=subject,
+                               cases=cases)
+        self._register_statement(statement)
+        return statement
+
+    # ------------------------------------------------------------------
+    # expressions (precedence climbing)
+
+    def _parse_expression(self) -> ast.Expression:
+        expression = self._parse_assignment()
+        while self._match_punct(","):
+            right = self._parse_assignment()
+            expression = ast.Binary(line=right.line, operator=",",
+                                    left=expression, right=right)
+        return expression
+
+    def _parse_assignment(self) -> ast.Expression:
+        target = self._parse_ternary()
+        token = self._peek()
+        if token is not None and token.kind is TokenKind.PUNCT \
+                and token.text in _ASSIGN_OPS:
+            if not isinstance(target, (ast.Identifier, ast.Index)):
+                raise self._error("assignment target must be a variable or "
+                                  "array element")
+            operator = self._advance().text
+            value = self._parse_assignment()
+            return ast.Assignment(line=token.line, operator=operator,
+                                  target=target, value=value)
+        return target
+
+    def _parse_ternary(self) -> ast.Expression:
+        condition = self._parse_logical_or()
+        if self._check_punct("?"):
+            token = self._advance()
+            decision = self._make_decision(condition, token.line)
+            then_value = self._parse_assignment()
+            self._expect_punct(":")
+            else_value = self._parse_assignment()
+            return ast.Conditional(line=token.line, condition=decision,
+                                   then_value=then_value,
+                                   else_value=else_value)
+        return condition
+
+    def _parse_logical_or(self) -> ast.Expression:
+        left = self._parse_logical_and()
+        while self._check_punct("||"):
+            token = self._advance()
+            right = self._parse_logical_and()
+            left = ast.Logical(line=token.line, operator="||", left=left,
+                               right=right)
+        return left
+
+    def _parse_logical_and(self) -> ast.Expression:
+        left = self._parse_bitwise_or()
+        while self._check_punct("&&"):
+            token = self._advance()
+            right = self._parse_bitwise_or()
+            left = ast.Logical(line=token.line, operator="&&", left=left,
+                               right=right)
+        return left
+
+    def _parse_bitwise_or(self) -> ast.Expression:
+        return self._parse_binary_level((("|",), ("^",), ("&",)), 0,
+                                        self._parse_equality)
+
+    def _parse_binary_level(self, levels, depth, bottom):
+        if depth >= len(levels):
+            return bottom()
+        operators = levels[depth]
+        left = self._parse_binary_level(levels, depth + 1, bottom)
+        while True:
+            token = self._peek()
+            if token is not None and token.kind is TokenKind.PUNCT \
+                    and token.text in operators:
+                self._advance()
+                right = self._parse_binary_level(levels, depth + 1, bottom)
+                left = ast.Binary(line=token.line, operator=token.text,
+                                  left=left, right=right)
+            else:
+                return left
+
+    def _parse_equality(self) -> ast.Expression:
+        left = self._parse_relational()
+        while True:
+            token = self._peek()
+            if token is not None and (token.is_punct("==")
+                                      or token.is_punct("!=")):
+                self._advance()
+                right = self._parse_relational()
+                left = ast.Binary(line=token.line, operator=token.text,
+                                  left=left, right=right)
+            else:
+                return left
+
+    def _parse_relational(self) -> ast.Expression:
+        left = self._parse_shift()
+        while True:
+            token = self._peek()
+            if token is not None and token.kind is TokenKind.PUNCT \
+                    and token.text in ("<", ">", "<=", ">="):
+                self._advance()
+                right = self._parse_shift()
+                left = ast.Binary(line=token.line, operator=token.text,
+                                  left=left, right=right)
+            else:
+                return left
+
+    def _parse_shift(self) -> ast.Expression:
+        left = self._parse_additive()
+        while True:
+            token = self._peek()
+            if token is not None and (token.is_punct("<<")
+                                      or token.is_punct(">>")):
+                self._advance()
+                right = self._parse_additive()
+                left = ast.Binary(line=token.line, operator=token.text,
+                                  left=left, right=right)
+            else:
+                return left
+
+    def _parse_additive(self) -> ast.Expression:
+        left = self._parse_multiplicative()
+        while True:
+            token = self._peek()
+            if token is not None and (token.is_punct("+")
+                                      or token.is_punct("-")):
+                self._advance()
+                right = self._parse_multiplicative()
+                left = ast.Binary(line=token.line, operator=token.text,
+                                  left=left, right=right)
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> ast.Expression:
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token is not None and token.kind is TokenKind.PUNCT \
+                    and token.text in ("*", "/", "%"):
+                self._advance()
+                right = self._parse_unary()
+                left = ast.Binary(line=token.line, operator=token.text,
+                                  left=left, right=right)
+            else:
+                return left
+
+    def _parse_unary(self) -> ast.Expression:
+        token = self._peek()
+        if token is None:
+            raise self._error("expected expression")
+        if token.kind is TokenKind.PUNCT and token.text in ("!", "-", "+",
+                                                            "~"):
+            self._advance()
+            operand = self._parse_unary()
+            return ast.Unary(line=token.line, operator=token.text,
+                             operand=operand)
+        if token.is_punct("++") or token.is_punct("--"):
+            self._advance()
+            target = self._parse_unary()
+            if not isinstance(target, (ast.Identifier, ast.Index)):
+                raise self._error("++/-- target must be a variable or "
+                                  "array element")
+            return ast.IncDec(line=token.line, operator=token.text,
+                              target=target, is_prefix=True)
+        if token.is_punct("(") and self._is_cast_ahead():
+            self._advance()
+            type_name = self._parse_type()
+            self._expect_punct(")")
+            operand = self._parse_unary()
+            return ast.Cast(line=token.line, type_name=type_name,
+                            operand=operand)
+        return self._parse_postfix()
+
+    def _is_cast_ahead(self) -> bool:
+        """True when position is at ``( typename )``."""
+        first = self._peek(1)
+        if first is None or first.kind is not TokenKind.KEYWORD \
+                or first.text not in _TYPE_STARTERS:
+            return False
+        offset = 1
+        while True:
+            token = self._peek(offset)
+            if token is None:
+                return False
+            if token.kind is TokenKind.KEYWORD \
+                    and token.text in _TYPE_STARTERS:
+                offset += 1
+                continue
+            return token.is_punct(")")
+
+    def _parse_postfix(self) -> ast.Expression:
+        expression = self._parse_primary()
+        while True:
+            token = self._peek()
+            if token is None:
+                return expression
+            if token.is_punct("["):
+                self._advance()
+                offset = self._parse_expression()
+                self._expect_punct("]")
+                expression = ast.Index(line=token.line, base=expression,
+                                       offset=offset)
+            elif token.is_punct("++") or token.is_punct("--"):
+                if not isinstance(expression, (ast.Identifier, ast.Index)):
+                    raise self._error("++/-- target must be a variable or "
+                                      "array element")
+                self._advance()
+                expression = ast.IncDec(line=token.line, operator=token.text,
+                                        target=expression, is_prefix=False)
+            else:
+                return expression
+
+    def _parse_primary(self) -> ast.Expression:
+        token = self._peek()
+        if token is None:
+            raise self._error("expected expression")
+        if token.kind is TokenKind.NUMBER:
+            self._advance()
+            return self._make_number(token)
+        if token.kind is TokenKind.CHAR:
+            self._advance()
+            return ast.IntLiteral(line=token.line,
+                                  value=_char_value(token.text))
+        if token.is_keyword("true"):
+            self._advance()
+            return ast.IntLiteral(line=token.line, value=1)
+        if token.is_keyword("false"):
+            self._advance()
+            return ast.IntLiteral(line=token.line, value=0)
+        if token.kind is TokenKind.IDENTIFIER:
+            if token.text in _THREAD_BUILTINS:
+                return self._parse_thread_builtin()
+            self._advance()
+            if self._check_punct("("):
+                self._advance()
+                arguments: List[ast.Expression] = []
+                if not self._check_punct(")"):
+                    while True:
+                        arguments.append(self._parse_assignment())
+                        if not self._match_punct(","):
+                            break
+                self._expect_punct(")")
+                return ast.Call(line=token.line, name=token.text,
+                                arguments=arguments)
+            return ast.Identifier(line=token.line, name=token.text)
+        if token.is_punct("("):
+            self._advance()
+            expression = self._parse_expression()
+            self._expect_punct(")")
+            return expression
+        raise self._error(f"unexpected token {token.text!r} in expression")
+
+    def _parse_thread_builtin(self) -> ast.ThreadBuiltin:
+        base = self._advance()
+        self._expect_punct(".")
+        axis = self._expect_identifier()
+        if axis.text not in ("x", "y", "z"):
+            raise self._error(f"unknown builtin axis {axis.text!r}")
+        return ast.ThreadBuiltin(line=base.line, base=base.text,
+                                 axis=axis.text)
+
+    @staticmethod
+    def _make_number(token: Token) -> ast.Expression:
+        if token.text.lower().startswith("0x"):
+            # Strip integer suffixes only — hex digits include 'f'/'F'.
+            cleaned = token.text.replace("'", "").rstrip("uUlL")
+            return ast.IntLiteral(line=token.line, value=int(cleaned, 16))
+        text = token.text.rstrip("uUlLfF")
+        cleaned = text.replace("'", "")
+        is_float = ("." in cleaned or "e" in cleaned.lower()
+                    or token.text.rstrip("uUlL").endswith(("f", "F")))
+        if is_float:
+            return ast.FloatLiteral(line=token.line, value=float(cleaned))
+        return ast.IntLiteral(line=token.line, value=int(cleaned, 0))
+
+
+def _char_value(literal: str) -> int:
+    inner = literal[1:-1]
+    if inner.startswith("\\"):
+        escapes = {"\\n": 10, "\\t": 9, "\\0": 0, "\\r": 13, "\\\\": 92,
+                   "\\'": 39}
+        return escapes.get(inner, ord(inner[-1]))
+    return ord(inner) if inner else 0
+
+
+def parse_program(source: str, filename: str = "<memory>") -> ast.Program:
+    """Parse MiniC source into a :class:`~.ast.Program`."""
+    return Parser(source, filename).parse()

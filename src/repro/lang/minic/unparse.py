@@ -1,0 +1,228 @@
+"""MiniC AST pretty-printer (unparser).
+
+Renders a parsed :class:`~.ast.Program` back to compilable MiniC source.
+Round-tripping (``parse(unparse(parse(src)))``) is the completeness proof
+of the AST — the property tests rely on it — and the unparser is what
+tools built on MiniC use to emit transformed programs (e.g. a
+goto-elimination or single-exit rewriter).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import ast
+
+_PRECEDENCE = {
+    ",": 0, "=": 1, "+=": 1, "-=": 1, "*=": 1, "/=": 1, "%=": 1,
+    "&=": 1, "|=": 1, "^=": 1, "<<=": 1, ">>=": 1,
+    "?:": 2, "||": 3, "&&": 4, "|": 5, "^": 6, "&": 7,
+    "==": 8, "!=": 8, "<": 9, ">": 9, "<=": 9, ">=": 9,
+    "<<": 10, ">>": 10, "+": 11, "-": 11, "*": 12, "/": 12, "%": 12,
+}
+
+
+def unparse_expression(node: ast.Expression, parent_precedence: int = 0
+                       ) -> str:
+    """Render one expression with minimal necessary parentheses."""
+    if isinstance(node, ast.IntLiteral):
+        return str(node.value)
+    if isinstance(node, ast.FloatLiteral):
+        text = repr(float(node.value))
+        return text + "f"
+    if isinstance(node, ast.Identifier):
+        return node.name
+    if isinstance(node, ast.ThreadBuiltin):
+        return f"{node.base}.{node.axis}"
+    if isinstance(node, ast.Unary):
+        inner = unparse_expression(node.operand, 13)
+        return f"{node.operator}{inner}"
+    if isinstance(node, (ast.Binary, ast.Logical)):
+        precedence = _PRECEDENCE.get(node.operator, 11)
+        left = unparse_expression(node.left, precedence)
+        right = unparse_expression(node.right, precedence + 1)
+        text = f"{left} {node.operator} {right}"
+        if precedence < parent_precedence:
+            return f"({text})"
+        return text
+    if isinstance(node, ast.Conditional):
+        condition = unparse_expression(node.condition.expression, 3)
+        then_value = unparse_expression(node.then_value, 2)
+        else_value = unparse_expression(node.else_value, 2)
+        text = f"{condition} ? {then_value} : {else_value}"
+        if parent_precedence > 2:
+            return f"({text})"
+        return text
+    if isinstance(node, ast.Assignment):
+        target = unparse_expression(node.target, 2)
+        value = unparse_expression(node.value, 1)
+        text = f"{target} {node.operator} {value}"
+        if parent_precedence > 1:
+            return f"({text})"
+        return text
+    if isinstance(node, ast.IncDec):
+        target = unparse_expression(node.target, 13)
+        if node.is_prefix:
+            return f"{node.operator}{target}"
+        return f"{target}{node.operator}"
+    if isinstance(node, ast.Call):
+        arguments = ", ".join(unparse_expression(argument, 1)
+                              for argument in node.arguments)
+        return f"{node.name}({arguments})"
+    if isinstance(node, ast.Index):
+        base = unparse_expression(node.base, 13)
+        offset = unparse_expression(node.offset, 0)
+        return f"{base}[{offset}]"
+    if isinstance(node, ast.Cast):
+        inner = unparse_expression(node.operand, 13)
+        return f"({node.type_name}){inner}"
+    raise TypeError(f"cannot unparse {type(node).__name__}")
+
+
+class _Writer:
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.indent = 0
+
+    def emit(self, text: str) -> None:
+        self.lines.append("  " * self.indent + text)
+
+
+def _unparse_statement(statement: ast.Statement, writer: _Writer) -> None:
+    if isinstance(statement, ast.Block):
+        writer.emit("{")
+        writer.indent += 1
+        for child in statement.statements:
+            _unparse_statement(child, writer)
+        writer.indent -= 1
+        writer.emit("}")
+    elif isinstance(statement, ast.Declaration):
+        writer.emit(_declaration_text(statement) + ";")
+    elif isinstance(statement, ast.ExpressionStatement):
+        if statement.expression is None:
+            writer.emit(";")
+        else:
+            writer.emit(unparse_expression(statement.expression) + ";")
+    elif isinstance(statement, ast.If):
+        condition = unparse_expression(statement.condition.expression)
+        writer.emit(f"if ({condition}) {{")
+        writer.indent += 1
+        _unparse_branch(statement.then_branch, writer)
+        writer.indent -= 1
+        if statement.else_branch is not None:
+            writer.emit("} else {")
+            writer.indent += 1
+            _unparse_branch(statement.else_branch, writer)
+            writer.indent -= 1
+        writer.emit("}")
+    elif isinstance(statement, ast.While):
+        condition = unparse_expression(statement.condition.expression)
+        writer.emit(f"while ({condition}) {{")
+        writer.indent += 1
+        _unparse_branch(statement.body, writer)
+        writer.indent -= 1
+        writer.emit("}")
+    elif isinstance(statement, ast.DoWhile):
+        writer.emit("do {")
+        writer.indent += 1
+        _unparse_branch(statement.body, writer)
+        writer.indent -= 1
+        condition = unparse_expression(statement.condition.expression)
+        writer.emit(f"}} while ({condition});")
+    elif isinstance(statement, ast.For):
+        initializer = ""
+        if isinstance(statement.initializer, ast.Declaration):
+            initializer = _declaration_text(statement.initializer)
+        elif isinstance(statement.initializer, ast.ExpressionStatement) \
+                and statement.initializer.expression is not None:
+            initializer = unparse_expression(
+                statement.initializer.expression)
+        condition = (unparse_expression(statement.condition.expression)
+                     if statement.condition is not None else "")
+        increment = (unparse_expression(statement.increment)
+                     if statement.increment is not None else "")
+        writer.emit(f"for ({initializer}; {condition}; {increment}) {{")
+        writer.indent += 1
+        _unparse_branch(statement.body, writer)
+        writer.indent -= 1
+        writer.emit("}")
+    elif isinstance(statement, ast.Switch):
+        subject = unparse_expression(statement.subject)
+        writer.emit(f"switch ({subject}) {{")
+        writer.indent += 1
+        for case in statement.cases:
+            if case.value is None:
+                writer.emit("default:")
+            else:
+                writer.emit(f"case {unparse_expression(case.value)}:")
+            writer.indent += 1
+            for child in case.body:
+                _unparse_statement(child, writer)
+            writer.indent -= 1
+        writer.indent -= 1
+        writer.emit("}")
+    elif isinstance(statement, ast.Break):
+        writer.emit("break;")
+    elif isinstance(statement, ast.Continue):
+        writer.emit("continue;")
+    elif isinstance(statement, ast.Return):
+        if statement.value is None:
+            writer.emit("return;")
+        else:
+            writer.emit(f"return {unparse_expression(statement.value)};")
+    else:
+        raise TypeError(f"cannot unparse {type(statement).__name__}")
+
+
+def _unparse_branch(statement: ast.Statement, writer: _Writer) -> None:
+    """Emit a branch body without doubling braces for blocks."""
+    if isinstance(statement, ast.Block):
+        for child in statement.statements:
+            _unparse_statement(child, writer)
+    else:
+        _unparse_statement(statement, writer)
+
+
+def _declaration_text(declaration: ast.Declaration) -> str:
+    text = f"{declaration.type_name} {declaration.name}"
+    if declaration.array_size is not None:
+        text += f"[{unparse_expression(declaration.array_size)}]"
+        if declaration.initializer_list is not None:
+            elements = ", ".join(unparse_expression(element)
+                                 for element in
+                                 declaration.initializer_list)
+            text += f" = {{{elements}}}"
+    elif declaration.initializer is not None:
+        text += f" = {unparse_expression(declaration.initializer)}"
+    return text
+
+
+def unparse_function(function: ast.Function) -> str:
+    """Render one function definition."""
+    writer = _Writer()
+    qualifier = ""
+    if function.is_kernel:
+        qualifier = "__global__ "
+    elif function.is_device:
+        qualifier = "__device__ "
+    parameters = ", ".join(
+        f"{parameter.type_name} {'*' if parameter.is_pointer else ''}"
+        f"{parameter.name}"
+        for parameter in function.parameters)
+    writer.emit(f"{qualifier}{function.return_type} "
+                f"{function.name}({parameters}) {{")
+    writer.indent += 1
+    _unparse_branch(function.body, writer)
+    writer.indent -= 1
+    writer.emit("}")
+    return "\n".join(writer.lines)
+
+
+def unparse_program(program: ast.Program) -> str:
+    """Render a whole program: globals first, then functions."""
+    pieces: List[str] = []
+    for declaration in program.globals:
+        pieces.append(_declaration_text(declaration) + ";")
+    for function in program.functions:
+        pieces.append(unparse_function(function))
+    return "\n\n".join(pieces) + "\n"

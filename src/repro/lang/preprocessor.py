@@ -1,0 +1,163 @@
+"""Lightweight preprocessor-directive analysis.
+
+The analyzers never expand macros — industrial metric tools such as Lizard
+do not either — but several checks need directive-level facts: the include
+graph feeds the coupling metric, macro definitions feed the hidden-control-
+flow check, and conditional-compilation density is itself a complexity
+signal flagged by MISRA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .lexer import Lexer
+from .tokens import Token, TokenKind
+
+
+@dataclass(frozen=True)
+class Directive:
+    """A parsed preprocessor directive.
+
+    Attributes:
+        name: directive keyword, e.g. ``"include"``, ``"define"``.
+        argument: the remainder of the directive line, stripped.
+        line: 1-based source line.
+    """
+
+    name: str
+    argument: str
+    line: int
+
+
+@dataclass(frozen=True)
+class Include:
+    """An ``#include`` directive.
+
+    Attributes:
+        target: the included path, without quotes or angle brackets.
+        system: True for ``<...>`` includes, False for ``"..."`` includes.
+        line: 1-based source line.
+    """
+
+    target: str
+    system: bool
+    line: int
+
+
+@dataclass(frozen=True)
+class MacroDefinition:
+    """A ``#define``; function-like macros can hide control flow.
+
+    Attributes:
+        name: the macro name.
+        is_function_like: True when the macro takes parameters.
+        body: the replacement text, stripped.
+        line: 1-based source line.
+    """
+
+    name: str
+    is_function_like: bool
+    body: str
+    line: int
+
+
+@dataclass
+class PreprocessorSummary:
+    """All directive-level facts extracted from one translation unit."""
+
+    includes: List[Include] = field(default_factory=list)
+    macros: List[MacroDefinition] = field(default_factory=list)
+    conditionals: int = 0
+    directives: List[Directive] = field(default_factory=list)
+
+    @property
+    def local_includes(self) -> List[Include]:
+        """Includes using quote syntax — intra-project dependencies."""
+        return [include for include in self.includes if not include.system]
+
+    @property
+    def system_includes(self) -> List[Include]:
+        """Includes using angle-bracket syntax — external dependencies."""
+        return [include for include in self.includes if include.system]
+
+    @property
+    def function_like_macros(self) -> List[MacroDefinition]:
+        """Macros that take arguments and can therefore hide flow."""
+        return [macro for macro in self.macros if macro.is_function_like]
+
+
+_CONDITIONAL_NAMES = frozenset(
+    {"if", "ifdef", "ifndef", "elif", "elifdef", "elifndef"})
+
+
+def parse_directive(token: Token) -> Optional[Directive]:
+    """Parse a PREPROCESSOR token into a :class:`Directive`, or None."""
+    if token.kind is not TokenKind.PREPROCESSOR:
+        return None
+    body = token.text.lstrip()[1:].lstrip()  # drop the leading '#'
+    if not body:
+        return Directive(name="", argument="", line=token.line)
+    parts = body.split(None, 1)
+    name = parts[0]
+    argument = parts[1].strip() if len(parts) > 1 else ""
+    return Directive(name=name, argument=argument, line=token.line)
+
+
+def _parse_include(directive: Directive) -> Optional[Include]:
+    argument = directive.argument
+    if argument.startswith("<"):
+        end = argument.find(">")
+        if end > 0:
+            return Include(argument[1:end], system=True, line=directive.line)
+    elif argument.startswith('"'):
+        end = argument.find('"', 1)
+        if end > 0:
+            return Include(argument[1:end], system=False, line=directive.line)
+    return None
+
+
+def _parse_define(directive: Directive) -> Optional[MacroDefinition]:
+    argument = directive.argument
+    if not argument:
+        return None
+    name_end = 0
+    while name_end < len(argument) and (argument[name_end].isalnum()
+                                        or argument[name_end] == "_"):
+        name_end += 1
+    if name_end == 0:
+        return None
+    name = argument[:name_end]
+    is_function_like = name_end < len(argument) and argument[name_end] == "("
+    if is_function_like:
+        close = argument.find(")", name_end)
+        body = argument[close + 1:].strip() if close >= 0 else ""
+    else:
+        body = argument[name_end:].strip()
+    return MacroDefinition(name=name, is_function_like=is_function_like,
+                           body=body, line=directive.line)
+
+
+def summarize(source: str, filename: str = "<memory>") -> PreprocessorSummary:
+    """Extract directive-level facts from one translation unit."""
+    summary = PreprocessorSummary()
+    lexer = Lexer(source, filename, strict=False)
+    for token in lexer.tokens():
+        if token.kind is TokenKind.END:
+            break
+        directive = parse_directive(token)
+        if directive is None:
+            continue
+        summary.directives.append(directive)
+        if directive.name == "include":
+            include = _parse_include(directive)
+            if include is not None:
+                summary.includes.append(include)
+        elif directive.name == "define":
+            macro = _parse_define(directive)
+            if macro is not None:
+                summary.macros.append(macro)
+        elif directive.name in _CONDITIONAL_NAMES:
+            summary.conditionals += 1
+    return summary

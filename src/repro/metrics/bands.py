@@ -1,0 +1,71 @@
+"""Cyclomatic-complexity risk bands used by the paper.
+
+Section 3.1.1: "As reference ranges we use: 1-10 (low); 11-20 (moderate);
+21-50 (risky); and >50 (unstable)."  A function is *moderate or higher*
+when its complexity exceeds 10; the paper counts 554 such functions across
+Apollo.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, List
+
+
+class ComplexityBand(enum.Enum):
+    """The paper's four reference ranges for cyclomatic complexity."""
+
+    LOW = "low"
+    MODERATE = "moderate"
+    RISKY = "risky"
+    UNSTABLE = "unstable"
+
+    @property
+    def bounds(self) -> tuple:
+        """Inclusive (low, high) complexity bounds of the band."""
+        return _BAND_BOUNDS[self]
+
+    @classmethod
+    def classify(cls, complexity: int) -> "ComplexityBand":
+        """Band containing the given cyclomatic complexity (must be >= 1)."""
+        if complexity < 1:
+            raise ValueError(f"cyclomatic complexity must be >= 1, "
+                             f"got {complexity}")
+        for band, (low, high) in _BAND_BOUNDS.items():
+            if low <= complexity <= high:
+                return band
+        raise AssertionError("bands must cover all complexities")
+
+    @property
+    def exceeds_low(self) -> bool:
+        """True for moderate/risky/unstable — the paper's gap criterion."""
+        return self is not ComplexityBand.LOW
+
+
+_BAND_BOUNDS: Dict[ComplexityBand, tuple] = {
+    ComplexityBand.LOW: (1, 10),
+    ComplexityBand.MODERATE: (11, 20),
+    ComplexityBand.RISKY: (21, 50),
+    ComplexityBand.UNSTABLE: (51, 10 ** 9),
+}
+
+#: Thresholds used for the Figure 3 bars ("number of functions with a
+#: cyclomatic complexity over a given value").
+FIGURE3_THRESHOLDS: List[int] = [5, 10, 20, 50]
+
+
+def band_histogram(complexities: Iterable[int]) -> Dict[ComplexityBand, int]:
+    """Count functions per band."""
+    histogram = {band: 0 for band in ComplexityBand}
+    for complexity in complexities:
+        histogram[ComplexityBand.classify(complexity)] += 1
+    return histogram
+
+
+def count_over_thresholds(complexities: Iterable[int],
+                          thresholds: Iterable[int] = tuple(FIGURE3_THRESHOLDS),
+                          ) -> Dict[int, int]:
+    """For each threshold, count functions with complexity strictly above it."""
+    values = list(complexities)
+    return {threshold: sum(1 for value in values if value > threshold)
+            for threshold in thresholds}

@@ -1,0 +1,106 @@
+"""Cyclomatic-complexity measurement over the fuzzy C++ model.
+
+The complexity itself is computed while the model is built (one pass over
+the token stream, matching Lizard's counting rules); this module aggregates
+it per file and per module, producing exactly the quantities plotted in
+Figure 3 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+from ..lang.cppmodel import FunctionInfo, TranslationUnit
+from .bands import (
+    FIGURE3_THRESHOLDS,
+    ComplexityBand,
+    band_histogram,
+    count_over_thresholds,
+)
+
+
+@dataclass
+class FunctionComplexity:
+    """Complexity record of one function, for reports and sorting."""
+
+    name: str
+    filename: str
+    start_line: int
+    complexity: int
+
+    @property
+    def band(self) -> ComplexityBand:
+        return ComplexityBand.classify(self.complexity)
+
+
+@dataclass
+class ComplexitySummary:
+    """Aggregated complexity statistics for a set of functions."""
+
+    records: List[FunctionComplexity] = field(default_factory=list)
+
+    @property
+    def function_count(self) -> int:
+        return len(self.records)
+
+    @property
+    def complexities(self) -> List[int]:
+        return [record.complexity for record in self.records]
+
+    @property
+    def max_complexity(self) -> int:
+        return max(self.complexities, default=0)
+
+    @property
+    def mean_complexity(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(self.complexities) / len(self.records)
+
+    @property
+    def moderate_or_higher(self) -> int:
+        """Functions with complexity > 10 — the paper's 554-count metric."""
+        return sum(1 for value in self.complexities if value > 10)
+
+    def histogram(self) -> Dict[ComplexityBand, int]:
+        return band_histogram(self.complexities)
+
+    def over_thresholds(self,
+                        thresholds: Sequence[int] = tuple(FIGURE3_THRESHOLDS),
+                        ) -> Dict[int, int]:
+        return count_over_thresholds(self.complexities, thresholds)
+
+    def worst(self, count: int = 10) -> List[FunctionComplexity]:
+        """The ``count`` most complex functions, most complex first."""
+        return sorted(self.records, key=lambda record: -record.complexity)[:count]
+
+    def extend(self, other: "ComplexitySummary") -> None:
+        self.records.extend(other.records)
+
+
+def summarize_functions(functions: Iterable[FunctionInfo],
+                        filename: str = "<memory>") -> ComplexitySummary:
+    """Build a summary from already-analyzed function records."""
+    summary = ComplexitySummary()
+    for function in functions:
+        summary.records.append(FunctionComplexity(
+            name=function.qualified_name,
+            filename=filename,
+            start_line=function.start_line,
+            complexity=function.cyclomatic_complexity,
+        ))
+    return summary
+
+
+def summarize_unit(unit: TranslationUnit) -> ComplexitySummary:
+    """Complexity summary of one translation unit."""
+    return summarize_functions(unit.functions, unit.filename)
+
+
+def summarize_units(units: Iterable[TranslationUnit]) -> ComplexitySummary:
+    """Complexity summary across many translation units (e.g. one module)."""
+    summary = ComplexitySummary()
+    for unit in units:
+        summary.extend(summarize_unit(unit))
+    return summary

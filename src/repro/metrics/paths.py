@@ -1,0 +1,119 @@
+"""Static path counting (NPATH) on MiniC ASTs — the WCET-analysis proxy.
+
+Section 3.1.1 of the paper ties high cyclomatic complexity to the cost of
+"timing (WCET) estimation": the number of acyclic execution paths a
+static timing analyzer must enumerate grows *multiplicatively* with
+sequential decisions, while cyclomatic complexity only grows additively.
+NPATH (Nejmeh, 1988) captures that blow-up; this module computes it
+exactly on the strict MiniC AST.
+
+Rules (loops count their body once plus the skip path, matching the
+classic NPATH definition):
+
+* sequence: product of the statements' path counts;
+* ``if``: paths(then) + 1 (no else) or paths(then) + paths(else);
+* ``while``/``for``/``do``: paths(body) + 1;
+* ``switch``: sum over case bodies (+1 when no default exists);
+* ternary: adds a factor of 2 at its expression site.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..lang.minic import ast
+
+
+def npath_expression(node) -> int:
+    """Multiplicative path factor contributed by an expression."""
+    if node is None:
+        return 1
+    if isinstance(node, ast.Conditional):
+        return (npath_expression(node.condition.expression)
+                * (npath_expression(node.then_value)
+                   + npath_expression(node.else_value)))
+    if isinstance(node, ast.Logical):
+        # Short-circuit adds an evaluation path.
+        return npath_expression(node.left) + npath_expression(node.right)
+    if isinstance(node, ast.Binary):
+        return npath_expression(node.left) * npath_expression(node.right)
+    if isinstance(node, ast.Unary):
+        return npath_expression(node.operand)
+    if isinstance(node, ast.Assignment):
+        return npath_expression(node.value)
+    if isinstance(node, ast.Call):
+        product = 1
+        for argument in node.arguments:
+            product *= npath_expression(argument)
+        return product
+    if isinstance(node, ast.Index):
+        return (npath_expression(node.base)
+                * npath_expression(node.offset))
+    if isinstance(node, ast.Cast):
+        return npath_expression(node.operand)
+    return 1
+
+
+def npath_statement(statement: ast.Statement) -> int:
+    """NPATH of one statement."""
+    if isinstance(statement, ast.Block):
+        return npath_sequence(statement.statements)
+    if isinstance(statement, ast.If):
+        condition = npath_expression(statement.condition.expression)
+        then_paths = npath_statement(statement.then_branch)
+        if statement.else_branch is None:
+            return condition * (then_paths + 1)
+        return condition * (then_paths
+                            + npath_statement(statement.else_branch))
+    if isinstance(statement, (ast.While, ast.DoWhile)):
+        condition = npath_expression(statement.condition.expression)
+        return condition * (npath_statement(statement.body) + 1)
+    if isinstance(statement, ast.For):
+        condition = (npath_expression(statement.condition.expression)
+                     if statement.condition is not None else 1)
+        return condition * (npath_statement(statement.body) + 1)
+    if isinstance(statement, ast.Switch):
+        total = 0
+        has_default = any(case.value is None for case in statement.cases)
+        for case in statement.cases:
+            total += npath_sequence(case.body)
+        if not has_default:
+            total += 1
+        return max(1, total)
+    if isinstance(statement, ast.ExpressionStatement):
+        return npath_expression(statement.expression)
+    if isinstance(statement, ast.Declaration):
+        return npath_expression(statement.initializer)
+    if isinstance(statement, ast.Return):
+        return npath_expression(statement.value)
+    return 1
+
+
+def npath_sequence(statements: List[ast.Statement]) -> int:
+    product = 1
+    for statement in statements:
+        product *= npath_statement(statement)
+    return product
+
+
+def npath_function(function: ast.Function) -> int:
+    """NPATH of a MiniC function body."""
+    return npath_statement(function.body)
+
+
+def npath_program(program: ast.Program) -> dict:
+    """NPATH per function, keyed by name."""
+    return {function.name: npath_function(function)
+            for function in program.functions}
+
+
+def wcet_enumeration_cost(program: ast.Program,
+                          paths_per_second: float = 10_000.0) -> float:
+    """A coarse "seconds to enumerate all paths" proxy for a timing tool.
+
+    Demonstrates the paper's point quantitatively: a function of
+    cyclomatic complexity ~20 built from sequential decisions already has
+    ~2^19 paths, making exhaustive path-based WCET analysis intractable.
+    """
+    total_paths = sum(npath_program(program).values())
+    return total_paths / paths_per_second

@@ -1,0 +1,57 @@
+"""Calibrated roofline performance models for the Figure 7/8 case studies."""
+
+from .conv import ConvComparison, compare_conv, render_conv_table
+from .detection import (
+    DetectionResult,
+    detection_time,
+    relative_to_baseline,
+    render_case_study,
+    run_case_study,
+)
+from .device import DEVICES, DRIVE_PX2, TITAN_XP, XEON_CPU, DeviceSpec
+from .gemm import GemmComparison, compare_gemm, render_gemm_table
+from .libraries import (
+    AtlasModel,
+    CuBlasModel,
+    CuDnnModel,
+    CutlassModel,
+    IsaacModel,
+    LibraryModel,
+    OpenBlasModel,
+)
+from .model import Prediction, occupancy_factor, predict_time, stable_jitter
+from .workloads import CONV_WORKLOADS, GEMM_WORKLOADS, NamedConv, NamedGemm
+
+__all__ = [
+    "AtlasModel",
+    "CONV_WORKLOADS",
+    "ConvComparison",
+    "CuBlasModel",
+    "CuDnnModel",
+    "CutlassModel",
+    "DEVICES",
+    "DRIVE_PX2",
+    "DetectionResult",
+    "DeviceSpec",
+    "GEMM_WORKLOADS",
+    "GemmComparison",
+    "IsaacModel",
+    "LibraryModel",
+    "NamedConv",
+    "NamedGemm",
+    "OpenBlasModel",
+    "Prediction",
+    "TITAN_XP",
+    "XEON_CPU",
+    "compare_conv",
+    "compare_gemm",
+    "detection_time",
+    "occupancy_factor",
+    "predict_time",
+    "relative_to_baseline",
+    "render_case_study",
+    "render_conv_table",
+    "render_gemm_table",
+    "run_case_study",
+    "stable_jitter",
+]

@@ -1,0 +1,59 @@
+"""Figure 8b: relative convolution performance, ISAAC vs cuDNN."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .device import DeviceSpec
+from .libraries import CuDnnModel, IsaacModel
+from .workloads import CONV_WORKLOADS, NamedConv
+
+
+@dataclass(frozen=True)
+class ConvComparison:
+    """One Figure 8b bar: a conv workload under cuDNN and ISAAC."""
+
+    label: str
+    domain: str
+    cudnn_gflops: float
+    isaac_gflops: float
+
+    @property
+    def relative(self) -> float:
+        """ISAAC performance relative to cuDNN (1.0 = parity)."""
+        return self.isaac_gflops / self.cudnn_gflops
+
+
+def compare_conv(workloads: Optional[List[NamedConv]] = None,
+                 device: Optional[DeviceSpec] = None
+                 ) -> List[ConvComparison]:
+    """Run the Figure 8b sweep; deterministic for a fixed device."""
+    workloads = workloads if workloads is not None else CONV_WORKLOADS
+    cudnn = CuDnnModel(device)
+    isaac = IsaacModel(device)
+    rows: List[ConvComparison] = []
+    for workload in workloads:
+        rows.append(ConvComparison(
+            label=workload.label,
+            domain=workload.domain,
+            cudnn_gflops=cudnn.conv_gflops(workload.shape),
+            isaac_gflops=isaac.conv_gflops(workload.shape),
+        ))
+    return rows
+
+
+def render_conv_table(rows: List[ConvComparison]) -> str:
+    """Plain-text Figure 8b."""
+    lines = [f"{'workload':<20}{'domain':<16}{'cuDNN':>10}{'ISAAC':>10}"
+             f"{'relative':>10}",
+             "-" * 66]
+    for row in rows:
+        lines.append(f"{row.label:<20}{row.domain:<16}"
+                     f"{row.cudnn_gflops:>10.0f}"
+                     f"{row.isaac_gflops:>10.0f}"
+                     f"{row.relative:>10.2f}")
+    mean = sum(row.relative for row in rows) / len(rows) if rows else 0.0
+    lines.append("-" * 66)
+    lines.append(f"{'mean relative':<52}{mean:>10.2f}")
+    return "\n".join(lines)

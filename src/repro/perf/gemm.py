@@ -1,0 +1,59 @@
+"""Figure 8a: relative GEMM performance, CUTLASS vs cuBLAS."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .device import DeviceSpec
+from .libraries import CuBlasModel, CutlassModel
+from .workloads import GEMM_WORKLOADS, NamedGemm
+
+
+@dataclass(frozen=True)
+class GemmComparison:
+    """One Figure 8a bar: a workload and the two libraries' numbers."""
+
+    label: str
+    domain: str
+    cublas_gflops: float
+    cutlass_gflops: float
+
+    @property
+    def relative(self) -> float:
+        """CUTLASS performance relative to cuBLAS (1.0 = parity)."""
+        return self.cutlass_gflops / self.cublas_gflops
+
+
+def compare_gemm(workloads: Optional[List[NamedGemm]] = None,
+                 device: Optional[DeviceSpec] = None
+                 ) -> List[GemmComparison]:
+    """Run the Figure 8a sweep; deterministic for a fixed device."""
+    workloads = workloads if workloads is not None else GEMM_WORKLOADS
+    cublas = CuBlasModel(device)
+    cutlass = CutlassModel(device)
+    rows: List[GemmComparison] = []
+    for workload in workloads:
+        rows.append(GemmComparison(
+            label=workload.label,
+            domain=workload.domain,
+            cublas_gflops=cublas.gemm_gflops(workload.shape),
+            cutlass_gflops=cutlass.gemm_gflops(workload.shape),
+        ))
+    return rows
+
+
+def render_gemm_table(rows: List[GemmComparison]) -> str:
+    """Plain-text Figure 8a."""
+    lines = [f"{'workload':<20}{'domain':<16}{'cuBLAS':>10}{'CUTLASS':>10}"
+             f"{'relative':>10}",
+             "-" * 66]
+    for row in rows:
+        lines.append(f"{row.label:<20}{row.domain:<16}"
+                     f"{row.cublas_gflops:>10.0f}"
+                     f"{row.cutlass_gflops:>10.0f}"
+                     f"{row.relative:>10.2f}")
+    mean = sum(row.relative for row in rows) / len(rows) if rows else 0.0
+    lines.append("-" * 66)
+    lines.append(f"{'GEOMEAN-ish (arith mean of ratios)':<52}{mean:>10.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""The roofline + efficiency-curve performance model.
+
+A workload (GEMM or convolution) has a FLOP count and a minimum DRAM
+traffic; a device has a compute roof and a bandwidth roof; a *library*
+contributes a shape-dependent efficiency in (0, 1] for each roof.  The
+predicted kernel time is::
+
+    time = max(flops / (peak * compute_eff),
+               bytes / (bandwidth * memory_eff)) + launch_overhead
+
+Libraries differ only in their efficiency curves, which is exactly the
+empirical structure behind Figures 7/8: CUTLASS tracks cuBLAS within
+±20% depending on shape, ISAAC's input-aware auto-tuning recovers the
+shapes cuDNN's fixed heuristics lose, and CPU BLAS sits on a device whose
+roofs are two orders of magnitude lower.
+
+Per-shape variability is modeled with a *deterministic* hash-based jitter,
+so every run of every benchmark reproduces identical numbers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Union
+
+from ..dnn.layers import ConvShape, GemmShape
+from ..errors import PerfModelError
+from .device import DeviceSpec
+
+Workload = Union[GemmShape, ConvShape]
+
+
+def stable_jitter(key: str, low: float, high: float) -> float:
+    """A deterministic pseudo-random factor in [low, high] for ``key``.
+
+    Derived from MD5 so it is stable across processes and Python versions
+    (``hash()`` is salted; this must not be).
+    """
+    if low > high:
+        raise PerfModelError(f"empty jitter range [{low}, {high}]")
+    digest = hashlib.md5(key.encode("utf-8")).digest()
+    fraction = int.from_bytes(digest[:8], "big") / float(1 << 64)
+    return low + (high - low) * fraction
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """A predicted kernel execution."""
+
+    library: str
+    device: str
+    seconds: float
+    flops: int
+    achieved_flops: float
+
+    @property
+    def efficiency_of_peak(self) -> float:
+        return self.achieved_flops
+
+
+def predict_time(device: DeviceSpec, flops: int, bytes_moved: int,
+                 compute_efficiency: float,
+                 memory_efficiency: float = 0.75,
+                 calls: int = 1) -> float:
+    """Roofline time for one kernel (seconds)."""
+    if not 0.0 < compute_efficiency <= 1.0:
+        raise PerfModelError(
+            f"compute efficiency must be in (0, 1], got "
+            f"{compute_efficiency}")
+    if not 0.0 < memory_efficiency <= 1.0:
+        raise PerfModelError(
+            f"memory efficiency must be in (0, 1], got {memory_efficiency}")
+    compute_time = flops / (device.peak_flops * compute_efficiency)
+    memory_time = bytes_moved / (device.memory_bandwidth * memory_efficiency)
+    return max(compute_time, memory_time) + calls * device.launch_overhead_s
+
+
+def occupancy_factor(parallel_work: int, saturation: float = 20000.0
+                     ) -> float:
+    """How much of the device a workload can occupy, in (0, 1].
+
+    Small problems cannot fill a GPU: efficiency ramps with the number of
+    independent output elements and saturates once tens of thousands of
+    threads exist.  CPUs saturate three orders of magnitude earlier.
+    """
+    if parallel_work <= 0:
+        raise PerfModelError("parallel work must be positive")
+    return parallel_work / (parallel_work + saturation)

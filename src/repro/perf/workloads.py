@@ -1,0 +1,82 @@
+"""Named benchmark workloads for the Figure 8 sweeps.
+
+Figure 8a compares GEMM kernels "widely used in YOLO" plus DeepBench-style
+shapes from other domains; Figure 8b compares convolution kernels "for a
+variety of domains".  The shapes below are the standard public benchmark
+shapes for those domains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..dnn.layers import ConvShape, GemmShape
+
+
+@dataclass(frozen=True)
+class NamedGemm:
+    """A labelled GEMM workload."""
+
+    label: str
+    domain: str
+    shape: GemmShape
+
+
+@dataclass(frozen=True)
+class NamedConv:
+    """A labelled convolution workload."""
+
+    label: str
+    domain: str
+    shape: ConvShape
+
+
+#: GEMM shapes: YOLO's im2col GEMMs plus DeepBench speech/NLP shapes.
+GEMM_WORKLOADS: List[NamedGemm] = [
+    NamedGemm("yolo-conv2", "vision",
+              GemmShape(m=64, n=46208, k=288)),
+    NamedGemm("yolo-conv5", "vision",
+              GemmShape(m=256, n=2888, k=1152)),
+    NamedGemm("yolo-conv8", "vision",
+              GemmShape(m=1024, n=169, k=4608)),
+    NamedGemm("deepbench-train-0", "speech",
+              GemmShape(m=1760, n=128, k=1760)),
+    NamedGemm("deepbench-train-1", "speech",
+              GemmShape(m=2560, n=64, k=2560)),
+    NamedGemm("deepbench-infer-0", "speech",
+              GemmShape(m=5124, n=700, k=2048)),
+    NamedGemm("deepbench-infer-1", "nlp",
+              GemmShape(m=3072, n=3000, k=1024)),
+    NamedGemm("square-1024", "hpc", GemmShape(m=1024, n=1024, k=1024)),
+    NamedGemm("square-4096", "hpc", GemmShape(m=4096, n=4096, k=4096)),
+    NamedGemm("skinny-rank64", "hpc", GemmShape(m=4096, n=4096, k=64)),
+]
+
+#: Convolution shapes: classification, detection, and segmentation layers.
+CONV_WORKLOADS: List[NamedConv] = [
+    NamedConv("alexnet-conv2", "classification",
+              ConvShape(batch=16, in_channels=96, out_channels=256,
+                        in_h=27, in_w=27, ksize=5, stride=1, pad=2)),
+    NamedConv("vgg-conv3.1", "classification",
+              ConvShape(batch=16, in_channels=128, out_channels=256,
+                        in_h=56, in_w=56, ksize=3, stride=1, pad=1)),
+    NamedConv("resnet-conv4x", "classification",
+              ConvShape(batch=16, in_channels=256, out_channels=256,
+                        in_h=14, in_w=14, ksize=3, stride=1, pad=1)),
+    NamedConv("yolo-conv1", "detection",
+              ConvShape(batch=1, in_channels=3, out_channels=16,
+                        in_h=416, in_w=416, ksize=3, stride=1, pad=1)),
+    NamedConv("yolo-conv4", "detection",
+              ConvShape(batch=1, in_channels=64, out_channels=128,
+                        in_h=52, in_w=52, ksize=3, stride=1, pad=1)),
+    NamedConv("yolo-conv7", "detection",
+              ConvShape(batch=1, in_channels=512, out_channels=1024,
+                        in_h=13, in_w=13, ksize=3, stride=1, pad=1)),
+    NamedConv("segnet-encoder3", "segmentation",
+              ConvShape(batch=4, in_channels=121, out_channels=243,
+                        in_h=60, in_w=80, ksize=3, stride=1, pad=1)),
+    NamedConv("speech-conv1", "speech",
+              ConvShape(batch=8, in_channels=1, out_channels=32,
+                        in_h=161, in_w=700, ksize=5, stride=2, pad=0)),
+]

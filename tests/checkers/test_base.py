@@ -1,0 +1,94 @@
+"""Tests for the checker framework itself."""
+
+import pytest
+
+from repro.checkers import (
+    CastChecker,
+    Checker,
+    CheckerReport,
+    Finding,
+    GlobalVariableChecker,
+    Severity,
+    enclosing_function_name,
+    run_checkers,
+)
+from repro.lang import parse_translation_unit
+
+
+class TestFinding:
+    def test_located_with_line(self):
+        finding = Finding(rule="R1", message="msg", filename="a.cc",
+                          line=12)
+        assert finding.located() == "a.cc:12: [R1] msg"
+
+    def test_located_file_level(self):
+        finding = Finding(rule="R1", message="msg", filename="a.cc")
+        assert finding.located() == "a.cc: [R1] msg"
+
+    def test_severity_ordering(self):
+        assert Severity.INFO < Severity.MINOR < Severity.MAJOR \
+            < Severity.CRITICAL
+
+
+class TestCheckerReport:
+    def test_count_by_rule(self):
+        report = CheckerReport(checker="x")
+        report.findings = [
+            Finding(rule="A", message="", filename="f"),
+            Finding(rule="A", message="", filename="f"),
+            Finding(rule="B", message="", filename="f"),
+        ]
+        assert report.count_by_rule() == {"A": 2, "B": 1}
+
+    def test_merge_sums_stats(self):
+        first = CheckerReport(checker="x", stats={"n": 1})
+        second = CheckerReport(checker="x", stats={"n": 2, "m": 5})
+        first.merge(second)
+        assert first.stats == {"n": 3, "m": 5}
+
+    def test_merge_rejects_mismatched_checker(self):
+        first = CheckerReport(checker="x")
+        second = CheckerReport(checker="y")
+        with pytest.raises(ValueError):
+            first.merge(second)
+
+    def test_ratio_helper(self):
+        assert Checker.ratio(1, 4) == 0.25
+        assert Checker.ratio(1, 0) == 0.0
+
+
+class TestRunCheckers:
+    def test_runs_all_and_keys_by_name(self):
+        unit = parse_translation_unit(
+            "int g_x = 0;\nvoid f(float v) { int y = (int)v; }", "a.cc")
+        reports = run_checkers([CastChecker(), GlobalVariableChecker()],
+                               [unit])
+        assert set(reports) == {"casts", "globals"}
+        assert reports["casts"].stats["explicit_casts"] == 1
+        assert reports["globals"].stats["mutable_globals"] == 1
+
+
+class TestEnclosingFunction:
+    SOURCE = """
+void outer() {
+  int a = 1;
+}
+void second() {
+  int b = 2;
+}
+"""
+
+    def test_line_inside_function(self):
+        unit = parse_translation_unit(self.SOURCE, "a.cc")
+        assert enclosing_function_name(unit, 3) == "outer"
+        assert enclosing_function_name(unit, 6) == "second"
+
+    def test_line_outside_functions(self):
+        unit = parse_translation_unit(self.SOURCE, "a.cc")
+        assert enclosing_function_name(unit, 100) == ""
+
+    def test_innermost_wins(self):
+        source = ("class C {\n public:\n  void method() {\n"
+                  "    int x = 1;\n  }\n};")
+        unit = parse_translation_unit(source, "a.cc")
+        assert enclosing_function_name(unit, 4) == "C::method"

@@ -1,0 +1,180 @@
+"""Tests for the Brook Auto-style GPU-safe-subset checker."""
+
+from repro.checkers import GpuSubsetChecker
+from repro.gpu.kernels import ALL_KERNELS_SOURCE
+from repro.lang import parse_translation_unit
+from repro.lang.minic import parse_program
+
+
+def strict_check(source):
+    return GpuSubsetChecker().check_program(parse_program(source), "k.cu")
+
+
+def fuzzy_check(source):
+    unit = parse_translation_unit(source, "k.cu")
+    return GpuSubsetChecker().check_unit(unit)
+
+
+def rules_of(report):
+    return {finding.rule for finding in report.findings}
+
+
+GOOD_KERNEL = """
+__global__ void scale(float *out, float *in, float factor, int n) {
+  int i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    out[i] = in[i] * factor;
+  }
+}
+"""
+
+
+class TestStrictFrontEnd:
+    def test_compliant_kernel(self):
+        report = strict_check(GOOD_KERNEL)
+        assert report.stats["kernels_checked"] == 1
+        assert report.stats["subset_compliant_kernels"] == 1
+        assert report.stats["guarded_kernels"] == 1
+
+    def test_stream_rewrite_count(self):
+        report = strict_check(GOOD_KERNEL)
+        # Two buffer parameters -> two stream rewrites for Brook Auto.
+        assert report.stats["stream_rewrites_needed"] == 2
+
+    def test_missing_range_guard_flagged(self):
+        source = """
+        __global__ void unguarded(float *out, int n) {
+          int i = threadIdx.x;
+          out[i] = 1.0f;
+        }
+        """
+        report = strict_check(source)
+        assert "GS3" in rules_of(report)
+        assert report.stats["subset_compliant_kernels"] == 0
+
+    def test_pointer_arithmetic_flagged(self):
+        source = """
+        __global__ void shifty(float *out, int n) {
+          int i = threadIdx.x;
+          if (i < n) {
+            (out + i)[0] = 1.0f;
+          }
+        }
+        """
+        report = strict_check(source)
+        assert "GS2" in rules_of(report)
+
+    def test_subscripting_is_allowed(self):
+        report = strict_check(GOOD_KERNEL)
+        assert "GS2" not in rules_of(report)
+
+    def test_unbounded_loop_flagged(self):
+        source = """
+        __global__ void spin(float *out, int n) {
+          int i = threadIdx.x;
+          if (i < n) {
+            while (1) {
+              out[i] = 0.0f;
+              break;
+            }
+          }
+        }
+        """
+        report = strict_check(source)
+        assert "GS6" in rules_of(report)
+
+    def test_bounded_loop_allowed(self):
+        source = """
+        __global__ void reduce(float *out, float *in, int n) {
+          int i = threadIdx.x;
+          if (i < n) {
+            float s = 0.0f;
+            for (int k = 0; k < n; k++) {
+              s += in[k];
+            }
+            out[i] = s;
+          }
+        }
+        """
+        report = strict_check(source)
+        assert "GS6" not in rules_of(report)
+
+    def test_device_recursion_flagged(self):
+        source = """
+        __device__ int walk(int depth) {
+          if (depth <= 0) {
+            return 0;
+          }
+          return walk(depth - 1);
+        }
+        __global__ void driver(float *out, int n) {
+          int i = threadIdx.x;
+          if (i < n) {
+            out[i] = walk(i);
+          }
+        }
+        """
+        report = strict_check(source)
+        assert "GS5" in rules_of(report)
+
+    def test_all_shipped_kernels_are_subset_compliant(self):
+        """The reproduction's own kernels obey the GPU-safe subset."""
+        report = strict_check(ALL_KERNELS_SOURCE)
+        assert report.stats["kernels_checked"] == 9
+        assert report.stats["subset_compliant_kernels"] == 9
+
+
+class TestFuzzyFrontEnd:
+    def test_corpus_kernel_clean(self):
+        source = """
+        __global__ void scale(float *out, float *in, float f, int n) {
+          int i = blockIdx.x * blockDim.x + threadIdx.x;
+          if (i < n) {
+            out[i] = in[i] * f;
+          }
+        }
+        """
+        report = fuzzy_check(source)
+        assert report.stats["kernels_checked"] == 1
+        assert report.stats["subset_compliant_kernels"] == 1
+
+    def test_dynamic_memory_in_kernel_flagged(self):
+        source = """
+        __global__ void alloc(float *out, int n) {
+          float* scratch = (float*)malloc(n * 4);
+          out[0] = scratch[0];
+          free(scratch);
+        }
+        """
+        report = fuzzy_check(source)
+        assert "GS4" in rules_of(report)
+
+    def test_recursive_kernel_flagged(self):
+        source = """
+        __global__ void recur(float *out, int n) {
+          if (n > 0) {
+            recur(out, n - 1);
+          }
+        }
+        """
+        report = fuzzy_check(source)
+        assert "GS5" in rules_of(report)
+
+    def test_host_functions_ignored(self):
+        source = "void host_only() { float* p = new float[4]; delete[] p; }"
+        report = fuzzy_check(source)
+        assert report.stats["kernels_checked"] == 0
+        assert report.findings == []
+
+    def test_corpus_cuda_units(self, small_corpus):
+        """Corpus kernels pass the fuzzy subset audit (they follow the
+        Figure 4 idiom, whose dynamic memory lives in host wrappers)."""
+        checker = GpuSubsetChecker()
+        for record in small_corpus.files:
+            if not record.path.endswith(".cu"):
+                continue
+            unit = parse_translation_unit(record.source, record.path)
+            report = checker.check_unit(unit)
+            assert report.stats["kernels_checked"] > 0
+            assert report.stats["subset_compliant_kernels"] == \
+                report.stats["kernels_checked"]

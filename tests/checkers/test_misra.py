@@ -1,0 +1,175 @@
+"""Tests for the MISRA language-subset checker."""
+
+from repro.checkers.misra import MisraChecker, cuda_intrinsic_violations
+from repro.lang import parse_translation_unit
+
+
+def check(source, filename="test.cc"):
+    unit = parse_translation_unit(source, filename)
+    return MisraChecker().check_project([unit])
+
+
+def rules_of(report):
+    return {finding.rule for finding in report.findings}
+
+
+class TestBannedConstructs:
+    def test_goto_flagged(self):
+        report = check("void f() { goto end; end: return; }")
+        assert "M15.1" in rules_of(report)
+
+    def test_multiple_exits_flagged(self):
+        report = check("int f(int x) { if (x) return 1; return 0; }")
+        assert "M15.5" in rules_of(report)
+
+    def test_single_exit_clean(self):
+        report = check("int f(int x) { int r = x; return r; }")
+        assert "M15.5" not in rules_of(report)
+
+    def test_malloc_flagged(self):
+        report = check("void f() { void* p = malloc(8); free(p); }")
+        assert "M21.3" in rules_of(report)
+        assert "D4.12" in rules_of(report)
+
+    def test_new_flagged_as_dynamic(self):
+        report = check("void f() { int* p = new int; delete p; }")
+        assert "D4.12" in rules_of(report)
+
+    def test_setjmp_flagged(self):
+        report = check("void f() { setjmp(env); }")
+        assert "M21.4" in rules_of(report)
+
+    def test_printf_flagged(self):
+        report = check('void f() { printf("x"); }')
+        assert "M21.6" in rules_of(report)
+
+    def test_atoi_flagged(self):
+        report = check('void f(char* s) { int x = atoi(s); }')
+        assert "M21.7" in rules_of(report)
+
+    def test_exit_flagged(self):
+        report = check("void f() { exit(1); }")
+        assert "M21.8" in rules_of(report)
+
+    def test_banned_header(self):
+        report = check("#include <stdio.h>\nvoid f() { }")
+        assert "M21.6" in rules_of(report)
+
+    def test_octal_constant(self):
+        report = check("void f() { int x = 0755; }")
+        assert "M7.1" in rules_of(report)
+
+    def test_zero_is_not_octal(self):
+        report = check("void f() { int x = 0; }")
+        assert "M7.1" not in rules_of(report)
+
+    def test_hex_is_not_octal(self):
+        report = check("void f() { int x = 0x12; }")
+        assert "M7.1" not in rules_of(report)
+
+    def test_union_flagged(self):
+        report = check("union U { int i; float f; };")
+        assert "M19.2" in rules_of(report)
+
+    def test_direct_recursion(self):
+        report = check("int f(int n) { if (n) { return f(n - 1); } "
+                       "return 0; }")
+        assert "M17.2" in rules_of(report)
+
+    def test_unused_parameter(self):
+        report = check("int f(int used, int unused) { return used; }")
+        findings = [finding for finding in report.findings
+                    if finding.rule == "M2.7"]
+        assert len(findings) == 1
+        assert "unused" in findings[0].message
+
+
+class TestCompoundBodies:
+    def test_braceless_if_flagged(self):
+        report = check("void f(int x) { if (x) x++; }")
+        assert "M15.6" in rules_of(report)
+
+    def test_braced_if_clean(self):
+        report = check("void f(int x) { if (x) { x++; } }")
+        assert "M15.6" not in rules_of(report)
+
+    def test_else_if_chain_allowed(self):
+        report = check(
+            "void f(int x) { if (x) { } else if (x > 1) { } else { } }")
+        assert "M15.6" not in rules_of(report)
+
+    def test_braceless_for_flagged(self):
+        report = check("void f() { for (int i = 0; i < 3; i++) g(i); }")
+        assert "M15.6" in rules_of(report)
+
+    def test_braceless_else_flagged(self):
+        report = check("void f(int x) { if (x) { } else x++; }")
+        assert "M15.6" in rules_of(report)
+
+
+class TestSwitchRules:
+    def test_missing_default(self):
+        report = check(
+            "void f(int x) { switch (x) { case 1: break; } }")
+        assert "M16.4" in rules_of(report)
+
+    def test_default_present_clean(self):
+        report = check(
+            "void f(int x) { switch (x) { case 1: break; "
+            "default: break; } }")
+        assert "M16.4" not in rules_of(report)
+
+    def test_fallthrough_flagged(self):
+        report = check(
+            "void f(int x) { switch (x) { case 1: x++; case 2: break; "
+            "default: break; } }")
+        assert "M16.3" in rules_of(report)
+
+    def test_empty_shared_labels_allowed(self):
+        report = check(
+            "void f(int x) { switch (x) { case 1: case 2: x++; break; "
+            "default: break; } }")
+        assert "M16.3" not in rules_of(report)
+
+    def test_return_terminates_clause(self):
+        report = check(
+            "int f(int x) { switch (x) { case 1: return 1; "
+            "default: return 0; } }")
+        assert "M16.3" not in rules_of(report)
+
+
+class TestGpuStatistics:
+    CUDA = """
+    __global__ void k(float *out, float *in, int n) {
+      int i = blockIdx.x * blockDim.x + threadIdx.x;
+      if (i < n) {
+        out[i] = in[i];
+      }
+    }
+    void launch(float *out, float *in, int n) {
+      float *d;
+      cudaMalloc((void**)&d, n);
+      k<<<1, 32>>>(out, in, n);
+      cudaFree(d);
+    }
+    """
+
+    def test_gpu_function_counting(self):
+        report = check(self.CUDA, "k.cu")
+        assert report.stats["gpu_functions"] == 1
+        assert report.stats["gpu_functions_with_pointers"] == 1
+
+    def test_cuda_intrinsic_summary(self):
+        report = check(self.CUDA, "k.cu")
+        summary = cuda_intrinsic_violations(report)
+        assert summary["pointer_ratio"] == 1.0
+
+    def test_violations_per_kloc_computed(self):
+        report = check("#include <stdio.h>\nvoid f() { }\n")
+        assert report.stats["violations_per_kloc"] > 0
+        assert report.stats["misra_clean"] == 0.0
+
+    def test_clean_file(self):
+        report = check("int f(int x) { int r = x + 1; return r; }")
+        assert report.stats["misra_violations"] == 0
+        assert report.stats["misra_clean"] == 1.0

@@ -1,0 +1,70 @@
+"""Tests for the extended MISRA rules (M8.2, M12.3, M13.4)."""
+
+from repro.checkers.misra import MisraChecker
+from repro.lang import parse_translation_unit
+
+
+def check(source, filename="test.cc"):
+    unit = parse_translation_unit(source, filename)
+    return MisraChecker().check_project([unit])
+
+
+def rules_of(report):
+    return {finding.rule for finding in report.findings}
+
+
+class TestUnnamedParameters:
+    def test_unnamed_parameter_flagged(self):
+        report = check("void f(int, float named) { named += 1.0f; }")
+        assert "M8.2" in rules_of(report)
+
+    def test_named_parameters_clean(self):
+        report = check("void f(int a, float b) { b += a; }")
+        assert "M8.2" not in rules_of(report)
+
+    def test_void_list_not_flagged(self):
+        report = check("void f(void) { }")
+        assert "M8.2" not in rules_of(report)
+
+
+class TestAssignmentInCondition:
+    def test_if_assignment_flagged(self):
+        report = check("void f(int x, int y) { if (x = y) { x++; } }")
+        assert "M13.4" in rules_of(report)
+
+    def test_while_assignment_flagged(self):
+        report = check(
+            "void f(int x, int y) { while (x = next(y)) { use(x); } }")
+        assert "M13.4" in rules_of(report)
+
+    def test_comparison_clean(self):
+        report = check("void f(int x, int y) { if (x == y) { x++; } }")
+        assert "M13.4" not in rules_of(report)
+
+    def test_compound_comparison_clean(self):
+        report = check(
+            "void f(int x, int y) { if (x <= y && x >= 0) { x++; } }")
+        assert "M13.4" not in rules_of(report)
+
+    def test_assignment_in_body_clean(self):
+        report = check("void f(int x, int y) { if (x > y) { x = y; } }")
+        assert "M13.4" not in rules_of(report)
+
+
+class TestCommaInForIncrement:
+    def test_comma_increment_flagged(self):
+        report = check(
+            "void f(int n) { for (int i = 0, j = 0; i < n; i++, j++) "
+            "{ use(i, j); } }")
+        assert "M12.3" in rules_of(report)
+
+    def test_plain_for_clean(self):
+        report = check(
+            "void f(int n) { for (int i = 0; i < n; i++) { use(i); } }")
+        assert "M12.3" not in rules_of(report)
+
+    def test_call_in_condition_not_confused(self):
+        report = check(
+            "void f(int n) { for (int i = 0; valid(i, n); i++) "
+            "{ use(i); } }")
+        assert "M12.3" not in rules_of(report)

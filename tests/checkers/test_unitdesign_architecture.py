@@ -1,0 +1,177 @@
+"""Tests for the unit-design and architecture checkers."""
+
+from repro.checkers import (
+    ArchitectureChecker,
+    ArchitectureConfig,
+    UnitDesignChecker,
+    module_from_path,
+)
+from repro.lang import parse_translation_unit
+
+
+def units_of(sources):
+    return [parse_translation_unit(text, path)
+            for path, text in sources.items()]
+
+
+def ud_check(source, filename="t.cc"):
+    return UnitDesignChecker().check_project(
+        [parse_translation_unit(source, filename)])
+
+
+def rules_of(report):
+    return {finding.rule for finding in report.findings}
+
+
+class TestUnitDesign:
+    def test_multi_exit_detection(self):
+        report = ud_check(
+            "int f(int x) { if (x) { return 1; } return 0; }")
+        assert report.stats["multi_exit_functions"] == 1
+        assert report.stats["multi_exit_ratio"] == 1.0
+
+    def test_single_exit_clean(self):
+        report = ud_check("int f(int x) { int y = x; return y; }")
+        assert report.stats["multi_exit_functions"] == 0
+
+    def test_dynamic_allocation(self):
+        report = ud_check("void f(int n) { float* p = new float[n]; }")
+        assert report.stats["dynamic_alloc_functions"] == 1
+
+    def test_uninitialized_local(self):
+        report = ud_check("void f() { int x; x = 3; }")
+        assert report.stats["uninitialized_declarations"] == 1
+
+    def test_initialized_local_clean(self):
+        report = ud_check("void f() { int x = 0; }")
+        assert report.stats["uninitialized_declarations"] == 0
+
+    def test_shadowing_detection(self):
+        report = ud_check(
+            "void f(int x) { if (x) { int x = 2; } }")
+        assert report.stats["shadowed_names"] == 1
+
+    def test_shadowing_of_sibling_scope_not_flagged(self):
+        report = ud_check(
+            "void f(int c) { if (c) { int y = 1; } "
+            "if (c) { float z = 2.0f; } }")
+        assert report.stats["shadowed_names"] == 0
+
+    def test_goto_counted(self):
+        report = ud_check("void f() { goto x; x: return; }")
+        assert report.stats["goto_functions"] == 1
+        assert "UD9.goto" in rules_of(report)
+
+    def test_pointer_functions(self):
+        report = ud_check("void f(float* p) { }\nvoid g(int x) { }")
+        assert report.stats["pointer_functions"] == 1
+        assert report.stats["pointer_ratio"] == 0.5
+
+    def test_hidden_flow_macro(self):
+        report = ud_check(
+            "#define CHECK_IT(x) if (!(x)) return\n"
+            "void f(int v) { CHECK_IT(v); }")
+        assert report.stats["hidden_flow_sites"] >= 1
+        assert "UD8.macro_flow" in rules_of(report)
+
+    def test_conditional_compilation_hidden_flow(self):
+        report = ud_check(
+            "#ifdef GPU\nvoid f() { }\n#else\nvoid f() { }\n#endif")
+        assert "UD8.cond_compilation" in rules_of(report)
+
+    def test_direct_recursion_detected(self):
+        report = ud_check(
+            "int f(int n) { if (n) { return f(n - 1); } return 0; }")
+        assert report.stats["recursive_functions"] == 1
+
+    def test_indirect_recursion_detected(self):
+        report = ud_check(
+            "int a(int n) { return b(n); }\n"
+            "int b(int n) { if (n) { return a(n - 1); } return 0; }")
+        assert report.stats["recursive_functions"] == 2
+
+    def test_acyclic_calls_not_recursive(self):
+        report = ud_check(
+            "int leaf(int n) { return n; }\n"
+            "int mid(int n) { return leaf(n); }\n"
+            "int top(int n) { return mid(n); }")
+        assert report.stats["recursive_functions"] == 0
+
+    def test_cross_file_recursion(self):
+        units = units_of({
+            "a.cc": "int ping(int n) { return pong(n); }",
+            "b.cc": "int pong(int n) { if (n) { return ping(n - 1); } "
+                    "return 0; }",
+        })
+        report = UnitDesignChecker().check_project(units)
+        assert report.stats["recursive_functions"] == 2
+
+
+class TestArchitecture:
+    def make_sources(self):
+        return {
+            "alpha/core/a.cc": (
+                '#include "beta/api.h"\n'
+                "void AlphaWork() { BetaApi(); }\n"),
+            "beta/api.cc": (
+                "void BetaApi() { BetaHelper(); }\n"
+                "void BetaHelper() { }\n"),
+        }
+
+    def test_module_from_path(self):
+        assert module_from_path("perception/camera/x.cc") == "perception"
+        assert module_from_path("file.cc") == "<root>"
+
+    def test_module_grouping_and_hierarchy(self):
+        report = ArchitectureChecker().check_project(
+            units_of(self.make_sources()))
+        assert report.stats["modules"] == 2
+        assert report.stats["hierarchy_depth"] == 2
+
+    def test_component_size_violation(self):
+        config = ArchitectureConfig(max_component_loc=1)
+        report = ArchitectureChecker(config).check_project(
+            units_of(self.make_sources()))
+        assert report.stats["oversized_components"] == 2
+
+    def test_interface_size_violation(self):
+        source = ("class Fat {\n public:\n"
+                  + "".join(f"  void m{i}();\n" for i in range(25))
+                  + "};")
+        config = ArchitectureConfig(max_interface_methods=20)
+        report = ArchitectureChecker(config).check_project(
+            units_of({"m/a.cc": source}))
+        assert report.stats["oversized_interfaces"] == 1
+
+    def test_cohesion_intra_module(self):
+        sources = {
+            "one/a.cc": "void A() { B(); }\nvoid B() { }\n",
+        }
+        report = ArchitectureChecker().check_project(units_of(sources))
+        assert report.stats["mean_cohesion"] == 1.0
+
+    def test_coupling_fanout(self):
+        sources = {
+            "one/a.cc": ('#include "two/x.h"\n#include "three/y.h"\n'
+                         "void A() { }\n"),
+            "two/x.cc": "void X() { }\n",
+            "three/y.cc": "void Y() { }\n",
+        }
+        report = ArchitectureChecker().check_project(units_of(sources))
+        assert report.stats["max_module_fanout"] == 2
+
+    def test_scheduling_sites(self):
+        sources = {"m/a.cc": "void Run() { pthread_create(t, 0, w, 0); }\n"}
+        report = ArchitectureChecker().check_project(units_of(sources))
+        assert report.stats["scheduling_sites"] == 1
+
+    def test_interrupt_sites(self):
+        sources = {"m/a.cc": "void Install() { signal(2, handler); }\n"}
+        report = ArchitectureChecker().check_project(units_of(sources))
+        assert report.stats["interrupt_sites"] == 1
+
+    def test_clean_architecture(self):
+        sources = {"m/a.cc": "void Quiet() { }\n"}
+        report = ArchitectureChecker().check_project(units_of(sources))
+        assert report.stats["scheduling_sites"] == 0
+        assert report.stats["interrupt_sites"] == 0

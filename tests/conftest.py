@@ -1,0 +1,20 @@
+"""Shared fixtures: a small deterministic corpus reused across tests."""
+
+import pytest
+
+from repro.corpus import apollo_spec, generate_corpus
+from repro.core import assess_corpus
+
+#: Scale small enough for fast tests, large enough that every statistic
+#: (casts, globals, gotos, recursion) is non-degenerate.
+TEST_SCALE = 0.04
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    return generate_corpus(apollo_spec(scale=TEST_SCALE))
+
+
+@pytest.fixture(scope="session")
+def small_assessment(small_corpus):
+    return assess_corpus(small_corpus)

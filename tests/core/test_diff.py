@@ -1,0 +1,90 @@
+"""Tests for the remediation round trip and assessment diffing."""
+
+import pytest
+
+from repro.core import assess_corpus, diff_assessments, gap_reduction
+from repro.corpus import apollo_remediated_spec, generate_corpus
+from repro.iso26262 import Verdict
+
+
+@pytest.fixture(scope="module")
+def remediated_assessment():
+    return assess_corpus(
+        generate_corpus(apollo_remediated_spec(scale=0.04)))
+
+
+@pytest.fixture(scope="module")
+def diff(small_assessment, remediated_assessment):
+    return diff_assessments(small_assessment, remediated_assessment)
+
+
+class TestRemediatedCorpus:
+    def test_engineering_fixes_flip_verdicts(self, remediated_assessment):
+        tables = remediated_assessment.tables
+        modeling = tables["modeling_coding"]
+        assert modeling.assessment("low_complexity").verdict \
+            is Verdict.COMPLIANT
+        assert modeling.assessment("defensive_implementation").verdict \
+            is Verdict.COMPLIANT
+        unit = tables["unit_design"]
+        assert unit.assessment("single_entry_exit").verdict \
+            is Verdict.COMPLIANT
+        assert unit.assessment("variable_initialization").verdict \
+            is Verdict.COMPLIANT
+        assert unit.assessment("no_unconditional_jumps").verdict \
+            is Verdict.COMPLIANT
+        assert unit.assessment("no_recursion").verdict \
+            is Verdict.COMPLIANT
+
+    def test_research_gaps_persist(self, remediated_assessment):
+        """GPU code keeps its intrinsic violations — the research items."""
+        tables = remediated_assessment.tables
+        assert tables["modeling_coding"].assessment(
+            "language_subsets").verdict is Verdict.NON_COMPLIANT
+        assert tables["unit_design"].assessment(
+            "limited_pointers").verdict is Verdict.NON_COMPLIANT
+
+    def test_observations_flip(self, remediated_assessment):
+        by_number = {observation.number: observation
+                     for observation in
+                     remediated_assessment.observations}
+        assert not by_number[1].supported   # complexity fixed
+        assert not by_number[6].supported   # defensive added
+        assert by_number[3].supported       # GPU subset still missing
+        assert by_number[4].supported       # CUDA still uses pointers
+
+
+class TestDiff:
+    def test_improvements_no_regressions(self, diff):
+        assert len(diff.improved) >= 6
+        assert diff.regressed == []
+
+    def test_expected_flips(self, diff):
+        improved_keys = {entry.technique_key for entry in diff.improved}
+        assert {"low_complexity", "defensive_implementation",
+                "single_entry_exit", "variable_initialization",
+                "no_unconditional_jumps"} <= improved_keys
+
+    def test_residual_gaps_are_research_items(self, diff):
+        residual_keys = {entry.technique_key
+                         for entry in diff.residual_gaps}
+        assert "language_subsets" in residual_keys
+        assert "limited_pointers" in residual_keys
+
+    def test_gap_reduction(self, small_assessment,
+                           remediated_assessment):
+        reduction = gap_reduction(small_assessment,
+                                  remediated_assessment)
+        assert reduction["after"] < reduction["before"]
+        assert reduction["after"] > 0  # research gaps remain
+
+    def test_render(self, diff):
+        rendered = diff.render()
+        assert "improved:" in rendered
+        assert "residual" in rendered
+
+    def test_self_diff_is_unchanged(self, small_assessment):
+        diff = diff_assessments(small_assessment, small_assessment)
+        assert diff.improved == []
+        assert diff.regressed == []
+        assert all(entry.unchanged for entry in diff.transitions)

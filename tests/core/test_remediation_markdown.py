@@ -1,0 +1,103 @@
+"""Tests for the remediation planner and markdown report renderer."""
+
+import pytest
+
+from repro.core import (
+    Effort,
+    effort_histogram,
+    plan_remediation,
+    render_markdown,
+    render_plan,
+)
+from repro.iso26262 import GapSeverity, Verdict
+
+
+class TestRemediationPlan:
+    @pytest.fixture(scope="class")
+    def plan(self, small_assessment):
+        return plan_remediation(small_assessment.tables)
+
+    def test_only_gaps_planned(self, plan, small_assessment):
+        gap_count = sum(
+            1 for table in small_assessment.tables.values()
+            for entry in table.assessments
+            if entry.gap is not GapSeverity.NONE)
+        assert len(plan) == gap_count
+
+    def test_priority_ordering(self, plan):
+        priorities = [item.priority for item in plan]
+        assert priorities == sorted(priorities, reverse=True)
+
+    def test_critical_gaps_lead(self, plan):
+        assert plan[0].gap is GapSeverity.CRITICAL
+
+    def test_research_items_present(self, plan):
+        research = {item.technique_key for item in plan
+                    if item.effort is Effort.RESEARCH}
+        # GPU language subset and pointer elimination need research
+        # innovations per the paper.
+        assert "language_subsets" in research
+        assert "limited_pointers" in research
+
+    def test_low_effort_items_quote_paper_taxonomy(self, plan):
+        by_key = {item.technique_key: item for item in plan}
+        assert by_key["defensive_implementation"].effort is Effort.LOW
+        assert by_key["no_unconditional_jumps"].effort is Effort.LOW
+        assert by_key["low_complexity"].effort is Effort.SIGNIFICANT
+
+    def test_histogram_totals(self, plan):
+        histogram = effort_histogram(plan)
+        assert sum(histogram.values()) == len(plan)
+        assert histogram["RESEARCH"] >= 2
+
+    def test_render_plan(self, plan):
+        rendered = render_plan(plan)
+        assert "Remediation plan" in rendered
+        assert "Research innovations required" in rendered
+        assert "Brook" in rendered
+
+    def test_compliant_assessment_has_empty_plan(self):
+        from repro.iso26262 import ComplianceEngine, EvidenceSet
+        evidence = EvidenceSet()
+        for key in ("complexity", "language_subset", "strong_typing",
+                    "defensive", "design_principles", "globals", "style",
+                    "naming", "unit_design", "architecture"):
+            evidence.put(key, {"validation_ratio": 1.0,
+                               "conformance_ratio": 1.0,
+                               "mean_cohesion": 1.0,
+                               "hierarchy_depth": 3.0})
+        tables = ComplianceEngine().assess_all(evidence)
+        assert plan_remediation(tables) == []
+
+
+class TestMarkdownReport:
+    @pytest.fixture(scope="class")
+    def markdown(self, small_assessment):
+        return render_markdown(small_assessment)
+
+    def test_structure(self, markdown):
+        assert markdown.startswith("# ISO 26262-6")
+        for heading in ("## Summary", "## Module metrics",
+                        "## Requirement tables", "## Observations",
+                        "## Remediation"):
+            assert heading in markdown
+
+    def test_all_three_tables_rendered(self, markdown):
+        assert "### Table 1:" in markdown
+        assert "### Table 2:" in markdown
+        assert "### Table 3:" in markdown
+
+    def test_grades_rendered(self, markdown):
+        assert "++" in markdown
+
+    def test_verdicts_bold(self, markdown):
+        assert "**non-compliant**" in markdown
+        assert "**compliant**" in markdown
+
+    def test_observations_listed(self, markdown):
+        assert "**Observation 1**" in markdown
+        assert "**Observation 14**" in markdown
+
+    def test_module_rows_present(self, markdown, small_assessment):
+        for module in small_assessment.modules:
+            assert f"| {module.name} |" in markdown

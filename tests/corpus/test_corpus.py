@@ -1,0 +1,196 @@
+"""Tests for the synthetic corpus generator."""
+
+import random
+
+import pytest
+
+from repro.corpus import (
+    APOLLO_MODULES,
+    ComplexityProfile,
+    CorpusSpec,
+    EXPECTED_OVER_TEN,
+    ModuleSpec,
+    apollo_spec,
+    generate_corpus,
+    read_tree,
+    write_corpus,
+)
+from repro.corpus.functions import FunctionFactory, FunctionRequest, \
+    NamePool
+from repro.errors import CorpusError
+from repro.lang import parse_translation_unit
+
+
+def parse_lines(lines):
+    return parse_translation_unit("\n".join(lines) + "\n", "gen.cc")
+
+
+class TestSpecs:
+    def test_profile_totals(self):
+        profile = ComplexityProfile(low=10, moderate=3, risky=2, unstable=1)
+        assert profile.total == 16
+        assert profile.over_ten == 6
+
+    def test_profile_scaling_keeps_nonzero_bands(self):
+        profile = ComplexityProfile(low=100, moderate=4, risky=2,
+                                    unstable=1)
+        scaled = profile.scaled(0.01)
+        assert scaled.low >= 1
+        assert scaled.moderate >= 1
+        assert scaled.unstable >= 1
+
+    def test_zero_band_stays_zero_when_scaled(self):
+        profile = ComplexityProfile(low=100, moderate=0, risky=0,
+                                    unstable=0)
+        assert profile.scaled(0.5).moderate == 0
+
+    def test_invalid_module_name(self):
+        with pytest.raises(CorpusError):
+            ModuleSpec(name="bad name",
+                       profile=ComplexityProfile(1, 0, 0, 0))
+
+    def test_invalid_ratio(self):
+        with pytest.raises(CorpusError):
+            ModuleSpec(name="m", profile=ComplexityProfile(1, 0, 0, 0),
+                       multi_exit_ratio=1.5)
+
+    def test_duplicate_modules_rejected(self):
+        module = ModuleSpec(name="m", profile=ComplexityProfile(1, 0, 0, 0))
+        with pytest.raises(CorpusError):
+            CorpusSpec(modules=(module, module))
+
+    def test_invalid_scale_rejected(self):
+        module = ModuleSpec(name="m", profile=ComplexityProfile(1, 0, 0, 0))
+        with pytest.raises(CorpusError):
+            CorpusSpec(modules=(module,), scale=0)
+
+    def test_apollo_calibration_sums_to_554(self):
+        assert EXPECTED_OVER_TEN == 554
+        assert sum(module.profile.over_ten
+                   for module in APOLLO_MODULES) == 554
+
+
+class TestFunctionFactory:
+    def make(self, **kwargs):
+        rng = random.Random(1)
+        factory = FunctionFactory(rng)
+        request = FunctionRequest(name="TestedFunction", **kwargs)
+        return parse_lines(factory.render(request)), request
+
+    @pytest.mark.parametrize("target", [1, 2, 5, 11, 20, 35, 55])
+    def test_exact_complexity(self, target):
+        unit, _ = self.make(complexity=target)
+        assert unit.function("TestedFunction").cyclomatic_complexity \
+            == target
+
+    def test_multi_exit_flag(self):
+        unit, _ = self.make(complexity=4, multi_exit=True)
+        assert unit.function("TestedFunction").has_multiple_exits
+
+    def test_single_exit_by_default(self):
+        unit, _ = self.make(complexity=4)
+        assert not unit.function("TestedFunction").has_multiple_exits
+
+    def test_goto_emitted(self):
+        unit, _ = self.make(complexity=2, use_goto=True)
+        assert unit.function("TestedFunction").goto_count == 1
+
+    def test_cast_count(self):
+        from repro.checkers import CastChecker
+        unit, _ = self.make(complexity=2, cast_count=3)
+        report = CastChecker().check_project([unit])
+        assert report.stats["explicit_casts"] >= 3
+
+    def test_dynamic_alloc(self):
+        unit, _ = self.make(complexity=2, dynamic_alloc=True)
+        assert unit.function("TestedFunction").uses_dynamic_memory
+
+    def test_recursive_template(self):
+        rng = random.Random(2)
+        factory = FunctionFactory(rng)
+        request = FunctionRequest(name="WalkTree", complexity=3,
+                                  recursive=True)
+        unit = parse_lines(factory.render(request))
+        function = unit.function("WalkTree")
+        assert "WalkTree" in function.calls
+
+    def test_lines_within_google_limit(self):
+        rng = random.Random(3)
+        factory = FunctionFactory(rng)
+        for index in range(30):
+            request = FunctionRequest(name=f"Func{index}",
+                                      complexity=1 + index % 25)
+            for line in factory.render(request):
+                assert len(line) <= 80, line
+
+    def test_name_pool_unique(self):
+        pool = NamePool(random.Random(4))
+        names = [pool.function_name() for _ in range(500)]
+        assert len(set(names)) == 500
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return generate_corpus(apollo_spec(scale=0.03))
+
+    def test_deterministic(self, corpus):
+        again = generate_corpus(apollo_spec(scale=0.03))
+        assert corpus.sources() == again.sources()
+
+    def test_different_seed_differs(self, corpus):
+        other = generate_corpus(apollo_spec(scale=0.03, seed=1))
+        assert corpus.sources() != other.sources()
+
+    def test_all_modules_present(self, corpus):
+        assert set(corpus.module_names()) == {
+            module.name for module in APOLLO_MODULES}
+
+    def test_every_file_parses(self, corpus):
+        for record in corpus.files:
+            unit = parse_translation_unit(record.source, record.path)
+            assert unit.line_count > 0
+
+    def test_exact_cc_over_ten(self, corpus):
+        from repro.metrics import summarize_units
+        units = [parse_translation_unit(record.source, record.path)
+                 for record in corpus.files]
+        summary = summarize_units(units)
+        assert summary.moderate_or_higher == \
+            corpus.spec.expected_over_ten
+
+    def test_cuda_files_only_where_specified(self, corpus):
+        cuda_modules = {record.module for record in corpus.files
+                        if record.path.endswith(".cu")}
+        assert cuda_modules == {"perception", "drivers"}
+
+    def test_headers_have_guards(self, corpus):
+        headers = [record for record in corpus.files
+                   if record.path.endswith(".h")]
+        assert headers
+        for record in headers:
+            assert "#ifndef" in record.source
+
+    def test_globals_count_exact(self, corpus):
+        for module in corpus.spec.effective_modules():
+            count = 0
+            for record in corpus.files_of(module.name):
+                unit = parse_translation_unit(record.source, record.path)
+                count += len(unit.mutable_globals)
+            assert count == module.globals_count, module.name
+
+
+class TestWriter:
+    def test_write_and_read_roundtrip(self, tmp_path):
+        corpus = generate_corpus(apollo_spec(scale=0.02))
+        written = write_corpus(corpus, str(tmp_path))
+        assert len(written) == len(corpus.files)
+        loaded = read_tree(str(tmp_path))
+        assert loaded == corpus.sources()
+
+    def test_refuses_overwrite(self, tmp_path):
+        corpus = generate_corpus(apollo_spec(scale=0.02))
+        write_corpus(corpus, str(tmp_path))
+        with pytest.raises(CorpusError):
+            write_corpus(corpus, str(tmp_path))
+        write_corpus(corpus, str(tmp_path), overwrite=True)

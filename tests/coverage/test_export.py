@@ -1,0 +1,88 @@
+"""Tests for the LCOV coverage exporter."""
+
+from repro.coverage import CoverageRunner, TestVector
+from repro.coverage.export import to_lcov, write_lcov
+
+SOURCE = """
+int f(int x) {
+  if (x > 0) {
+    return 1;
+  }
+  return 0;
+}
+int g(int x) {
+  switch (x) {
+    case 1:
+      return 1;
+    default:
+      return 0;
+  }
+}
+"""
+
+
+def make_collector(vectors):
+    runner = CoverageRunner(SOURCE, "two.c")
+    runner.run_suite(vectors)
+    return runner.collector
+
+
+class TestLcov:
+    def test_record_structure(self):
+        collector = make_collector([TestVector("f", (1,))])
+        tracefile = to_lcov(collector, "two.c")
+        assert tracefile.startswith("TN:repro\nSF:two.c\n")
+        assert tracefile.rstrip().endswith("end_of_record")
+        for marker in ("FN:", "FNDA:", "FNF:", "FNH:", "BRDA:", "BRF:",
+                       "BRH:", "DA:", "LF:", "LH:"):
+            assert marker in tracefile
+
+    def test_function_hit_counts(self):
+        collector = make_collector([TestVector("f", (1,)),
+                                    TestVector("f", (2,))])
+        tracefile = to_lcov(collector, "two.c")
+        assert "FNDA:2,f" in tracefile
+        assert "FNDA:0,g" in tracefile
+        assert "FNF:2" in tracefile
+        assert "FNH:1" in tracefile
+
+    def test_branch_records(self):
+        collector = make_collector([TestVector("f", (1,))])
+        tracefile = to_lcov(collector, "two.c")
+        # The if decision: true taken, false not.
+        branch_lines = [line for line in tracefile.splitlines()
+                        if line.startswith("BRDA:3,0")]
+        assert len(branch_lines) == 2
+        assert any(line.endswith(",1") for line in branch_lines)
+        assert any(line.endswith(",-") for line in branch_lines)
+
+    def test_switch_clause_branches(self):
+        collector = make_collector([TestVector("g", (1,))])
+        tracefile = to_lcov(collector, "two.c")
+        clause_lines = [line for line in tracefile.splitlines()
+                        if line.startswith("BRDA:") and ",1," in line]
+        assert clause_lines  # switch clauses present as branch block 1
+
+    def test_line_counts_consistent(self):
+        collector = make_collector([TestVector("f", (1,)),
+                                    TestVector("f", (-1,)),
+                                    TestVector("g", (1,)),
+                                    TestVector("g", (9,))])
+        tracefile = to_lcov(collector, "two.c")
+        lf = int([line for line in tracefile.splitlines()
+                  if line.startswith("LF:")][0][3:])
+        lh = int([line for line in tracefile.splitlines()
+                  if line.startswith("LH:")][0][3:])
+        assert lh == lf  # everything executed
+
+    def test_write_multiple_files(self, tmp_path):
+        collectors = {
+            "a.c": make_collector([TestVector("f", (1,))]),
+            "b.c": make_collector([TestVector("g", (1,))]),
+        }
+        target = tmp_path / "coverage.info"
+        write_lcov(collectors, str(target))
+        content = target.read_text()
+        assert content.count("end_of_record") == 2
+        assert "SF:a.c" in content
+        assert "SF:b.c" in content

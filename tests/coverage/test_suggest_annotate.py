@@ -1,0 +1,178 @@
+"""Tests for MC/DC vector suggestion and annotated-source rendering."""
+
+import pytest
+
+from repro.coverage import (
+    CoverageCollector,
+    annotate_source,
+    evaluate_decision,
+    function_coverage_table,
+    independence_pairs,
+    measure_mcdc_coverage,
+    suggest_mcdc_vectors,
+    uncovered_summary,
+)
+from repro.coverage.runner import CoverageRunner, TestVector
+from repro.lang.minic import Interpreter, parse_program
+
+COMPOUND = """
+int check(int a, int b, int c) {
+  if (a > 0 && (b > 0 || c > 0)) {
+    return 1;
+  }
+  return 0;
+}
+"""
+
+
+def collect(source, calls):
+    program = parse_program(source)
+    collector = CoverageCollector(program)
+    interpreter = Interpreter(program, tracer=collector)
+    for function, args in calls:
+        interpreter.run(function, args)
+    return program, collector
+
+
+class TestEvaluateDecision:
+    def test_truth_table(self):
+        program = parse_program(COMPOUND)
+        decision = program.decisions[0]
+        outcome, vector = evaluate_decision(decision, (True, True, False))
+        assert outcome is True
+        assert vector == (True, True, None)  # c short-circuited by b
+
+        outcome, vector = evaluate_decision(decision,
+                                            (False, True, True))
+        assert outcome is False
+        assert vector == (False, None, None)
+
+    def test_short_circuit_none_positions(self):
+        program = parse_program(
+            "int f(int a, int b) { if (a > 0 || b > 0) { return 1; } "
+            "return 0; }")
+        decision = program.decisions[0]
+        _, vector = evaluate_decision(decision, (True, False))
+        assert vector == (True, None)
+
+
+class TestIndependencePairs:
+    def test_and_decision_pairs(self):
+        program = parse_program(
+            "int f(int a, int b) { if (a > 0 && b > 0) { return 1; } "
+            "return 0; }")
+        pairs = independence_pairs(program.decisions[0])
+        indices = {pair.condition_index for pair in pairs}
+        assert indices == {0, 1}
+
+    def test_three_condition_decision(self):
+        program = parse_program(COMPOUND)
+        pairs = independence_pairs(program.decisions[0])
+        indices = {pair.condition_index for pair in pairs}
+        assert indices == {0, 1, 2}
+
+    def test_single_condition_no_pairs(self):
+        program = parse_program(
+            "int f(int a) { if (a > 0) { return 1; } return 0; }")
+        pairs = independence_pairs(program.decisions[0])
+        # Single condition: a (F) vs (T) pair exists trivially.
+        assert len(pairs) == 1
+
+
+class TestSuggestions:
+    def test_suggestions_empty_at_full_mcdc(self):
+        _, collector = collect(COMPOUND, [
+            ("check", [1, 1, 0]), ("check", [0, 1, 0]),
+            ("check", [1, 0, 0]), ("check", [1, 0, 1])])
+        assert measure_mcdc_coverage(collector).percent == 100.0
+        # The guard decision of `return 0` path: only one decision here.
+        assert suggest_mcdc_vectors(collector) == []
+
+    def test_suggestions_identify_missing_condition(self):
+        # Only (T,T,-) and (F,-,-): conditions b and c undemonstrated.
+        _, collector = collect(COMPOUND, [("check", [1, 1, 0]),
+                                          ("check", [0, 0, 0])])
+        suggestions = suggest_mcdc_vectors(collector)
+        indices = {suggestion.condition_index
+                   for suggestion in suggestions}
+        assert 1 in indices
+        assert 2 in indices
+
+    def test_following_suggestions_reaches_full_mcdc(self):
+        program, collector = collect(COMPOUND, [("check", [1, 1, 0]),
+                                                ("check", [0, 0, 0])])
+        interpreter = Interpreter(program, tracer=collector)
+        for _ in range(4):  # a few rounds close every gap
+            suggestions = suggest_mcdc_vectors(collector)
+            if not suggestions:
+                break
+            for suggestion in suggestions:
+                for assignment in suggestion.needed_assignments:
+                    args = [1 if value else 0 for value in assignment]
+                    interpreter.run("check", args)
+        assert measure_mcdc_coverage(collector).percent == 100.0
+
+    def test_single_condition_suggestion(self):
+        source = ("int f(int a) { if (a > 0) { return 1; } return 0; }")
+        _, collector = collect(source, [("f", [1])])
+        suggestions = suggest_mcdc_vectors(collector)
+        assert len(suggestions) == 1
+        assert suggestions[0].needed_assignments == ((False,),)
+
+    def test_describe_is_readable(self):
+        _, collector = collect(COMPOUND, [("check", [1, 1, 0])])
+        suggestions = suggest_mcdc_vectors(collector)
+        text = suggestions[0].describe()
+        assert "decision at line" in text
+        assert "(" in text
+
+
+class TestAnnotation:
+    SOURCE = """int f(int x) {
+  int y = 0;
+  if (x > 0) {
+    y = 1;
+  } else {
+    y = 2;
+  }
+  return y;
+}"""
+
+    def test_annotate_marks_hits_and_misses(self):
+        runner = CoverageRunner(self.SOURCE, "f.c")
+        runner.run_vector(TestVector("f", (1,)))
+        rendered = annotate_source(self.SOURCE, runner.collector)
+        lines = rendered.split("\n")
+        assert any("####|" in line and "y = 2" in line for line in lines)
+        assert any(line.strip().startswith("1|") and "y = 1" in line
+                   for line in lines)
+        assert any("branch not fully covered" in line for line in lines)
+
+    def test_annotate_full_coverage_has_no_marks(self):
+        runner = CoverageRunner(self.SOURCE, "f.c")
+        runner.run_suite([TestVector("f", (1,)), TestVector("f", (0,))])
+        rendered = annotate_source(self.SOURCE, runner.collector)
+        assert "####|" not in rendered
+        assert "branch not fully covered" not in rendered
+
+    def test_uncovered_summary(self):
+        runner = CoverageRunner(self.SOURCE, "f.c")
+        runner.run_vector(TestVector("f", (1,)))
+        summary = uncovered_summary(runner.collector)
+        assert "never-executed" in summary
+        assert "not taken" in summary
+
+    def test_uncovered_summary_clean(self):
+        runner = CoverageRunner(self.SOURCE, "f.c")
+        runner.run_suite([TestVector("f", (1,)), TestVector("f", (0,))])
+        assert "full statement and branch coverage" in \
+            uncovered_summary(runner.collector)
+
+    def test_function_table(self):
+        source = self.SOURCE + "\nint g(int x) { return x; }"
+        runner = CoverageRunner(source, "f.c")
+        runner.run_vector(TestVector("f", (1,)))
+        table = function_coverage_table(runner.collector)
+        assert "f" in table
+        assert "g" in table
+        assert "stmt%" in table

@@ -1,0 +1,212 @@
+"""Tests for the YOLO-lite DNN stack."""
+
+import numpy as np
+import pytest
+
+from repro.dnn import (
+    Box,
+    ConvLayer,
+    MaxPoolLayer,
+    Network,
+    RegionLayer,
+    WeightStore,
+    YoloConfig,
+    YoloDetector,
+    build_yolo_lite,
+    iou,
+    nms,
+)
+from repro.dnn.layers import ConvShape, GemmShape
+from repro.dnn.tensor import im2col, output_size, sigmoid, softmax
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestTensorOps:
+    def test_output_size(self):
+        assert output_size(416, 3, 1, 1) == 416
+        assert output_size(416, 2, 2, 0) == 208
+
+    def test_im2col_shape(self, rng):
+        images = rng.normal(size=(2, 3, 8, 8))
+        columns = im2col(images, 3, 1, 1)
+        assert columns.shape == (2, 3 * 9, 64)
+
+    def test_im2col_matches_manual_conv(self, rng):
+        image = rng.normal(size=(1, 2, 5, 5))
+        kernel = rng.normal(size=(4, 2, 3, 3))
+        columns = im2col(image, 3, 1, 1)
+        output = kernel.reshape(4, -1) @ columns[0]
+        # Check one output element by direct convolution.
+        # Output index 6 is (oh=1, ow=1); its receptive field in the
+        # padded image is rows 1:4, cols 1:4.
+        padded = np.pad(image[0], ((0, 0), (1, 1), (1, 1)))
+        direct = np.sum(kernel[0] * padded[:, 1:4, 1:4])
+        assert np.isclose(output[0, 6], direct)
+
+    def test_im2col_rejects_bad_geometry(self, rng):
+        with pytest.raises(ValueError):
+            im2col(rng.normal(size=(1, 1, 2, 2)), 5, 1, 0)
+
+    def test_sigmoid_stability(self):
+        values = np.array([-1000.0, 0.0, 1000.0])
+        result = sigmoid(values)
+        assert result[0] == pytest.approx(0.0)
+        assert result[1] == pytest.approx(0.5)
+        assert result[2] == pytest.approx(1.0)
+
+    def test_softmax_sums_to_one(self, rng):
+        x = rng.normal(size=(3, 5))
+        assert np.allclose(softmax(x, axis=1).sum(axis=1), 1.0)
+
+
+class TestLayers:
+    def test_conv_layer_shapes(self, rng):
+        layer = ConvLayer(weights=rng.normal(size=(8, 3, 3, 3)),
+                          biases=np.zeros(8))
+        x = rng.normal(size=(2, 3, 16, 16))
+        assert layer.forward(x).shape == (2, 8, 16, 16)
+        assert layer.output_shape(x.shape) == (2, 8, 16, 16)
+
+    def test_conv_channel_mismatch_rejected(self, rng):
+        layer = ConvLayer(weights=rng.normal(size=(8, 3, 3, 3)),
+                          biases=np.zeros(8))
+        with pytest.raises(ValueError):
+            layer.forward(rng.normal(size=(1, 4, 8, 8)))
+
+    def test_leaky_activation_applied(self, rng):
+        weights = np.zeros((1, 1, 1, 1))
+        weights[0, 0, 0, 0] = 1.0
+        layer = ConvLayer(weights=weights, biases=np.zeros(1), pad=0,
+                          activation="leaky")
+        x = np.full((1, 1, 2, 2), -1.0)
+        assert np.allclose(layer.forward(x), -0.1)
+
+    def test_linear_activation_identity(self):
+        weights = np.ones((1, 1, 1, 1))
+        layer = ConvLayer(weights=weights, biases=np.zeros(1), pad=0,
+                          activation="linear")
+        x = np.full((1, 1, 2, 2), -1.0)
+        assert np.allclose(layer.forward(x), -1.0)
+
+    def test_batchnorm_all_or_none(self, rng):
+        with pytest.raises(ValueError):
+            ConvLayer(weights=rng.normal(size=(2, 1, 3, 3)),
+                      biases=np.zeros(2), bn_scale=np.ones(2))
+
+    def test_invalid_activation_rejected(self, rng):
+        with pytest.raises(ValueError):
+            ConvLayer(weights=rng.normal(size=(2, 1, 3, 3)),
+                      biases=np.zeros(2), activation="relu6")
+
+    def test_maxpool(self):
+        layer = MaxPoolLayer(size=2, stride=2)
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = layer.forward(x)
+        assert out.shape == (1, 1, 2, 2)
+        assert out[0, 0, 0, 0] == 5.0
+        assert out[0, 0, 1, 1] == 15.0
+
+    def test_region_layer_activations(self, rng):
+        layer = RegionLayer(anchors=[(1.0, 1.0)], classes=3)
+        x = rng.normal(size=(1, 8, 2, 2))
+        out = layer.forward(x).reshape(1, 1, 8, 2, 2)
+        assert np.all((out[:, :, 0:2] >= 0) & (out[:, :, 0:2] <= 1))
+        assert np.all((out[:, :, 4] >= 0) & (out[:, :, 4] <= 1))
+        assert np.allclose(out[:, :, 5:].sum(axis=2), 1.0)
+
+    def test_region_channel_validation(self, rng):
+        layer = RegionLayer(anchors=[(1.0, 1.0)], classes=3)
+        with pytest.raises(ValueError):
+            layer.forward(rng.normal(size=(1, 7, 2, 2)))
+
+
+class TestWorkloadShapes:
+    def test_gemm_shape_flops(self):
+        shape = GemmShape(m=64, n=100, k=27)
+        assert shape.flops == 2 * 64 * 100 * 27
+        assert shape.bytes_moved == 4 * (64 * 27 + 27 * 100 + 64 * 100)
+
+    def test_conv_shape_as_gemm(self):
+        conv = ConvShape(batch=1, in_channels=3, out_channels=16,
+                         in_h=416, in_w=416, ksize=3, stride=1, pad=1)
+        gemm = conv.as_gemm()
+        assert gemm.m == 16
+        assert gemm.k == 27
+        assert gemm.n == 416 * 416
+        assert conv.flops == gemm.flops  # batch 1
+
+    def test_network_workloads(self):
+        network = build_yolo_lite(YoloConfig(input_size=64, classes=2,
+                                             width_multiple=0.25))
+        workloads = network.conv_workloads()
+        assert len(workloads) == 6  # 5 backbone + 1 head
+        assert network.total_conv_flops == sum(w.flops for w in workloads)
+        shapes = network.layer_shapes()
+        assert len(shapes) == len(network.layers)
+
+
+class TestNms:
+    def test_iou_identical(self):
+        box = Box(0.5, 0.5, 0.2, 0.2)
+        assert iou(box, box) == pytest.approx(1.0)
+
+    def test_iou_disjoint(self):
+        assert iou(Box(0.1, 0.1, 0.1, 0.1), Box(0.9, 0.9, 0.1, 0.1)) == 0.0
+
+    def test_iou_symmetry(self):
+        a = Box(0.4, 0.4, 0.3, 0.2)
+        b = Box(0.5, 0.45, 0.25, 0.3)
+        assert iou(a, b) == pytest.approx(iou(b, a))
+
+    def test_nms_suppresses_overlap(self):
+        boxes = [Box(0.5, 0.5, 0.2, 0.2, score=0.9, class_id=0),
+                 Box(0.51, 0.5, 0.2, 0.2, score=0.8, class_id=0),
+                 Box(0.9, 0.9, 0.1, 0.1, score=0.7, class_id=0)]
+        kept = nms(boxes, threshold=0.45)
+        assert len(kept) == 2
+        assert kept[0].score == 0.9
+
+    def test_nms_keeps_other_classes(self):
+        boxes = [Box(0.5, 0.5, 0.2, 0.2, score=0.9, class_id=0),
+                 Box(0.5, 0.5, 0.2, 0.2, score=0.8, class_id=1)]
+        assert len(nms(boxes)) == 2
+
+    def test_nms_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            nms([], threshold=1.5)
+
+
+class TestDetector:
+    def test_end_to_end_detection(self):
+        config = YoloConfig(input_size=64, classes=2, width_multiple=0.25)
+        detector = YoloDetector(config, WeightStore(seed=11))
+        image = WeightStore(seed=12).image(64, 64)
+        boxes = detector.detect(image, objectness_threshold=0.3)
+        for box in boxes:
+            assert 0.0 <= box.score <= 1.0
+            assert box.class_id in (0, 1)
+
+    def test_deterministic_for_seed(self):
+        config = YoloConfig(input_size=64, classes=2, width_multiple=0.25)
+        image = WeightStore(seed=5).image(64, 64)
+        first = YoloDetector(config, WeightStore(seed=3)).detect(image, 0.2)
+        second = YoloDetector(config, WeightStore(seed=3)).detect(image, 0.2)
+        assert len(first) == len(second)
+        for a, b in zip(first, second):
+            assert a.score == pytest.approx(b.score)
+
+    def test_network_input_validation(self):
+        network = build_yolo_lite(YoloConfig(input_size=64, classes=2,
+                                             width_multiple=0.25))
+        with pytest.raises(ValueError):
+            network.forward(np.zeros((1, 3, 32, 32)))
+
+    def test_decode_channel_validation(self):
+        detector = YoloDetector(YoloConfig(input_size=64, classes=2,
+                                           width_multiple=0.25))
+        with pytest.raises(ValueError):
+            detector.decode(np.zeros((5, 2, 2)), 0.5, 0.45)

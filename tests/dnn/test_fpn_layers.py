@@ -1,0 +1,110 @@
+"""Tests for the upsample and route layers and routed networks."""
+
+import numpy as np
+import pytest
+
+from repro.dnn import ConvLayer, MaxPoolLayer, Network, WeightStore
+from repro.dnn.fpn_layers import RouteLayer, UpsampleLayer
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(9)
+
+
+class TestUpsample:
+    def test_nearest_neighbour_values(self):
+        layer = UpsampleLayer(stride=2)
+        x = np.arange(4.0).reshape(1, 1, 2, 2)
+        out = layer.forward(x)
+        assert out.shape == (1, 1, 4, 4)
+        assert np.all(out[0, 0, :2, :2] == 0.0)
+        assert np.all(out[0, 0, 2:, 2:] == 3.0)
+
+    def test_output_shape(self):
+        layer = UpsampleLayer(stride=3)
+        assert layer.output_shape((2, 8, 5, 7)) == (2, 8, 15, 21)
+
+    def test_stride_one_identity(self, rng):
+        layer = UpsampleLayer(stride=1)
+        x = rng.normal(size=(1, 2, 3, 3))
+        assert np.array_equal(layer.forward(x), x)
+
+    def test_invalid_stride(self):
+        with pytest.raises(ValueError):
+            UpsampleLayer(stride=0)
+
+
+class TestRoute:
+    def test_concat_channels(self, rng):
+        layer = RouteLayer([0, 1])
+        a = rng.normal(size=(1, 3, 4, 4))
+        b = rng.normal(size=(1, 5, 4, 4))
+        out = layer.forward_from([a, b])
+        assert out.shape == (1, 8, 4, 4)
+        assert np.array_equal(out[:, :3], a)
+        assert np.array_equal(out[:, 3:], b)
+
+    def test_single_source_passthrough(self, rng):
+        layer = RouteLayer([0])
+        a = rng.normal(size=(1, 2, 3, 3))
+        assert np.array_equal(layer.forward_from([a]), a)
+
+    def test_spatial_mismatch_rejected(self, rng):
+        layer = RouteLayer([0, 1])
+        with pytest.raises(ValueError):
+            layer.forward_from([rng.normal(size=(1, 2, 4, 4)),
+                                rng.normal(size=(1, 2, 8, 8))])
+
+    def test_future_source_rejected(self, rng):
+        layer = RouteLayer([3])
+        with pytest.raises(ValueError):
+            layer.forward_from([rng.normal(size=(1, 2, 4, 4))])
+
+    def test_direct_forward_refused(self, rng):
+        with pytest.raises(RuntimeError):
+            RouteLayer([0]).forward(rng.normal(size=(1, 1, 2, 2)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RouteLayer([])
+        with pytest.raises(ValueError):
+            RouteLayer([-1])
+
+    def test_shape_from(self):
+        layer = RouteLayer([0, 2])
+        shapes = [(1, 4, 8, 8), (1, 9, 4, 4), (1, 6, 8, 8)]
+        assert layer.shape_from(shapes) == (1, 10, 8, 8)
+
+
+class TestRoutedNetwork:
+    def build(self, rng):
+        """A small YOLOv3-ish net: downsample, upsample, reuse, head."""
+        store = WeightStore(seed=21)
+        layers = [
+            ConvLayer(store.conv_weights(8, 3, 3), store.biases(8)),   # 0
+            MaxPoolLayer(2, 2),                                        # 1
+            ConvLayer(store.conv_weights(16, 8, 3), store.biases(16)), # 2
+            UpsampleLayer(2),                                          # 3
+            RouteLayer([0, 3]),                                        # 4
+            ConvLayer(store.conv_weights(4, 24, 1),                    # 5
+                      store.biases(4), pad=0, activation="linear"),
+        ]
+        return Network(layers, input_shape=(1, 3, 16, 16))
+
+    def test_forward_shapes(self, rng):
+        network = self.build(rng)
+        out = network.forward(rng.normal(size=(1, 3, 16, 16)))
+        assert out.shape == (1, 4, 16, 16)
+
+    def test_static_shapes_match_runtime(self, rng):
+        network = self.build(rng)
+        shapes = network.layer_shapes()
+        assert shapes[4] == (1, 16, 16, 16)  # input to the route
+        assert shapes[5] == (1, 24, 16, 16)  # concat of 8 + 16 channels
+
+    def test_conv_workloads_include_routed_conv(self, rng):
+        network = self.build(rng)
+        workloads = network.conv_workloads()
+        assert len(workloads) == 3
+        assert workloads[-1].conv.in_channels == 24

@@ -1,0 +1,122 @@
+"""Tests for the MiniC YOLO modules and the Figure 5 coverage campaign."""
+
+import pytest
+
+from repro.coverage import CoverageRunner
+from repro.dnn.minic_yolo import YOLO_FILES, run_yolo_coverage, \
+    scenario_suite
+from repro.lang.minic import parse_program
+
+
+class TestSources:
+    @pytest.mark.parametrize("filename", sorted(YOLO_FILES))
+    def test_every_file_parses(self, filename):
+        program = parse_program(YOLO_FILES[filename], filename)
+        assert program.functions
+
+    @pytest.mark.parametrize("filename", sorted(YOLO_FILES))
+    def test_scenarios_pass(self, filename):
+        runner = CoverageRunner(YOLO_FILES[filename], filename)
+        outcomes = runner.run_suite(scenario_suite(filename))
+        failures = [outcome for outcome in outcomes if not outcome.passed]
+        assert failures == []
+
+    def test_unknown_file_rejected(self):
+        with pytest.raises(KeyError):
+            scenario_suite("nonexistent.c")
+
+
+class TestFunctionalCorrectness:
+    def test_gemm_nn_matches_numpy(self):
+        import numpy as np
+        rng = np.random.default_rng(3)
+        m, n, k = 3, 4, 5
+        a = rng.normal(size=(m, k))
+        b = rng.normal(size=(k, n))
+        c = np.zeros((m, n))
+        runner = CoverageRunner(YOLO_FILES["gemm.c"], "gemm.c")
+        flat_c = list(c.ravel())
+        runner.interpreter.run("gemm_cpu",
+                               [0, 0, m, n, k, 1.0, list(a.ravel()), k,
+                                list(b.ravel()), n, 1.0, flat_c, n])
+        assert np.allclose(np.array(flat_c).reshape(m, n), a @ b)
+
+    def test_im2col_matches_reference(self):
+        import numpy as np
+        from repro.gpu.kernels.yolo_layers import im2col_reference
+        rng = np.random.default_rng(4)
+        image = rng.normal(size=(2, 5, 5))
+        runner = CoverageRunner(YOLO_FILES["im2col.c"], "im2col.c")
+        col = [0.0] * (2 * 9 * 25)
+        runner.interpreter.run(
+            "im2col_cpu", [list(image.ravel()), 2, 5, 5, 3, 1, 1, col])
+        expected = im2col_reference(image, 3, 1, 1)
+        assert np.allclose(np.array(col).reshape(expected.shape), expected)
+
+    def test_box_iou_matches_python(self):
+        from repro.dnn.nms import Box, iou
+        runner = CoverageRunner(YOLO_FILES["box.c"], "box.c")
+        a = [0.5, 0.5, 0.4, 0.3]
+        b = [0.55, 0.52, 0.35, 0.4]
+        got = runner.interpreter.run("box_iou", [a, b])
+        expected = iou(Box(*a), Box(*b))
+        assert got == pytest.approx(expected, rel=1e-6)
+
+    def test_softmax_normalizes(self):
+        runner = CoverageRunner(YOLO_FILES["region_layer.c"],
+                                "region_layer.c")
+        out = [0.0] * 4
+        runner.interpreter.run("softmax", [[1.0, 2.0, 3.0, 4.0], 4, out])
+        assert sum(out) == pytest.approx(1.0)
+        assert out[3] > out[0]
+
+    def test_maxpool_picks_maximum(self):
+        runner = CoverageRunner(YOLO_FILES["maxpool_layer.c"],
+                                "maxpool_layer.c")
+        image = [float(v) for v in range(16)]
+        out = [0.0] * 4
+        runner.interpreter.run("forward_maxpool",
+                               [image, out, 4, 4, 1, 2, 2, 0])
+        assert out == [5.0, 7.0, 13.0, 15.0]
+
+
+class TestCampaignShape:
+    """The Figure 5 reproduction invariants (see EXPERIMENTS.md)."""
+
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        return run_yolo_coverage()
+
+    def test_all_files_measured(self, campaign):
+        assert len(campaign.files) == len(YOLO_FILES)
+
+    def test_metric_ordering_on_average(self, campaign):
+        stmt = campaign.average("statement")
+        branch = campaign.average("branch")
+        mcdc = campaign.average("mcdc")
+        assert stmt > branch > mcdc
+
+    def test_averages_near_paper(self, campaign):
+        # Paper: 83% / 75% / 61%.  Shape tolerance, not exact match.
+        assert 70.0 <= campaign.average("statement") <= 93.0
+        assert 60.0 <= campaign.average("branch") <= 88.0
+        assert 45.0 <= campaign.average("mcdc") <= 78.0
+
+    def test_minima_are_low(self, campaign):
+        # Paper: 19% / 37% / 10% — some files are badly covered.
+        assert campaign.minimum("statement") <= 45.0
+        assert campaign.minimum("branch") <= 50.0
+        assert campaign.minimum("mcdc") <= 35.0
+
+    def test_coverage_incomplete_overall(self, campaign):
+        assert campaign.average("statement") < 100.0
+
+    def test_render_has_average_row(self, campaign):
+        rendered = campaign.render()
+        assert "AVERAGE" in rendered
+        assert "gemm.c" in rendered
+
+    def test_campaign_is_deterministic(self, campaign):
+        again = run_yolo_coverage()
+        assert [record.as_row() for record in again.files] == \
+            [record.as_row() for record in campaign.files]

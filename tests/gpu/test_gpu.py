@@ -1,0 +1,255 @@
+"""Tests for the CUDA-on-CPU emulation layer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GpuLaunchError, GpuMemoryError
+from repro.gpu import CudaRuntime, DeviceMemory, Dim3, grid_for
+from repro.gpu.kernels import ALL_KERNELS_SOURCE
+from repro.gpu.kernels.linalg import gemm_reference, launch_gemm
+from repro.gpu.kernels.stencil import (
+    launch_stencil2d,
+    launch_stencil3d,
+    stencil2d_reference,
+    stencil3d_reference,
+)
+from repro.gpu.kernels.yolo_layers import (
+    add_bias_reference,
+    im2col_reference,
+    launch_add_bias,
+    launch_im2col,
+    launch_leaky,
+    launch_maxpool,
+    launch_normalize,
+    launch_scale_bias,
+    leaky_reference,
+    maxpool_reference,
+    normalize_reference,
+    scale_bias_reference,
+)
+
+
+@pytest.fixture
+def runtime():
+    return CudaRuntime(ALL_KERNELS_SOURCE)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestDim3:
+    def test_coercion(self):
+        assert Dim3.of(4) == Dim3(4, 1, 1)
+        assert Dim3.of((2, 3)) == Dim3(2, 3, 1)
+        assert Dim3.of(Dim3(1, 2, 3)) == Dim3(1, 2, 3)
+
+    def test_invalid_values(self):
+        with pytest.raises(GpuLaunchError):
+            Dim3(0)
+        with pytest.raises(GpuLaunchError):
+            Dim3.of((1, 2, 3, 4))
+        with pytest.raises(GpuLaunchError):
+            Dim3.of("big")
+
+    def test_total_and_indices(self):
+        dim = Dim3(2, 3, 2)
+        assert dim.total == 12
+        indices = list(dim.indices())
+        assert len(indices) == 12
+        assert indices[0] == (0, 0, 0)
+        assert indices[1] == (1, 0, 0)  # x fastest
+        assert indices[-1] == (1, 2, 1)
+
+    def test_grid_for(self):
+        assert grid_for(100, 32) == Dim3(4)
+        assert grid_for(96, 32) == Dim3(3)
+        with pytest.raises(GpuLaunchError):
+            grid_for(0, 32)
+
+
+class TestDeviceMemory:
+    def test_alloc_copy_roundtrip(self):
+        memory = DeviceMemory()
+        pointer = memory.malloc(4)
+        memory.memcpy_htod(pointer, [1.0, 2.0, 3.0, 4.0])
+        assert memory.memcpy_dtoh(pointer) == [1.0, 2.0, 3.0, 4.0]
+
+    def test_zero_alloc_rejected(self):
+        with pytest.raises(GpuMemoryError):
+            DeviceMemory().malloc(0)
+
+    def test_capacity_enforced(self):
+        memory = DeviceMemory(capacity_elements=10)
+        memory.malloc(8)
+        with pytest.raises(GpuMemoryError):
+            memory.malloc(8)
+
+    def test_free_releases_capacity(self):
+        memory = DeviceMemory(capacity_elements=10)
+        pointer = memory.malloc(8)
+        memory.free(pointer)
+        memory.malloc(8)  # fits again
+
+    def test_double_free_rejected(self):
+        memory = DeviceMemory()
+        pointer = memory.malloc(4)
+        memory.free(pointer)
+        with pytest.raises(GpuMemoryError):
+            memory.free(pointer)
+
+    def test_use_after_free_rejected(self):
+        memory = DeviceMemory()
+        pointer = memory.malloc(4)
+        memory.free(pointer)
+        with pytest.raises(GpuMemoryError):
+            memory.memcpy_dtoh(pointer)
+
+    def test_oversized_copy_rejected(self):
+        memory = DeviceMemory()
+        pointer = memory.malloc(2)
+        with pytest.raises(GpuMemoryError):
+            memory.memcpy_htod(pointer, [1.0, 2.0, 3.0])
+
+    def test_offset_pointer(self):
+        memory = DeviceMemory()
+        pointer = memory.malloc(4)
+        memory.memcpy_htod(pointer, [1.0, 2.0, 3.0, 4.0])
+        shifted = pointer.offset_by(2)
+        assert memory.memcpy_dtoh(shifted) == [3.0, 4.0]
+
+    def test_free_of_offset_pointer_rejected(self):
+        memory = DeviceMemory()
+        pointer = memory.malloc(4)
+        with pytest.raises(GpuMemoryError):
+            memory.free(pointer.offset_by(1))
+
+    def test_dtod_copy(self):
+        memory = DeviceMemory()
+        a = memory.malloc(3)
+        b = memory.malloc(3)
+        memory.memcpy_htod(a, [7.0, 8.0, 9.0])
+        memory.memcpy_dtod(b, a)
+        assert memory.memcpy_dtoh(b) == [7.0, 8.0, 9.0]
+
+    def test_leak_check(self):
+        memory = DeviceMemory()
+        memory.malloc(1)
+        with pytest.raises(GpuMemoryError):
+            memory.check_all_freed()
+
+
+class TestLaunchValidation:
+    def test_unknown_kernel(self, runtime):
+        with pytest.raises(GpuLaunchError):
+            runtime.launch("nope", 1, 1, [])
+
+    def test_wrong_arity(self, runtime):
+        with pytest.raises(GpuLaunchError):
+            runtime.launch("stencil2d", 1, 1, [1, 2])
+
+    def test_host_list_rejected_for_pointer_param(self, runtime):
+        with pytest.raises(GpuLaunchError):
+            runtime.launch("leaky_activate_kernel", 1, 1, [[1.0], 1])
+
+    def test_thread_limit(self, runtime):
+        with pytest.raises(GpuLaunchError):
+            runtime.launch("leaky_activate_kernel", Dim3(100000),
+                           Dim3(1024), [runtime.cuda_malloc(1), 1])
+
+    def test_launch_records(self, runtime):
+        pointer = runtime.to_device([1.0, -1.0])
+        record = runtime.launch("leaky_activate_kernel", 1, 2, [pointer, 2])
+        assert record.thread_count == 2
+        assert len(runtime.launches) == 1
+
+
+class TestKernelsMatchReferences:
+    def test_stencil2d(self, runtime, rng):
+        grid = rng.normal(size=(9, 11))
+        assert np.allclose(launch_stencil2d(runtime, grid, 0.25),
+                           stencil2d_reference(grid, 0.25))
+
+    def test_stencil2d_boundary_copied(self, runtime, rng):
+        grid = rng.normal(size=(5, 5))
+        result = launch_stencil2d(runtime, grid, 0.5)
+        assert np.allclose(result[0, :], grid[0, :])
+        assert np.allclose(result[:, -1], grid[:, -1])
+
+    def test_stencil3d(self, runtime, rng):
+        volume = rng.normal(size=(4, 4, 5))
+        assert np.allclose(launch_stencil3d(runtime, volume, 0.1),
+                           stencil3d_reference(volume, 0.1))
+
+    def test_gemm(self, runtime, rng):
+        a = rng.normal(size=(4, 6))
+        b = rng.normal(size=(6, 3))
+        c = rng.normal(size=(4, 3))
+        assert np.allclose(launch_gemm(runtime, a, b, c, 2.0, 0.5),
+                           gemm_reference(a, b, c, 2.0, 0.5))
+
+    def test_gemm_shape_mismatch(self, runtime, rng):
+        a = rng.normal(size=(4, 5))
+        b = rng.normal(size=(6, 3))
+        with pytest.raises(ValueError):
+            launch_gemm(runtime, a, b, np.zeros((4, 3)))
+
+    def test_scale_bias(self, runtime, rng):
+        tensor = rng.normal(size=(2, 3, 2, 2))
+        biases = rng.normal(size=3)
+        assert np.allclose(launch_scale_bias(runtime, tensor, biases),
+                           scale_bias_reference(tensor, biases))
+
+    def test_add_bias(self, runtime, rng):
+        tensor = rng.normal(size=(1, 4, 3, 3))
+        biases = rng.normal(size=4)
+        assert np.allclose(launch_add_bias(runtime, tensor, biases),
+                           add_bias_reference(tensor, biases))
+
+    def test_leaky(self, runtime, rng):
+        x = rng.normal(size=(4, 7))
+        assert np.allclose(launch_leaky(runtime, x), leaky_reference(x))
+
+    def test_normalize(self, runtime, rng):
+        x = rng.normal(size=(1, 3, 2, 2))
+        mean = rng.normal(size=3)
+        variance = rng.uniform(0.5, 2.0, size=3)
+        assert np.allclose(launch_normalize(runtime, x, mean, variance),
+                           normalize_reference(x, mean, variance))
+
+    def test_maxpool(self, runtime, rng):
+        image = rng.normal(size=(2, 6, 6))
+        assert np.allclose(launch_maxpool(runtime, image, 2, 2, 0),
+                           maxpool_reference(image, 2, 2, 0))
+
+    def test_maxpool_with_padding(self, runtime, rng):
+        image = rng.normal(size=(1, 5, 5))
+        assert np.allclose(launch_maxpool(runtime, image, 3, 2, 1),
+                           maxpool_reference(image, 3, 2, 1))
+
+    def test_im2col(self, runtime, rng):
+        image = rng.normal(size=(2, 5, 5))
+        assert np.allclose(launch_im2col(runtime, image, 3, 1, 1),
+                           im2col_reference(image, 3, 1, 1))
+
+    def test_no_leaks_after_helpers(self, runtime, rng):
+        launch_leaky(runtime, rng.normal(size=(2, 2)))
+        runtime.memory.check_all_freed()
+
+
+class TestCoverageIntegration:
+    def test_kernel_launch_under_coverage(self):
+        """The Figure 6 mechanism: coverage collected from a GPU launch."""
+        from repro.coverage import CoverageCollector, summarize_collector
+        from repro.lang.minic import parse_program
+        program = parse_program(ALL_KERNELS_SOURCE, "kernels.cu")
+        collector = CoverageCollector(program)
+        runtime = CudaRuntime(program, tracer=collector)
+        grid = np.arange(16.0).reshape(4, 4)
+        launch_stencil2d(runtime, grid, 0.3)
+        coverage = summarize_collector(collector, "kernels.cu",
+                                       with_mcdc=False,
+                                       exclude_uncalled=True)
+        assert 0.0 < coverage.statement_percent <= 100.0
+        assert coverage.branch_percent > 0.0

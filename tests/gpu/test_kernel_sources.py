@@ -1,0 +1,79 @@
+"""The dual-use property of the kernel sources.
+
+DESIGN.md: "the sources are valid C, so the same strings can be fed to
+the fuzzy C++ analyzers (Figure 4's checker findings) and to the MiniC
+runtime (Figure 6's coverage measurements)."  These tests pin that
+property for every shipped kernel.
+"""
+
+import pytest
+
+from repro.gpu.kernels import ALL_KERNELS_SOURCE, SCALE_BIAS_CUDA_EXCERPT
+from repro.gpu.kernels import sources
+from repro.lang import parse_translation_unit
+from repro.lang.minic import parse_program
+
+KERNEL_SOURCES = {
+    "stencil2d": sources.STENCIL2D_SOURCE,
+    "stencil3d": sources.STENCIL3D_SOURCE,
+    "scale_bias": sources.SCALE_BIAS_SOURCE,
+    "add_bias": sources.ADD_BIAS_SOURCE,
+    "leaky": sources.LEAKY_ACTIVATE_SOURCE,
+    "normalize": sources.NORMALIZE_SOURCE,
+    "gemm": sources.GEMM_NAIVE_SOURCE,
+    "maxpool": sources.MAXPOOL_SOURCE,
+    "im2col": sources.IM2COL_SOURCE,
+}
+
+
+class TestDualUse:
+    @pytest.mark.parametrize("name", sorted(KERNEL_SOURCES))
+    def test_parses_as_minic(self, name):
+        program = parse_program(KERNEL_SOURCES[name], f"{name}.cu")
+        assert len(program.kernels) == 1
+
+    @pytest.mark.parametrize("name", sorted(KERNEL_SOURCES))
+    def test_parses_as_cpp(self, name):
+        unit = parse_translation_unit(KERNEL_SOURCES[name], f"{name}.cu")
+        kernels = [function for function in unit.functions
+                   if function.is_cuda_kernel]
+        assert len(kernels) == 1
+
+    @pytest.mark.parametrize("name", sorted(KERNEL_SOURCES))
+    def test_both_layers_agree_on_signature(self, name):
+        program = parse_program(KERNEL_SOURCES[name], f"{name}.cu")
+        unit = parse_translation_unit(KERNEL_SOURCES[name], f"{name}.cu")
+        strict = program.kernels[0]
+        fuzzy = next(function for function in unit.functions
+                     if function.is_cuda_kernel)
+        assert strict.name == fuzzy.name
+        assert len(strict.parameters) == fuzzy.parameter_count
+        strict_pointers = sum(1 for parameter in strict.parameters
+                              if parameter.is_pointer)
+        fuzzy_pointers = sum(1 for parameter in fuzzy.parameters
+                             if parameter.is_pointer)
+        assert strict_pointers == fuzzy_pointers
+
+    def test_combined_module(self):
+        program = parse_program(ALL_KERNELS_SOURCE, "all.cu")
+        assert len(program.kernels) == 9
+
+    def test_excerpt_matches_paper_structure(self):
+        """The Figure 4 excerpt: kernel indices, dim3 grid, explicit
+        cudaMalloc/Memcpy/Free discipline — as printed in the paper."""
+        assert "blockIdx.x * blockDim.x + threadIdx.x" in \
+            SCALE_BIAS_CUDA_EXCERPT
+        assert "cudaMalloc" in SCALE_BIAS_CUDA_EXCERPT
+        assert "cudaMemcpyHostToDevice" in SCALE_BIAS_CUDA_EXCERPT
+        assert "cudaMemcpyDeviceToHost" in SCALE_BIAS_CUDA_EXCERPT
+        assert "<<<" in SCALE_BIAS_CUDA_EXCERPT
+        assert "(size - 1) / BLOCK + 1" in SCALE_BIAS_CUDA_EXCERPT
+
+    @pytest.mark.parametrize("name", sorted(KERNEL_SOURCES))
+    def test_kernels_are_misra_dirty_as_the_paper_says(self, name):
+        """Observation 4: GPU code intrinsically uses pointers."""
+        unit = parse_translation_unit(KERNEL_SOURCES[name], f"{name}.cu")
+        kernel = next(function for function in unit.functions
+                      if function.is_cuda_kernel)
+        assert any(parameter.is_pointer
+                   for parameter in kernel.parameters)

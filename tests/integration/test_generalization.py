@@ -1,0 +1,64 @@
+"""The paper's generalization claim: conclusions hold for other frameworks.
+
+Section 2: "All of them have similar design and implementation
+characteristics, so the conclusions we derive for Apollo in this work
+hold to a large extent for all AD frameworks."  The Autoware-like corpus
+exercises that claim: a different framework profile, same observations.
+"""
+
+import pytest
+
+from repro.core import assess_corpus
+from repro.corpus import autoware_spec, generate_corpus
+from repro.iso26262 import Verdict
+
+
+@pytest.fixture(scope="module")
+def autoware_assessment():
+    return assess_corpus(generate_corpus(autoware_spec(scale=0.06)))
+
+
+class TestAutowareGeneralization:
+    def test_same_observation_pattern(self, autoware_assessment,
+                                      small_assessment):
+        """The per-observation support pattern matches Apollo's (13 is
+        scale-dependent for both)."""
+        def pattern(result):
+            return {observation.number: observation.supported
+                    for observation in result.observations
+                    if observation.number != 13}
+        assert pattern(autoware_assessment) == pattern(small_assessment)
+
+    def test_core_gaps_reproduce(self, autoware_assessment):
+        table = autoware_assessment.tables["modeling_coding"]
+        for key in ("low_complexity", "language_subsets", "strong_typing",
+                    "defensive_implementation"):
+            assert table.assessment(key).verdict is Verdict.NON_COMPLIANT
+
+    def test_style_discipline_reproduces(self, autoware_assessment):
+        table = autoware_assessment.tables["modeling_coding"]
+        assert table.assessment("style_guides").verdict \
+            is Verdict.COMPLIANT
+        assert table.assessment("naming_conventions").verdict \
+            is Verdict.COMPLIANT
+
+    def test_gpu_code_present_and_idiomatic(self, autoware_assessment):
+        misra = autoware_assessment.evidence.get("language_subset")
+        assert misra.stat("gpu_functions") > 0
+        assert misra.stat("gpu_functions_with_pointers") == \
+            misra.stat("gpu_functions")
+
+    def test_distinct_module_decomposition(self, autoware_assessment,
+                                           small_assessment):
+        autoware_modules = {module.name
+                            for module in autoware_assessment.modules}
+        apollo_modules = {module.name
+                          for module in small_assessment.modules}
+        assert autoware_modules != apollo_modules
+        assert "detection" in autoware_modules
+        assert "canbus" in apollo_modules
+
+    def test_frameworks_not_identical(self, autoware_assessment,
+                                      small_assessment):
+        assert autoware_assessment.total_loc != \
+            small_assessment.total_loc

@@ -1,0 +1,370 @@
+"""Tests for the ISO 26262 model: ASILs, grades, tables, compliance."""
+
+import pytest
+
+from repro.errors import ComplianceError
+from repro.iso26262 import (
+    ALL_TABLES,
+    ARCHITECTURAL_DESIGN_TABLE,
+    Asil,
+    ComplianceEngine,
+    ComplianceThresholds,
+    EvidenceItem,
+    EvidenceSet,
+    GapSeverity,
+    Grade,
+    MODELING_CODING_TABLE,
+    UNIT_DESIGN_TABLE,
+    Verdict,
+    format_grade_row,
+    get_table,
+    parse_grade_row,
+    render_table,
+)
+
+
+class TestAsil:
+    def test_ordering(self):
+        assert Asil.QM < Asil.A < Asil.B < Asil.C < Asil.D
+
+    @pytest.mark.parametrize("text,expected", [
+        ("ASIL-D", Asil.D), ("d", Asil.D), ("ASIL B", Asil.B),
+        ("qm", Asil.QM), ("A", Asil.A),
+    ])
+    def test_parsing(self, text, expected):
+        assert Asil.from_string(text) is expected
+
+    def test_invalid_parse(self):
+        with pytest.raises(ValueError):
+            Asil.from_string("E")
+        with pytest.raises(ValueError):
+            Asil.from_string("")
+
+    def test_safety_relevance(self):
+        assert not Asil.QM.is_safety_relevant
+        assert Asil.A.is_safety_relevant
+
+    def test_describe(self):
+        assert "highest" in Asil.D.describe()
+        assert "quality management" in Asil.QM.describe()
+
+
+class TestGrades:
+    def test_symbol_roundtrip(self):
+        for grade in Grade:
+            assert Grade.from_symbol(grade.symbol) is grade
+
+    def test_invalid_symbol(self):
+        with pytest.raises(ValueError):
+            Grade.from_symbol("+++")
+
+    def test_parse_row(self):
+        row = parse_grade_row("o + ++ ++")
+        assert row[Asil.A] is Grade.NO_RECOMMENDATION
+        assert row[Asil.B] is Grade.RECOMMENDED
+        assert row[Asil.D] is Grade.HIGHLY_RECOMMENDED
+
+    def test_parse_row_wrong_length(self):
+        with pytest.raises(ValueError):
+            parse_grade_row("++ ++")
+
+    def test_format_row_roundtrip(self):
+        assert format_grade_row(parse_grade_row("o + ++ ++")) == "o + ++ ++"
+
+    def test_binding(self):
+        assert not Grade.NO_RECOMMENDATION.is_binding
+        assert Grade.RECOMMENDED.is_binding
+
+
+class TestTables:
+    def test_paper_table_shapes(self):
+        assert len(MODELING_CODING_TABLE) == 8
+        assert len(ARCHITECTURAL_DESIGN_TABLE) == 7
+        assert len(UNIT_DESIGN_TABLE) == 10
+
+    def test_exact_paper_grades_table1(self):
+        defensive = MODELING_CODING_TABLE.technique(
+            "defensive_implementation")
+        assert format_grade_row(defensive.grades) == "o + ++ ++"
+        style = MODELING_CODING_TABLE.technique("style_guides")
+        assert format_grade_row(style.grades) == "+ ++ ++ ++"
+
+    def test_exact_paper_grades_table3(self):
+        pointers = UNIT_DESIGN_TABLE.technique("limited_pointers")
+        assert format_grade_row(pointers.grades) == "o + + ++"
+        globals_row = UNIT_DESIGN_TABLE.technique("avoid_globals")
+        assert format_grade_row(globals_row.grades) == "+ + ++ ++"
+
+    def test_interfaces_never_highly_recommended(self):
+        row = ARCHITECTURAL_DESIGN_TABLE.technique(
+            "restricted_interface_size")
+        assert format_grade_row(row.grades) == "+ + + +"
+
+    def test_all_binding_at_asil_d_except_noted(self):
+        for table in ALL_TABLES.values():
+            for technique in table:
+                assert technique.grade_at(Asil.D).is_binding
+
+    def test_qm_grades_as_no_recommendation(self):
+        technique = MODELING_CODING_TABLE.technique("low_complexity")
+        assert technique.grade_at(Asil.QM) is Grade.NO_RECOMMENDATION
+
+    def test_highly_recommended_at(self):
+        highly = MODELING_CODING_TABLE.highly_recommended_at(Asil.A)
+        assert len(highly) == 4  # rows 1, 2, 3, 8
+
+    def test_get_table(self):
+        assert get_table("unit_design") is UNIT_DESIGN_TABLE
+        with pytest.raises(KeyError):
+            get_table("missing")
+
+    def test_unknown_technique(self):
+        with pytest.raises(KeyError):
+            MODELING_CODING_TABLE.technique("missing")
+
+
+def make_evidence(**overrides):
+    """A full evidence set describing an Apollo-like codebase."""
+    defaults = {
+        "complexity": {"moderate_or_higher": 554, "functions": 10_000,
+                       "max_complexity": 60},
+        "language_subset": {"violations_per_kloc": 150.0,
+                            "analyzed_lines": 220_000,
+                            "gpu_functions": 50,
+                            "gpu_functions_with_pointers": 50,
+                            "gpu_functions_with_dynamic_memory": 10},
+        "strong_typing": {"explicit_casts": 1450,
+                          "implicit_narrowing_risks": 20},
+        "defensive": {"validation_ratio": 0.02},
+        "design_principles": {"mutable_globals": 1500},
+        "globals": {"mutable_globals": 1500},
+        "style": {"violations_per_kloc": 0.1},
+        "naming": {"conformance_ratio": 0.999},
+        "unit_design": {"multi_exit_ratio": 0.41,
+                        "dynamic_alloc_ratio": 0.45,
+                        "uninitialized_declarations": 40,
+                        "shadowed_names": 12,
+                        "pointer_ratio": 0.6,
+                        "hidden_flow_sites": 30,
+                        "goto_functions": 25,
+                        "recursive_functions": 4},
+        "architecture": {"hierarchy_depth": 3,
+                         "oversized_components": 8,
+                         "oversized_interfaces": 5,
+                         "mean_cohesion": 0.8,
+                         "low_cohesion_modules": 0,
+                         "max_module_fanout": 6,
+                         "scheduling_sites": 12,
+                         "interrupt_sites": 0},
+    }
+    defaults.update(overrides)
+    evidence = EvidenceSet()
+    for key, stats in defaults.items():
+        evidence.put(key, stats)
+    return evidence
+
+
+class TestEvidence:
+    def test_duplicate_key_rejected(self):
+        evidence = EvidenceSet()
+        evidence.put("a", {})
+        with pytest.raises(ComplianceError):
+            evidence.put("a", {})
+
+    def test_missing_key_raises(self):
+        with pytest.raises(ComplianceError):
+            EvidenceSet().get("missing")
+
+    def test_missing_stat_raises(self):
+        item = EvidenceItem(key="k", stats={"present": 1.0})
+        with pytest.raises(ComplianceError):
+            item.stat("absent")
+        assert item.stat("absent", 7.0) == 7.0
+
+
+class TestComplianceEngine:
+    @pytest.fixture
+    def tables(self):
+        return ComplianceEngine().assess_all(make_evidence())
+
+    def test_paper_verdicts_table1(self, tables):
+        table = tables["modeling_coding"]
+        assert table.assessment("low_complexity").verdict \
+            is Verdict.NON_COMPLIANT
+        assert table.assessment("language_subsets").verdict \
+            is Verdict.NON_COMPLIANT
+        assert table.assessment("strong_typing").verdict \
+            is Verdict.NON_COMPLIANT
+        assert table.assessment("defensive_implementation").verdict \
+            is Verdict.NON_COMPLIANT
+        assert table.assessment("graphical_representation").verdict \
+            is Verdict.NOT_APPLICABLE
+        assert table.assessment("style_guides").verdict \
+            is Verdict.COMPLIANT
+        assert table.assessment("naming_conventions").verdict \
+            is Verdict.COMPLIANT
+
+    def test_paper_verdicts_table3(self, tables):
+        table = tables["unit_design"]
+        assert table.assessment("single_entry_exit").verdict \
+            is Verdict.NON_COMPLIANT
+        assert table.assessment("no_dynamic_objects").verdict \
+            is Verdict.NON_COMPLIANT
+        assert table.assessment("avoid_globals").verdict \
+            is Verdict.NON_COMPLIANT
+        assert table.assessment("limited_pointers").verdict \
+            is Verdict.NON_COMPLIANT
+        assert table.assessment("no_recursion").verdict is Verdict.PARTIAL
+
+    def test_component_size_gap(self, tables):
+        table = tables["architectural_design"]
+        entry = table.assessment("restricted_component_size")
+        assert entry.verdict is Verdict.NON_COMPLIANT
+        assert entry.gap is GapSeverity.CRITICAL
+
+    def test_gap_severity_rules(self, tables):
+        # Non-compliant ++ at ASIL D = critical.
+        entry = tables["modeling_coding"].assessment("low_complexity")
+        assert entry.gap is GapSeverity.CRITICAL
+        # Compliant = no gap regardless of grade.
+        entry = tables["modeling_coding"].assessment("naming_conventions")
+        assert entry.gap is GapSeverity.NONE
+
+    def test_clean_codebase_is_compliant(self):
+        evidence = make_evidence(
+            complexity={"moderate_or_higher": 0, "functions": 100,
+                        "max_complexity": 8},
+            language_subset={"violations_per_kloc": 0.0,
+                             "gpu_functions": 0,
+                             "gpu_functions_with_pointers": 0,
+                             "gpu_functions_with_dynamic_memory": 0},
+            strong_typing={"explicit_casts": 0,
+                           "implicit_narrowing_risks": 0},
+            defensive={"validation_ratio": 0.95},
+            design_principles={"mutable_globals": 0},
+            globals={"mutable_globals": 0},
+            unit_design={"multi_exit_ratio": 0.0,
+                         "dynamic_alloc_ratio": 0.0,
+                         "uninitialized_declarations": 0,
+                         "shadowed_names": 0,
+                         "pointer_ratio": 0.0,
+                         "hidden_flow_sites": 0,
+                         "goto_functions": 0,
+                         "recursive_functions": 0},
+            architecture={"hierarchy_depth": 3,
+                          "oversized_components": 0,
+                          "oversized_interfaces": 0,
+                          "mean_cohesion": 0.9,
+                          "low_cohesion_modules": 0,
+                          "max_module_fanout": 3,
+                          "scheduling_sites": 0,
+                          "interrupt_sites": 0},
+        )
+        tables = ComplianceEngine().assess_all(evidence)
+        for table in tables.values():
+            assert table.count(Verdict.NON_COMPLIANT) == 0
+
+    def test_missing_evidence_yields_unknown(self):
+        evidence = EvidenceSet()
+        evidence.put("complexity", {"moderate_or_higher": 0,
+                                    "functions": 1})
+        table = ComplianceEngine().assess_table(MODELING_CODING_TABLE,
+                                                evidence)
+        assert table.assessment("style_guides").verdict is Verdict.UNKNOWN
+
+    def test_custom_thresholds(self):
+        lenient = ComplianceThresholds(max_explicit_casts=2000)
+        tables = ComplianceEngine(thresholds=lenient).assess_all(
+            make_evidence())
+        assert tables["modeling_coding"].assessment(
+            "strong_typing").verdict is Verdict.COMPLIANT
+
+    def test_render_table_contains_grades_and_verdicts(self, tables):
+        rendered = render_table(tables["modeling_coding"])
+        assert "++" in rendered
+        assert "NO" in rendered
+        assert "n/a" in rendered
+
+    def test_worst_gap(self, tables):
+        assert tables["unit_design"].worst_gap is GapSeverity.CRITICAL
+
+
+class TestObservations:
+    def test_apollo_like_evidence_supports_all(self):
+        from repro.iso26262 import generate_observations
+        observations = generate_observations(make_evidence())
+        numbers = {observation.number for observation in observations}
+        assert numbers == {1, 2, 3, 4, 5, 6, 7, 8, 9, 13, 14}
+        assert all(observation.supported for observation in observations)
+
+    def test_clean_codebase_refutes_gap_observations(self):
+        from repro.iso26262 import generate_observations
+        evidence = make_evidence(
+            complexity={"moderate_or_higher": 0, "functions": 100,
+                        "max_complexity": 5},
+            strong_typing={"explicit_casts": 3,
+                           "implicit_narrowing_risks": 0},
+        )
+        by_number = {observation.number: observation
+                     for observation in generate_observations(evidence)}
+        assert not by_number[1].supported
+        assert not by_number[5].supported
+
+    def test_tooling_observations(self):
+        from repro.iso26262 import tooling_observations
+        observations = tooling_observations(coverage_average=83.0,
+                                            open_vs_closed_relative=0.95)
+        by_number = {observation.number: observation
+                     for observation in observations}
+        assert by_number[10].supported
+        assert by_number[11].supported
+        assert by_number[12].supported
+
+    def test_full_coverage_refutes_observation_10(self):
+        from repro.iso26262 import tooling_observations
+        observations = tooling_observations(coverage_average=100.0)
+        assert not observations[0].supported
+
+
+class TestAsilSensitivity:
+    def test_gap_monotone_in_asil(self):
+        from repro.iso26262 import asil_sensitivity
+        profiles = asil_sensitivity(make_evidence())
+        weights = [profile.weighted for profile in profiles]
+        # Higher target ASIL can only add binding recommendations, so the
+        # weighted gap is non-decreasing from A to D.
+        assert weights == sorted(weights)
+        assert profiles[0].asil is Asil.A
+        assert profiles[-1].asil is Asil.D
+
+    def test_defensive_gap_vanishes_at_asil_a(self):
+        from repro.iso26262 import ComplianceEngine, GapSeverity
+        engine_a = ComplianceEngine(target_asil=Asil.A)
+        engine_d = ComplianceEngine(target_asil=Asil.D)
+        evidence = make_evidence()
+        at_a = engine_a.assess_table(MODELING_CODING_TABLE, evidence)
+        at_d = engine_d.assess_table(MODELING_CODING_TABLE, evidence)
+        assert at_a.assessment("defensive_implementation").gap \
+            is GapSeverity.NONE
+        assert at_d.assessment("defensive_implementation").gap \
+            is GapSeverity.CRITICAL
+
+    def test_pointer_gap_grows_with_asil(self):
+        from repro.iso26262 import ComplianceEngine, GapSeverity, \
+            UNIT_DESIGN_TABLE
+        evidence = make_evidence()
+        gap_a = ComplianceEngine(target_asil=Asil.A).assess_table(
+            UNIT_DESIGN_TABLE, evidence).assessment(
+            "limited_pointers").gap
+        gap_d = ComplianceEngine(target_asil=Asil.D).assess_table(
+            UNIT_DESIGN_TABLE, evidence).assessment(
+            "limited_pointers").gap
+        assert gap_a is GapSeverity.NONE   # 'o' at ASIL A
+        assert gap_d is GapSeverity.CRITICAL
+
+    def test_render(self):
+        from repro.iso26262 import asil_sensitivity, render_sensitivity
+        rendered = render_sensitivity(asil_sensitivity(make_evidence()))
+        assert "ASIL-A" in rendered
+        assert "ASIL-D" in rendered
+        assert "weighted" in rendered

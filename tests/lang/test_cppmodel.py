@@ -1,0 +1,281 @@
+"""Tests for the fuzzy C++ structural model."""
+
+import pytest
+
+from repro.lang.cppmodel import parse_translation_unit
+
+
+def unit_of(source, filename="test.cc"):
+    return parse_translation_unit(source, filename)
+
+
+class TestFunctionExtraction:
+    def test_free_function(self):
+        unit = unit_of("int add(int a, int b) { return a + b; }")
+        function = unit.function("add")
+        assert function.parameter_count == 2
+        assert function.return_count == 1
+
+    def test_function_declaration_not_counted(self):
+        unit = unit_of("int add(int a, int b);")
+        assert unit.functions == []
+
+    def test_multiple_functions(self):
+        unit = unit_of("void a() { }\nvoid b() { }\nvoid c() { }")
+        assert [function.name for function in unit.functions] == \
+            ["a", "b", "c"]
+
+    def test_line_span(self):
+        unit = unit_of("void f() {\n  int x = 0;\n  x++;\n}")
+        function = unit.function("f")
+        assert function.start_line == 1
+        assert function.end_line == 4
+        assert function.length_in_lines == 4
+
+    def test_constructor_with_initializer_list(self):
+        unit = unit_of(
+            "class A {\n public:\n  A() : x_(1), y_(2) { }\n"
+            " private:\n  int x_;\n  int y_;\n};")
+        assert any(function.name == "A" for function in unit.functions)
+
+    def test_destructor(self):
+        unit = unit_of("class A {\n public:\n  ~A() { }\n};")
+        assert any(function.name == "~A" for function in unit.functions)
+
+    def test_operator_overload(self):
+        unit = unit_of("struct V { V operator+(const V& o) { return o; } };")
+        assert any(function.name == "operator+"
+                   for function in unit.functions)
+
+    def test_template_function(self):
+        unit = unit_of("template <typename T>\nT clamp(T v) { return v; }")
+        assert unit.function("clamp").parameter_count == 1
+
+    def test_out_of_line_method_qualified(self):
+        unit = unit_of("bool Foo::Check(int x) { return x > 0; }")
+        function = unit.function("Check")
+        assert function.class_name == "Foo"
+        assert function.qualified_name == "Foo::Check"
+
+    def test_static_function(self):
+        unit = unit_of("static int helper(void) { return 1; }")
+        assert unit.function("helper").is_static
+        assert unit.function("helper").parameter_count == 0
+
+    def test_trailing_const_and_noexcept(self):
+        unit = unit_of(
+            "class A {\n public:\n"
+            "  int get() const noexcept { return 1; }\n};")
+        assert any(function.name == "get" for function in unit.functions)
+
+    def test_pure_virtual_not_a_definition(self):
+        unit = unit_of(
+            "class A {\n public:\n  virtual void run() = 0;\n};")
+        assert unit.functions == []
+        assert unit.classes[0].method_names == ["run"]
+
+
+class TestComplexity:
+    @pytest.mark.parametrize("body,expected", [
+        ("", 1),
+        ("if (x) { }", 2),
+        ("if (x) { } else { }", 2),
+        ("if (x && y) { }", 3),
+        ("if (x || y || z) { }", 4),
+        ("for (int i = 0; i < 9; i++) { }", 2),
+        ("while (x) { }", 2),
+        ("switch (x) { case 1: break; case 2: break; default: break; }", 3),
+        ("int y = x ? 1 : 2;", 2),
+        ("try { } catch (...) { }", 2),
+        ("if (a) { if (b) { } }", 3),
+    ])
+    def test_decision_counting(self, body, expected):
+        unit = unit_of(f"void f(int x) {{ {body} }}")
+        assert unit.function("f").cyclomatic_complexity == expected
+
+    def test_nesting_depth(self):
+        unit = unit_of(
+            "void f() { if (1) { if (2) { if (3) { } } } }")
+        assert unit.function("f").max_nesting == 3
+
+
+class TestBodyFacts:
+    def test_call_collection(self):
+        unit = unit_of("void f() { helper(); other(1, 2); }")
+        assert unit.function("f").calls == ["helper", "other"]
+
+    def test_allocation_detection(self):
+        unit = unit_of(
+            "void f(int n) {\n"
+            "  float* a = (float*)malloc(n);\n"
+            "  int* b = new int[n];\n"
+            "  free(a);\n"
+            "  delete[] b;\n}")
+        function = unit.function("f")
+        assert function.allocation_calls == 1
+        assert function.deallocation_calls == 1
+        assert function.new_expressions == 1
+        assert function.delete_expressions == 1
+        assert function.uses_dynamic_memory
+
+    def test_goto_and_exit_points(self):
+        unit = unit_of(
+            "int f(int x) {\n"
+            "  if (x < 0) return -1;\n"
+            "  goto done;\n"
+            "done:\n"
+            "  return x;\n}")
+        function = unit.function("f")
+        assert function.goto_count == 1
+        assert function.return_count == 2
+        assert function.has_multiple_exits
+
+    def test_single_exit_not_flagged(self):
+        unit = unit_of("int f(int x) { return x; }")
+        assert not unit.function("f").has_multiple_exits
+
+    def test_kernel_launch_detection(self):
+        unit = unit_of(
+            "void f() { kernel<<<grid, block>>>(a, b); }")
+        assert unit.function("f").kernel_launches == 1
+
+
+class TestCudaQualifiers:
+    def test_global_kernel(self):
+        unit = unit_of("__global__ void k(float *p) { p[0] = 1.0f; }")
+        function = unit.function("k")
+        assert function.is_cuda_kernel
+        assert function.is_gpu_code
+
+    def test_device_function(self):
+        unit = unit_of("__device__ float d(float x) { return x; }")
+        assert unit.function("d").is_device_function
+
+    def test_host_function_not_gpu(self):
+        unit = unit_of("void h() { }")
+        assert not unit.function("h").is_gpu_code
+
+
+class TestClasses:
+    def test_class_with_access_sections(self):
+        unit = unit_of(
+            "class C {\n public:\n  void a();\n  void b();\n"
+            " private:\n  void c();\n  int field_;\n};")
+        info = unit.classes[0]
+        assert info.name == "C"
+        assert info.public_method_names == ["a", "b"]
+        assert info.method_names == ["a", "b", "c"]
+        assert info.interface_size == 2
+
+    def test_struct_default_public(self):
+        unit = unit_of("struct S { void m(); };")
+        assert unit.classes[0].public_method_names == ["m"]
+
+    def test_forward_declaration_not_a_class(self):
+        unit = unit_of("class Fwd;\nstruct S2;\n")
+        assert unit.classes == []
+
+    def test_inheritance_bases(self):
+        unit = unit_of("class D : public Base1, private Base2 { };")
+        assert "Base1" in unit.classes[0].bases
+        assert "Base2" in unit.classes[0].bases
+
+    def test_union_kind(self):
+        unit = unit_of("union U { int i; float f; };")
+        assert unit.classes[0].kind == "union"
+
+    def test_qualified_name_in_namespace(self):
+        unit = unit_of("namespace n { class C { }; }")
+        assert unit.classes[0].qualified_name == "n::C"
+
+
+class TestNamespacesAndGlobals:
+    def test_nested_namespaces(self):
+        unit = unit_of(
+            "namespace a {\nnamespace b {\nvoid f() { }\n}\n}")
+        assert unit.namespaces == ["a", "a::b"]
+        assert unit.function("f").qualified_name == "a::b::f"
+
+    def test_mutable_global(self):
+        unit = unit_of("int g_count = 0;")
+        assert len(unit.mutable_globals) == 1
+        assert unit.mutable_globals[0].name == "g_count"
+
+    def test_const_global_not_mutable(self):
+        unit = unit_of("const float kPi = 3.14f;\nconstexpr int kN = 4;")
+        assert unit.mutable_globals == []
+        assert len(unit.globals) == 2
+
+    def test_extern_global(self):
+        unit = unit_of("extern int g_shared;")
+        assert unit.globals[0].is_extern
+
+    def test_local_variables_not_globals(self):
+        unit = unit_of("void f() { int local = 1; }")
+        assert unit.globals == []
+
+    def test_class_members_not_globals(self):
+        unit = unit_of("class C { int member_; };")
+        assert unit.globals == []
+        assert unit.classes[0].field_count == 1
+
+    def test_enum_skipped_cleanly(self):
+        unit = unit_of(
+            "enum Color { RED, GREEN };\n"
+            "enum class Mode : int { A, B };\n"
+            "void after() { }")
+        assert any(function.name == "after"
+                   for function in unit.functions)
+
+    def test_typedef_and_using_skipped(self):
+        unit = unit_of(
+            "typedef int Id;\nusing Name = float;\nvoid g() { }")
+        assert unit.globals == []
+        assert len(unit.functions) == 1
+
+    def test_extern_c_block(self):
+        unit = unit_of('extern "C" {\nvoid c_api(void) { }\n}')
+        assert unit.function("c_api").name == "c_api"
+
+
+class TestParameters:
+    def test_pointer_reference_const(self):
+        unit = unit_of(
+            "void f(float* p, const int& r, int plain) { }")
+        parameters = unit.function("f").parameters
+        assert parameters[0].is_pointer
+        assert parameters[1].is_reference
+        assert parameters[1].is_const
+        assert not parameters[2].is_pointer
+
+    def test_void_parameter_list(self):
+        unit = unit_of("void f(void) { }")
+        assert unit.function("f").parameter_count == 0
+
+    def test_template_parameter_types(self):
+        unit = unit_of("void f(const std::vector<int>& v, int n) { }")
+        assert unit.function("f").parameter_count == 2
+
+    def test_parameter_names(self):
+        unit = unit_of("void f(float alpha, int* counts) { }")
+        names = [parameter.name
+                 for parameter in unit.function("f").parameters]
+        assert names == ["alpha", "counts"]
+
+
+class TestBodyTokens:
+    def test_body_tokens_bracketed(self):
+        unit = unit_of("void f() { int x = 1; }")
+        body = unit.body_tokens(unit.function("f"))
+        assert body[0].text == "{"
+        assert body[-1].text == "}"
+
+    def test_function_lookup_error(self):
+        unit = unit_of("void f() { }")
+        with pytest.raises(KeyError):
+            unit.function("missing")
+
+    def test_cuda_functions_view(self):
+        unit = unit_of(
+            "__global__ void k() { }\nvoid h() { }")
+        assert [function.name for function in unit.cuda_functions] == ["k"]

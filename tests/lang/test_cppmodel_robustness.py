@@ -1,0 +1,135 @@
+"""Robustness tests: the fuzzy model on gnarly real-world C++ shapes.
+
+The fuzzy layer must never crash and must keep producing sane structure
+on modern C++ it does not fully model (lambdas, range-for, auto,
+attributes, nested templates, macros mid-declaration).
+"""
+
+from repro.lang import parse_translation_unit
+
+
+def parses(source):
+    unit = parse_translation_unit(source, "hard.cc")
+    assert unit.line_count >= 0
+    return unit
+
+
+class TestModernConstructs:
+    def test_range_based_for(self):
+        unit = parses(
+            "void f(const std::vector<int>& items) {\n"
+            "  int total = 0;\n"
+            "  for (const auto& item : items) {\n"
+            "    total += item;\n"
+            "  }\n"
+            "}")
+        function = unit.function("f")
+        assert function.cyclomatic_complexity == 2  # the for
+
+    def test_lambda_in_body(self):
+        unit = parses(
+            "void f() {\n"
+            "  auto square = [](int x) { return x * x; };\n"
+            "  int nine = square(3);\n"
+            "}")
+        assert any(function.name == "f" for function in unit.functions)
+
+    def test_lambda_at_namespace_scope(self):
+        unit = parses("auto g_handler = [](int x) { return x + 1; };\n"
+                      "void after() { }")
+        assert any(function.name == "after"
+                   for function in unit.functions)
+
+    def test_attributes(self):
+        unit = parses(
+            "[[nodiscard]] int status() { return 0; }\n"
+            "class [[deprecated]] Old { };")
+        assert any(function.name == "status"
+                   for function in unit.functions)
+        assert any(info.name == "Old" for info in unit.classes)
+
+    def test_nested_templates(self):
+        unit = parses(
+            "std::map<std::string, std::vector<std::pair<int, int>>> "
+            "g_table;\n"
+            "void use() { }")
+        assert any(function.name == "use" for function in unit.functions)
+
+    def test_function_returning_template(self):
+        unit = parses(
+            "std::vector<float> Collect(int n) {\n"
+            "  std::vector<float> out;\n"
+            "  for (int i = 0; i < n; i++) {\n"
+            "    out.push_back(i);\n"
+            "  }\n"
+            "  return out;\n"
+            "}")
+        function = unit.function("Collect")
+        assert function.cyclomatic_complexity == 2
+
+    def test_default_arguments(self):
+        unit = parses("void f(int a, float b = 1.5f, int c = 3) { }")
+        assert unit.function("f").parameter_count == 3
+
+    def test_macro_between_declarations(self):
+        unit = parses(
+            "#define DISALLOW_COPY(T) T(const T&) = delete\n"
+            "class Guarded {\n public:\n  DISALLOW_COPY(Guarded);\n"
+            "  void Run();\n};")
+        assert any(info.name == "Guarded" for info in unit.classes)
+
+    def test_do_while(self):
+        unit = parses(
+            "void f(int n) { do { n--; } while (n > 0); }")
+        assert unit.function("f").cyclomatic_complexity == 2
+
+    def test_anonymous_namespace(self):
+        unit = parses(
+            "namespace {\nint g_hidden = 0;\nvoid helper() { }\n}")
+        assert any(function.name == "helper"
+                   for function in unit.functions)
+        assert len(unit.mutable_globals) == 1
+
+    def test_using_namespace_directive(self):
+        unit = parses("using namespace std;\nvoid f() { }")
+        assert any(function.name == "f" for function in unit.functions)
+
+    def test_ternary_in_initializer(self):
+        unit = parses("void f(int a) { int b = a > 0 ? a : -a; }")
+        assert unit.function("f").cyclomatic_complexity == 2
+
+    def test_multiline_string_concat(self):
+        unit = parses('const char* kMessage = "line one "\n'
+                      '                       "line two";\n'
+                      "void f() { }")
+        assert any(function.name == "f" for function in unit.functions)
+
+    def test_stream_operators(self):
+        unit = parses(
+            'void Log(int value) { stream() << "v=" << value << "\\n"; }')
+        assert unit.function("Log").cyclomatic_complexity == 1
+
+    def test_bitfields(self):
+        unit = parses("struct Flags { unsigned a : 1; unsigned b : 3; };")
+        assert unit.classes[0].name == "Flags"
+
+    def test_static_member_definition(self):
+        unit = parses("int Counter::instances_ = 0;\nvoid f() { }")
+        assert any(function.name == "f" for function in unit.functions)
+
+    def test_enum_class_with_values(self):
+        unit = parses(
+            "enum class Mode : uint8_t { kAuto = 0, kManual = 1 };\n"
+            "void f() { }")
+        assert any(function.name == "f" for function in unit.functions)
+        # Enumerators must not leak into globals.
+        assert unit.globals == []
+
+    def test_pathological_incomplete_file_no_crash(self):
+        unit = parses("void f( {{{ ")
+        assert unit.line_count >= 0
+
+    def test_deeply_nested_braces(self):
+        body = "{" * 30 + "int x = 0;" + "}" * 30
+        unit = parses(f"void f() {body}")
+        assert any(function.name == "f" for function in unit.functions)

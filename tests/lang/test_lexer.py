@@ -1,0 +1,205 @@
+"""Tests for the C/C++/CUDA tokenizer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang.lexer import Lexer, code_tokens, tokenize
+from repro.lang.tokens import Token, TokenKind
+
+
+def kinds(source):
+    return [token.kind for token in tokenize(source)]
+
+
+def texts(source):
+    return [token.text for token in tokenize(source)]
+
+
+class TestBasicTokens:
+    def test_identifier_and_keyword(self):
+        tokens = tokenize("int foo")
+        assert tokens[0].kind is TokenKind.KEYWORD
+        assert tokens[0].text == "int"
+        assert tokens[1].kind is TokenKind.IDENTIFIER
+        assert tokens[1].text == "foo"
+
+    def test_cuda_qualifier_is_keyword(self):
+        tokens = tokenize("__global__ void k()")
+        assert tokens[0].kind is TokenKind.KEYWORD
+        assert tokens[0].text == "__global__"
+
+    def test_empty_source(self):
+        assert tokenize("") == []
+
+    def test_whitespace_only(self):
+        assert tokenize("  \n\t  \n") == []
+
+    def test_positions_are_one_based(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_line_continuation_in_whitespace(self):
+        tokens = tokenize("a \\\n b")
+        assert [token.text for token in tokens] == ["a", "b"]
+        assert tokens[1].line == 2
+
+
+class TestNumbers:
+    @pytest.mark.parametrize("literal", [
+        "0", "42", "3.14", "1e10", "1E-5", "0x1F", "0xffUL", "100u",
+        "2.5f", "1'000'000", ".5", "6.02e23",
+    ])
+    def test_number_forms(self, literal):
+        tokens = tokenize(literal)
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.NUMBER
+        assert tokens[0].text == literal
+
+    def test_member_access_is_not_a_number(self):
+        assert texts("a.b") == ["a", ".", "b"]
+
+    def test_float_leading_dot_after_identifier(self):
+        # `x.5` cannot occur, but `f(.5)` can.
+        assert kinds("f(.5)") == [TokenKind.IDENTIFIER, TokenKind.PUNCT,
+                                  TokenKind.NUMBER, TokenKind.PUNCT]
+
+
+class TestStringsAndChars:
+    def test_simple_string(self):
+        tokens = tokenize('"hello world"')
+        assert tokens[0].kind is TokenKind.STRING
+
+    def test_string_with_escapes(self):
+        tokens = tokenize(r'"a\"b\\c"')
+        assert len(tokens) == 1
+        assert tokens[0].text == r'"a\"b\\c"'
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"abc')
+
+    def test_unterminated_string_at_newline(self):
+        with pytest.raises(LexError):
+            tokenize('"abc\ndef"')
+
+    def test_char_literal(self):
+        tokens = tokenize("'x'")
+        assert tokens[0].kind is TokenKind.CHAR
+
+    def test_escaped_char(self):
+        tokens = tokenize(r"'\n'")
+        assert tokens[0].text == r"'\n'"
+
+    def test_raw_string(self):
+        tokens = tokenize('R"(no \\ escapes here)"')
+        assert tokens[0].kind is TokenKind.STRING
+
+    def test_raw_string_with_delimiter(self):
+        tokens = tokenize('R"sep(a)(b)sep"')
+        assert tokens[0].kind is TokenKind.STRING
+        assert tokens[0].text == 'R"sep(a)(b)sep"'
+
+
+class TestComments:
+    def test_line_comment(self):
+        tokens = tokenize("a // rest of line\nb")
+        assert [token.kind for token in tokens] == [
+            TokenKind.IDENTIFIER, TokenKind.COMMENT, TokenKind.IDENTIFIER]
+
+    def test_block_comment_single_line(self):
+        tokens = tokenize("a /* mid */ b")
+        assert tokens[1].kind is TokenKind.COMMENT
+
+    def test_block_comment_multi_line_spans(self):
+        tokens = tokenize("/* one\ntwo\nthree */ x")
+        assert tokens[0].end_line == 3
+        assert tokens[1].line == 3
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("/* never closed")
+
+    def test_code_tokens_filters_comments(self):
+        tokens = tokenize("a // c\n#define X 1\nb")
+        filtered = code_tokens(tokens)
+        assert [token.text for token in filtered] == ["a", "b"]
+
+    def test_division_is_not_comment(self):
+        assert texts("a / b") == ["a", "/", "b"]
+
+
+class TestPreprocessor:
+    def test_include_directive(self):
+        tokens = tokenize('#include <stdio.h>\nint x;')
+        assert tokens[0].kind is TokenKind.PREPROCESSOR
+        assert "#include" in tokens[0].text
+
+    def test_directive_with_continuation(self):
+        tokens = tokenize("#define M(a) \\\n  (a + 1)\nnext")
+        assert tokens[0].kind is TokenKind.PREPROCESSOR
+        assert "(a + 1)" in tokens[0].text
+        assert tokens[1].text == "next"
+
+    def test_hash_mid_line_is_punct(self):
+        # Stringize operator inside macro body is not a directive start.
+        tokens = tokenize("a # b")
+        assert tokens[1].kind is TokenKind.PUNCT
+
+    def test_directive_after_indent(self):
+        tokens = tokenize("  #pragma once\nx")
+        assert tokens[0].kind is TokenKind.PREPROCESSOR
+
+
+class TestPunctuators:
+    def test_maximal_munch(self):
+        assert texts("a<<=b") == ["a", "<<=", "b"]
+        assert texts("a->b") == ["a", "->", "b"]
+        assert texts("a::b") == ["a", "::", "b"]
+
+    def test_cuda_launch_brackets(self):
+        assert "<<<" in texts("kernel<<<grid, block>>>(x)")
+        assert ">>>" in texts("kernel<<<grid, block>>>(x)")
+
+    def test_ellipsis(self):
+        assert texts("f(...)") == ["f", "(", "...", ")"]
+
+    def test_scope_vs_colon(self):
+        assert texts("a::b:c") == ["a", "::", "b", ":", "c"]
+
+
+class TestStrictMode:
+    def test_strict_raises_on_garbage(self):
+        with pytest.raises(LexError):
+            tokenize("int `x;")
+
+    def test_lenient_skips_garbage(self):
+        tokens = tokenize("int `x;", strict=False)
+        assert [token.text for token in tokens] == ["int", "x", ";"]
+
+    def test_lex_error_carries_position(self):
+        try:
+            tokenize("ab\n `", filename="f.cc")
+        except LexError as error:
+            assert error.filename == "f.cc"
+            assert error.line == 2
+        else:
+            pytest.fail("expected LexError")
+
+
+class TestTokenHelpers:
+    def test_is_punct(self):
+        token = Token(TokenKind.PUNCT, "{", 1, 1)
+        assert token.is_punct("{")
+        assert not token.is_punct("}")
+
+    def test_is_keyword(self):
+        token = Token(TokenKind.KEYWORD, "if", 1, 1)
+        assert token.is_keyword("if")
+        assert not token.is_keyword("for")
+
+    def test_is_identifier_any_and_specific(self):
+        token = Token(TokenKind.IDENTIFIER, "foo", 1, 1)
+        assert token.is_identifier()
+        assert token.is_identifier("foo")
+        assert not token.is_identifier("bar")

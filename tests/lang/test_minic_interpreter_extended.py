@@ -1,0 +1,146 @@
+"""Extended interpreter tests: output, globals init, edge semantics."""
+
+import pytest
+
+from repro.errors import MiniCRuntimeError, MiniCTypeError
+from repro.lang.minic import ArrayValue, Interpreter, parse_program
+
+
+class TestPrintf:
+    def test_printf_captures_values(self):
+        program = parse_program(
+            'void report(int a, float b) { printf(a, b); }')
+        interpreter = Interpreter(program)
+        interpreter.run("report", [3, 2.5])
+        assert interpreter.output == ["3 2.5"]
+
+    def test_printf_returns_length(self):
+        program = parse_program(
+            "int f(int a) { return printf(a); }")
+        interpreter = Interpreter(program)
+        assert interpreter.run("f", [42]) == len("42")
+
+    def test_empty_printf(self):
+        program = parse_program("int f() { return printf(); }")
+        assert Interpreter(program).run("f") == 0
+
+    def test_output_accumulates(self):
+        program = parse_program("void f(int a) { printf(a); printf(a); }")
+        interpreter = Interpreter(program)
+        interpreter.run("f", [1])
+        interpreter.run("f", [2])
+        assert interpreter.output == ["1", "1", "2", "2"]
+
+
+class TestGlobalInitialization:
+    def test_global_array(self):
+        program = parse_program(
+            "float g_table[4] = {1.0f, 2.0f};\n"
+            "float lookup(int i) { return g_table[i]; }")
+        interpreter = Interpreter(program)
+        assert interpreter.run("lookup", [1]) == 2.0
+        assert interpreter.run("lookup", [3]) == 0.0
+
+    def test_global_initializer_expression(self):
+        program = parse_program(
+            "int g_limit = 4 * 8;\nint get() { return g_limit; }")
+        assert Interpreter(program).run("get") == 32
+
+    def test_global_writable_from_function(self):
+        program = parse_program(
+            "int g_mode = 0;\n"
+            "void set_mode(int m) { g_mode = m; }\n"
+            "int get_mode() { return g_mode; }")
+        interpreter = Interpreter(program)
+        interpreter.run("set_mode", [7])
+        assert interpreter.run("get_mode") == 7
+
+    def test_fresh_interpreter_resets_globals(self):
+        program = parse_program(
+            "int g_n = 1;\nvoid bump() { g_n++; }\n"
+            "int get() { return g_n; }")
+        first = Interpreter(program)
+        first.run("bump")
+        assert first.run("get") == 2
+        assert Interpreter(program).run("get") == 1
+
+
+class TestEdgeSemantics:
+    def run(self, source, function, *args):
+        return Interpreter(parse_program(source)).run(function, list(args))
+
+    def test_comma_operator(self):
+        assert self.run("int f(int a) { return (a = 2, a + 1); }",
+                        "f", 0) == 3
+
+    def test_chained_comparisons_are_left_assoc(self):
+        # C semantics: (1 < 2) < 3  ->  1 < 3  ->  1.
+        assert self.run("int f() { return 1 < 2 < 3; }", "f") == 1
+        # (3 > 2) > 1  ->  1 > 1  ->  0.
+        assert self.run("int f() { return 3 > 2 > 1; }", "f") == 0
+
+    def test_logical_result_is_int(self):
+        assert self.run("int f(int a, int b) { return (a && b) + 1; }",
+                        "f", 5, 7) == 2
+
+    def test_nested_ternary(self):
+        source = ("int sign(int x) { return x > 0 ? 1 : x < 0 ? -1 : 0; }")
+        assert self.run(source, "sign", 9) == 1
+        assert self.run(source, "sign", -9) == -1
+        assert self.run(source, "sign", 0) == 0
+
+    def test_array_aliasing_through_two_views(self):
+        program = parse_program(
+            "void set(float *p, int i, float v) { p[i] = v; }")
+        interpreter = Interpreter(program)
+        buffer = [0.0] * 4
+        view = ArrayValue(buffer, 2)
+        interpreter.run("set", [view, 1, 9.0])
+        assert buffer[3] == 9.0
+
+    def test_pointer_difference(self):
+        program = parse_program(
+            "int gap(float *a, float *b) { return a - b; }")
+        interpreter = Interpreter(program)
+        buffer = [0.0] * 8
+        assert interpreter.run("gap", [ArrayValue(buffer, 5),
+                                       ArrayValue(buffer, 2)]) == 3
+
+    def test_pointer_difference_unrelated_buffers_raises(self):
+        program = parse_program(
+            "int gap(float *a, float *b) { return a - b; }")
+        interpreter = Interpreter(program)
+        with pytest.raises(MiniCRuntimeError):
+            interpreter.run("gap", [[0.0], [0.0]])
+
+    def test_pointer_comparison(self):
+        program = parse_program(
+            "int same(float *a, float *b) { return a == b; }")
+        interpreter = Interpreter(program)
+        buffer = [0.0] * 2
+        view = ArrayValue(buffer, 0)
+        assert interpreter.run("same", [view, view]) == 1
+        assert interpreter.run("same", [view, ArrayValue(buffer, 1)]) == 0
+
+    def test_modulo_float_rejected(self):
+        with pytest.raises(MiniCTypeError):
+            self.run("float f(float a) { return a % 2.0f; }", "f", 5.0)
+
+    def test_null_pointer_argument(self):
+        program = parse_program(
+            "int is_null(float *p) { if (p == 0) { return 1; } "
+            "return 0; }")
+        interpreter = Interpreter(program)
+        assert interpreter.run("is_null", [None]) == 1
+
+    def test_char_escape_values(self):
+        assert self.run(r"int f() { return '\n'; }", "f") == 10
+        assert self.run(r"int f() { return '\0'; }", "f") == 0
+
+    def test_shadowing_semantics_function_scope(self):
+        # MiniC uses function-level scoping (documented); an inner
+        # declaration overwrites the outer binding.
+        source = ("int f(int a) { int x = 1; "
+                  "if (a) { int x = 2; } return x; }")
+        assert self.run(source, "f", 1) == 2
+        assert self.run(source, "f", 0) == 1

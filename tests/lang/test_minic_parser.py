@@ -1,0 +1,229 @@
+"""Tests for the MiniC recursive-descent parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang.minic import ast, parse_program
+
+
+def first_function(source):
+    return parse_program(source).functions[0]
+
+
+class TestTopLevel:
+    def test_function_definition(self):
+        program = parse_program("int main() { return 0; }")
+        assert program.functions[0].name == "main"
+        assert program.functions[0].return_type == "int"
+
+    def test_void_parameter_list(self):
+        function = first_function("void f(void) { }")
+        assert function.parameters == []
+
+    def test_kernel_qualifier(self):
+        program = parse_program("__global__ void k(float *x) { }")
+        assert program.functions[0].is_kernel
+        assert program.kernels == [program.functions[0]]
+
+    def test_device_qualifier(self):
+        program = parse_program("__device__ float d(float x) { return x; }")
+        assert program.functions[0].is_device
+
+    def test_global_declaration(self):
+        program = parse_program("int g_count = 3;\nvoid f() { }")
+        assert program.globals[0].name == "g_count"
+
+    def test_type_collapse(self):
+        assert first_function("double f() { return 0.0; }") \
+            .return_type == "float"
+        assert first_function("unsigned int f() { return 0; }") \
+            .return_type == "int"
+        assert first_function("bool f() { return 1; }").return_type == "int"
+
+    def test_pointer_parameter(self):
+        function = first_function("void f(float *data, int n) { }")
+        assert function.parameters[0].is_pointer
+        assert not function.parameters[1].is_pointer
+
+    def test_array_parameter_is_pointer(self):
+        function = first_function("void f(float data[]) { }")
+        assert function.parameters[0].is_pointer
+
+    def test_pointer_return_type_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("float *f() { return 0; }")
+
+
+class TestStatements:
+    def test_if_else(self):
+        function = first_function(
+            "int f(int x) { if (x > 0) { return 1; } else { return 2; } }")
+        statement = function.body.statements[0]
+        assert isinstance(statement, ast.If)
+        assert statement.else_branch is not None
+
+    def test_while(self):
+        function = first_function("void f(int n) { while (n > 0) { n--; } }")
+        assert isinstance(function.body.statements[0], ast.While)
+
+    def test_do_while(self):
+        function = first_function(
+            "void f(int n) { do { n--; } while (n > 0); }")
+        assert isinstance(function.body.statements[0], ast.DoWhile)
+
+    def test_for_with_declaration(self):
+        function = first_function(
+            "void f() { for (int i = 0; i < 4; i++) { } }")
+        statement = function.body.statements[0]
+        assert isinstance(statement, ast.For)
+        assert isinstance(statement.initializer, ast.Declaration)
+
+    def test_for_all_clauses_empty(self):
+        function = first_function("void f() { for (;;) { break; } }")
+        statement = function.body.statements[0]
+        assert statement.initializer is None
+        assert statement.condition is None
+        assert statement.increment is None
+
+    def test_switch_with_default(self):
+        function = first_function(
+            "int f(int x) { switch (x) { case 1: return 1; "
+            "default: return 0; } }")
+        statement = function.body.statements[0]
+        assert isinstance(statement, ast.Switch)
+        assert len(statement.cases) == 2
+        assert statement.cases[1].value is None
+
+    def test_statement_before_case_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("void f(int x) { switch (x) { x = 1; } }")
+
+    def test_array_declaration_with_initializer_list(self):
+        function = first_function("void f() { float a[4] = {1.0f, 2.0f}; }")
+        declaration = function.body.statements[0]
+        assert declaration.array_size is not None
+        assert len(declaration.initializer_list) == 2
+
+    def test_unterminated_block_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("void f() { int x = 1;")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        function = first_function("int f() { return 1 + 2 * 3; }")
+        value = function.body.statements[0].value
+        assert value.operator == "+"
+        assert value.right.operator == "*"
+
+    def test_precedence_relational_over_logical(self):
+        function = first_function("int f(int a, int b) { return a > 0 && b > 0; }")
+        value = function.body.statements[0].value
+        assert isinstance(value, ast.Logical)
+
+    def test_ternary_creates_decision(self):
+        program = parse_program("int f(int x) { return x > 0 ? 1 : 2; }")
+        assert program.decision_count == 1
+
+    def test_assignment_right_associative(self):
+        function = first_function("void f(int a, int b) { a = b = 3; }")
+        assignment = function.body.statements[0].expression
+        assert isinstance(assignment.value, ast.Assignment)
+
+    def test_compound_assignment(self):
+        function = first_function("void f(int a) { a += 2; }")
+        assert function.body.statements[0].expression.operator == "+="
+
+    def test_invalid_assignment_target_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("void f(int a) { 3 = a; }")
+
+    def test_cast_expression(self):
+        function = first_function("int f(float x) { return (int)x; }")
+        value = function.body.statements[0].value
+        assert isinstance(value, ast.Cast)
+        assert value.type_name == "int"
+
+    def test_parenthesized_not_cast(self):
+        function = first_function("int f(int x) { return (x) + 1; }")
+        value = function.body.statements[0].value
+        assert isinstance(value, ast.Binary)
+
+    def test_thread_builtin(self):
+        function = first_function(
+            "__global__ void k(float *p) { int i = threadIdx.x; }")
+        declaration = function.body.statements[0]
+        assert isinstance(declaration.initializer, ast.ThreadBuiltin)
+
+    def test_bad_thread_axis_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("__global__ void k() { int i = threadIdx.w; }")
+
+    def test_float_literal_suffix(self):
+        function = first_function("float f() { return 2.5f; }")
+        assert function.body.statements[0].value.value == 2.5
+
+    def test_hex_literal(self):
+        function = first_function("int f() { return 0xFF; }")
+        assert function.body.statements[0].value.value == 255
+
+    def test_char_literal(self):
+        function = first_function("int f() { return 'A'; }")
+        assert function.body.statements[0].value.value == 65
+
+    def test_index_chain(self):
+        function = first_function("float f(float *a) { return a[1 + 2]; }")
+        assert isinstance(function.body.statements[0].value, ast.Index)
+
+    def test_call_with_arguments(self):
+        function = first_function(
+            "float f(float x) { return fmaxf(x, 0.0f); }")
+        call = function.body.statements[0].value
+        assert isinstance(call, ast.Call)
+        assert len(call.arguments) == 2
+
+    def test_prefix_and_postfix_incdec(self):
+        function = first_function("void f(int a) { ++a; a--; }")
+        first = function.body.statements[0].expression
+        second = function.body.statements[1].expression
+        assert first.is_prefix
+        assert not second.is_prefix
+
+
+class TestCoverageIds:
+    def test_statement_ids_dense(self):
+        program = parse_program(
+            "int f(int x) { int y = 1; if (x) { y = 2; } return y; }")
+        ids = [statement.statement_id for statement in program.statements]
+        assert ids == list(range(len(ids)))
+
+    def test_decision_ids_dense(self):
+        program = parse_program(
+            "void f(int a) { if (a) { } while (a) { break; } "
+            "for (; a > 0;) { break; } }")
+        assert program.decision_count == 3
+        assert [decision.decision_id
+                for decision in program.decisions] == [0, 1, 2]
+
+    def test_condition_decomposition(self):
+        program = parse_program(
+            "void f(int a, int b, int c) { if (a > 0 && (b > 0 || c)) { } }")
+        decision = program.decisions[0]
+        assert decision.condition_count == 3
+        assert decision.is_compound
+
+    def test_single_condition_decision(self):
+        program = parse_program("void f(int a) { if (!a) { } }")
+        assert program.decisions[0].condition_count == 1
+
+    def test_empty_statement_has_no_id(self):
+        program = parse_program("void f() { ; }")
+        assert program.statement_count == 0
+
+    def test_switch_cases_have_ids(self):
+        program = parse_program(
+            "void f(int x) { switch (x) { case 1: break; default: break; } }")
+        case_ids = [statement.statement_id
+                    for statement in program.statements
+                    if isinstance(statement, ast.SwitchCase)]
+        assert len(case_ids) == 2

@@ -1,0 +1,131 @@
+"""Tests for the single-exit rewriter."""
+
+import pytest
+
+from repro.lang import parse_translation_unit
+from repro.lang.minic import Interpreter, parse_program
+from repro.lang.minic.transforms import to_single_exit
+
+
+def transform(source):
+    program = parse_program(source)
+    text, report = to_single_exit(program)
+    return program, parse_program(text), text, report
+
+
+def behaviours_match(original, rewritten, function, argument_sets):
+    for args in argument_sets:
+        assert Interpreter(original).run(function, list(args)) == \
+            Interpreter(rewritten).run(function, list(args)), args
+
+
+GUARDED = """
+int classify(int score) {
+  if (score < 0) {
+    return -1;
+  }
+  if (score > 100) {
+    return 101;
+  }
+  int bucket = score / 10;
+  return bucket;
+}
+"""
+
+
+class TestSingleExit:
+    def test_guard_returns_folded(self):
+        original, rewritten, text, report = transform(GUARDED)
+        assert report.transformed == ["classify"]
+        assert text.count("return") == 1
+        behaviours_match(original, rewritten, "classify",
+                         [(-5,), (0,), (42,), (100,), (250,)])
+
+    def test_multi_exit_metric_fixed(self):
+        _, _, text, _ = transform(GUARDED)
+        unit = parse_translation_unit(text, "rewritten.c")
+        assert not unit.function("classify").has_multiple_exits
+
+    def test_if_else_returns_folded(self):
+        source = ("int sign(int x) { if (x >= 0) { return 1; } "
+                  "else { return -1; } }")
+        original, rewritten, text, report = transform(source)
+        assert report.transformed == ["sign"]
+        assert text.count("return") == 1
+        behaviours_match(original, rewritten, "sign",
+                         [(5,), (0,), (-5,)])
+
+    def test_mutation_before_later_guard_preserved(self):
+        # The rewrite must not re-evaluate earlier conditions after
+        # mutations (the naive ternary rewrite gets this wrong).
+        source = """
+        int tricky(int x) {
+          if (x > 10) {
+            return 99;
+          }
+          x = x + 20;
+          if (x > 10) {
+            return x;
+          }
+          return 0;
+        }
+        """
+        original, rewritten, text, report = transform(source)
+        assert report.transformed == ["tricky"]
+        behaviours_match(original, rewritten, "tricky",
+                         [(-30,), (-15,), (0,), (5,), (11,), (50,)])
+
+    def test_single_exit_function_untouched(self):
+        source = "int f(int x) { int y = x + 1; return y; }"
+        _, _, text, report = transform(source)
+        assert report.transformed == []
+        assert report.skipped == []
+
+    def test_return_in_loop_skipped(self):
+        source = ("int find(float *a, int n, float v) { "
+                  "for (int i = 0; i < n; i++) { "
+                  "if (a[i] == v) { return i; } } return -1; }")
+        _, _, _, report = transform(source)
+        assert report.skipped == ["find"]
+
+    def test_void_function_skipped(self):
+        source = ("void maybe(float *out, int n) { if (n < 1) { return; } "
+                  "if (n > 100) { return; } out[0] = 1.0f; }")
+        _, _, _, report = transform(source)
+        assert report.skipped == ["maybe"]
+
+    def test_dead_code_after_both_branch_return_dropped(self):
+        source = ("int pick(int x) { if (x) { return 1; } "
+                  "else { return 2; } }")
+        original, rewritten, text, report = transform(source)
+        assert report.transformed == ["pick"]
+        behaviours_match(original, rewritten, "pick", [(0,), (1,)])
+
+    def test_corpus_style_guard_pattern(self):
+        """The exact shape the corpus generator plants."""
+        source = """
+        float evaluate(float input) {
+          float score = 3.5f;
+          int count = 12;
+          if (count > 36) {
+            return 0.0f;
+          }
+          if (score > 2.0f && score < 16.0f) {
+            score = score * 1.5f;
+          }
+          return score;
+        }
+        """
+        original, rewritten, text, report = transform(source)
+        assert report.transformed == ["evaluate"]
+        behaviours_match(original, rewritten, "evaluate",
+                         [(1.0,), (2.0,)])
+
+    def test_transformed_program_coverage_instrumentable(self):
+        from repro.coverage import CoverageRunner, TestVector
+        _, rewritten, text, _ = transform(GUARDED)
+        runner = CoverageRunner(text, "rewritten.c")
+        runner.run_suite([TestVector("classify", (-1,)),
+                          TestVector("classify", (50,)),
+                          TestVector("classify", (200,))])
+        assert runner.coverage().statement_percent == 100.0

@@ -1,0 +1,120 @@
+"""Tests for the MiniC unparser: round trips and semantic preservation."""
+
+import pytest
+
+from repro.dnn.minic_yolo import YOLO_FILES
+from repro.gpu.kernels import ALL_KERNELS_SOURCE
+from repro.lang.minic import (
+    Interpreter,
+    parse_program,
+    unparse_expression,
+    unparse_program,
+)
+
+
+def roundtrip(source):
+    program = parse_program(source)
+    text = unparse_program(program)
+    return program, parse_program(text), text
+
+
+class TestExpressionRendering:
+    def parse_expr(self, expression):
+        program = parse_program(f"int f(int a, int b, int c) "
+                                f"{{ return {expression}; }}")
+        return program.functions[0].body.statements[0].value
+
+    @pytest.mark.parametrize("expression", [
+        "a + b * c",
+        "(a + b) * c",
+        "a - (b - c)",
+        "a / b / c",
+        "a % b + c",
+        "a << 2 | b",
+        "!(a && b)",
+        "-a + +b",
+        "a > 0 ? b : c",
+        "(int)a + b",
+        "fmaxf(a, b)",
+        "a == b != c",
+        "a & b ^ c",
+    ])
+    def test_semantics_preserved(self, expression):
+        node = self.parse_expr(expression)
+        rendered = unparse_expression(node)
+        program_a = parse_program(
+            f"int f(int a, int b, int c) {{ return {expression}; }}")
+        program_b = parse_program(
+            f"int f(int a, int b, int c) {{ return {rendered}; }}")
+
+        def outcome(program, args):
+            try:
+                return ("value", Interpreter(program).run("f", list(args)))
+            except Exception as error:  # noqa: BLE001 - compared by type
+                return ("error", type(error).__name__)
+
+        for args in [(1, 2, 3), (7, -2, 5), (0, 0, 1), (-4, 9, -1)]:
+            assert outcome(program_a, args) == outcome(program_b, args), \
+                rendered
+
+    def test_minimal_parentheses(self):
+        node = self.parse_expr("a + b * c")
+        assert unparse_expression(node) == "a + b * c"
+
+    def test_needed_parentheses_kept(self):
+        node = self.parse_expr("(a + b) * c")
+        assert unparse_expression(node) == "(a + b) * c"
+
+
+class TestProgramRoundTrip:
+    @pytest.mark.parametrize("filename", sorted(YOLO_FILES))
+    def test_yolo_files_roundtrip_structure(self, filename):
+        original, reparsed, _ = roundtrip(YOLO_FILES[filename])
+        assert len(reparsed.functions) == len(original.functions)
+        assert reparsed.statement_count == original.statement_count
+        assert reparsed.decision_count == original.decision_count
+
+    def test_kernels_roundtrip_and_stay_kernels(self):
+        original, reparsed, text = roundtrip(ALL_KERNELS_SOURCE)
+        assert len(reparsed.kernels) == len(original.kernels)
+        assert "__global__" in text
+
+    def test_roundtrip_is_fixpoint(self):
+        source = YOLO_FILES["box.c"]
+        _, once, text_once = roundtrip(source)
+        text_twice = unparse_program(once)
+        assert text_once == text_twice
+
+    def test_semantics_preserved_through_roundtrip(self):
+        source = YOLO_FILES["activations.c"]
+        original = parse_program(source)
+        reparsed = parse_program(unparse_program(original))
+        for value in (-2.0, -0.5, 0.0, 0.5, 2.0):
+            for activation_type in range(7):
+                assert Interpreter(original).run(
+                    "activate", [value, activation_type]) == \
+                    pytest.approx(Interpreter(reparsed).run(
+                        "activate", [value, activation_type]))
+
+    def test_globals_preserved(self):
+        source = ("int g_counter = 7;\nfloat g_table[3] = {1.0f, 2.0f};\n"
+                  "int get() { return g_counter; }")
+        original, reparsed, _ = roundtrip(source)
+        assert len(reparsed.globals) == 2
+        assert Interpreter(reparsed).run("get") == 7
+
+    def test_switch_fallthrough_preserved(self):
+        source = ("int f(int x) { int r = 0; switch (x) { "
+                  "case 1: r += 1; case 2: r += 2; break; "
+                  "default: r = 9; } return r; }")
+        original, reparsed, _ = roundtrip(source)
+        for value in (1, 2, 5):
+            assert Interpreter(original).run("f", [value]) == \
+                Interpreter(reparsed).run("f", [value])
+
+    def test_coverage_ids_reassigned_densely(self):
+        source = YOLO_FILES["gemm.c"]
+        _, reparsed, _ = roundtrip(source)
+        ids = [statement.statement_id
+               for statement in reparsed.statements]
+        assert ids == list(range(len(ids)))

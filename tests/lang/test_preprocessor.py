@@ -1,0 +1,86 @@
+"""Tests for directive-level preprocessor analysis."""
+
+from repro.lang.preprocessor import summarize
+
+
+class TestIncludes:
+    def test_system_include(self):
+        summary = summarize("#include <vector>\n")
+        assert len(summary.includes) == 1
+        include = summary.includes[0]
+        assert include.target == "vector"
+        assert include.system
+
+    def test_local_include(self):
+        summary = summarize('#include "module/header.h"\n')
+        include = summary.includes[0]
+        assert include.target == "module/header.h"
+        assert not include.system
+
+    def test_local_vs_system_partition(self):
+        summary = summarize('#include <a>\n#include "b.h"\n#include <c>\n')
+        assert [include.target for include in summary.system_includes] == \
+            ["a", "c"]
+        assert [include.target for include in summary.local_includes] == \
+            ["b.h"]
+
+    def test_malformed_include_ignored(self):
+        summary = summarize("#include garbage\n")
+        assert summary.includes == []
+        assert len(summary.directives) == 1
+
+    def test_include_line_numbers(self):
+        summary = summarize("int x;\n#include <y>\n")
+        assert summary.includes[0].line == 2
+
+
+class TestMacros:
+    def test_object_macro(self):
+        summary = summarize("#define LIMIT 42\n")
+        macro = summary.macros[0]
+        assert macro.name == "LIMIT"
+        assert not macro.is_function_like
+        assert macro.body == "42"
+
+    def test_function_like_macro(self):
+        summary = summarize("#define SQ(x) ((x) * (x))\n")
+        macro = summary.macros[0]
+        assert macro.name == "SQ"
+        assert macro.is_function_like
+        assert macro.body == "((x) * (x))"
+
+    def test_function_like_filter(self):
+        summary = summarize("#define A 1\n#define B(x) x\n")
+        assert [macro.name for macro in summary.function_like_macros] == \
+            ["B"]
+
+    def test_bare_define(self):
+        summary = summarize("#define FLAG\n")
+        macro = summary.macros[0]
+        assert macro.name == "FLAG"
+        assert macro.body == ""
+
+
+class TestConditionals:
+    def test_counts_all_conditional_forms(self):
+        source = ("#ifdef A\n#elif defined(B)\n#endif\n"
+                  "#ifndef C\n#endif\n#if X > 2\n#endif\n")
+        summary = summarize(source)
+        assert summary.conditionals == 4  # ifdef, elif, ifndef, if
+
+    def test_endif_not_counted(self):
+        summary = summarize("#ifdef A\n#endif\n")
+        assert summary.conditionals == 1
+
+
+class TestRobustness:
+    def test_no_directives(self):
+        summary = summarize("int main() { return 0; }\n")
+        assert summary.includes == []
+        assert summary.macros == []
+        assert summary.conditionals == 0
+
+    def test_directive_inside_code(self):
+        source = "void f() {\n#ifdef DEBUG\n  log();\n#endif\n}\n"
+        summary = summarize(source)
+        assert summary.conditionals == 1

@@ -1,0 +1,149 @@
+"""Tests for Halstead metrics, maintainability index, and NPATH."""
+
+import pytest
+
+from repro.lang import parse_translation_unit, tokenize
+from repro.lang.minic import parse_program
+from repro.metrics import (
+    maintainability_index,
+    measure_function,
+    measure_tokens,
+    npath_function,
+    npath_program,
+    unit_maintainability,
+    wcet_enumeration_cost,
+)
+
+
+class TestHalstead:
+    def test_empty_span(self):
+        metrics = measure_tokens([])
+        assert metrics.length == 0
+        assert metrics.volume == 0.0
+        assert metrics.difficulty == 0.0
+
+    def test_simple_expression(self):
+        # a = b + c : operators {=, +}, operands {a, b, c}
+        metrics = measure_tokens(tokenize("a = b + c;"))
+        assert metrics.distinct_operators == 2
+        assert metrics.distinct_operands == 3
+        assert metrics.total_operators == 2
+        assert metrics.total_operands == 3
+
+    def test_repeated_operands_counted(self):
+        metrics = measure_tokens(tokenize("x = x * x;"))
+        assert metrics.distinct_operands == 1
+        assert metrics.total_operands == 3
+
+    def test_volume_grows_with_length(self):
+        small = measure_tokens(tokenize("a = b + c;"))
+        large = measure_tokens(tokenize("a = b + c; d = e * f; g = a - d;"))
+        assert large.volume > small.volume
+
+    def test_syntactic_punctuation_excluded(self):
+        metrics = measure_tokens(tokenize("f(a, b);"))
+        # '(' ')' ',' ';' are syntactic; no operators remain.
+        assert metrics.distinct_operators == 0
+
+    def test_function_measurement(self):
+        unit = parse_translation_unit(
+            "int f(int a, int b) { return a + b * a; }")
+        metrics = measure_function(unit, unit.function("f"))
+        assert metrics.total_operands >= 3
+        assert metrics.volume > 0
+
+    def test_estimated_bugs_scales(self):
+        unit = parse_translation_unit(
+            "int f(int a) { return a + a + a + a + a + a + a; }")
+        metrics = measure_function(unit, unit.function("f"))
+        assert metrics.estimated_bugs == pytest.approx(
+            metrics.volume / 3000.0)
+
+
+class TestMaintainabilityIndex:
+    def test_bounds(self):
+        assert maintainability_index(0.0, 1, 0) == 100.0
+        assert 0.0 <= maintainability_index(10_000.0, 60, 500) <= 100.0
+
+    def test_monotone_in_complexity(self):
+        low = maintainability_index(100.0, 2, 20)
+        high = maintainability_index(100.0, 40, 20)
+        assert low > high
+
+    def test_monotone_in_size(self):
+        small = maintainability_index(100.0, 5, 10)
+        big = maintainability_index(100.0, 5, 1000)
+        assert small > big
+
+    def test_unit_records(self):
+        unit = parse_translation_unit(
+            "int f(int a) { if (a) { return 1; } return 0; }\n"
+            "void g() { }")
+        records = unit_maintainability(unit)
+        assert len(records) == 2
+        for record in records:
+            assert 0.0 <= record.index <= 100.0
+
+
+class TestNpath:
+    def run_npath(self, body):
+        program = parse_program(f"int f(int a, int b, int c) {{ {body} }}")
+        return npath_function(program.functions[0])
+
+    def test_straight_line_is_one(self):
+        assert self.run_npath("int x = a; return x;") == 1
+
+    def test_single_if(self):
+        assert self.run_npath("if (a) { b = 1; } return b;") == 2
+
+    def test_if_else(self):
+        assert self.run_npath(
+            "if (a) { b = 1; } else { b = 2; } return b;") == 2
+
+    def test_sequential_ifs_multiply(self):
+        body = "if (a) { b = 1; } if (b) { c = 1; } if (c) { a = 1; } " \
+               "return a;"
+        assert self.run_npath(body) == 8  # 2 * 2 * 2
+
+    def test_nested_ifs_add_one(self):
+        assert self.run_npath(
+            "if (a) { if (b) { c = 1; } } return c;") == 3
+
+    def test_loop_adds_skip_path(self):
+        assert self.run_npath(
+            "while (a > 0) { a = a - 1; } return a;") == 2
+
+    def test_switch_sums_cases(self):
+        body = ("switch (a) { case 0: b = 1; break; "
+                "case 1: b = 2; break; default: b = 3; } return b;")
+        assert self.run_npath(body) == 3
+
+    def test_switch_without_default_adds_skip(self):
+        body = "switch (a) { case 0: b = 1; break; } return b;"
+        assert self.run_npath(body) == 2
+
+    def test_logical_operator_adds_path(self):
+        with_and = self.run_npath("if (a > 0 && b > 0) { c = 1; } return c;")
+        plain = self.run_npath("if (a > 0) { c = 1; } return c;")
+        assert with_and > plain
+
+    def test_ternary_counts(self):
+        assert self.run_npath("return a > 0 ? b : c;") == 2
+
+    def test_npath_dwarfs_cyclomatic(self):
+        """The paper's WCET argument: sequential decisions explode paths
+        while cyclomatic complexity grows linearly."""
+        from repro.lang import parse_translation_unit
+        clauses = " ".join(f"if (a > {i}) {{ b += {i}; }}"
+                           for i in range(12))
+        source = f"int f(int a, int b) {{ {clauses} return b; }}"
+        npath = npath_program(parse_program(source))["f"]
+        fuzzy = parse_translation_unit(source).function("f")
+        assert fuzzy.cyclomatic_complexity == 13
+        assert npath == 2 ** 12
+
+    def test_wcet_cost_proxy(self):
+        program = parse_program(
+            "int f(int a) { if (a) { return 1; } return 0; }")
+        assert wcet_enumeration_cost(program, paths_per_second=1.0) \
+            == pytest.approx(2.0)

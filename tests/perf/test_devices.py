@@ -1,0 +1,42 @@
+"""Cross-device tests: the embedded (Drive PX2) deployment scenario."""
+
+import pytest
+
+from repro.dnn import YoloConfig, build_yolo_lite
+from repro.perf import (
+    CuDnnModel,
+    DRIVE_PX2,
+    IsaacModel,
+    TITAN_XP,
+    detection_time,
+    run_case_study,
+)
+
+
+class TestEmbeddedDevice:
+    def test_px2_slower_than_titan(self):
+        network = build_yolo_lite(YoloConfig())
+        titan = detection_time(CuDnnModel(TITAN_XP), network)
+        px2 = detection_time(CuDnnModel(DRIVE_PX2), network)
+        assert px2 > titan
+        # Still real-time-capable territory on the embedded part.
+        assert px2 < 0.1  # under 100 ms/frame
+
+    def test_open_closed_parity_transfers_to_px2(self):
+        """The Figure 7 conclusion is device-independent: the open
+        libraries stay competitive on the in-vehicle GPU too."""
+        network = build_yolo_lite(YoloConfig())
+        cudnn = detection_time(CuDnnModel(DRIVE_PX2), network)
+        isaac = detection_time(IsaacModel(DRIVE_PX2), network)
+        assert 0.8 <= isaac / cudnn <= 1.25
+
+    def test_case_study_accepts_device_override(self):
+        results = run_case_study(device=DRIVE_PX2)
+        gpu_rows = [result for result in results
+                    if "Drive PX2" in result.device]
+        assert len(gpu_rows) == 4  # the four GPU libraries
+
+    def test_machine_balance_ordering(self):
+        # The embedded part is more bandwidth-starved than the desktop
+        # card, so its ridge point sits at higher arithmetic intensity.
+        assert DRIVE_PX2.machine_balance > TITAN_XP.machine_balance

@@ -1,0 +1,186 @@
+"""Tests for the performance models and Figure 7/8 sweeps."""
+
+import pytest
+
+from repro.dnn.layers import ConvShape, GemmShape
+from repro.errors import PerfModelError
+from repro.perf import (
+    AtlasModel,
+    CONV_WORKLOADS,
+    CuBlasModel,
+    CuDnnModel,
+    CutlassModel,
+    GEMM_WORKLOADS,
+    IsaacModel,
+    OpenBlasModel,
+    TITAN_XP,
+    XEON_CPU,
+    compare_conv,
+    compare_gemm,
+    occupancy_factor,
+    predict_time,
+    relative_to_baseline,
+    render_case_study,
+    render_conv_table,
+    render_gemm_table,
+    run_case_study,
+    stable_jitter,
+)
+
+BIG_GEMM = GemmShape(m=2048, n=2048, k=2048)
+SMALL_GEMM = GemmShape(m=32, n=32, k=32)
+YOLO_CONV = ConvShape(batch=1, in_channels=64, out_channels=128,
+                      in_h=52, in_w=52, ksize=3, stride=1, pad=1)
+
+
+class TestRooflineModel:
+    def test_compute_bound_time(self):
+        time = predict_time(TITAN_XP, flops=10 ** 12, bytes_moved=10 ** 6,
+                            compute_efficiency=0.5)
+        expected = 10 ** 12 / (TITAN_XP.peak_flops * 0.5)
+        assert time == pytest.approx(expected, rel=0.01)
+
+    def test_memory_bound_time(self):
+        time = predict_time(TITAN_XP, flops=10 ** 6, bytes_moved=10 ** 10,
+                            compute_efficiency=0.9)
+        expected = 10 ** 10 / (TITAN_XP.memory_bandwidth * 0.75)
+        assert time == pytest.approx(expected, rel=0.01)
+
+    def test_invalid_efficiency_rejected(self):
+        with pytest.raises(PerfModelError):
+            predict_time(TITAN_XP, 10, 10, compute_efficiency=0.0)
+        with pytest.raises(PerfModelError):
+            predict_time(TITAN_XP, 10, 10, compute_efficiency=1.5)
+
+    def test_occupancy_monotone(self):
+        assert occupancy_factor(100) < occupancy_factor(10_000) < \
+            occupancy_factor(10_000_000)
+        with pytest.raises(PerfModelError):
+            occupancy_factor(0)
+
+    def test_jitter_deterministic_and_bounded(self):
+        a = stable_jitter("key", 0.9, 1.1)
+        b = stable_jitter("key", 0.9, 1.1)
+        assert a == b
+        assert 0.9 <= a <= 1.1
+        assert stable_jitter("other", 0.9, 1.1) != a
+
+
+class TestGemmLibraries:
+    def test_large_gemm_near_peak(self):
+        gflops = CuBlasModel().gemm_gflops(BIG_GEMM)
+        assert gflops > 0.6 * TITAN_XP.peak_flops / 1e9
+
+    def test_small_gemm_far_from_peak(self):
+        assert CuBlasModel().gemm_gflops(SMALL_GEMM) < \
+            0.1 * TITAN_XP.peak_flops / 1e9
+
+    def test_cutlass_tracks_cublas(self):
+        cublas = CuBlasModel().gemm_time(BIG_GEMM)
+        cutlass = CutlassModel().gemm_time(BIG_GEMM)
+        assert 0.7 <= cublas / cutlass <= 1.3
+
+    def test_cpu_blas_two_orders_slower(self):
+        gpu = CuBlasModel().gemm_time(BIG_GEMM)
+        cpu = OpenBlasModel().gemm_time(BIG_GEMM)
+        assert cpu / gpu > 30.0
+
+    def test_openblas_beats_atlas(self):
+        assert OpenBlasModel().gemm_time(BIG_GEMM) < \
+            AtlasModel().gemm_time(BIG_GEMM)
+
+    def test_cudnn_rejects_gemm(self):
+        with pytest.raises(PerfModelError):
+            CuDnnModel().gemm_time(BIG_GEMM)
+
+    def test_gemm_on_cpu_device_rejected_for_gpu_library(self):
+        with pytest.raises(PerfModelError):
+            CuBlasModel(XEON_CPU).gemm_time(BIG_GEMM)
+
+
+class TestConvLibraries:
+    def test_winograd_helps_cudnn(self):
+        three = CuDnnModel().conv_time(YOLO_CONV)
+        one = CuDnnModel().conv_time(ConvShape(
+            batch=1, in_channels=64, out_channels=128, in_h=52, in_w=52,
+            ksize=1, stride=1, pad=0))
+        # 3x3 does 9x the flops of 1x1 but takes well under 9x the time.
+        assert three / one < 7.0
+
+    def test_heuristic_mismatch_penalty(self):
+        aligned = ConvShape(batch=4, in_channels=128, out_channels=256,
+                            in_h=28, in_w=28, ksize=3, stride=1, pad=1)
+        odd = ConvShape(batch=4, in_channels=121, out_channels=243,
+                        in_h=28, in_w=28, ksize=3, stride=1, pad=1)
+        cudnn_drop = (CuDnnModel().conv_gflops(aligned)
+                      / CuDnnModel().conv_gflops(odd))
+        isaac_drop = (IsaacModel().conv_gflops(aligned)
+                      / IsaacModel().conv_gflops(odd))
+        # cuDNN suffers more from oddly shaped channels than ISAAC.
+        assert cudnn_drop > isaac_drop
+
+    def test_gemm_library_conv_lowering_slower_than_direct(self):
+        via_gemm = CuBlasModel().conv_time(YOLO_CONV)
+        direct = CuDnnModel().conv_time(YOLO_CONV)
+        assert via_gemm > direct
+
+
+class TestFigure8:
+    def test_gemm_sweep_ratios_comparable(self):
+        rows = compare_gemm()
+        assert len(rows) == len(GEMM_WORKLOADS)
+        for row in rows:
+            assert 0.7 <= row.relative <= 1.3, row.label
+        mean = sum(row.relative for row in rows) / len(rows)
+        assert 0.85 <= mean <= 1.1
+
+    def test_conv_sweep_ratios_comparable(self):
+        rows = compare_conv()
+        assert len(rows) == len(CONV_WORKLOADS)
+        for row in rows:
+            assert 0.6 <= row.relative <= 1.4, row.label
+        mean = sum(row.relative for row in rows) / len(rows)
+        assert 0.85 <= mean <= 1.15
+
+    def test_isaac_wins_somewhere(self):
+        # The input-aware story: ISAAC beats cuDNN on at least one shape.
+        assert any(row.relative > 1.0 for row in compare_conv())
+
+    def test_sweeps_deterministic(self):
+        assert [row.relative for row in compare_gemm()] == \
+            [row.relative for row in compare_gemm()]
+
+    def test_render_tables(self):
+        assert "cuBLAS" in render_gemm_table(compare_gemm())
+        assert "ISAAC" in render_conv_table(compare_conv())
+
+
+class TestFigure7:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_case_study()
+
+    def test_all_six_implementations(self, results):
+        names = {result.implementation for result in results}
+        assert names == {"cuBLAS", "cuDNN", "CUTLASS", "ISAAC", "ATLAS",
+                         "OpenBLAS"}
+
+    def test_open_gpu_competitive(self, results):
+        relatives = relative_to_baseline(results)
+        assert 0.7 <= relatives["CUTLASS"] / relatives["cuBLAS"] <= 1.3
+        assert 0.7 <= relatives["ISAAC"] / relatives["cuDNN"] <= 1.3
+
+    def test_cpu_two_orders_of_magnitude(self, results):
+        relatives = relative_to_baseline(results)
+        assert relatives["ATLAS"] > 50.0
+        assert relatives["OpenBLAS"] > 50.0
+        assert relatives["ATLAS"] < 500.0
+
+    def test_fps_positive(self, results):
+        for result in results:
+            assert result.fps > 0
+
+    def test_render(self, results):
+        rendered = render_case_study(results)
+        assert "ms/frame" in rendered
+        assert "OpenBLAS" in rendered

@@ -1,0 +1,226 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coverage import (
+    CoverageCollector,
+    measure_branch_coverage,
+    measure_mcdc_coverage,
+    measure_statement_coverage,
+)
+from repro.dnn.nms import Box, iou, nms
+from repro.gpu import Dim3
+from repro.lang.lexer import tokenize
+from repro.lang.minic import Interpreter, parse_program
+from repro.lang.minic.interpreter import _c_divide, _c_modulo
+from repro.lang.tokens import TokenKind
+from repro.perf.model import stable_jitter
+
+identifiers = st.from_regex(r"[a-zA-Z_][a-zA-Z0-9_]{0,10}", fullmatch=True)
+
+
+class TestLexerProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=10 ** 9),
+                    min_size=1, max_size=20))
+    def test_integer_literals_tokenize_losslessly(self, values):
+        source = " ".join(str(value) for value in values)
+        tokens = tokenize(source)
+        assert [token.text for token in tokens] == \
+            [str(value) for value in values]
+        assert all(token.kind is TokenKind.NUMBER for token in tokens)
+
+    @given(st.lists(identifiers, min_size=1, max_size=20))
+    def test_identifier_spellings_preserved(self, names):
+        source = " ; ".join(names)
+        tokens = [token for token in tokenize(source)
+                  if token.kind in (TokenKind.IDENTIFIER, TokenKind.KEYWORD)]
+        assert [token.text for token in tokens] == names
+
+    @given(st.text(alphabet="abc123+-*/%=<>!&|(){}[];, \n\t", max_size=200))
+    def test_lenient_lexer_never_raises(self, source):
+        tokens = tokenize(source, strict=False)
+        for token in tokens:
+            assert token.line >= 1
+            assert token.column >= 1
+
+    @given(st.text(alphabet="abcxyz_ 0123456789;{}()", max_size=100))
+    def test_token_positions_monotone(self, source):
+        tokens = tokenize(source, strict=False)
+        positions = [(token.line, token.column) for token in tokens]
+        assert positions == sorted(positions)
+
+
+class TestMiniCSemanticProperties:
+    @given(st.integers(-10 ** 6, 10 ** 6), st.integers(-10 ** 6, 10 ** 6))
+    def test_c_division_identity(self, a, b):
+        if b == 0:
+            return
+        quotient = _c_divide(a, b, 0)
+        remainder = _c_modulo(a, b, 0)
+        assert quotient * b + remainder == a
+        assert abs(remainder) < abs(b)
+
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000),
+           st.integers(-1000, 1000))
+    @settings(max_examples=50)
+    def test_interpreter_matches_python_for_polynomials(self, a, b, c):
+        source = "int f(int a, int b, int c) { return a * b + c - a; }"
+        interpreter = Interpreter(parse_program(source))
+        assert interpreter.run("f", [a, b, c]) == a * b + c - a
+
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=16))
+    @settings(max_examples=40)
+    def test_minic_sum_matches_python(self, values):
+        source = ("float total(float *x, int n) { float s = 0.0f; "
+                  "for (int i = 0; i < n; i++) { s += x[i]; } return s; }")
+        interpreter = Interpreter(parse_program(source))
+        result = interpreter.run("total", [list(values), len(values)])
+        assert math.isclose(result, sum(values), rel_tol=1e-9,
+                            abs_tol=1e-9)
+
+    @given(st.integers(0, 30))
+    @settings(max_examples=20)
+    def test_minic_branch_agrees_with_python(self, x):
+        source = ("int f(int x) { if (x > 10 && x % 2 == 0) { return 1; } "
+                  "return 0; }")
+        interpreter = Interpreter(parse_program(source))
+        expected = 1 if (x > 10 and x % 2 == 0) else 0
+        assert interpreter.run("f", [x]) == expected
+
+
+class TestCoverageProperties:
+    SOURCE = """
+    int classify(int a, int b) {
+      int result = 0;
+      if (a > 0 && b > 0) {
+        result = 1;
+      } else if (a > 0 || b > 0) {
+        result = 2;
+      }
+      for (int i = 0; i < a; i++) {
+        result += i % 3;
+      }
+      return result;
+    }
+    """
+
+    @given(st.lists(st.tuples(st.integers(-5, 5), st.integers(-5, 5)),
+                    max_size=12))
+    @settings(max_examples=40)
+    def test_coverage_bounded_and_monotone(self, inputs):
+        program = parse_program(self.SOURCE)
+        collector = CoverageCollector(program)
+        interpreter = Interpreter(program, tracer=collector)
+        previous = 0.0
+        for a, b in inputs:
+            interpreter.run("classify", [a, b])
+            stmt = measure_statement_coverage(collector).percent
+            assert 0.0 <= stmt <= 100.0
+            assert stmt >= previous  # coverage never decreases
+            previous = stmt
+
+    @given(st.lists(st.tuples(st.integers(-5, 5), st.integers(-5, 5)),
+                    min_size=1, max_size=12))
+    @settings(max_examples=40)
+    def test_metric_ordering_invariant(self, inputs):
+        """MC/DC is never easier than branch, branch never easier than
+        covering some statement when execution happened."""
+        program = parse_program(self.SOURCE)
+        collector = CoverageCollector(program)
+        interpreter = Interpreter(program, tracer=collector)
+        for a, b in inputs:
+            interpreter.run("classify", [a, b])
+        stmt = measure_statement_coverage(collector).percent
+        branch = measure_branch_coverage(collector).percent
+        mcdc = measure_mcdc_coverage(collector).percent
+        assert stmt >= branch - 1e-9 or branch <= 100.0
+        assert mcdc <= branch + 1e-9
+
+    @given(st.lists(st.tuples(st.integers(-5, 5), st.integers(-5, 5)),
+                    min_size=1, max_size=10))
+    @settings(max_examples=30)
+    def test_unique_cause_never_exceeds_masking(self, inputs):
+        program = parse_program(self.SOURCE)
+        collector = CoverageCollector(program)
+        interpreter = Interpreter(program, tracer=collector)
+        for a, b in inputs:
+            interpreter.run("classify", [a, b])
+        masking = measure_mcdc_coverage(collector, "masking").covered
+        unique = measure_mcdc_coverage(collector, "unique-cause").covered
+        assert unique <= masking
+
+
+boxes = st.builds(
+    Box,
+    x=st.floats(0.0, 1.0), y=st.floats(0.0, 1.0),
+    w=st.floats(0.01, 0.5), h=st.floats(0.01, 0.5),
+    score=st.floats(0.0, 1.0), class_id=st.integers(0, 3))
+
+
+class TestNmsProperties:
+    @given(boxes, boxes)
+    def test_iou_bounds_and_symmetry(self, a, b):
+        value = iou(a, b)
+        assert 0.0 <= value <= 1.0 + 1e-9
+        assert math.isclose(value, iou(b, a), abs_tol=1e-12)
+
+    @given(boxes)
+    def test_iou_reflexive(self, box):
+        assert math.isclose(iou(box, box), 1.0, abs_tol=1e-9)
+
+    @given(st.lists(boxes, max_size=20), st.floats(0.1, 0.9))
+    def test_nms_output_subset_and_sorted(self, candidates, threshold):
+        kept = nms(candidates, threshold)
+        assert len(kept) <= len(candidates)
+        scores = [box.score for box in kept]
+        assert scores == sorted(scores, reverse=True)
+        # Surviving same-class pairs never overlap beyond the threshold.
+        for i, first in enumerate(kept):
+            for second in kept[i + 1:]:
+                if first.class_id == second.class_id:
+                    assert iou(first, second) < threshold + 1e-9
+
+
+class TestCorpusProperties:
+    @given(st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_generation_deterministic_per_seed(self, seed):
+        from repro.corpus import apollo_spec, generate_corpus
+        first = generate_corpus(apollo_spec(scale=0.01, seed=seed))
+        second = generate_corpus(apollo_spec(scale=0.01, seed=seed))
+        assert first.sources() == second.sources()
+
+    @given(st.integers(1, 60))
+    @settings(max_examples=15, deadline=None)
+    def test_factory_hits_any_complexity_target(self, target):
+        from repro.corpus.functions import FunctionFactory, FunctionRequest
+        from repro.lang import parse_translation_unit
+        factory = FunctionFactory(random.Random(target))
+        lines = factory.render(FunctionRequest(name="Probe",
+                                               complexity=target))
+        unit = parse_translation_unit("\n".join(lines), "probe.cc")
+        assert unit.function("Probe").cyclomatic_complexity == target
+
+
+class TestMiscProperties:
+    @given(st.integers(1, 10 ** 6), st.integers(1, 1024))
+    def test_grid_for_covers_exactly(self, threads, block):
+        from repro.gpu import grid_for
+        grid = grid_for(threads, block)
+        assert grid.x * block >= threads
+        assert (grid.x - 1) * block < threads
+
+    @given(st.integers(1, 64), st.integers(1, 8), st.integers(1, 8))
+    def test_dim3_index_count(self, x, y, z):
+        dim = Dim3(x, y, z)
+        assert len(list(dim.indices())) == dim.total
+
+    @given(st.text(max_size=50), st.floats(0.5, 1.0), st.floats(1.0, 1.5))
+    def test_stable_jitter_bounds(self, key, low, high):
+        value = stable_jitter(key, low, high)
+        assert low <= value <= high
+        assert value == stable_jitter(key, low, high)
