@@ -23,14 +23,19 @@ from .core import (
 )
 from .corpus import apollo_spec, generate_corpus
 from .errors import ReproError
+from .obs import NULL_TRACER, MetricsRegistry, NullTracer, Tracer
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AssessmentPipeline",
     "AssessmentResult",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
     "PipelineConfig",
     "ReproError",
+    "Tracer",
     "__version__",
     "apollo_spec",
     "assess_corpus",

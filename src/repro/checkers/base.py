@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
 from ..lang.cppmodel import TranslationUnit
+from ..obs import NULL_TRACER
 
 
 class Severity(enum.IntEnum):
@@ -129,12 +130,34 @@ class Checker(abc.ABC):
 
 def run_checkers(checkers: Iterable[Checker],
                  units: Iterable[TranslationUnit],
+                 tracer=None,
                  ) -> Dict[str, CheckerReport]:
-    """Run several checkers over the same units; returns name -> report."""
+    """Run several checkers over the same units; returns name -> report.
+
+    Two checkers sharing a ``name`` would silently shadow each other's
+    report (and the evidence derived from it), so duplicates are a
+    :class:`ValueError`.
+
+    Args:
+        tracer: optional :class:`~repro.obs.Tracer`; each checker gets a
+            ``checker`` span with its finding count, and findings are
+            counted under ``checker.findings{checker=...}``.
+    """
+    tracer = tracer if tracer is not None else NULL_TRACER
     units = list(units)
     reports: Dict[str, CheckerReport] = {}
     for checker in checkers:
-        reports[checker.name] = checker.check_project(units)
+        if checker.name in reports:
+            raise ValueError(
+                f"duplicate checker name {checker.name!r}: its report "
+                f"would silently overwrite an earlier checker's")
+        with tracer.span("checker", name=checker.name) as span:
+            report = checker.check_project(units)
+            span.set("findings", report.finding_count)
+        tracer.metrics.counter("checker.findings",
+                               checker=checker.name).inc(
+            report.finding_count)
+        reports[checker.name] = report
     return reports
 
 

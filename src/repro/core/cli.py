@@ -17,7 +17,25 @@ from typing import List, Optional
 from ..corpus.apollo import apollo_spec
 from ..corpus.generator import generate_corpus
 from ..corpus.writer import read_tree
-from .pipeline import assess_sources
+from ..errors import CorpusError
+from ..obs import (
+    Tracer,
+    render_profile,
+    render_span_tree,
+    trace_document,
+)
+from .config import PipelineConfig
+from .pipeline import AssessmentPipeline
+
+
+def _package_version() -> str:
+    """The installed distribution version, else the source-tree version."""
+    try:
+        from importlib.metadata import version
+        return version("repro")
+    except Exception:  # PackageNotFoundError, or no importlib.metadata
+        from .. import __version__
+        return __version__
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -43,6 +61,21 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also run the coverage and performance "
                              "experiments (Figures 5-8) and print their "
                              "tables")
+    parser.add_argument("--trace", action="store_true",
+                        help="print the telemetry span tree (per-stage "
+                             "wall times and counts)")
+    parser.add_argument("--profile", action="store_true",
+                        help="print the span tree plus the top slowest "
+                             "spans by self time")
+    parser.add_argument("--top", type=int, default=10, metavar="N",
+                        help="number of spans in the --profile table "
+                             "(default 10)")
+    parser.add_argument("--metrics-json", metavar="FILE",
+                        help="write the telemetry document (spans, "
+                             "counters, histograms, Chrome trace events) "
+                             "as JSON")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {_package_version()}")
     return parser
 
 
@@ -56,13 +89,33 @@ def main(argv: Optional[List[str]] = None) -> int:
                                              seed=args.seed))
         sources = corpus.sources()
     else:
-        sources = read_tree(args.path)
+        try:
+            sources = read_tree(args.path)
+        except (CorpusError, OSError) as error:
+            print(f"cannot read source tree: {error}", file=sys.stderr)
+            return 2
         if not sources:
             print(f"no C/C++/CUDA sources found under {args.path}",
                   file=sys.stderr)
             return 2
-    result = assess_sources(sources)
+    telemetry = args.trace or args.profile or args.metrics_json
+    tracer = Tracer() if telemetry else None
+    result = AssessmentPipeline(PipelineConfig(tracer=tracer)).run(sources)
     print(result.render_summary())
+    if args.trace or args.profile:
+        print()
+        print(render_span_tree(tracer))
+    if args.profile:
+        print()
+        print(render_profile(tracer, limit=args.top))
+    if args.metrics_json:
+        try:
+            with open(args.metrics_json, "w", encoding="utf-8") as handle:
+                json.dump(trace_document(tracer), handle, indent=2)
+        except OSError as error:
+            print(f"cannot write telemetry JSON: {error}", file=sys.stderr)
+            return 2
+        print(f"\ntelemetry JSON written to {args.metrics_json}")
     if args.plan:
         from .remediation import plan_remediation, render_plan
         print()

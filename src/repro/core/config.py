@@ -3,12 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Optional
 
 from ..checkers.architecture import ArchitectureConfig, module_from_path
 from ..checkers.style import StyleConfig
 from ..iso26262.asil import Asil, TARGET_ASIL
 from ..iso26262.compliance import ComplianceThresholds
+from ..obs import Tracer
 
 
 @dataclass
@@ -25,6 +26,9 @@ class PipelineConfig:
         skip_unparseable: tolerate files the fuzzy parser rejects
             (they are recorded, not fatal) — industrial trees always
             contain a few.
+        tracer: telemetry sink (spans + metrics) threaded through every
+            pipeline stage; ``None`` means the zero-cost
+            :data:`~repro.obs.NULL_TRACER`.
     """
 
     target_asil: Asil = TARGET_ASIL
@@ -35,3 +39,4 @@ class PipelineConfig:
         default_factory=ArchitectureConfig)
     module_of: Callable[[str], str] = module_from_path
     skip_unparseable: bool = True
+    tracer: Optional[Tracer] = None

@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Optional
 
 from ..checkers.architecture import ArchitectureChecker
-from ..checkers.base import CheckerReport
+from ..checkers.base import CheckerReport, run_checkers
 from ..checkers.casts import CastChecker
 from ..checkers.defensive import DefensiveChecker
 from ..checkers.globals_check import GlobalVariableChecker
@@ -30,28 +30,49 @@ from ..iso26262.evidence import EvidenceSet
 from ..iso26262.observations import generate_observations
 from ..lang.cppmodel import TranslationUnit, parse_translation_unit
 from ..metrics.report import ModuleMetrics, measure_module
+from ..obs import NULL_TRACER, Tracer
 from .assessment import AssessmentResult
 from .config import PipelineConfig
 
 
 class AssessmentPipeline:
-    """Runs the full assessment over a path -> source mapping."""
+    """Runs the full assessment over a path -> source mapping.
+
+    When :attr:`PipelineConfig.tracer` is set, every stage is traced:
+    a ``pipeline`` root span with ``parse`` (one ``parse_file`` child
+    per translation unit), ``metrics`` (one ``measure_module`` child per
+    module), ``checkers`` (one ``checker`` child per checker, with its
+    finding count), ``evidence``, ``compliance``, and ``observations``
+    children — plus counters for units parsed, parse failures, and
+    findings per checker.  The default is the no-op NULL_TRACER.
+    """
 
     def __init__(self, config: Optional[PipelineConfig] = None) -> None:
         self.config = config or PipelineConfig()
+        self.tracer: Tracer = (self.config.tracer
+                               if self.config.tracer is not None
+                               else NULL_TRACER)
 
     # ------------------------------------------------------------------
 
     def run(self, sources: Mapping[str, str]) -> AssessmentResult:
         """Assess a codebase given as ``{path: source_text}``."""
-        units, unparseable = self._parse_all(sources)
-        modules = self._measure_modules(sources, units)
-        reports = self._run_checkers(sources, units)
-        evidence = self._assemble_evidence(modules, reports)
-        engine = ComplianceEngine(target_asil=self.config.target_asil,
-                                  thresholds=self.config.thresholds)
-        tables = engine.assess_all(evidence)
-        observations = generate_observations(evidence)
+        tracer = self.tracer
+        with tracer.span("pipeline") as root:
+            units, unparseable = self._parse_all(sources)
+            modules = self._measure_modules(sources, units)
+            reports = self._run_checkers(sources, units)
+            with tracer.span("evidence"):
+                evidence = self._assemble_evidence(modules, reports)
+            with tracer.span("compliance"):
+                engine = ComplianceEngine(
+                    target_asil=self.config.target_asil,
+                    thresholds=self.config.thresholds)
+                tables = engine.assess_all(evidence)
+            with tracer.span("observations") as span:
+                observations = generate_observations(evidence)
+                span.set("observations", len(observations))
+            root.set("units", len(units))
         return AssessmentResult(
             modules=modules,
             reports=reports,
@@ -65,15 +86,31 @@ class AssessmentPipeline:
     # ------------------------------------------------------------------
 
     def _parse_all(self, sources: Mapping[str, str]):
+        tracer = self.tracer
+        metrics = tracer.metrics
+        parsed = metrics.counter("pipeline.units_parsed")
+        failed = metrics.counter("pipeline.parse_failures")
+        timings = metrics.histogram("pipeline.parse_seconds")
         units: List[TranslationUnit] = []
         unparseable: List[str] = []
-        for path in sorted(sources):
-            try:
-                units.append(parse_translation_unit(sources[path], path))
-            except SourceError:
-                if not self.config.skip_unparseable:
-                    raise
-                unparseable.append(path)
+        with tracer.span("parse") as parse_span:
+            for path in sorted(sources):
+                with tracer.span("parse_file", path=path) as span:
+                    try:
+                        units.append(
+                            parse_translation_unit(sources[path], path))
+                    except SourceError:
+                        if not self.config.skip_unparseable:
+                            raise
+                        failed.inc()
+                        span.set("failed", 1)
+                        unparseable.append(path)
+                    else:
+                        parsed.inc()
+                if tracer.enabled:
+                    timings.observe(span.duration)
+            parse_span.set("files", len(sources))
+            parse_span.set("failures", len(unparseable))
         return units, unparseable
 
     def _measure_modules(self, sources: Mapping[str, str],
@@ -83,8 +120,14 @@ class AssessmentPipeline:
         for unit in units:
             module = self.config.module_of(unit.filename)
             by_module.setdefault(module, []).append(unit)
-        return [measure_module(name, sources, members)
-                for name, members in sorted(by_module.items())]
+        with self.tracer.span("metrics") as span:
+            modules = [measure_module(name, sources, members,
+                                      tracer=self.tracer)
+                       for name, members in sorted(by_module.items())]
+            span.set("modules", len(modules))
+        self.tracer.metrics.counter("pipeline.modules_measured").inc(
+            len(modules))
+        return modules
 
     def _run_checkers(self, sources: Mapping[str, str],
                       units: List[TranslationUnit]
@@ -104,8 +147,8 @@ class AssessmentPipeline:
                                 self.config.module_of),
             GpuSubsetChecker(),
         ]
-        return {checker.name: checker.check_project(units)
-                for checker in checkers}
+        with self.tracer.span("checkers"):
+            return run_checkers(checkers, units, tracer=self.tracer)
 
     def _assemble_evidence(self, modules: List[ModuleMetrics],
                            reports: Dict[str, CheckerReport]

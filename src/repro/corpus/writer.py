@@ -38,7 +38,16 @@ def write_corpus(corpus: Corpus, root: str,
 
 def read_tree(root: str, extensions=(".cc", ".cu", ".h", ".cpp", ".cuh")
               ) -> dict:
-    """Load a source tree back into a path -> source mapping."""
+    """Load a source tree back into a path -> source mapping.
+
+    Raises:
+        CorpusError: when ``root`` does not exist or is not a directory
+            (``os.walk`` would silently yield nothing).
+    """
+    if not os.path.exists(root):
+        raise CorpusError(f"source tree {root!r} does not exist")
+    if not os.path.isdir(root):
+        raise CorpusError(f"source tree {root!r} is not a directory")
     sources = {}
     for directory, _, filenames in os.walk(root):
         for filename in filenames:

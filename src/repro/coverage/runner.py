@@ -14,6 +14,7 @@ from typing import Iterable, List, Optional, Sequence
 
 from ..lang.minic.interpreter import Interpreter, ThreadContext
 from ..lang.minic.parser import parse_program
+from ..obs import NULL_TRACER
 from .probes import CoverageCollector
 from .report import FileCoverage, summarize_collector
 
@@ -56,38 +57,56 @@ class VectorOutcome:
 
 
 class CoverageRunner:
-    """Runs test vectors over one MiniC program, accumulating coverage."""
+    """Runs test vectors over one MiniC program, accumulating coverage.
+
+    Args:
+        obs_tracer: optional :class:`~repro.obs.Tracer` (distinct from
+            the coverage-probe tracer): every vector gets a
+            ``run_vector`` span and counters for vectors run, failures,
+            and interpreter steps.
+    """
 
     def __init__(self, program_or_source, filename: str = "<memory>",
-                 max_steps: int = 50_000_000) -> None:
+                 max_steps: int = 50_000_000, obs_tracer=None) -> None:
         if isinstance(program_or_source, str):
             self.program = parse_program(program_or_source, filename)
         else:
             self.program = program_or_source
             filename = self.program.filename
         self.filename = filename
+        self.obs_tracer = obs_tracer if obs_tracer is not None \
+            else NULL_TRACER
         self.collector = CoverageCollector(self.program)
-        self.interpreter = Interpreter(self.program, tracer=self.collector,
-                                       max_steps=max_steps)
+        self.interpreter = Interpreter(
+            self.program, tracer=self.collector, max_steps=max_steps,
+            obs_metrics=(self.obs_tracer.metrics
+                         if self.obs_tracer.enabled else None))
         self.outcomes: List[VectorOutcome] = []
 
     def run_vector(self, vector: TestVector) -> VectorOutcome:
         """Execute one vector; records coverage even when it fails."""
+        metrics = self.obs_tracer.metrics
         outcome = VectorOutcome(vector=vector)
-        try:
-            outcome.value = self.interpreter.run(
-                vector.function, list(vector.args),
-                thread_context=vector.thread_context)
-        except Exception as error:  # noqa: BLE001 - report, don't crash
-            outcome.passed = False
-            outcome.error = f"{type(error).__name__}: {error}"
-            self.outcomes.append(outcome)
-            return outcome
-        if vector.expected is not None:
-            outcome.passed = _matches(outcome.value, vector.expected)
+        with self.obs_tracer.span("run_vector",
+                                  name=vector.label()) as span:
+            metrics.counter("coverage.vectors_run").inc()
+            try:
+                outcome.value = self.interpreter.run(
+                    vector.function, list(vector.args),
+                    thread_context=vector.thread_context)
+            except Exception as error:  # noqa: BLE001 - report, don't crash
+                outcome.passed = False
+                outcome.error = f"{type(error).__name__}: {error}"
+            else:
+                if vector.expected is not None:
+                    outcome.passed = _matches(outcome.value,
+                                              vector.expected)
+                    if not outcome.passed:
+                        outcome.error = (f"expected {vector.expected!r}, "
+                                         f"got {outcome.value!r}")
+            span.set("passed", int(outcome.passed))
             if not outcome.passed:
-                outcome.error = (f"expected {vector.expected!r}, "
-                                 f"got {outcome.value!r}")
+                metrics.counter("coverage.vector_failures").inc()
         self.outcomes.append(outcome)
         return outcome
 

@@ -25,6 +25,7 @@ from ..errors import GpuLaunchError
 from ..lang.minic import ast
 from ..lang.minic.interpreter import Interpreter, ThreadContext, Tracer
 from ..lang.minic.parser import parse_program
+from ..obs import NULL_TRACER
 from .dim3 import Dim3, Dim3Like
 from .memory import DeviceMemory, DevicePointer
 
@@ -34,12 +35,18 @@ MAX_EMULATED_THREADS = 1_000_000
 
 
 class KernelLaunch:
-    """Record of one completed launch, for inspection in tests."""
+    """Record of one completed launch, for inspection in tests.
 
-    def __init__(self, kernel: str, grid: Dim3, block: Dim3) -> None:
+    ``duration`` is the host wall time of the emulated launch in
+    seconds (0.0 when the runtime has no telemetry attached).
+    """
+
+    def __init__(self, kernel: str, grid: Dim3, block: Dim3,
+                 duration: float = 0.0) -> None:
         self.kernel = kernel
         self.grid = grid
         self.block = block
+        self.duration = duration
 
     @property
     def thread_count(self) -> int:
@@ -54,23 +61,31 @@ class CudaRuntime:
             ``__global__`` kernels and any ``__device__`` helpers.
         tracer: optional coverage tracer wired into kernel execution.
         max_steps_per_thread: interpreter budget per logical thread.
+        obs_tracer: optional :class:`~repro.obs.Tracer`: each launch gets
+            a timed ``kernel_launch`` span, and counters track launches,
+            threads executed, and host<->device transfer volumes.
     """
 
     def __init__(self,
                  source_or_program: Union[str, ast.Program],
                  tracer: Optional[Tracer] = None,
                  max_steps_per_thread: int = 1_000_000,
-                 memory_capacity: int = 64 * 1024 * 1024) -> None:
+                 memory_capacity: int = 64 * 1024 * 1024,
+                 obs_tracer=None) -> None:
         if isinstance(source_or_program, str):
             self.program = parse_program(source_or_program, "<gpu>")
         else:
             self.program = source_or_program
         self.memory = DeviceMemory(memory_capacity)
         self.tracer = tracer
+        self.obs_tracer = obs_tracer if obs_tracer is not None \
+            else NULL_TRACER
         self.max_steps_per_thread = max_steps_per_thread
         self.launches: List[KernelLaunch] = []
-        self._interpreter = Interpreter(self.program, tracer=tracer,
-                                        max_steps=max_steps_per_thread)
+        self._interpreter = Interpreter(
+            self.program, tracer=tracer, max_steps=max_steps_per_thread,
+            obs_metrics=(self.obs_tracer.metrics
+                         if self.obs_tracer.enabled else None))
         self._kernels = {function.name: function
                          for function in self.program.kernels}
 
@@ -86,10 +101,17 @@ class CudaRuntime:
     def cuda_memcpy_htod(self, destination: DevicePointer,
                          source: Sequence) -> None:
         self.memory.memcpy_htod(destination, source)
+        metrics = self.obs_tracer.metrics
+        metrics.counter("gpu.memcpy_htod").inc()
+        metrics.counter("gpu.memcpy_htod_elements").inc(len(source))
 
     def cuda_memcpy_dtoh(self, source: DevicePointer,
                          elements: int = -1) -> List[float]:
-        return self.memory.memcpy_dtoh(source, elements)
+        host = self.memory.memcpy_dtoh(source, elements)
+        metrics = self.obs_tracer.metrics
+        metrics.counter("gpu.memcpy_dtoh").inc()
+        metrics.counter("gpu.memcpy_dtoh_elements").inc(len(host))
+        return host
 
     def to_device(self, host: Sequence) -> DevicePointer:
         """Allocate-and-upload convenience (cudaMalloc + memcpy)."""
@@ -142,17 +164,25 @@ class CudaRuntime:
             else:
                 marshaled.append(value)
 
-        for block_index in grid.indices():
-            for thread_index in block.indices():
-                context = ThreadContext(
-                    thread_idx=thread_index,
-                    block_idx=block_index,
-                    block_dim=block.as_tuple(),
-                    grid_dim=grid.as_tuple(),
-                )
-                self._interpreter.run(kernel_name, marshaled,
-                                      thread_context=context)
-        record = KernelLaunch(kernel_name, grid, block)
+        with self.obs_tracer.span("kernel_launch", kernel=kernel_name,
+                                  threads=threads) as span:
+            for block_index in grid.indices():
+                for thread_index in block.indices():
+                    context = ThreadContext(
+                        thread_idx=thread_index,
+                        block_idx=block_index,
+                        block_dim=block.as_tuple(),
+                        grid_dim=grid.as_tuple(),
+                    )
+                    self._interpreter.run(kernel_name, marshaled,
+                                          thread_context=context)
+        metrics = self.obs_tracer.metrics
+        metrics.counter("gpu.kernel_launches").inc()
+        metrics.counter("gpu.threads_executed").inc(threads)
+        metrics.histogram("gpu.kernel_seconds",
+                          kernel=kernel_name).observe(span.duration)
+        record = KernelLaunch(kernel_name, grid, block,
+                              duration=span.duration)
         self.launches.append(record)
         return record
 

@@ -127,17 +127,24 @@ class Interpreter:
         strict_uninitialized: when True, reading a scalar local before it
             was assigned raises :class:`MiniCRuntimeError` (the dynamic
             analogue of the paper's uninitialized-variable finding).
+        obs_metrics: optional :class:`~repro.obs.MetricsRegistry`; each
+            :meth:`run` flushes its executed-statement and function-call
+            counts into ``interpreter.steps`` / ``interpreter.calls`` /
+            ``interpreter.runs`` counters.
     """
 
     def __init__(self, program: ast.Program, tracer: Optional[Tracer] = None,
                  max_steps: int = 50_000_000,
-                 strict_uninitialized: bool = False) -> None:
+                 strict_uninitialized: bool = False,
+                 obs_metrics=None) -> None:
         self.program = program
         self.tracer = tracer
         self.max_steps = max_steps
         self.strict_uninitialized = strict_uninitialized
+        self.obs_metrics = obs_metrics
         self.output: List[str] = []
         self._steps = 0
+        self.call_count = 0
         self._functions: Dict[str, ast.Function] = {
             function.name: function for function in program.functions}
         self._globals: Dict[str, object] = {}
@@ -157,10 +164,20 @@ class Interpreter:
         function's return value, or ``None`` for void functions.
         """
         self._steps = 0
-        return self.call(function_name, list(args), thread_context)
+        calls_before = self.call_count
+        try:
+            return self.call(function_name, list(args), thread_context)
+        finally:
+            if self.obs_metrics is not None:
+                self.obs_metrics.counter("interpreter.runs").inc()
+                self.obs_metrics.counter("interpreter.steps").inc(
+                    self._steps)
+                self.obs_metrics.counter("interpreter.calls").inc(
+                    self.call_count - calls_before)
 
     def call(self, function_name: str, args: List,
              thread_context: Optional[ThreadContext] = None):
+        self.call_count += 1
         function = self._functions.get(function_name)
         if function is None:
             raise MiniCNameError(f"undefined function {function_name!r}")

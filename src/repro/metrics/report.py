@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Sequence
 
 from ..lang.cppmodel import TranslationUnit
+from ..obs import NULL_TRACER
 from .bands import FIGURE3_THRESHOLDS
 from .complexity import ComplexitySummary, summarize_units
 from .loc import EMPTY_LINE_COUNTS, LineCounts, count_lines
@@ -48,27 +49,36 @@ class ModuleMetrics:
 
 def measure_module(name: str,
                    sources: Mapping[str, str],
-                   units: Iterable[TranslationUnit]) -> ModuleMetrics:
+                   units: Iterable[TranslationUnit],
+                   tracer=None) -> ModuleMetrics:
     """Aggregate metrics for one module.
 
     Args:
         name: module name (e.g. ``"perception"``).
         sources: filename -> source text, for line counting.
         units: the parsed fuzzy models of the same files.
+        tracer: optional :class:`~repro.obs.Tracer`; measurement is
+            wrapped in a ``measure_module`` span carrying file and LOC
+            counts.
     """
+    tracer = tracer if tracer is not None else NULL_TRACER
     units = list(units)
-    lines = EMPTY_LINE_COUNTS
-    for unit in units:
-        source = sources.get(unit.filename, "")
-        lines = lines + count_lines(source, unit.tokens)
-    return ModuleMetrics(
-        name=name,
-        lines=lines,
-        file_count=len(units),
-        complexity=summarize_units(units),
-        class_count=sum(len(unit.classes) for unit in units),
-        global_count=sum(len(unit.mutable_globals) for unit in units),
-    )
+    with tracer.span("measure_module", module=name) as span:
+        lines = EMPTY_LINE_COUNTS
+        for unit in units:
+            source = sources.get(unit.filename, "")
+            lines = lines + count_lines(source, unit.tokens)
+        metrics = ModuleMetrics(
+            name=name,
+            lines=lines,
+            file_count=len(units),
+            complexity=summarize_units(units),
+            class_count=sum(len(unit.classes) for unit in units),
+            global_count=sum(len(unit.mutable_globals) for unit in units),
+        )
+        span.set("files", metrics.file_count)
+        span.set("loc", metrics.loc)
+    return metrics
 
 
 def figure3_rows(modules: Iterable[ModuleMetrics],

@@ -1,0 +1,44 @@
+"""Profiling view over a recorded trace: the top-N slowest spans.
+
+This is what ``repro-assess --profile`` prints after the span tree: a
+flat table of the spans with the most *self* time (time not explained by
+their children), which is where optimization effort should go.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from .span import Span
+from .tracer import Tracer
+
+
+def _all_spans(source: Union[Tracer, List[Span]]) -> List[Span]:
+    if isinstance(source, Tracer):
+        return source.spans()
+    return [span for root in source for span in root.walk()]
+
+
+def top_spans(source: Union[Tracer, List[Span]], limit: int = 10,
+              by_self_time: bool = True) -> List[Span]:
+    """The ``limit`` slowest spans, by self time (default) or total."""
+    spans = _all_spans(source)
+    key = (lambda s: s.self_time) if by_self_time else (lambda s: s.duration)
+    return sorted(spans, key=key, reverse=True)[:max(0, limit)]
+
+
+def render_profile(source: Union[Tracer, List[Span]],
+                   limit: int = 10) -> str:
+    """The ``--profile`` table: top-N spans by self time."""
+    from .export import _format_counts, _format_seconds
+    spans = top_spans(source, limit)
+    total = sum(span.self_time for span in _all_spans(source)) or 1.0
+    header = f"{'self':>10} {'total':>10} {'share':>7}  span"
+    lines = [f"Top {len(spans)} spans by self time", header,
+             "-" * max(48, len(header))]
+    for span in spans:
+        share = 100.0 * span.self_time / total
+        lines.append(f"{_format_seconds(span.self_time)} "
+                     f"{_format_seconds(span.duration)} "
+                     f"{share:6.1f}%  {span.label()}{_format_counts(span)}")
+    return "\n".join(lines)

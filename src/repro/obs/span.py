@@ -1,0 +1,91 @@
+"""Trace spans: the nodes of the in-memory trace tree.
+
+A :class:`Span` records one timed region of the assessment pipeline —
+"parse this file", "run this checker", "launch this kernel" — together
+with free-form attributes (item counts, names) and its child spans.
+Spans are produced by :class:`~repro.obs.tracer.Tracer` context managers
+and consumed by the exporters in :mod:`repro.obs.export`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+
+class Span:
+    """One timed region of execution, with attributes and children.
+
+    Attributes:
+        name: span-taxonomy name (e.g. ``"checker"``, ``"parse_file"``).
+        attributes: free-form labels and counts (``name="casts"``,
+            ``findings=12``).
+        start: clock reading when the span opened (seconds).
+        end: clock reading when the span closed, or ``None`` while open.
+        children: sub-spans, in start order.
+        parent: enclosing span, or ``None`` for a root.
+    """
+
+    __slots__ = ("name", "attributes", "start", "end", "children", "parent")
+
+    def __init__(self, name: str, attributes: Optional[Dict] = None,
+                 start: float = 0.0,
+                 parent: Optional["Span"] = None) -> None:
+        self.name = name
+        self.attributes: Dict[str, object] = dict(attributes or {})
+        self.start = start
+        self.end: Optional[float] = None
+        self.children: List["Span"] = []
+        self.parent = parent
+
+    # ------------------------------------------------------------------
+
+    def set(self, key: str, value) -> None:
+        """Attach (or overwrite) one attribute; usable while open."""
+        self.attributes[key] = value
+
+    @property
+    def duration(self) -> float:
+        """Total wall time in seconds (0.0 while the span is open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    @property
+    def self_time(self) -> float:
+        """Wall time not accounted for by child spans."""
+        return max(0.0, self.duration -
+                   sum(child.duration for child in self.children))
+
+    def label(self) -> str:
+        """``name`` plus the identifying attributes, for display."""
+        parts = [self.name]
+        for key in ("name", "path", "kernel", "module", "checker"):
+            value = self.attributes.get(key)
+            if value is not None and str(value) != self.name:
+                parts.append(f"{key}={value}")
+        return " ".join(parts)
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> List["Span"]:
+        """Every descendant (including self) with the given name."""
+        return [span for span in self.walk() if span.name == name]
+
+    def to_dict(self) -> Dict:
+        """JSON-friendly recursive representation."""
+        return {
+            "name": self.name,
+            "attributes": dict(self.attributes),
+            "start": self.start,
+            "duration": self.duration,
+            "self_time": self.self_time,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.label()!r}, duration={self.duration:.6f}, "
+                f"children={len(self.children)})")

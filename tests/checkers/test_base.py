@@ -67,6 +67,82 @@ class TestRunCheckers:
         assert reports["casts"].stats["explicit_casts"] == 1
         assert reports["globals"].stats["mutable_globals"] == 1
 
+    def test_duplicate_checker_name_raises(self):
+        # Regression: two checkers sharing a name used to silently
+        # overwrite each other's report.
+        unit = parse_translation_unit("int x;\n", "a.cc")
+        with pytest.raises(ValueError, match="duplicate checker name"):
+            run_checkers([CastChecker(), CastChecker()], [unit])
+
+    def test_traced_run_records_checker_spans(self):
+        from repro.obs import Tracer
+        unit = parse_translation_unit(
+            "void f(float v) { int y = (int)v; }", "a.cc")
+        tracer = Tracer()
+        run_checkers([CastChecker()], [unit], tracer=tracer)
+        spans = tracer.find("checker")
+        assert [span.attributes["name"] for span in spans] == ["casts"]
+        assert spans[0].attributes["findings"] >= 1
+        assert tracer.metrics.counter_value(
+            "checker.findings", checker="casts") >= 1
+
+
+class _CountingChecker(Checker):
+    """Per-unit counts plus a finalize-derived ratio, for merge tests."""
+
+    name = "counting"
+
+    def check_unit(self, unit):
+        report = CheckerReport(checker=self.name)
+        report.stats["functions"] = len(unit.functions)
+        report.stats["flagged"] = sum(
+            1 for function in unit.functions
+            if function.qualified_name.startswith("bad"))
+        return report
+
+    def finalize(self, report):
+        report.stats["flagged_ratio"] = self.ratio(
+            report.stats.get("flagged", 0),
+            report.stats.get("functions", 0))
+
+
+class TestMergeFinalize:
+    UNIT_A = "void bad_one() {}\nvoid good_one() {}\n"
+    UNIT_B = "void bad_two() {}\nvoid good_two() {}\nvoid good_three() {}\n"
+
+    def test_check_project_recomputes_ratio_from_summed_counts(self):
+        units = [parse_translation_unit(self.UNIT_A, "a.cc"),
+                 parse_translation_unit(self.UNIT_B, "b.cc")]
+        report = _CountingChecker().check_project(units)
+        assert report.stats["functions"] == 5
+        assert report.stats["flagged"] == 2
+        assert report.stats["flagged_ratio"] == pytest.approx(2 / 5)
+
+    def test_merging_finalized_reports_then_refinalizing(self):
+        # Merging two already-finalized reports sums the ratio stats too;
+        # finalize must overwrite (not accumulate) the derived ratio so
+        # nothing is double-counted.
+        checker = _CountingChecker()
+        first = checker.check_project(
+            [parse_translation_unit(self.UNIT_A, "a.cc")])
+        second = checker.check_project(
+            [parse_translation_unit(self.UNIT_B, "b.cc")])
+        assert first.stats["flagged_ratio"] == pytest.approx(1 / 2)
+        assert second.stats["flagged_ratio"] == pytest.approx(1 / 3)
+        first.merge(second)
+        checker.finalize(first)
+        assert first.stats["functions"] == 5
+        assert first.stats["flagged"] == 2
+        assert first.stats["flagged_ratio"] == pytest.approx(2 / 5)
+
+    def test_merge_preserves_findings_order(self):
+        first = CheckerReport(checker="x", findings=[
+            Finding(rule="A", message="", filename="a.cc")])
+        second = CheckerReport(checker="x", findings=[
+            Finding(rule="B", message="", filename="b.cc")])
+        first.merge(second)
+        assert [finding.rule for finding in first.findings] == ["A", "B"]
+
 
 class TestEnclosingFunction:
     SOURCE = """

@@ -236,3 +236,72 @@ class TestCorpusDescribe:
         assert "corpus:" in description
         assert "perception" in description
         assert "cc>10 target" in description
+
+
+class TestCliErrors:
+    def test_nonexistent_path_clean_error(self, capsys):
+        exit_code = main(["/no/such/tree/anywhere"])
+        assert exit_code == 2
+        captured = capsys.readouterr()
+        assert "cannot read source tree" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_file_path_clean_error(self, tmp_path, capsys):
+        target = tmp_path / "single.cc"
+        target.write_text("int x;\n")
+        exit_code = main([str(target)])
+        assert exit_code == 2
+        assert "not a directory" in capsys.readouterr().err
+
+
+class TestCliVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro-assess ")
+        assert out.strip().split()[-1][0].isdigit()
+
+
+class TestCliTelemetry:
+    def test_trace_prints_span_tree(self, capsys):
+        exit_code = main(["--corpus", "0.02", "--trace"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "pipeline" in out
+        assert "parse_file" in out
+        for checker in ("language_subset", "casts", "defensive",
+                        "globals", "naming", "style", "unit_design",
+                        "architecture", "gpu_subset"):
+            assert f"checker name={checker}" in out
+        assert "compliance" in out
+        assert "observations" in out
+
+    def test_profile_prints_top_spans(self, capsys):
+        exit_code = main(["--corpus", "0.02", "--profile", "--top", "5"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Top 5 spans by self time" in out
+        assert "share" in out
+
+    def test_metrics_json_document(self, tmp_path, capsys):
+        target = tmp_path / "telemetry.json"
+        exit_code = main(["--corpus", "0.02",
+                          "--metrics-json", str(target)])
+        assert exit_code == 0
+        document = json.loads(target.read_text())
+        counters = document["metrics"]["counters"]
+        assert counters["pipeline.units_parsed"] > 0
+        assert "pipeline.parse_failures" in counters
+        assert any(key.startswith("checker.findings")
+                   for key in counters)
+        assert document["spans"][0]["name"] == "pipeline"
+        assert document["traceEvents"]
+
+    def test_no_flags_prints_no_telemetry(self, capsys):
+        exit_code = main(["--corpus", "0.02"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Top" not in out
+        assert "parse_file" not in out

@@ -1,0 +1,116 @@
+"""Tests for the trace/metrics exporters and the profile view."""
+
+import json
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    chrome_trace,
+    render_profile,
+    render_prometheus,
+    render_span_tree,
+    top_spans,
+    trace_document,
+)
+from .test_tracer import FakeClock
+
+
+def _sample_tracer():
+    tracer = Tracer(clock=FakeClock(step=0.5))
+    with tracer.span("pipeline"):
+        with tracer.span("parse") as parse:
+            with tracer.span("parse_file", path="a.cc"):
+                pass
+            parse.set("files", 1)
+        with tracer.span("checker", name="casts") as checker:
+            checker.set("findings", 3)
+    tracer.metrics.counter("pipeline.units_parsed").inc(1)
+    tracer.metrics.counter("checker.findings", checker="casts").inc(3)
+    tracer.metrics.gauge("gpu.bytes_allocated").set(64)
+    tracer.metrics.histogram("pipeline.parse_seconds").observe(0.5)
+    return tracer
+
+
+class TestSpanTree:
+    def test_contains_every_span_with_times(self):
+        rendered = render_span_tree(_sample_tracer())
+        assert "pipeline" in rendered
+        assert "parse_file path=a.cc" in rendered
+        assert "checker name=casts" in rendered
+        assert "[findings=3]" in rendered
+        assert "total" in rendered and "self" in rendered
+        # every data line carries two time columns
+        for line in rendered.splitlines()[2:]:
+            assert line.count("ms") + line.count("s ") >= 2
+
+    def test_indentation_reflects_depth(self):
+        lines = render_span_tree(_sample_tracer()).splitlines()
+        pipeline = next(l for l in lines if l.endswith("pipeline"))
+        parse_file = next(l for l in lines if "parse_file" in l)
+        assert parse_file.index("parse_file") > pipeline.index("pipeline")
+
+
+class TestProfile:
+    def test_top_spans_sorted_by_self_time(self):
+        tracer = _sample_tracer()
+        spans = top_spans(tracer, limit=3)
+        assert len(spans) == 3
+        assert spans[0].self_time >= spans[1].self_time \
+            >= spans[2].self_time
+
+    def test_limit_respected(self):
+        assert len(top_spans(_sample_tracer(), limit=2)) == 2
+
+    def test_render_profile(self):
+        rendered = render_profile(_sample_tracer(), limit=2)
+        assert rendered.startswith("Top 2 spans by self time")
+        assert "share" in rendered
+        assert "%" in rendered
+
+
+class TestChromeTrace:
+    def test_events_match_spans(self):
+        tracer = _sample_tracer()
+        events = chrome_trace(tracer)
+        assert len(events) == len(tracer.spans())
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+        names = {event["name"] for event in events}
+        assert "checker name=casts" in names
+
+    def test_timestamps_relative_to_first_span(self):
+        events = chrome_trace(_sample_tracer())
+        assert min(event["ts"] for event in events) == 0
+
+    def test_empty_tracer(self):
+        assert chrome_trace(Tracer()) == []
+
+    def test_document_is_json_serializable(self):
+        document = trace_document(_sample_tracer())
+        decoded = json.loads(json.dumps(document))
+        assert decoded["spans"][0]["name"] == "pipeline"
+        assert decoded["metrics"]["counters"]["pipeline.units_parsed"] == 1
+        assert decoded["traceEvents"]
+
+
+class TestPrometheus:
+    def test_counters_gauges_histograms(self):
+        text = render_prometheus(_sample_tracer())
+        assert "# TYPE repro_pipeline_units_parsed counter" in text
+        assert "repro_pipeline_units_parsed 1" in text
+        assert 'repro_checker_findings{checker="casts"} 3' in text
+        assert "# TYPE repro_gpu_bytes_allocated gauge" in text
+        assert "repro_pipeline_parse_seconds_count 1" in text
+        assert 'quantile="0.95"' in text
+        assert text.endswith("\n")
+
+    def test_empty_registry(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_metric_names_sanitized(self):
+        registry = MetricsRegistry()
+        registry.counter("weird.name-with/chars").inc()
+        text = render_prometheus(registry)
+        assert "repro_weird_name_with_chars 1" in text

@@ -1,0 +1,161 @@
+"""Tests for counters, gauges, and streaming histograms."""
+
+import math
+import random
+
+import pytest
+
+from repro.obs import Histogram, MetricsRegistry, NullMetricsRegistry
+
+
+class TestCounter:
+    def test_inc(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("pipeline.units_parsed")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert registry.counter_value("pipeline.units_parsed") == 5
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_same_name_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_labels_distinguish(self):
+        registry = MetricsRegistry()
+        registry.counter("checker.findings", checker="casts").inc(2)
+        registry.counter("checker.findings", checker="misra").inc(3)
+        assert registry.counter_value("checker.findings",
+                                      checker="casts") == 2
+        assert registry.counter_value("checker.findings",
+                                      checker="misra") == 3
+        assert registry.counter_value("checker.findings") == 0
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        first = registry.counter("n", a="1", b="2")
+        second = registry.counter("n", b="2", a="1")
+        assert first is second
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+
+
+class TestHistogram:
+    def test_empty_summary(self):
+        histogram = MetricsRegistry().histogram("h")
+        summary = histogram.summary()
+        assert summary["count"] == 0
+        assert summary["p50"] == 0.0
+        assert histogram.quantile(0.5) == 0.0
+
+    def test_exact_extremes(self):
+        histogram = MetricsRegistry().histogram("h")
+        for value in (0.003, 0.5, 12.0):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["min"] == 0.003
+        assert summary["max"] == 12.0
+        assert summary["sum"] == pytest.approx(12.503)
+        assert summary["count"] == 3
+        assert histogram.quantile(0.0) == 0.003
+        assert histogram.quantile(1.0) == 12.0
+
+    def test_quantiles_uniform(self):
+        histogram = MetricsRegistry().histogram("h")
+        for index in range(1, 1001):
+            histogram.observe(index / 1000.0)
+        # Geometric buckets with factor 1.2 bound relative error ~10%.
+        assert histogram.quantile(0.5) == pytest.approx(0.5, rel=0.12)
+        assert histogram.quantile(0.95) == pytest.approx(0.95, rel=0.12)
+
+    def test_quantiles_lognormal(self):
+        rng = random.Random(26262)
+        histogram = MetricsRegistry().histogram("h")
+        samples = [math.exp(rng.gauss(0.0, 1.0)) for _ in range(5000)]
+        for sample in samples:
+            histogram.observe(sample)
+        samples.sort()
+        for quantile in (0.5, 0.9, 0.95):
+            exact = samples[int(quantile * len(samples)) - 1]
+            assert histogram.quantile(quantile) == \
+                pytest.approx(exact, rel=0.15)
+
+    def test_bounded_memory(self):
+        histogram = MetricsRegistry().histogram("h")
+        for index in range(10_000):
+            histogram.observe(1.0 + (index % 100) / 100.0)
+        # Values span [1, 2): at factor 1.2 that is at most a handful of
+        # buckets — the whole point of a streaming histogram.
+        assert len(histogram._buckets) <= 10
+        assert histogram.count == 10_000
+
+    def test_zero_and_negative_values(self):
+        histogram = MetricsRegistry().histogram("h")
+        histogram.observe(0.0)
+        histogram.observe(-1.0)
+        histogram.observe(2.0)
+        assert histogram.quantile(0.0) == -1.0
+        assert histogram.quantile(1.0) == 2.0
+
+    def test_quantile_out_of_range(self):
+        histogram = MetricsRegistry().histogram("h")
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_mean(self):
+        histogram = MetricsRegistry().histogram("h")
+        for value in (1.0, 2.0, 3.0):
+            histogram.observe(value)
+        assert histogram.mean == pytest.approx(2.0)
+
+
+class TestRegistryExport:
+    def test_to_dict_keys(self):
+        registry = MetricsRegistry()
+        registry.counter("pipeline.units_parsed").inc(7)
+        registry.counter("checker.findings", checker="casts").inc(2)
+        registry.gauge("gpu.bytes_allocated").set(1024)
+        registry.histogram("pipeline.parse_seconds").observe(0.25)
+        document = registry.to_dict()
+        assert document["counters"]["pipeline.units_parsed"] == 7
+        assert document["counters"][
+            'checker.findings{checker="casts"}'] == 2
+        assert document["gauges"]["gpu.bytes_allocated"] == 1024
+        assert document["histograms"][
+            "pipeline.parse_seconds"]["count"] == 1
+
+    def test_json_serializable(self):
+        import json
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.histogram("b").observe(1.0)
+        json.dumps(registry.to_dict())
+
+
+class TestNullRegistry:
+    def test_everything_is_a_no_op(self):
+        registry = NullMetricsRegistry()
+        registry.counter("a", label="x").inc(100)
+        registry.gauge("b").set(5)
+        registry.gauge("b").inc()
+        registry.gauge("b").dec()
+        registry.histogram("c").observe(1.0)
+        assert registry.to_dict() == {"counters": {}, "gauges": {},
+                                      "histograms": {}}
+
+    def test_shared_instances(self):
+        registry = NullMetricsRegistry()
+        assert registry.counter("a") is registry.counter("b")
+        assert registry.histogram("a") is registry.histogram("b")

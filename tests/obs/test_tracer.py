@@ -1,0 +1,147 @@
+"""Tests for the tracer and span primitives."""
+
+import pytest
+
+from repro.obs import NULL_TRACER, NullTracer, Span, Tracer
+
+
+class FakeClock:
+    """Deterministic clock: each reading advances by ``step`` seconds."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        reading = self.now
+        self.now += self.step
+        return reading
+
+
+class TestSpanNesting:
+    def test_parent_child_structure(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("pipeline"):
+            with tracer.span("parse"):
+                with tracer.span("parse_file", path="a.cc"):
+                    pass
+            with tracer.span("checkers"):
+                pass
+        assert len(tracer.roots) == 1
+        root = tracer.roots[0]
+        assert root.name == "pipeline"
+        assert [child.name for child in root.children] == \
+            ["parse", "checkers"]
+        assert root.children[0].children[0].attributes["path"] == "a.cc"
+        assert root.children[0].children[0].parent is root.children[0]
+
+    def test_sibling_roots(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [root.name for root in tracer.roots] == ["first", "second"]
+
+    def test_current_tracks_stack(self):
+        tracer = Tracer(clock=FakeClock())
+        assert tracer.current is None
+        with tracer.span("outer") as outer:
+            assert tracer.current is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current is inner
+            assert tracer.current is outer
+        assert tracer.current is None
+
+    def test_durations_and_self_time(self):
+        # Each clock access advances 1s: open(0) open(1) close(2) close(3).
+        tracer = Tracer(clock=FakeClock(step=1.0))
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer = tracer.roots[0]
+        inner = outer.children[0]
+        assert outer.duration == pytest.approx(3.0)
+        assert inner.duration == pytest.approx(1.0)
+        assert outer.self_time == pytest.approx(2.0)
+        assert inner.self_time == pytest.approx(1.0)
+
+    def test_open_span_has_zero_duration(self):
+        span = Span("open", start=5.0)
+        assert span.duration == 0.0
+
+    def test_set_attribute_inside_span(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("checker", name="casts") as span:
+            span.set("findings", 7)
+        assert tracer.roots[0].attributes == {"name": "casts",
+                                              "findings": 7}
+
+    def test_exception_recorded_and_propagated(self):
+        tracer = Tracer(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("exploding"):
+                raise RuntimeError("boom")
+        span = tracer.roots[0]
+        assert span.attributes["error"] == "RuntimeError"
+        assert span.end is not None  # closed despite the exception
+
+    def test_walk_and_find(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("b"):
+                pass
+        assert len(tracer.spans()) == 3
+        assert len(tracer.find("b")) == 2
+
+    def test_name_keyword_is_an_attribute(self):
+        # span("checker", name=...) must not collide with the span name.
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("checker", name="misra"):
+            pass
+        assert tracer.roots[0].name == "checker"
+        assert tracer.roots[0].attributes["name"] == "misra"
+
+    def test_to_dict_round_trips(self):
+        import json
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("root", kind="test"):
+            with tracer.span("leaf"):
+                pass
+        document = json.loads(json.dumps(tracer.to_dict()))
+        assert document["spans"][0]["name"] == "root"
+        assert document["spans"][0]["children"][0]["name"] == "leaf"
+
+
+class TestNullTracer:
+    def test_records_nothing(self):
+        tracer = NullTracer()
+        with tracer.span("pipeline") as span:
+            span.set("units", 3)
+            with tracer.span("inner"):
+                pass
+        assert tracer.roots == []
+        assert tracer.spans() == []
+
+    def test_metrics_are_swallowed(self):
+        tracer = NullTracer()
+        tracer.metrics.counter("a").inc(5)
+        tracer.metrics.gauge("b").set(2)
+        tracer.metrics.histogram("c").observe(1.0)
+        assert tracer.metrics.to_dict() == {
+            "counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_disabled_flag(self):
+        assert NULL_TRACER.enabled is False
+        assert Tracer().enabled is True
+
+    def test_span_context_is_shared(self):
+        # Zero allocation on the disabled path: same object every call.
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b", k=1)
+
+    def test_exceptions_still_propagate(self):
+        with pytest.raises(ValueError):
+            with NULL_TRACER.span("x"):
+                raise ValueError("boom")
