@@ -1,0 +1,103 @@
+"""Benchmark: the parallel + incremental engine vs the serial pipeline.
+
+Measures the assessment wall time at jobs=1/2/4 (thread pool) and with
+a warm content-addressed cache, asserts the engine's two contracts —
+every configuration is result-identical to the serial run, and a
+warm-cache re-assessment beats the cold serial sweep — and appends a
+data point to ``BENCH_parallel.json`` at the repo root.
+
+On a single-CPU box the thread-pool points hover around 1.0x (the
+parse stage is GIL-bound pure Python); the cache is what carries the
+incremental-CI story, so only the warm-cache speedup is asserted.
+"""
+
+import json
+import os
+import statistics
+import time
+
+from repro.core import AssessmentPipeline, PipelineConfig, ResultCache
+from repro.corpus import apollo_spec, generate_corpus
+
+SCALE = 0.02
+ROUNDS = 3
+
+BENCH_FILE = os.path.join(os.path.dirname(__file__), os.pardir,
+                          "BENCH_parallel.json")
+
+
+def _median_seconds(callable_, rounds=ROUNDS):
+    timings = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        callable_()
+        timings.append(time.perf_counter() - start)
+    return statistics.median(timings)
+
+
+class TestParallelBenchmark:
+    def test_parallel_and_warm_cache(self, tmp_path):
+        sources = generate_corpus(apollo_spec(scale=SCALE)).sources()
+
+        def run(**config):
+            return AssessmentPipeline(PipelineConfig(**config)).run(sources)
+
+        reference = run()  # warmup + the identity baseline
+        serial_seconds = _median_seconds(run)
+
+        parallel_seconds = {}
+        for jobs in (2, 4):
+            result = run(jobs=jobs)
+            assert result.to_dict() == reference.to_dict(), jobs
+            parallel_seconds[jobs] = _median_seconds(
+                lambda: run(jobs=jobs))
+
+        cache_dir = str(tmp_path / "cache")
+        cold_cache = ResultCache(cache_dir)
+        cold_start = time.perf_counter()
+        cold_result = run(cache=cold_cache)
+        cold_seconds = time.perf_counter() - cold_start
+        assert cold_result.to_dict() == reference.to_dict()
+
+        warm_result = run(cache=ResultCache(cache_dir))
+        assert warm_result.to_dict() == reference.to_dict()
+        warm_seconds = _median_seconds(
+            lambda: run(cache=ResultCache(cache_dir)))
+
+        print(f"\nserial {serial_seconds * 1000:.1f}ms, "
+              f"jobs=2 {parallel_seconds[2] * 1000:.1f}ms, "
+              f"jobs=4 {parallel_seconds[4] * 1000:.1f}ms, "
+              f"cold-cache {cold_seconds * 1000:.1f}ms, "
+              f"warm-cache {warm_seconds * 1000:.1f}ms")
+
+        _record_bench_point(len(sources), serial_seconds,
+                            parallel_seconds, cold_seconds, warm_seconds)
+        assert warm_seconds < serial_seconds, (
+            f"warm cache ({warm_seconds:.3f}s) must beat the cold "
+            f"serial sweep ({serial_seconds:.3f}s)")
+
+
+def _record_bench_point(file_count, serial_seconds, parallel_seconds,
+                        cold_seconds, warm_seconds):
+    document = {"benchmark": "parallel_incremental", "points": []}
+    if os.path.exists(BENCH_FILE):
+        try:
+            with open(BENCH_FILE, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, ValueError):
+            pass
+    document.setdefault("points", []).append({
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "corpus_scale": SCALE,
+        "files": file_count,
+        "cpus": os.cpu_count(),
+        "serial_seconds": round(serial_seconds, 6),
+        "jobs2_seconds": round(parallel_seconds[2], 6),
+        "jobs4_seconds": round(parallel_seconds[4], 6),
+        "cold_cache_seconds": round(cold_seconds, 6),
+        "warm_cache_seconds": round(warm_seconds, 6),
+        "warm_cache_speedup": round(serial_seconds / warm_seconds, 4),
+    })
+    with open(BENCH_FILE, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")

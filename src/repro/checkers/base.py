@@ -99,9 +99,36 @@ class Checker(abc.ABC):
     #: Stable checker name, used as the report key.
     name: str = "checker"
 
+    #: Cache-invalidation tag: bump whenever the checker's output for an
+    #: unchanged unit can change (new rules, changed heuristics).
+    version: str = "1"
+
     @abc.abstractmethod
     def check_unit(self, unit: TranslationUnit) -> CheckerReport:
         """Analyze one translation unit."""
+
+    def fingerprint(self) -> str:
+        """Key material for the per-unit result cache.
+
+        Covers everything that can change this checker's per-unit
+        output: the implementation identity, the :attr:`version` tag,
+        and — when the checker carries a ``config`` dataclass — its
+        deterministic ``repr``.
+        """
+        config = getattr(self, "config", None)
+        suffix = f"/{config!r}" if config is not None else ""
+        return (f"{type(self).__module__}.{type(self).__qualname__}"
+                f":{self.version}{suffix}")
+
+    def for_units(self, units: Iterable[TranslationUnit]) -> "Checker":
+        """A checker equivalent to ``self`` for checking exactly ``units``.
+
+        Stateless checkers (the default) return ``self``.  Checkers
+        holding per-file state (:class:`~repro.checkers.style.
+        StyleChecker`'s registered sources) override this to prune that
+        state, so process-pool tasks ship only their own chunk's data.
+        """
+        return self
 
     def check_project(self,
                       units: Iterable[TranslationUnit]) -> CheckerReport:

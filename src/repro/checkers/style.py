@@ -41,6 +41,15 @@ class StyleChecker(Checker):
         """Register the raw text of a file before checking its unit."""
         self._sources[filename] = source
 
+    def for_units(self, units) -> "StyleChecker":
+        """A copy carrying only the sources of ``units`` (see base)."""
+        pruned = StyleChecker(self.config)
+        for unit in units:
+            source = self._sources.get(unit.filename)
+            if source is not None:
+                pruned.add_source(unit.filename, source)
+        return pruned
+
     def check_unit(self, unit: TranslationUnit) -> CheckerReport:
         report = CheckerReport(checker=self.name)
         source = self._sources.get(unit.filename)

@@ -1,6 +1,7 @@
 """The assessment pipeline: the paper's methodology as one call."""
 
 from .assessment import AssessmentResult
+from .cache import CACHE_MISS, ResultCache
 from .config import PipelineConfig
 from .diff import AssessmentDiff, VerdictTransition, diff_assessments, gap_reduction
 from .markdown import render_markdown
@@ -11,9 +12,14 @@ from .remediation import (
     plan_remediation,
     render_plan,
 )
+from .parallel import chunk_evenly, worker_count
 from .pipeline import AssessmentPipeline, assess_corpus, assess_sources
 
 __all__ = [
+    "CACHE_MISS",
+    "ResultCache",
+    "chunk_evenly",
+    "worker_count",
     "AssessmentDiff",
     "VerdictTransition",
     "diff_assessments",

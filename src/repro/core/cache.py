@@ -1,0 +1,119 @@
+"""Content-addressed result cache for incremental re-assessment.
+
+The paper's sweep is rerun continuously in CI, where most files are
+unchanged between runs.  This cache short-circuits the two expensive
+per-file stages — fuzzy parsing and per-unit checking — by keying their
+results on a SHA-256 over the source text, the file path, and a stage
+version tag, so a changed file, a changed checker implementation, or a
+changed checker configuration each invalidate exactly the entries they
+affect and nothing else.
+
+Entries are pickled under ``root/<key[:2]>/<key>.pkl`` (two-level fanout
+keeps directories small on big trees).  Writes are atomic (temp file +
+``os.replace``) so concurrent assessments sharing a cache directory
+never observe torn entries; any unreadable or corrupt entry is treated
+as a miss and rewritten.  The cache is best-effort by design: an
+unwritable directory degrades to a cold run, never to a crash.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from typing import Any
+
+#: Bump to invalidate every cache entry (layout or pickle-schema change).
+SCHEMA_TAG = "repro-cache:1"
+
+#: Stage tag for parse results; bump when the fuzzy parser's output for
+#: an unchanged source can change (see :mod:`repro.lang.cppmodel`).
+PARSE_TAG = "parse:1"
+
+#: Stage tag for per-unit checker bundles; the bundle key additionally
+#: folds in every checker's :meth:`~repro.checkers.base.Checker.
+#: fingerprint`, so this only needs bumping for cross-checker changes.
+CHECK_TAG = "check:1"
+
+#: Sentinel distinguishing "no entry" from a cached ``None``.
+CACHE_MISS = object()
+
+
+class ResultCache:
+    """A content-addressed pickle store with hit/miss accounting.
+
+    Attributes:
+        root: cache directory (created lazily on first write).
+        hits: entries served from disk this process.
+        misses: lookups that found no (readable) entry.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def key_for(stage_tag: str, path: str, source: str,
+                fingerprint: str = "") -> str:
+        """The cache key for one per-file result.
+
+        Args:
+            stage_tag: versioned stage name (:data:`PARSE_TAG` /
+                :data:`CHECK_TAG`).
+            path: the file's tree-relative path (findings embed it, so
+                the same text at a different path is a different entry).
+            source: the full source text.
+            fingerprint: extra key material — for checker bundles, the
+                joined checker fingerprints.
+        """
+        digest = hashlib.sha256()
+        for part in (SCHEMA_TAG, stage_tag, fingerprint, path, source):
+            digest.update(part.encode("utf-8"))
+            digest.update(b"\x1f")
+        return digest.hexdigest()
+
+    def _entry_path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".pkl")
+
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> Any:
+        """The cached value for ``key``, or :data:`CACHE_MISS`.
+
+        Corrupt, truncated, or unreadable entries count as misses — the
+        caller recomputes and overwrites them.
+        """
+        try:
+            with open(self._entry_path(key), "rb") as handle:
+                value = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError):
+            self.misses += 1
+            return CACHE_MISS
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> bool:
+        """Store ``value`` under ``key``; False when the write failed.
+
+        The write is atomic and best-effort: cache trouble must never
+        fail an assessment.
+        """
+        path = self._entry_path(key)
+        temporary = f"{path}.tmp.{os.getpid()}"
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(temporary, "wb") as handle:
+                pickle.dump(value, handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temporary, path)
+        except OSError:
+            try:
+                os.remove(temporary)
+            except OSError:
+                pass
+            return False
+        return True

@@ -17,13 +17,14 @@ from typing import List, Optional
 from ..corpus.apollo import apollo_spec
 from ..corpus.generator import generate_corpus
 from ..corpus.writer import read_tree
-from ..errors import CorpusError
+from ..errors import ConfigError, CorpusError
 from ..obs import (
     Tracer,
     render_profile,
     render_span_tree,
     trace_document,
 )
+from .cache import ResultCache
 from .config import PipelineConfig
 from .pipeline import AssessmentPipeline
 
@@ -55,6 +56,21 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also write the assessment as JSON")
     parser.add_argument("--markdown", metavar="FILE",
                         help="also write the assessment as Markdown")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="workers for the parse/checker fan-out "
+                             "(default 1 = serial, 0 = one per CPU); "
+                             "results are identical at any setting")
+    parser.add_argument("--executor", choices=("thread", "process"),
+                        default="thread",
+                        help="pool flavor for --jobs > 1 (default "
+                             "thread; process sidesteps the GIL)")
+    parser.add_argument("--cache", metavar="DIR",
+                        help="content-addressed result cache directory; "
+                             "unchanged files short-circuit to cached "
+                             "parse and checker results")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache even when "
+                             "--cache is given")
     parser.add_argument("--plan", action="store_true",
                         help="print the prioritized remediation plan")
     parser.add_argument("--experiments", action="store_true",
@@ -85,8 +101,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.corpus is None and args.path is None:
         parser.error("give a source tree path or --corpus SCALE")
     if args.corpus is not None:
-        corpus = generate_corpus(apollo_spec(scale=args.corpus,
-                                             seed=args.seed))
+        try:
+            corpus = generate_corpus(apollo_spec(scale=args.corpus,
+                                                 seed=args.seed))
+        except CorpusError as error:
+            print(f"cannot generate corpus: {error}", file=sys.stderr)
+            return 2
         sources = corpus.sources()
     else:
         try:
@@ -100,8 +120,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
     telemetry = args.trace or args.profile or args.metrics_json
     tracer = Tracer() if telemetry else None
-    result = AssessmentPipeline(PipelineConfig(tracer=tracer)).run(sources)
+    cache = (ResultCache(args.cache)
+             if args.cache and not args.no_cache else None)
+    try:
+        pipeline = AssessmentPipeline(PipelineConfig(
+            tracer=tracer, jobs=args.jobs, executor=args.executor,
+            cache=cache))
+    except ConfigError as error:
+        print(f"bad pipeline configuration: {error}", file=sys.stderr)
+        return 2
+    result = pipeline.run(sources)
     print(result.render_summary())
+    if cache is not None:
+        print(f"\ncache: {cache.hits} hits, {cache.misses} misses "
+              f"({cache.root})")
     if args.trace or args.profile:
         print()
         print(render_span_tree(tracer))
@@ -121,13 +153,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         print()
         print(render_plan(plan_remediation(result.tables)))
     if args.json:
-        with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(result.to_dict(), handle, indent=2)
+        try:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(result.to_dict(), handle, indent=2)
+        except OSError as error:
+            print(f"cannot write JSON report: {error}", file=sys.stderr)
+            return 2
         print(f"\nJSON written to {args.json}")
     if args.markdown:
         from .markdown import render_markdown
-        with open(args.markdown, "w", encoding="utf-8") as handle:
-            handle.write(render_markdown(result))
+        try:
+            with open(args.markdown, "w", encoding="utf-8") as handle:
+                handle.write(render_markdown(result))
+        except OSError as error:
+            print(f"cannot write Markdown report: {error}",
+                  file=sys.stderr)
+            return 2
         print(f"Markdown written to {args.markdown}")
     if args.experiments:
         _print_experiments()

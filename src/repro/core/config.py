@@ -10,6 +10,7 @@ from ..checkers.style import StyleConfig
 from ..iso26262.asil import Asil, TARGET_ASIL
 from ..iso26262.compliance import ComplianceThresholds
 from ..obs import Tracer
+from .cache import ResultCache
 
 
 @dataclass
@@ -29,6 +30,15 @@ class PipelineConfig:
         tracer: telemetry sink (spans + metrics) threaded through every
             pipeline stage; ``None`` means the zero-cost
             :data:`~repro.obs.NULL_TRACER`.
+        jobs: worker count for the parse and per-unit checker fan-out;
+            1 (the default) is the fully serial path, 0 means one
+            worker per CPU.  Results are identical at any setting.
+        executor: pool flavor for ``jobs > 1`` — ``"thread"`` (no
+            pickling, GIL-bound) or ``"process"`` (true CPU
+            parallelism; payloads cross process boundaries).
+        cache: optional content-addressed :class:`~repro.core.cache.
+            ResultCache`; unchanged files short-circuit to cached parse
+            results and per-unit checker reports.
     """
 
     target_asil: Asil = TARGET_ASIL
@@ -40,3 +50,6 @@ class PipelineConfig:
     module_of: Callable[[str], str] = module_from_path
     skip_unparseable: bool = True
     tracer: Optional[Tracer] = None
+    jobs: int = 1
+    executor: str = "thread"
+    cache: Optional[ResultCache] = None

@@ -1,0 +1,223 @@
+"""Parallel execution engine for the assessment pipeline.
+
+The pipeline's two hot stages — per-file parsing and per-unit checking
+— are embarrassingly parallel, so this module fans them out over a
+``concurrent.futures`` pool.  The contract, relied on by the
+determinism tests, is that a parallel run is *result-identical* to the
+serial run:
+
+* work is chunked from the already-sorted unit list and results are
+  reassembled in that order, so checker reports merge in exactly the
+  serial order;
+* only checkers that use the default per-unit
+  :meth:`~repro.checkers.base.Checker.check_project` are fanned out;
+  project-level checkers (architecture, unit design) see all units at
+  once, exactly as in a serial run.
+
+Each worker chunk runs under its own :class:`~repro.obs.Tracer` (the
+shared tracer's span stack is not thread-safe); the resulting span
+forest and metrics are grafted back into the parent trace by
+:func:`graft_worker_trace`, so ``--trace`` shows one ``parse_worker`` /
+``checker_worker`` span per chunk with real per-file child spans.
+
+Worker task functions are module-level so the ``process`` executor can
+pickle them; every payload (tasks, :class:`TranslationUnit` results,
+checker reports, worker tracers) is plain-dataclass picklable.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent import futures
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..checkers.base import Checker, CheckerReport
+from ..errors import ConfigError, SourceError
+from ..lang.cppmodel import TranslationUnit, parse_translation_unit
+from ..obs import NULL_TRACER, Span, Tracer
+
+#: Recognized ``PipelineConfig.executor`` values.  ``thread`` has no
+#: per-task pickling cost; ``process`` sidesteps the GIL for CPU-bound
+#: parsing at the price of shipping sources and results across
+#: processes.
+EXECUTOR_KINDS = ("thread", "process")
+
+
+def worker_count(jobs: int) -> int:
+    """Resolve a ``jobs`` setting: 0 means one worker per CPU."""
+    if jobs < 0:
+        raise ConfigError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def chunk_evenly(items: Sequence, chunks: int) -> List[List]:
+    """Split ``items`` into at most ``chunks`` balanced runs, in order.
+
+    Concatenating the result reproduces ``items`` exactly — the order
+    guarantee the deterministic merge builds on.
+    """
+    if chunks < 1:
+        raise ConfigError(f"chunk count must be >= 1, got {chunks}")
+    chunks = min(chunks, len(items))
+    if chunks == 0:
+        return []
+    size, remainder = divmod(len(items), chunks)
+    result: List[List] = []
+    start = 0
+    for index in range(chunks):
+        stop = start + size + (1 if index < remainder else 0)
+        result.append(list(items[start:stop]))
+        start = stop
+    return result
+
+
+def run_tasks(function: Callable, tasks: Sequence, *, jobs: int,
+              executor: str) -> List:
+    """Run ``function`` over ``tasks`` on a pool; results in task order.
+
+    ``jobs <= 1`` (or a single task) short-circuits to a plain loop —
+    the serial path allocates no pool at all.
+    """
+    if executor not in EXECUTOR_KINDS:
+        raise ConfigError(
+            f"executor must be one of {EXECUTOR_KINDS}, got {executor!r}")
+    if jobs <= 1 or len(tasks) <= 1:
+        return [function(task) for task in tasks]
+    pool_class = (futures.ThreadPoolExecutor if executor == "thread"
+                  else futures.ProcessPoolExecutor)
+    with pool_class(max_workers=min(jobs, len(tasks))) as pool:
+        return list(pool.map(function, tasks))
+
+
+# ----------------------------------------------------------------------
+# parse fan-out
+
+
+@dataclass
+class ParseOutcome:
+    """What parsing one file produced: a unit, or the parse error."""
+
+    path: str
+    unit: Optional[TranslationUnit] = None
+    error: Optional[SourceError] = None
+
+
+@dataclass
+class ParseTask:
+    """One worker's share of the parse stage."""
+
+    items: List[Tuple[str, str]]
+    worker: int
+    traced: bool = False
+
+
+def run_parse_task(task: ParseTask
+                   ) -> Tuple[List[ParseOutcome], Optional[Tracer]]:
+    """Parse one chunk of ``(path, source)`` pairs, catching per-file
+    :class:`SourceError` so a poisoned file never kills the pool."""
+    tracer = Tracer() if task.traced else NULL_TRACER
+    timings = tracer.metrics.histogram("pipeline.parse_seconds")
+    outcomes: List[ParseOutcome] = []
+    with tracer.span("parse_worker", worker=task.worker) as worker_span:
+        failures = 0
+        for path, source in task.items:
+            with tracer.span("parse_file", path=path) as span:
+                try:
+                    unit = parse_translation_unit(source, path)
+                except SourceError as error:
+                    span.set("failed", 1)
+                    failures += 1
+                    outcomes.append(ParseOutcome(path, error=error))
+                else:
+                    outcomes.append(ParseOutcome(path, unit=unit))
+            if tracer.enabled:
+                timings.observe(span.duration)
+        worker_span.set("files", len(task.items))
+        worker_span.set("failures", failures)
+    return outcomes, (tracer if task.traced else None)
+
+
+# ----------------------------------------------------------------------
+# per-unit checker fan-out
+
+
+@dataclass
+class CheckTask:
+    """One worker's share of the per-unit checker stage.
+
+    ``checkers`` are already pruned with
+    :meth:`~repro.checkers.base.Checker.for_units`, so a process task
+    ships only the per-file state its own units need.
+    """
+
+    checkers: List[Checker]
+    units: List[TranslationUnit]
+    worker: int
+    traced: bool = False
+
+
+def run_check_task(task: CheckTask
+                   ) -> Tuple[Dict[str, Dict[str, CheckerReport]],
+                              Optional[Tracer]]:
+    """Run every per-unit checker over one chunk of units.
+
+    Returns ``{path: {checker name: per-unit report}}`` — the raw
+    reports the parent merges in sorted-unit order and finalizes once,
+    mirroring the default ``check_project`` exactly.
+    """
+    tracer = Tracer() if task.traced else NULL_TRACER
+    bundles: Dict[str, Dict[str, CheckerReport]] = {}
+    with tracer.span("checker_worker", worker=task.worker) as span:
+        for unit in task.units:
+            bundles[unit.filename] = {
+                checker.name: checker.check_unit(unit)
+                for checker in task.checkers}
+        span.set("units", len(task.units))
+        span.set("checkers", len(task.checkers))
+    return bundles, (tracer if task.traced else None)
+
+
+def check_unit_bundle(checkers: Sequence[Checker], unit: TranslationUnit
+                      ) -> Dict[str, CheckerReport]:
+    """The serial (and cache-fill) equivalent of one unit's fan-out."""
+    return {checker.name: checker.check_unit(unit) for checker in checkers}
+
+
+def split_checkers(checkers: Sequence[Checker]
+                   ) -> Tuple[List[Checker], List[Checker]]:
+    """Partition into (per-unit parallelizable, project-level) checkers.
+
+    A checker that keeps the base class's :meth:`check_project` is a
+    pure per-unit merge + finalize, which the engine can replay from
+    distributed (or cached) per-unit reports.  Anything overriding it
+    needs the whole unit set and stays on the serial path.
+    """
+    per_unit = [checker for checker in checkers
+                if type(checker).check_project is Checker.check_project]
+    project = [checker for checker in checkers
+               if type(checker).check_project is not Checker.check_project]
+    return per_unit, project
+
+
+# ----------------------------------------------------------------------
+# telemetry fan-in
+
+
+def graft_worker_trace(tracer: Tracer, parent: Span,
+                       worker_tracer: Optional[Tracer]) -> None:
+    """Reattach a worker's span forest and metrics to the parent trace.
+
+    Worker spans become children of ``parent`` (timestamps come from
+    the worker's own monotonic clock, which is process-consistent on
+    the platforms we run on), and the worker's counters and histograms
+    fold into the parent registry.
+    """
+    if worker_tracer is None or not tracer.enabled:
+        return
+    for root in worker_tracer.roots:
+        root.parent = parent
+        parent.children.append(root)
+    tracer.metrics.merge(worker_tracer.metrics)

@@ -8,6 +8,16 @@ This orchestrates the paper's whole methodology:
 4. assemble the evidence set;
 5. apply the compliance engine to the three ISO 26262-6 tables;
 6. derive the numbered observations.
+
+The two per-file stages (1 and 3) run through the execution engine in
+:mod:`repro.core.parallel`: with :attr:`PipelineConfig.jobs` > 1 they
+fan out over a thread or process pool, and with a
+:attr:`PipelineConfig.cache` configured, unchanged files short-circuit
+to content-addressed cached results (:mod:`repro.core.cache`).  Either
+way the produced :class:`AssessmentResult` is identical to a serial,
+cold-cache run: chunks are cut from the sorted path list and merged
+back in that order, and only checkers whose project report is a pure
+per-unit merge are distributed.
 """
 
 from __future__ import annotations
@@ -15,7 +25,7 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Optional
 
 from ..checkers.architecture import ArchitectureChecker
-from ..checkers.base import CheckerReport, run_checkers
+from ..checkers.base import Checker, CheckerReport, run_checkers
 from ..checkers.casts import CastChecker
 from ..checkers.defensive import DefensiveChecker
 from ..checkers.globals_check import GlobalVariableChecker
@@ -24,15 +34,30 @@ from ..checkers.misra import MisraChecker
 from ..checkers.naming import NamingChecker
 from ..checkers.style import StyleChecker
 from ..checkers.unitdesign import UnitDesignChecker
-from ..errors import SourceError
+from ..errors import ConfigError, SourceError
 from ..iso26262.compliance import ComplianceEngine
 from ..iso26262.evidence import EvidenceSet
 from ..iso26262.observations import generate_observations
 from ..lang.cppmodel import TranslationUnit, parse_translation_unit
 from ..metrics.report import ModuleMetrics, measure_module
-from ..obs import NULL_TRACER, Tracer
+from ..obs import NULL_TRACER, Span, Tracer
 from .assessment import AssessmentResult
+from .cache import CACHE_MISS, CHECK_TAG, PARSE_TAG
 from .config import PipelineConfig
+from .parallel import (
+    EXECUTOR_KINDS,
+    CheckTask,
+    ParseOutcome,
+    ParseTask,
+    check_unit_bundle,
+    chunk_evenly,
+    graft_worker_trace,
+    run_check_task,
+    run_parse_task,
+    run_tasks,
+    split_checkers,
+    worker_count,
+)
 
 
 class AssessmentPipeline:
@@ -40,11 +65,14 @@ class AssessmentPipeline:
 
     When :attr:`PipelineConfig.tracer` is set, every stage is traced:
     a ``pipeline`` root span with ``parse`` (one ``parse_file`` child
-    per translation unit), ``metrics`` (one ``measure_module`` child per
+    per translation unit, grouped under ``parse_worker`` spans when
+    ``jobs > 1``), ``metrics`` (one ``measure_module`` child per
     module), ``checkers`` (one ``checker`` child per checker, with its
-    finding count), ``evidence``, ``compliance``, and ``observations``
-    children — plus counters for units parsed, parse failures, and
-    findings per checker.  The default is the no-op NULL_TRACER.
+    finding count, plus ``checker_worker`` chunk spans when fanned
+    out), ``evidence``, ``compliance``, and ``observations`` children —
+    plus counters for units parsed, parse failures, findings per
+    checker, and cache hits/misses per stage.  The default is the
+    no-op NULL_TRACER.
     """
 
     def __init__(self, config: Optional[PipelineConfig] = None) -> None:
@@ -52,6 +80,13 @@ class AssessmentPipeline:
         self.tracer: Tracer = (self.config.tracer
                                if self.config.tracer is not None
                                else NULL_TRACER)
+        #: Resolved worker count; jobs and executor are validated
+        #: eagerly so a bad configuration fails before any work starts.
+        self.jobs = worker_count(self.config.jobs)
+        if self.config.executor not in EXECUTOR_KINDS:
+            raise ConfigError(
+                f"executor must be one of {EXECUTOR_KINDS}, "
+                f"got {self.config.executor!r}")
 
     # ------------------------------------------------------------------
 
@@ -73,6 +108,7 @@ class AssessmentPipeline:
                 observations = generate_observations(evidence)
                 span.set("observations", len(observations))
             root.set("units", len(units))
+            root.set("jobs", self.jobs)
         return AssessmentResult(
             modules=modules,
             reports=reports,
@@ -84,34 +120,93 @@ class AssessmentPipeline:
         )
 
     # ------------------------------------------------------------------
+    # stage 1: parse
 
     def _parse_all(self, sources: Mapping[str, str]):
         tracer = self.tracer
+        cache = self.config.cache
         metrics = tracer.metrics
         parsed = metrics.counter("pipeline.units_parsed")
         failed = metrics.counter("pipeline.parse_failures")
-        timings = metrics.histogram("pipeline.parse_seconds")
         units: List[TranslationUnit] = []
         unparseable: List[str] = []
         with tracer.span("parse") as parse_span:
-            for path in sorted(sources):
-                with tracer.span("parse_file", path=path) as span:
-                    try:
-                        units.append(
-                            parse_translation_unit(sources[path], path))
-                    except SourceError:
-                        if not self.config.skip_unparseable:
-                            raise
-                        failed.inc()
-                        span.set("failed", 1)
-                        unparseable.append(path)
+            paths = sorted(sources)
+            outcomes: Dict[str, ParseOutcome] = {}
+            pending: List[str] = []
+            if cache is None:
+                pending = paths
+            else:
+                hits = metrics.counter("cache.hits", stage="parse")
+                misses = metrics.counter("cache.misses", stage="parse")
+                for path in paths:
+                    key = cache.key_for(PARSE_TAG, path, sources[path])
+                    value = cache.get(key)
+                    if value is CACHE_MISS:
+                        misses.inc()
+                        pending.append(path)
                     else:
-                        parsed.inc()
-                if tracer.enabled:
-                    timings.observe(span.duration)
+                        hits.inc()
+                        outcomes[path] = value
+            for outcome in self._parse_pending(pending, sources,
+                                               parse_span):
+                outcomes[outcome.path] = outcome
+                if cache is not None:
+                    cache.put(cache.key_for(PARSE_TAG, outcome.path,
+                                            sources[outcome.path]),
+                              outcome)
+            for path in paths:
+                outcome = outcomes[path]
+                if outcome.error is not None:
+                    if not self.config.skip_unparseable:
+                        raise outcome.error
+                    failed.inc()
+                    unparseable.append(path)
+                else:
+                    parsed.inc()
+                    units.append(outcome.unit)
             parse_span.set("files", len(sources))
             parse_span.set("failures", len(unparseable))
         return units, unparseable
+
+    def _parse_pending(self, paths: List[str],
+                       sources: Mapping[str, str],
+                       parse_span: Span) -> List[ParseOutcome]:
+        """Parse the cache-missed files, fanned out when ``jobs > 1``."""
+        if not paths:
+            return []
+        tracer = self.tracer
+        if self.jobs <= 1 or len(paths) <= 1:
+            # Serial path: byte-for-byte the pre-engine behavior (and the
+            # module-global ``parse_translation_unit`` stays patchable).
+            timings = tracer.metrics.histogram("pipeline.parse_seconds")
+            outcomes: List[ParseOutcome] = []
+            for path in paths:
+                with tracer.span("parse_file", path=path) as span:
+                    try:
+                        unit = parse_translation_unit(sources[path], path)
+                    except SourceError as error:
+                        span.set("failed", 1)
+                        outcomes.append(ParseOutcome(path, error=error))
+                    else:
+                        outcomes.append(ParseOutcome(path, unit=unit))
+                if tracer.enabled:
+                    timings.observe(span.duration)
+            return outcomes
+        tasks = [
+            ParseTask(items=[(path, sources[path]) for path in chunk],
+                      worker=index, traced=tracer.enabled)
+            for index, chunk in enumerate(chunk_evenly(paths, self.jobs))]
+        outcomes = []
+        for chunk_outcomes, worker_tracer in run_tasks(
+                run_parse_task, tasks, jobs=self.jobs,
+                executor=self.config.executor):
+            outcomes.extend(chunk_outcomes)
+            graft_worker_trace(tracer, parse_span, worker_tracer)
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # stage 2: metrics
 
     def _measure_modules(self, sources: Mapping[str, str],
                          units: List[TranslationUnit]
@@ -129,13 +224,14 @@ class AssessmentPipeline:
             len(modules))
         return modules
 
-    def _run_checkers(self, sources: Mapping[str, str],
-                      units: List[TranslationUnit]
-                      ) -> Dict[str, CheckerReport]:
+    # ------------------------------------------------------------------
+    # stage 3: checkers
+
+    def _checkers(self, sources: Mapping[str, str]) -> List[Checker]:
         style = StyleChecker(self.config.style)
         for path, source in sources.items():
             style.add_source(path, source)
-        checkers = [
+        return [
             MisraChecker(),
             CastChecker(),
             DefensiveChecker(),
@@ -147,8 +243,113 @@ class AssessmentPipeline:
                                 self.config.module_of),
             GpuSubsetChecker(),
         ]
-        with self.tracer.span("checkers"):
-            return run_checkers(checkers, units, tracer=self.tracer)
+
+    def _run_checkers(self, sources: Mapping[str, str],
+                      units: List[TranslationUnit]
+                      ) -> Dict[str, CheckerReport]:
+        checkers = self._checkers(sources)
+        with self.tracer.span("checkers") as checkers_span:
+            if self.jobs <= 1 and self.config.cache is None:
+                return run_checkers(checkers, units, tracer=self.tracer)
+            return self._run_checkers_engine(checkers, units, sources,
+                                             checkers_span)
+
+    def _run_checkers_engine(self, checkers: List[Checker],
+                             units: List[TranslationUnit],
+                             sources: Mapping[str, str],
+                             checkers_span: Span
+                             ) -> Dict[str, CheckerReport]:
+        """Distributed / cached checker stage.
+
+        Per-unit checkers are replayed from individual ``check_unit``
+        reports — gathered from the cache, computed inline, or fanned
+        out to workers — merged in sorted-unit order and finalized
+        once, which is exactly what the base ``check_project`` does.
+        Project-level checkers run serially over all units, as always.
+        """
+        tracer = self.tracer
+        cache = self.config.cache
+        per_unit, _ = split_checkers(checkers)
+        per_unit_names = {checker.name for checker in per_unit}
+        bundle_tag = "|".join(checker.fingerprint()
+                              for checker in per_unit)
+
+        bundles: Dict[str, Dict[str, CheckerReport]] = {}
+        pending: List[TranslationUnit] = []
+        if cache is None:
+            pending = units
+        else:
+            hits = tracer.metrics.counter("cache.hits", stage="check")
+            misses = tracer.metrics.counter("cache.misses", stage="check")
+            for unit in units:
+                key = cache.key_for(CHECK_TAG, unit.filename,
+                                    sources.get(unit.filename, ""),
+                                    bundle_tag)
+                value = cache.get(key)
+                if value is CACHE_MISS:
+                    misses.inc()
+                    pending.append(unit)
+                else:
+                    hits.inc()
+                    bundles[unit.filename] = value
+        fresh = self._check_pending(pending, per_unit, checkers_span)
+        if cache is not None:
+            for path, bundle in fresh.items():
+                cache.put(cache.key_for(CHECK_TAG, path,
+                                        sources.get(path, ""),
+                                        bundle_tag),
+                          bundle)
+        bundles.update(fresh)
+
+        reports: Dict[str, CheckerReport] = {}
+        for checker in checkers:
+            if checker.name in reports:
+                raise ValueError(
+                    f"duplicate checker name {checker.name!r}: its "
+                    f"report would silently overwrite an earlier "
+                    f"checker's")
+            with tracer.span("checker", name=checker.name) as span:
+                if checker.name in per_unit_names:
+                    report = CheckerReport(checker=checker.name)
+                    for unit in units:
+                        report.merge(bundles[unit.filename][checker.name])
+                    checker.finalize(report)
+                else:
+                    report = checker.check_project(units)
+                span.set("findings", report.finding_count)
+            tracer.metrics.counter("checker.findings",
+                                   checker=checker.name).inc(
+                report.finding_count)
+            reports[checker.name] = report
+        return reports
+
+    def _check_pending(self, pending: List[TranslationUnit],
+                       per_unit: List[Checker], checkers_span: Span
+                       ) -> Dict[str, Dict[str, CheckerReport]]:
+        """Per-unit reports for the cache-missed units, fanned out when
+        ``jobs > 1``; returns ``{path: {checker name: report}}``."""
+        if not pending:
+            return {}
+        if self.jobs <= 1 or len(pending) <= 1:
+            return {unit.filename: check_unit_bundle(per_unit, unit)
+                    for unit in pending}
+        tracer = self.tracer
+        tasks = [
+            CheckTask(checkers=[checker.for_units(chunk)
+                                for checker in per_unit],
+                      units=chunk, worker=index, traced=tracer.enabled)
+            for index, chunk in enumerate(
+                chunk_evenly(pending, self.jobs))]
+        bundles: Dict[str, Dict[str, CheckerReport]] = {}
+        for chunk_bundles, worker_tracer in run_tasks(
+                run_check_task, tasks, jobs=self.jobs,
+                executor=self.config.executor):
+            bundles.update(chunk_bundles)
+            graft_worker_trace(tracer, checkers_span, worker_tracer)
+        return bundles
+
+    # ------------------------------------------------------------------
+    # stage 4: evidence
 
     def _assemble_evidence(self, modules: List[ModuleMetrics],
                            reports: Dict[str, CheckerReport]

@@ -36,9 +36,20 @@ def write_corpus(corpus: Corpus, root: str,
     return written
 
 
-def read_tree(root: str, extensions=(".cc", ".cu", ".h", ".cpp", ".cuh")
-              ) -> dict:
+#: Every C, C++, and CUDA suffix an industrial tree uses for sources
+#: and headers.  Plain C and the alternate C++ spellings matter: Apollo
+#: vendors C libraries, and dropping them silently under-reports LOC.
+SOURCE_EXTENSIONS = (".cc", ".cu", ".h", ".cpp", ".cuh",
+                     ".c", ".hpp", ".cxx", ".hh")
+
+
+def read_tree(root: str, extensions=SOURCE_EXTENSIONS) -> dict:
     """Load a source tree back into a path -> source mapping.
+
+    Files are decoded as UTF-8 with invalid bytes replaced by U+FFFD:
+    industrial trees contain latin-1 comments and the odd embedded
+    blob, and a single such file must degrade to fuzzy-parser noise,
+    not kill the whole sweep with a ``UnicodeDecodeError``.
 
     Raises:
         CorpusError: when ``root`` does not exist or is not a directory
@@ -55,6 +66,7 @@ def read_tree(root: str, extensions=(".cc", ".cu", ".h", ".cpp", ".cuh")
                 continue
             full = os.path.join(directory, filename)
             relative = os.path.relpath(full, root).replace(os.sep, "/")
-            with open(full, "r", encoding="utf-8") as handle:
+            with open(full, "r", encoding="utf-8",
+                      errors="replace") as handle:
                 sources[relative] = handle.read()
     return sources

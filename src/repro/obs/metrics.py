@@ -145,6 +145,21 @@ class Histogram:
                 return min(max(value, self.minimum), self.maximum)
         return self.maximum  # pragma: no cover - rank <= count always
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's distribution into this one.
+
+        Buckets are summed and extremes combined, so merging worker
+        histograms is equivalent to observing every sample centrally.
+        """
+        if other.count == 0:
+            return
+        self.count += other.count
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        for bucket, occupancy in other._buckets.items():
+            self._buckets[bucket] = self._buckets.get(bucket, 0) + occupancy
+
     def summary(self) -> Dict[str, float]:
         if self.count == 0:
             return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
@@ -206,6 +221,21 @@ class MetricsRegistry:
     @property
     def histograms(self) -> List[Histogram]:
         return [self._histograms[key] for key in sorted(self._histograms)]
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (parallel-worker fan-in).
+
+        Counters add, gauges add (workers report deltas), histograms
+        merge bucket-wise; metrics unique to either side survive.
+        """
+        for counter in other.counters:
+            self.counter(counter.name,
+                         **dict(counter.labels)).inc(counter.value)
+        for gauge in other.gauges:
+            self.gauge(gauge.name, **dict(gauge.labels)).inc(gauge.value)
+        for histogram in other.histograms:
+            self.histogram(histogram.name,
+                           **dict(histogram.labels)).merge(histogram)
 
     def counter_value(self, name: str, **labels) -> float:
         """The current value of a counter, 0 if never created."""
@@ -281,4 +311,7 @@ class _NullHistogram(Histogram):
         super().__init__("null")
 
     def observe(self, value: float) -> None:
+        pass
+
+    def merge(self, other: Histogram) -> None:
         pass

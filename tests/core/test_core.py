@@ -253,6 +253,40 @@ class TestCliErrors:
         assert exit_code == 2
         assert "not a directory" in capsys.readouterr().err
 
+    def test_bad_corpus_scale_clean_error(self, capsys):
+        exit_code = main(["--corpus", "-1"])
+        assert exit_code == 2
+        captured = capsys.readouterr()
+        assert "cannot generate corpus" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_unwritable_json_clean_error(self, tmp_path, capsys):
+        target = tmp_path / "missing-dir" / "report.json"
+        exit_code = main(["--corpus", "0.02", "--json", str(target)])
+        assert exit_code == 2
+        captured = capsys.readouterr()
+        assert "cannot write JSON report" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_unwritable_markdown_clean_error(self, tmp_path, capsys):
+        target = tmp_path / "missing-dir" / "report.md"
+        exit_code = main(["--corpus", "0.02", "--markdown", str(target)])
+        assert exit_code == 2
+        captured = capsys.readouterr()
+        assert "cannot write Markdown report" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_non_utf8_source_assessed_not_crashed(self, tmp_path, capsys):
+        (tmp_path / "control").mkdir()
+        (tmp_path / "control" / "latin1.cc").write_bytes(
+            b"// comentario t\xe9cnico\nint Actuate(int c) { return c; }\n")
+        (tmp_path / "control" / "clean.cc").write_text(
+            "int Other(int c) { return c; }\n")
+        exit_code = main([str(tmp_path)])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "translation units analyzed : 2" in out
+
 
 class TestCliVersion:
     def test_version_flag(self, capsys):

@@ -1,0 +1,276 @@
+"""Tests for the parallel + incremental execution engine.
+
+The engine's contract is exact: any combination of ``jobs``,
+``executor``, and cache temperature must produce an assessment
+identical to the serial, cold-cache run.  These tests pin that down on
+the synthetic Apollo corpus, plus the cache and pool primitives.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core import (
+    AssessmentPipeline,
+    CACHE_MISS,
+    PipelineConfig,
+    ResultCache,
+    chunk_evenly,
+    worker_count,
+)
+from repro.core.cache import CHECK_TAG, PARSE_TAG
+from repro.core.cli import main
+from repro.core.parallel import split_checkers
+from repro.checkers.base import Checker
+from repro.checkers.style import StyleChecker, StyleConfig
+from repro.corpus import apollo_spec, generate_corpus
+from repro.errors import ConfigError
+from repro.obs import Tracer
+
+
+@pytest.fixture(scope="module")
+def corpus_sources():
+    return generate_corpus(apollo_spec(scale=0.02)).sources()
+
+
+@pytest.fixture(scope="module")
+def serial_result(corpus_sources):
+    """The reference: serial, cold-cache assessment."""
+    return AssessmentPipeline(PipelineConfig()).run(corpus_sources)
+
+
+def assert_identical(result, reference):
+    """Equality down to individual findings and stats, not just totals."""
+    assert result.to_dict() == reference.to_dict()
+    assert list(result.reports) == list(reference.reports)
+    for name, report in reference.reports.items():
+        assert result.reports[name].stats == report.stats, name
+        assert [f.located() for f in result.reports[name].findings] == \
+            [f.located() for f in report.findings], name
+    assert result.unparseable == reference.unparseable
+
+
+class TestDeterminism:
+    def test_thread_pool_jobs_4(self, corpus_sources, serial_result):
+        result = AssessmentPipeline(
+            PipelineConfig(jobs=4)).run(corpus_sources)
+        assert_identical(result, serial_result)
+
+    def test_process_pool_jobs_2(self, corpus_sources, serial_result):
+        result = AssessmentPipeline(
+            PipelineConfig(jobs=2, executor="process")).run(corpus_sources)
+        assert_identical(result, serial_result)
+
+    def test_jobs_zero_means_all_cpus(self, corpus_sources, serial_result):
+        result = AssessmentPipeline(
+            PipelineConfig(jobs=0)).run(corpus_sources)
+        assert_identical(result, serial_result)
+
+    def test_cold_then_warm_cache(self, tmp_path, corpus_sources,
+                                  serial_result):
+        cold_cache = ResultCache(str(tmp_path))
+        cold = AssessmentPipeline(
+            PipelineConfig(cache=cold_cache)).run(corpus_sources)
+        assert_identical(cold, serial_result)
+        assert cold_cache.hits == 0
+        assert cold_cache.misses == 2 * len(corpus_sources)
+
+        warm_cache = ResultCache(str(tmp_path))
+        warm = AssessmentPipeline(
+            PipelineConfig(cache=warm_cache)).run(corpus_sources)
+        assert_identical(warm, serial_result)
+        assert warm_cache.misses == 0
+        assert warm_cache.hits == 2 * len(corpus_sources)
+
+    def test_warm_cache_with_parallel_jobs(self, tmp_path, corpus_sources,
+                                           serial_result):
+        AssessmentPipeline(PipelineConfig(
+            cache=ResultCache(str(tmp_path)))).run(corpus_sources)
+        result = AssessmentPipeline(PipelineConfig(
+            cache=ResultCache(str(tmp_path)),
+            jobs=3)).run(corpus_sources)
+        assert_identical(result, serial_result)
+
+    def test_changed_file_invalidates_only_itself(self, tmp_path,
+                                                  corpus_sources):
+        sources = dict(corpus_sources)
+        AssessmentPipeline(PipelineConfig(
+            cache=ResultCache(str(tmp_path)))).run(sources)
+        path = sorted(sources)[0]
+        sources[path] = sources[path] + "\nint appended_global;\n"
+        cache = ResultCache(str(tmp_path))
+        result = AssessmentPipeline(
+            PipelineConfig(cache=cache)).run(sources)
+        # one parse miss + one checker-bundle miss; everything else hits
+        assert cache.misses == 2
+        assert cache.hits == 2 * (len(sources) - 1)
+        reference = AssessmentPipeline(PipelineConfig()).run(sources)
+        assert_identical(result, reference)
+
+
+class TestConfigValidation:
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ConfigError):
+            AssessmentPipeline(PipelineConfig(jobs=-1))
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ConfigError):
+            AssessmentPipeline(PipelineConfig(executor="fiber"))
+
+    def test_worker_count_resolution(self):
+        assert worker_count(3) == 3
+        assert worker_count(0) >= 1
+
+
+class TestChunking:
+    def test_concatenation_preserves_order(self):
+        items = list(range(17))
+        chunks = chunk_evenly(items, 4)
+        assert [x for chunk in chunks for x in chunk] == items
+        assert len(chunks) == 4
+        assert max(map(len, chunks)) - min(map(len, chunks)) <= 1
+
+    def test_more_chunks_than_items(self):
+        assert chunk_evenly([1, 2], 8) == [[1], [2]]
+
+    def test_empty(self):
+        assert chunk_evenly([], 4) == []
+
+    def test_bad_chunk_count(self):
+        with pytest.raises(ConfigError):
+            chunk_evenly([1], 0)
+
+
+class TestResultCache:
+    def test_miss_then_hit_roundtrip(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = cache.key_for(PARSE_TAG, "a.cc", "int x;\n")
+        assert cache.get(key) is CACHE_MISS
+        assert cache.put(key, {"value": [1, 2, 3]})
+        assert cache.get(key) == {"value": [1, 2, 3]}
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_key_depends_on_every_part(self):
+        base = ResultCache.key_for(PARSE_TAG, "a.cc", "int x;\n")
+        assert ResultCache.key_for(PARSE_TAG, "b.cc", "int x;\n") != base
+        assert ResultCache.key_for(PARSE_TAG, "a.cc", "int y;\n") != base
+        assert ResultCache.key_for(CHECK_TAG, "a.cc", "int x;\n") != base
+        assert ResultCache.key_for(PARSE_TAG, "a.cc", "int x;\n",
+                                   "style:2") != base
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = cache.key_for(PARSE_TAG, "a.cc", "int x;\n")
+        cache.put(key, "fine")
+        entry = tmp_path / key[:2] / (key + ".pkl")
+        entry.write_bytes(b"not a pickle")
+        assert cache.get(key) is CACHE_MISS
+
+    def test_unwritable_root_degrades_gracefully(self, tmp_path):
+        blocker = tmp_path / "blocked"
+        blocker.write_text("a file, not a directory")
+        cache = ResultCache(str(blocker))
+        key = cache.key_for(PARSE_TAG, "a.cc", "int x;\n")
+        assert not cache.put(key, "value")
+        assert cache.get(key) is CACHE_MISS
+
+    def test_unwritable_cache_never_fails_assessment(self, tmp_path,
+                                                     corpus_sources,
+                                                     serial_result):
+        blocker = tmp_path / "blocked"
+        blocker.write_text("a file, not a directory")
+        result = AssessmentPipeline(PipelineConfig(
+            cache=ResultCache(str(blocker)))).run(corpus_sources)
+        assert_identical(result, serial_result)
+
+
+class TestCheckerProtocol:
+    def test_split_is_exact(self, corpus_sources):
+        pipeline = AssessmentPipeline()
+        checkers = pipeline._checkers(corpus_sources)
+        per_unit, project = split_checkers(checkers)
+        assert {c.name for c in project} == {"unit_design", "architecture"}
+        assert {c.name for c in per_unit} == {
+            "language_subset", "casts", "defensive", "globals",
+            "naming", "style", "gpu_subset"}
+
+    def test_fingerprint_covers_config(self):
+        default = StyleChecker().fingerprint()
+        tightened = StyleChecker(
+            StyleConfig(max_line_length=100)).fingerprint()
+        assert default != tightened
+        assert Checker.version in default
+
+    def test_style_for_units_prunes_sources(self):
+        from repro.lang.cppmodel import parse_translation_unit
+        style = StyleChecker()
+        style.add_source("a.cc", "int a;\n")
+        style.add_source("b.cc", "int b;\n")
+        unit = parse_translation_unit("int a;\n", "a.cc")
+        pruned = style.for_units([unit])
+        assert pruned._sources == {"a.cc": "int a;\n"}
+        assert pruned.config is style.config
+
+
+class TestParallelTelemetry:
+    def test_worker_spans_and_cache_counters(self, tmp_path,
+                                             corpus_sources):
+        AssessmentPipeline(PipelineConfig(
+            cache=ResultCache(str(tmp_path)))).run(corpus_sources)
+        tracer = Tracer()
+        AssessmentPipeline(PipelineConfig(
+            tracer=tracer, jobs=4,
+            cache=ResultCache(str(tmp_path)))).run(corpus_sources)
+        metrics = tracer.metrics
+        files = len(corpus_sources)
+        assert metrics.counter_value("cache.hits", stage="parse") == files
+        assert metrics.counter_value("cache.hits", stage="check") == files
+        assert metrics.counter_value("cache.misses", stage="parse") == 0
+
+    def test_parallel_run_has_worker_spans(self, corpus_sources):
+        tracer = Tracer()
+        AssessmentPipeline(PipelineConfig(
+            tracer=tracer, jobs=4)).run(corpus_sources)
+        assert len(tracer.find("parse_worker")) == 4
+        assert len(tracer.find("checker_worker")) == 4
+        assert len(tracer.find("parse_file")) == len(corpus_sources)
+        histogram = tracer.metrics.histogram("pipeline.parse_seconds")
+        assert histogram.count == len(corpus_sources)
+        # worker spans hang off the parse span in the grafted tree
+        parse_span = tracer.find("parse")[0]
+        assert {s.name for s in parse_span.children} == {"parse_worker"}
+
+    def test_task_payloads_pickle(self, corpus_sources):
+        # the process executor's hard requirement
+        from repro.core.parallel import ParseTask, run_parse_task
+        task = ParseTask(items=sorted(corpus_sources.items())[:2],
+                         worker=0, traced=True)
+        outcomes, tracer = run_parse_task(pickle.loads(pickle.dumps(task)))
+        rebuilt, _ = pickle.loads(pickle.dumps((outcomes, tracer)))
+        assert [o.path for o in rebuilt] == [o.path for o in outcomes]
+
+
+class TestCliParallelFlags:
+    def test_jobs_and_cache_flags(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main(["--corpus", "0.02", "--jobs", "2",
+                     "--cache", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "cache: 0 hits" in out
+        assert main(["--corpus", "0.02", "--jobs", "2",
+                     "--cache", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "0 misses" in out
+
+    def test_no_cache_overrides_cache(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main(["--corpus", "0.02", "--cache", str(cache_dir),
+                     "--no-cache"]) == 0
+        assert not cache_dir.exists()
+        assert "cache:" not in capsys.readouterr().out
+
+    def test_negative_jobs_clean_error(self, capsys):
+        assert main(["--corpus", "0.02", "--jobs", "-3"]) == 2
+        err = capsys.readouterr().err
+        assert "bad pipeline configuration" in err
+        assert "Traceback" not in err

@@ -194,3 +194,23 @@ class TestWriter:
         with pytest.raises(CorpusError):
             write_corpus(corpus, str(tmp_path))
         write_corpus(corpus, str(tmp_path), overwrite=True)
+
+    def test_all_c_family_extensions_loaded(self, tmp_path):
+        # .c, .hpp, .cxx, and .hh were once silently dropped
+        for name in ("legacy.c", "types.hpp", "impl.cxx", "iface.hh",
+                     "main.cc", "kernel.cu", "decl.h", "body.cpp",
+                     "dev.cuh"):
+            (tmp_path / name).write_text(f"// {name}\n")
+        (tmp_path / "notes.txt").write_text("not source\n")
+        (tmp_path / "build.o").write_bytes(b"\x7fELF")
+        loaded = read_tree(str(tmp_path))
+        assert set(loaded) == {"legacy.c", "types.hpp", "impl.cxx",
+                               "iface.hh", "main.cc", "kernel.cu",
+                               "decl.h", "body.cpp", "dev.cuh"}
+
+    def test_non_utf8_file_read_tolerantly(self, tmp_path):
+        (tmp_path / "latin1.cc").write_bytes(
+            b"// r\xe9sum\xe9 of the controller\nint x;\n")
+        loaded = read_tree(str(tmp_path))
+        assert "int x;" in loaded["latin1.cc"]
+        assert "�" in loaded["latin1.cc"]
