@@ -24,17 +24,21 @@ from .core import (
 from .corpus import apollo_spec, generate_corpus
 from .errors import ReproError
 from .obs import NULL_TRACER, MetricsRegistry, NullTracer, Tracer
+from .rules import Baseline, RuleProfile, Severity
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AssessmentPipeline",
     "AssessmentResult",
+    "Baseline",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
     "PipelineConfig",
     "ReproError",
+    "RuleProfile",
+    "Severity",
     "Tracer",
     "__version__",
     "apollo_spec",

@@ -9,8 +9,10 @@ from .base import (
     Checker,
     CheckerReport,
     Finding,
+    RuleView,
     Severity,
     enclosing_function_name,
+    require_unique_checker,
     run_checkers,
 )
 from .casts import CastChecker
@@ -35,6 +37,7 @@ __all__ = [
     "KernelAudit",
     "MisraChecker",
     "NamingChecker",
+    "RuleView",
     "Severity",
     "StyleChecker",
     "StyleConfig",
@@ -43,5 +46,6 @@ __all__ = [
     "enclosing_function_name",
     "module_from_path",
     "project_validation_ratio",
+    "require_unique_checker",
     "run_checkers",
 ]

@@ -18,7 +18,29 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Set
 
 from ..lang.cppmodel import TranslationUnit
+from ..rules import REGISTRY, Rule
 from .base import Checker, CheckerReport, Finding, Severity
+
+RULES = REGISTRY.register_many("architecture", (
+    Rule("AR2.component_size", "Components shall respect the size limit",
+         Severity.MAJOR, table="architectural_design",
+         topic="restricted_component_size"),
+    Rule("AR3.interface_size", "Interfaces shall respect the method limit",
+         Severity.MINOR, table="architectural_design",
+         topic="restricted_interface_size"),
+    Rule("AR4.cohesion", "Modules shall be cohesive",
+         Severity.MINOR, table="architectural_design",
+         topic="high_cohesion"),
+    Rule("AR5.coupling", "Module fan-out shall respect the limit",
+         Severity.MAJOR, table="architectural_design",
+         topic="restricted_coupling"),
+    Rule("AR6.scheduling", "Scheduling properties shall be static",
+         Severity.MINOR, table="architectural_design",
+         topic="scheduling_properties"),
+    Rule("AR7.interrupt", "Interrupt use shall be restricted",
+         Severity.MINOR, table="architectural_design",
+         topic="restricted_interrupts"),
+))
 
 #: Thread-creation and asynchronous-execution identifiers (Table 3 item 6).
 SCHEDULING_CALLS = frozenset({
@@ -67,7 +89,7 @@ class ArchitectureChecker(Checker):
 
     def check_unit(self, unit: TranslationUnit) -> CheckerReport:
         """Per-unit behaviour: only the interface-size check applies."""
-        report = CheckerReport(checker=self.name)
+        report = self.new_report((unit,))
         self._check_interfaces([unit], report)
         report.stats.setdefault("oversized_interfaces", 0)
         return report
@@ -75,7 +97,7 @@ class ArchitectureChecker(Checker):
     def check_project(self,
                       units: Iterable[TranslationUnit]) -> CheckerReport:
         units = list(units)
-        report = CheckerReport(checker=self.name)
+        report = self.new_report(units)
         modules = self._group_by_module(units)
 
         hierarchy_depth = self._hierarchy_depth(units)
@@ -92,15 +114,17 @@ class ArchitectureChecker(Checker):
 
         low_cohesion = [name for name, value in cohesion.items()
                         if value < self.config.min_cohesion]
+        flagged_cohesion = 0
         for name in sorted(low_cohesion):
-            report.findings.append(Finding(
-                rule="AR4.cohesion",
-                message=(f"module {name!r} cohesion "
-                         f"{cohesion[name]:.2f} below "
-                         f"{self.config.min_cohesion:.2f}"),
-                filename=name,
-                severity=Severity.MINOR,
-            ))
+            if report.emit(Finding(
+                    rule="AR4.cohesion",
+                    message=(f"module {name!r} cohesion "
+                             f"{cohesion[name]:.2f} below "
+                             f"{self.config.min_cohesion:.2f}"),
+                    filename=name,
+                    severity=Severity.MINOR,
+            )):
+                flagged_cohesion += 1
 
         report.stats.update({
             "modules": len(modules),
@@ -109,7 +133,7 @@ class ArchitectureChecker(Checker):
             "oversized_interfaces": interface_violations,
             "mean_cohesion": (sum(cohesion.values()) / len(cohesion)
                               if cohesion else 1.0),
-            "low_cohesion_modules": len(low_cohesion),
+            "low_cohesion_modules": flagged_cohesion,
             "max_module_fanout": max(fanout.values(), default=0),
             "coupled_module_pairs": sum(fanout.values()),
             "scheduling_sites": scheduling_sites,
@@ -141,14 +165,14 @@ class ArchitectureChecker(Checker):
         for name, members in sorted(modules.items()):
             loc = sum(unit.line_count for unit in members)
             if loc > self.config.max_component_loc:
-                oversized += 1
-                report.findings.append(Finding(
-                    rule="AR2.component_size",
-                    message=(f"module {name!r} has {loc} LOC "
-                             f"(limit {self.config.max_component_loc})"),
-                    filename=name,
-                    severity=Severity.MAJOR,
-                ))
+                if report.emit(Finding(
+                        rule="AR2.component_size",
+                        message=(f"module {name!r} has {loc} LOC "
+                                 f"(limit {self.config.max_component_loc})"),
+                        filename=name,
+                        severity=Severity.MAJOR,
+                )):
+                    oversized += 1
         return oversized
 
     def _check_interfaces(self, units: List[TranslationUnit],
@@ -157,17 +181,17 @@ class ArchitectureChecker(Checker):
         for unit in units:
             for class_info in unit.classes:
                 if class_info.interface_size > self.config.max_interface_methods:
-                    violations += 1
-                    report.findings.append(Finding(
-                        rule="AR3.interface_size",
-                        message=(f"class {class_info.qualified_name!r} "
-                                 f"exposes {class_info.interface_size} "
-                                 f"public methods (limit "
-                                 f"{self.config.max_interface_methods})"),
-                        filename=unit.filename,
-                        line=class_info.start_line,
-                        severity=Severity.MINOR,
-                    ))
+                    if report.emit(Finding(
+                            rule="AR3.interface_size",
+                            message=(f"class {class_info.qualified_name!r} "
+                                     f"exposes {class_info.interface_size} "
+                                     f"public methods (limit "
+                                     f"{self.config.max_interface_methods})"),
+                            filename=unit.filename,
+                            line=class_info.start_line,
+                            severity=Severity.MINOR,
+                    )):
+                        violations += 1
         return violations
 
     def _cohesion(self, modules: Dict[str, List[TranslationUnit]]
@@ -212,7 +236,7 @@ class ArchitectureChecker(Checker):
                         targets.add(target_module)
             fanout[name] = len(targets)
             if len(targets) > self.config.max_module_fanout:
-                report.findings.append(Finding(
+                report.emit(Finding(
                     rule="AR5.coupling",
                     message=(f"module {name!r} depends on {len(targets)} "
                              f"other modules "
@@ -231,14 +255,15 @@ class ArchitectureChecker(Checker):
             for function in unit.functions:
                 hits = [call for call in function.calls if call in names]
                 if hits:
-                    sites += len(hits)
-                    report.findings.append(Finding(
-                        rule=rule,
-                        message=(f"{function.name!r} performs {description} "
-                                 f"({sorted(set(hits))})"),
-                        filename=unit.filename,
-                        line=function.start_line,
-                        severity=Severity.MINOR,
-                        function=function.qualified_name,
-                    ))
+                    if report.emit(Finding(
+                            rule=rule,
+                            message=(f"{function.name!r} performs "
+                                     f"{description} "
+                                     f"({sorted(set(hits))})"),
+                            filename=unit.filename,
+                            line=function.start_line,
+                            severity=Severity.MINOR,
+                            function=function.qualified_name,
+                    )):
+                        sites += len(hits)
         return sites

@@ -7,26 +7,46 @@ dictionary of aggregate statistics.  The statistics are the *evidence* the
 ISO 26262 compliance engine consumes (see
 :mod:`repro.iso26262.compliance`); the findings are what a developer would
 fix.
+
+Findings flow through the rules layer (:mod:`repro.rules`): every rule id
+a checker emits is registered in :data:`~repro.rules.REGISTRY`, and
+reports created with :meth:`Checker.new_report` route each finding past
+the active :class:`~repro.rules.RuleProfile` (enable/disable globs,
+severity overrides) and any inline ``DEVIATION(...)`` comments before it
+lands.  With no profile and no deviations the routing layer is not even
+constructed, so the default path is byte-identical to the pre-rules
+behavior.
 """
 
 from __future__ import annotations
 
 import abc
-import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional
 
 from ..lang.cppmodel import TranslationUnit
 from ..obs import NULL_TRACER
+from ..rules import (
+    DEVIATION_RULES,
+    DeviationIndex,
+    MISSING_RATIONALE,
+    REGISTRY,
+    RuleProfile,
+    Severity,
+    UNKNOWN_RULE,
+    scan_deviations,
+)
 
-
-class Severity(enum.IntEnum):
-    """How strongly a finding blocks ISO 26262 compliance."""
-
-    INFO = 0
-    MINOR = 1
-    MAJOR = 2
-    CRITICAL = 3
+__all__ = [
+    "Checker",
+    "CheckerReport",
+    "Finding",
+    "RuleView",
+    "Severity",
+    "enclosing_function_name",
+    "require_unique_checker",
+    "run_checkers",
+]
 
 
 @dataclass(frozen=True)
@@ -34,7 +54,7 @@ class Finding:
     """One located rule violation or noteworthy fact.
 
     Attributes:
-        rule: stable rule identifier, e.g. ``"M15.1"`` or ``"UD.exits"``.
+        rule: stable rule identifier, e.g. ``"M15.1"`` or ``"UD9.goto"``.
         message: human-readable description.
         filename: source file of the finding.
         line: 1-based line number (0 for file-level findings).
@@ -55,6 +75,47 @@ class Finding:
         return f"{location}: [{self.rule}] {self.message}"
 
 
+class RuleView:
+    """The routing context a report's findings pass through.
+
+    Built by :meth:`Checker.new_report` only when a rule profile is
+    configured or the checked units declare deviations; carries no
+    registry reference, only plain picklable state, so reports cross
+    process pools and the result cache unchanged.
+    """
+
+    def __init__(self, checker: str,
+                 profile: Optional[RuleProfile] = None,
+                 deviations: Optional[DeviationIndex] = None) -> None:
+        self.checker = checker
+        self.profile = profile
+        self.deviations = deviations
+
+    def route(self, report: "CheckerReport", finding: Finding) -> bool:
+        """File ``finding`` into ``report``; True when it was reported.
+
+        Disabled rules drop the finding entirely; a matching justified
+        deviation moves it to :attr:`CheckerReport.suppressed` (counted
+        under the ``deviations`` stat); severity overrides rewrite it in
+        place.
+        """
+        if self.profile is not None:
+            if not self.profile.enabled(finding.rule):
+                return False
+            severity = self.profile.severity_for(finding.rule,
+                                                 finding.severity)
+            if severity is not finding.severity:
+                finding = replace(finding, severity=severity)
+        if self.deviations is not None and self.deviations.suppressing(
+                finding.rule, finding.filename, finding.line):
+            report.suppressed.append(finding)
+            report.stats["deviations"] = \
+                report.stats.get("deviations", 0) + 1
+            return False
+        report.findings.append(finding)
+        return True
+
+
 @dataclass
 class CheckerReport:
     """The outcome of running one checker over one or more units."""
@@ -62,6 +123,12 @@ class CheckerReport:
     checker: str
     findings: List[Finding] = field(default_factory=list)
     stats: Dict[str, float] = field(default_factory=dict)
+    #: Findings reclassified by a justified ``DEVIATION(...)`` comment;
+    #: kept out of :attr:`findings` but reported separately.
+    suppressed: List[Finding] = field(default_factory=list)
+    #: Routing context, or ``None`` for the direct (default) path.
+    rules: Optional[RuleView] = field(default=None, repr=False,
+                                      compare=False)
 
     @property
     def finding_count(self) -> int:
@@ -72,6 +139,17 @@ class CheckerReport:
         for finding in self.findings:
             counts[finding.rule] = counts.get(finding.rule, 0) + 1
         return counts
+
+    def emit(self, finding: Finding) -> bool:
+        """Report ``finding``; True when it landed in :attr:`findings`.
+
+        Checkers gate sibling counters on the return value so disabled
+        or deviated findings vanish from the evidence statistics too.
+        """
+        if self.rules is None:
+            self.findings.append(finding)
+            return True
+        return self.rules.route(self, finding)
 
     def merge(self, other: "CheckerReport") -> None:
         """Fold another report of the same checker into this one.
@@ -84,8 +162,18 @@ class CheckerReport:
                 f"cannot merge report of {other.checker!r} into "
                 f"{self.checker!r}")
         self.findings.extend(other.findings)
+        self.suppressed.extend(other.suppressed)
         for key, value in other.stats.items():
             self.stats[key] = self.stats.get(key, 0) + value
+
+
+def _unit_deviations(unit: TranslationUnit) -> DeviationIndex:
+    """The unit's deviation index, scanned once and memoized on it."""
+    index = getattr(unit, "_deviations", None)
+    if index is None:
+        index = scan_deviations(unit.tokens, unit.filename)
+        unit._deviations = index
+    return index
 
 
 class Checker(abc.ABC):
@@ -103,20 +191,95 @@ class Checker(abc.ABC):
     #: unchanged unit can change (new rules, changed heuristics).
     version: str = "1"
 
+    #: Active rule profile; ``None`` (the default) reports every
+    #: registered rule at its default severity.  The pipeline assigns
+    #: :attr:`PipelineConfig.rules` here before checking starts.
+    profile: Optional[RuleProfile] = None
+
+    #: Exactly one checker flags deviations naming unregistered rules
+    #: (they have no owner, so per-owner flagging cannot reach them).
+    audits_unknown_deviations: bool = False
+
     @abc.abstractmethod
     def check_unit(self, unit: TranslationUnit) -> CheckerReport:
         """Analyze one translation unit."""
+
+    def rules(self):
+        """The :class:`~repro.rules.Rule` records this checker emits."""
+        return REGISTRY.rules_for(self.name)
+
+    def new_report(self, units: Iterable[TranslationUnit] = (),
+                   flag_deviations: bool = True) -> CheckerReport:
+        """A report wired to the rules layer for checking ``units``.
+
+        With no profile and no ``DEVIATION(...)`` comments in ``units``
+        this returns a bare report (no :class:`RuleView`), keeping the
+        default path identical to the pre-rules behavior.  Otherwise the
+        report routes findings through the view, and — unless
+        ``flag_deviations`` is off, as in project-level reports whose
+        per-unit reports already did it — malformed deviations owned by
+        this checker are emitted as findings up front.
+        """
+        deviations: Optional[DeviationIndex] = None
+        for unit in units:
+            index = _unit_deviations(unit)
+            if index:
+                if deviations is None:
+                    deviations = DeviationIndex()
+                deviations.extend(index)
+        report = CheckerReport(checker=self.name)
+        if self.profile is None and deviations is None:
+            return report
+        report.rules = RuleView(self.name, self.profile, deviations)
+        if deviations is not None and flag_deviations:
+            self._flag_malformed_deviations(deviations, report)
+        return report
+
+    def _flag_malformed_deviations(self, deviations: DeviationIndex,
+                                   report: CheckerReport) -> None:
+        """Report this checker's unjustified or unknown-rule deviations."""
+        for deviation in deviations:
+            owner = REGISTRY.checker_of(deviation.rule)
+            if owner == self.name and not deviation.rationale:
+                rule = REGISTRY.get(MISSING_RATIONALE)
+                report.emit(Finding(
+                    rule=MISSING_RATIONALE,
+                    message=(f"deviation from {deviation.rule} states "
+                             f"no rationale"),
+                    filename=deviation.filename,
+                    line=deviation.line,
+                    severity=rule.severity,
+                ))
+            elif not owner and self.audits_unknown_deviations:
+                rule = REGISTRY.get(UNKNOWN_RULE)
+                report.emit(Finding(
+                    rule=UNKNOWN_RULE,
+                    message=(f"deviation names unregistered rule "
+                             f"{deviation.rule!r}"),
+                    filename=deviation.filename,
+                    line=deviation.line,
+                    severity=rule.severity,
+                ))
 
     def fingerprint(self) -> str:
         """Key material for the per-unit result cache.
 
         Covers everything that can change this checker's per-unit
         output: the implementation identity, the :attr:`version` tag,
-        and — when the checker carries a ``config`` dataclass — its
-        deterministic ``repr``.
+        a ``config`` dataclass's deterministic ``repr`` when present,
+        and — when a rule profile is active — how the profile alters
+        this checker's rule resolution.  A profile that leaves this
+        checker's rules (and the deviation process rules) at their
+        defaults contributes nothing, so unaffected cache entries
+        survive profile changes targeting other checkers.
         """
         config = getattr(self, "config", None)
         suffix = f"/{config!r}" if config is not None else ""
+        if self.profile is not None:
+            tag = self.profile.fingerprint_for(
+                list(REGISTRY.rules_for(self.name)) + list(DEVIATION_RULES))
+            if tag:
+                suffix += f"@rules:{tag}"
         return (f"{type(self).__module__}.{type(self).__qualname__}"
                 f":{self.version}{suffix}")
 
@@ -155,15 +318,28 @@ class Checker(abc.ABC):
         return numerator / denominator
 
 
+def require_unique_checker(checker: Checker,
+                           reports: Dict[str, CheckerReport]) -> None:
+    """Reject a checker whose name already has a report.
+
+    Two checkers sharing a ``name`` would silently shadow each other's
+    report (and the evidence derived from it), so every checker-running
+    loop calls this before filing a report.
+    """
+    if checker.name in reports:
+        raise ValueError(
+            f"duplicate checker name {checker.name!r}: its report "
+            f"would silently overwrite an earlier checker's")
+
+
 def run_checkers(checkers: Iterable[Checker],
                  units: Iterable[TranslationUnit],
                  tracer=None,
                  ) -> Dict[str, CheckerReport]:
     """Run several checkers over the same units; returns name -> report.
 
-    Two checkers sharing a ``name`` would silently shadow each other's
-    report (and the evidence derived from it), so duplicates are a
-    :class:`ValueError`.
+    Duplicate checker names are a :class:`ValueError` (see
+    :func:`require_unique_checker`).
 
     Args:
         tracer: optional :class:`~repro.obs.Tracer`; each checker gets a
@@ -174,10 +350,7 @@ def run_checkers(checkers: Iterable[Checker],
     units = list(units)
     reports: Dict[str, CheckerReport] = {}
     for checker in checkers:
-        if checker.name in reports:
-            raise ValueError(
-                f"duplicate checker name {checker.name!r}: its report "
-                f"would silently overwrite an earlier checker's")
+        require_unique_checker(checker, reports)
         with tracer.span("checker", name=checker.name) as span:
             report = checker.check_project(units)
             span.set("findings", report.finding_count)

@@ -20,8 +20,22 @@ from typing import List
 
 from ..lang.cppmodel import TYPE_KEYWORDS, TranslationUnit
 from ..lang.tokens import Token, TokenKind
+from ..rules import REGISTRY, Rule
 from .base import Checker, CheckerReport, Finding, Severity, \
     enclosing_function_name
+
+RULES = REGISTRY.register_many("casts", (
+    Rule("ST.named_cast", "C++ named cast (static_cast etc.)",
+         Severity.MINOR, table="modeling_coding", topic="strong_typing"),
+    Rule("ST.c_cast", "C-style casts shall not be used",
+         Severity.MAJOR, table="modeling_coding", topic="strong_typing"),
+    Rule("ST.functional_cast", "Functional cast of a builtin type",
+         Severity.MINOR, table="modeling_coding", topic="strong_typing"),
+    Rule("ST.narrowing_init", "No narrowing initialization from a "
+         "floating literal",
+         Severity.MAJOR, table="unit_design",
+         topic="no_implicit_conversions"),
+))
 
 #: Identifiers commonly spelling types in automotive C++ (fixed-width ints
 #: and common aliases); extends the builtin keywords for the C-style-cast
@@ -54,46 +68,46 @@ class CastChecker(Checker):
     name = "casts"
 
     def check_unit(self, unit: TranslationUnit) -> CheckerReport:
-        report = CheckerReport(checker=self.name)
+        report = self.new_report((unit,))
         code = unit.code
         named = 0
         c_style = 0
         functional = 0
         for index, token in enumerate(code):
             if token.kind is TokenKind.KEYWORD and token.text in NAMED_CASTS:
-                named += 1
-                report.findings.append(Finding(
-                    rule="ST.named_cast",
-                    message=f"{token.text} expression",
-                    filename=unit.filename,
-                    line=token.line,
-                    severity=Severity.MINOR,
-                    function=enclosing_function_name(unit, token.line),
-                ))
+                if report.emit(Finding(
+                        rule="ST.named_cast",
+                        message=f"{token.text} expression",
+                        filename=unit.filename,
+                        line=token.line,
+                        severity=Severity.MINOR,
+                        function=enclosing_function_name(unit, token.line),
+                )):
+                    named += 1
             elif token.is_punct("(") and self._is_c_style_cast(code, index):
-                c_style += 1
-                report.findings.append(Finding(
-                    rule="ST.c_cast",
-                    message="C-style cast",
-                    filename=unit.filename,
-                    line=token.line,
-                    severity=Severity.MAJOR,
-                    function=enclosing_function_name(unit, token.line),
-                ))
+                if report.emit(Finding(
+                        rule="ST.c_cast",
+                        message="C-style cast",
+                        filename=unit.filename,
+                        line=token.line,
+                        severity=Severity.MAJOR,
+                        function=enclosing_function_name(unit, token.line),
+                )):
+                    c_style += 1
             elif (token.kind is TokenKind.KEYWORD
                   and token.text in TYPE_KEYWORDS
                   and index + 1 < len(code)
                   and code[index + 1].is_punct("(")
                   and not self._is_declaration_context(code, index)):
-                functional += 1
-                report.findings.append(Finding(
-                    rule="ST.functional_cast",
-                    message=f"functional cast to {token.text}",
-                    filename=unit.filename,
-                    line=token.line,
-                    severity=Severity.MINOR,
-                    function=enclosing_function_name(unit, token.line),
-                ))
+                if report.emit(Finding(
+                        rule="ST.functional_cast",
+                        message=f"functional cast to {token.text}",
+                        filename=unit.filename,
+                        line=token.line,
+                        severity=Severity.MINOR,
+                        function=enclosing_function_name(unit, token.line),
+                )):
+                    functional += 1
         narrowing = self._implicit_narrowing(unit, report)
         report.stats.update({
             "named_casts": named,
@@ -218,14 +232,15 @@ class CastChecker(Checker):
                     and value.kind is TokenKind.NUMBER
                     and ("." in value.text or "e" in value.text.lower())
                     and not value.text.lower().startswith("0x")):
-                count += 1
-                report.findings.append(Finding(
-                    rule="ST.narrowing_init",
-                    message=(f"integer variable {name.text!r} initialized "
-                             f"with floating literal {value.text}"),
-                    filename=unit.filename,
-                    line=token.line,
-                    severity=Severity.MAJOR,
-                    function=enclosing_function_name(unit, token.line),
-                ))
+                if report.emit(Finding(
+                        rule="ST.narrowing_init",
+                        message=(f"integer variable {name.text!r} "
+                                 f"initialized with floating literal "
+                                 f"{value.text}"),
+                        filename=unit.filename,
+                        line=token.line,
+                        severity=Severity.MAJOR,
+                        function=enclosing_function_name(unit, token.line),
+                )):
+                    count += 1
         return count

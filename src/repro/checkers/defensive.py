@@ -20,7 +20,18 @@ from typing import Iterable, List, Set
 
 from ..lang.cppmodel import FunctionInfo, TranslationUnit
 from ..lang.tokens import Token, TokenKind
+from ..rules import REGISTRY, Rule
 from .base import Checker, CheckerReport, Finding, Severity
+
+RULES = REGISTRY.register_many("defensive", (
+    Rule("DF.unvalidated_params", "Functions shall validate their "
+         "parameters before use",
+         Severity.MAJOR, table="modeling_coding",
+         topic="defensive_implementation"),
+    Rule("DF.unchecked_return", "Return values shall not be discarded",
+         Severity.MINOR, table="modeling_coding",
+         topic="defensive_implementation"),
+))
 
 #: Macro/function names that perform validation in industrial C++.
 VALIDATION_CALLS = frozenset({
@@ -39,7 +50,7 @@ class DefensiveChecker(Checker):
     name = "defensive"
 
     def check_unit(self, unit: TranslationUnit) -> CheckerReport:
-        report = CheckerReport(checker=self.name)
+        report = self.new_report((unit,))
         guardable = 0
         guarded = 0
         for function in unit.functions:
@@ -51,7 +62,7 @@ class DefensiveChecker(Checker):
             if self._validates_parameters(unit, function):
                 guarded += 1
             else:
-                report.findings.append(Finding(
+                report.emit(Finding(
                     rule="DF.unvalidated_params",
                     message=(f"function {function.name!r} uses its "
                              f"{len(riskful)} parameter(s) without a "
@@ -168,14 +179,15 @@ class DefensiveChecker(Checker):
             starts_statement = previous.kind is TokenKind.PUNCT \
                 and previous.text in (";", "{", "}")
             if starts_statement and after.is_punct("("):
-                count += 1
-                report.findings.append(Finding(
-                    rule="DF.unchecked_return",
-                    message=(f"return value of {token.text!r} is discarded"),
-                    filename=unit.filename,
-                    line=token.line,
-                    severity=Severity.MINOR,
-                ))
+                if report.emit(Finding(
+                        rule="DF.unchecked_return",
+                        message=(f"return value of {token.text!r} is "
+                                 f"discarded"),
+                        filename=unit.filename,
+                        line=token.line,
+                        severity=Severity.MINOR,
+                )):
+                    count += 1
         return count
 
     @staticmethod

@@ -10,7 +10,13 @@ Google style guide the paper cites explicitly permits).
 from __future__ import annotations
 
 from ..lang.cppmodel import TranslationUnit
+from ..rules import REGISTRY, Rule
 from .base import Checker, CheckerReport, Finding, Severity
+
+RULES = REGISTRY.register_many("globals", (
+    Rule("GV.mutable_global", "Mutable global variables shall not be used",
+         Severity.MAJOR, table="unit_design", topic="avoid_globals"),
+))
 
 
 class GlobalVariableChecker(Checker):
@@ -19,28 +25,29 @@ class GlobalVariableChecker(Checker):
     name = "globals"
 
     def check_unit(self, unit: TranslationUnit) -> CheckerReport:
-        report = CheckerReport(checker=self.name)
+        report = self.new_report((unit,))
         mutable = 0
         extern = 0
         static = 0
         for variable in unit.globals:
             if not variable.is_mutable_global:
                 continue
+            scope = variable.namespace or "file scope"
+            if not report.emit(Finding(
+                    rule="GV.mutable_global",
+                    message=(f"mutable global variable {variable.name!r} "
+                             f"({variable.type_text or 'unknown type'}) "
+                             f"at {scope}"),
+                    filename=unit.filename,
+                    line=variable.line,
+                    severity=Severity.MAJOR,
+            )):
+                continue
             mutable += 1
             if variable.is_extern:
                 extern += 1
             if variable.is_static:
                 static += 1
-            scope = variable.namespace or "file scope"
-            report.findings.append(Finding(
-                rule="GV.mutable_global",
-                message=(f"mutable global variable {variable.name!r} "
-                         f"({variable.type_text or 'unknown type'}) "
-                         f"at {scope}"),
-                filename=unit.filename,
-                line=variable.line,
-                severity=Severity.MAJOR,
-            ))
         report.stats.update({
             "mutable_globals": mutable,
             "extern_globals": extern,

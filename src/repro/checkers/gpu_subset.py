@@ -35,7 +35,28 @@ from typing import Dict, List, Set
 
 from ..lang import cppmodel
 from ..lang.minic import ast
+from ..rules import REGISTRY, Rule
 from .base import Checker, CheckerReport, Finding, Severity
+
+RULES = REGISTRY.register_many("gpu_subset", (
+    Rule("GS1", "Kernels take only buffer and scalar parameters",
+         Severity.MINOR, table="modeling_coding", topic="language_subsets"),
+    Rule("GS2", "No pointer arithmetic on kernel buffers",
+         Severity.MAJOR, table="modeling_coding", topic="language_subsets"),
+    Rule("GS3", "Kernels guard the thread index before buffer writes",
+         Severity.CRITICAL, table="modeling_coding",
+         topic="language_subsets"),
+    Rule("GS4", "No dynamic memory in device code",
+         Severity.CRITICAL, table="modeling_coding",
+         topic="language_subsets"),
+    Rule("GS5", "No recursion among device functions",
+         Severity.CRITICAL, table="modeling_coding",
+         topic="language_subsets"),
+    Rule("GS6", "Kernel loops are parameter- or constant-bounded",
+         Severity.MAJOR, table="modeling_coding", topic="language_subsets"),
+    Rule("GS7", "Kernels have a single entry and guard-return exits",
+         Severity.MAJOR, table="modeling_coding", topic="language_subsets"),
+))
 
 
 @dataclass
@@ -63,7 +84,7 @@ class GpuSubsetChecker(Checker):
     def check_program(self, program: ast.Program,
                       filename: str = "<kernels>") -> CheckerReport:
         """Audit every ``__global__`` kernel of a MiniC program."""
-        report = CheckerReport(checker=self.name)
+        report = self.new_report(())
         audits: List[KernelAudit] = []
         device_names = {function.name for function in program.functions
                         if function.is_kernel or function.is_device}
@@ -73,7 +94,8 @@ class GpuSubsetChecker(Checker):
             audit = self._audit_kernel(program, function, filename,
                                        device_names)
             audits.append(audit)
-            report.findings.extend(audit.findings)
+            for finding in audit.findings:
+                report.emit(finding)
         report.stats.update({
             "kernels_checked": len(audits),
             "subset_compliant_kernels": sum(1 for audit in audits
@@ -347,7 +369,7 @@ class GpuSubsetChecker(Checker):
 
     def check_unit(self, unit: cppmodel.TranslationUnit) -> CheckerReport:
         """Fuzzy audit of a ``.cu`` unit: GS4/GS5 plus migration stats."""
-        report = CheckerReport(checker=self.name)
+        report = self.new_report((unit,))
         kernels = [function for function in unit.functions
                    if function.is_cuda_kernel]
         compliant = 0
@@ -357,26 +379,26 @@ class GpuSubsetChecker(Checker):
             rewrites += sum(1 for parameter in function.parameters
                             if parameter.is_pointer)
             if function.uses_dynamic_memory:
-                clean = False
-                report.findings.append(Finding(
-                    rule="GS4",
-                    message=(f"kernel {function.name!r} uses dynamic "
-                             f"memory"),
-                    filename=unit.filename,
-                    line=function.start_line,
-                    severity=Severity.CRITICAL,
-                    function=function.qualified_name,
-                ))
+                if report.emit(Finding(
+                        rule="GS4",
+                        message=(f"kernel {function.name!r} uses dynamic "
+                                 f"memory"),
+                        filename=unit.filename,
+                        line=function.start_line,
+                        severity=Severity.CRITICAL,
+                        function=function.qualified_name,
+                )):
+                    clean = False
             if function.name in function.calls:
-                clean = False
-                report.findings.append(Finding(
-                    rule="GS5",
-                    message=f"kernel {function.name!r} is recursive",
-                    filename=unit.filename,
-                    line=function.start_line,
-                    severity=Severity.CRITICAL,
-                    function=function.qualified_name,
-                ))
+                if report.emit(Finding(
+                        rule="GS5",
+                        message=f"kernel {function.name!r} is recursive",
+                        filename=unit.filename,
+                        line=function.start_line,
+                        severity=Severity.CRITICAL,
+                        function=function.qualified_name,
+                )):
+                    clean = False
             if clean:
                 compliant += 1
         report.stats.update({

@@ -20,7 +20,51 @@ from typing import Dict, List, Set
 
 from ..lang.cppmodel import FunctionInfo, TranslationUnit
 from ..lang.tokens import Token, TokenKind
+from ..rules import REGISTRY, Rule
 from .base import Checker, CheckerReport, Finding, Severity
+
+RULES = REGISTRY.register_many("language_subset", (
+    Rule("M2.7", "There should be no unused parameters in functions",
+         Severity.MINOR, table="modeling_coding", topic="language_subsets"),
+    Rule("M7.1", "Octal constants shall not be used",
+         Severity.MINOR, table="modeling_coding", topic="language_subsets"),
+    Rule("M8.2", "Function parameters shall be named",
+         Severity.MINOR, table="modeling_coding", topic="language_subsets"),
+    Rule("M12.3", "The comma operator should not be used",
+         Severity.MINOR, table="modeling_coding", topic="language_subsets"),
+    Rule("M13.4", "The result of an assignment shall not be used",
+         Severity.MAJOR, table="modeling_coding", topic="language_subsets"),
+    Rule("M15.1", "The goto statement should not be used",
+         Severity.MAJOR, table="unit_design", topic="no_unconditional_jumps"),
+    Rule("M15.5", "A function should have a single point of exit",
+         Severity.MINOR, table="unit_design", topic="single_entry_exit"),
+    Rule("M15.6", "Loop and selection bodies shall be compound statements",
+         Severity.MINOR, table="modeling_coding", topic="language_subsets"),
+    Rule("M16.3", "An unconditional break shall terminate every "
+         "switch-clause",
+         Severity.MAJOR, table="modeling_coding", topic="language_subsets"),
+    Rule("M16.4", "Every switch statement shall have a default label",
+         Severity.MINOR, table="modeling_coding", topic="language_subsets"),
+    Rule("M17.2", "Functions shall not call themselves recursively",
+         Severity.MAJOR, table="unit_design", topic="no_recursion"),
+    Rule("M19.2", "The union keyword should not be used",
+         Severity.MAJOR, table="modeling_coding", topic="language_subsets"),
+    Rule("M21.3", "Memory allocation functions of <stdlib.h> shall not "
+         "be used",
+         Severity.MAJOR, table="modeling_coding", topic="language_subsets"),
+    Rule("M21.4", "setjmp/longjmp shall not be used",
+         Severity.MAJOR, table="modeling_coding", topic="language_subsets"),
+    Rule("M21.5", "Signal handling of <signal.h> shall not be used",
+         Severity.MAJOR, table="modeling_coding", topic="language_subsets"),
+    Rule("M21.6", "Standard I/O shall not be used in production code",
+         Severity.MAJOR, table="modeling_coding", topic="language_subsets"),
+    Rule("M21.7", "atof/atoi/atol shall not be used",
+         Severity.MAJOR, table="modeling_coding", topic="language_subsets"),
+    Rule("M21.8", "abort/exit/getenv/system shall not be used",
+         Severity.MAJOR, table="modeling_coding", topic="language_subsets"),
+    Rule("D4.12", "Dynamic memory allocation shall not be used",
+         Severity.MAJOR, table="unit_design", topic="no_dynamic_objects"),
+))
 
 #: Banned standard-library calls, rule id -> (names, reason).
 BANNED_CALLS: Dict[str, tuple] = {
@@ -58,8 +102,12 @@ class MisraChecker(Checker):
 
     name = "language_subset"
 
+    #: This checker stewards the deviation mechanism's hygiene rules:
+    #: it flags deviations naming rules no checker registered.
+    audits_unknown_deviations = True
+
     def check_unit(self, unit: TranslationUnit) -> CheckerReport:
-        report = CheckerReport(checker=self.name)
+        report = self.new_report((unit,))
         self._check_banned_headers(unit, report)
         self._check_octal_constants(unit, report)
         self._check_unions(unit, report)
@@ -96,7 +144,7 @@ class MisraChecker(Checker):
         for include in unit.preprocessor.includes:
             rule = BANNED_HEADERS.get(include.target)
             if rule is not None:
-                report.findings.append(Finding(
+                report.emit(Finding(
                     rule=rule,
                     message=f"banned header <{include.target}> included",
                     filename=unit.filename,
@@ -113,7 +161,7 @@ class MisraChecker(Checker):
             if (len(text) > 1 and text.startswith("0")
                     and text[1].isdigit()
                     and "." not in text and "e" not in text.lower()):
-                report.findings.append(Finding(
+                report.emit(Finding(
                     rule="M7.1",
                     message=f"octal constant {text} shall not be used",
                     filename=unit.filename,
@@ -125,7 +173,7 @@ class MisraChecker(Checker):
                       report: CheckerReport) -> None:
         for class_info in unit.classes:
             if class_info.kind == "union":
-                report.findings.append(Finding(
+                report.emit(Finding(
                     rule="M19.2",
                     message=f"union {class_info.name!r} shall not be used",
                     filename=unit.filename,
@@ -139,7 +187,7 @@ class MisraChecker(Checker):
     def _check_goto(self, unit: TranslationUnit, function: FunctionInfo,
                     report: CheckerReport) -> None:
         if function.goto_count > 0:
-            report.findings.append(Finding(
+            report.emit(Finding(
                 rule="M15.1",
                 message=(f"goto used {function.goto_count} time(s) in "
                          f"{function.name!r}"),
@@ -153,7 +201,7 @@ class MisraChecker(Checker):
                            function: FunctionInfo,
                            report: CheckerReport) -> None:
         if function.has_multiple_exits:
-            report.findings.append(Finding(
+            report.emit(Finding(
                 rule="M15.5",
                 message=(f"{function.name!r} has {function.exit_points} "
                          f"exit points (single point of exit required)"),
@@ -169,7 +217,7 @@ class MisraChecker(Checker):
         for call in function.calls:
             for rule, (names, reason) in BANNED_CALLS.items():
                 if call in names:
-                    report.findings.append(Finding(
+                    report.emit(Finding(
                         rule=rule,
                         message=f"call to {call!r}: {reason}",
                         filename=unit.filename,
@@ -186,7 +234,7 @@ class MisraChecker(Checker):
         if dynamic > 0:
             severity = Severity.CRITICAL if function.is_gpu_code \
                 else Severity.MAJOR
-            report.findings.append(Finding(
+            report.emit(Finding(
                 rule="D4.12",
                 message=(f"{function.name!r} performs {dynamic} dynamic-"
                          f"memory operation(s)"
@@ -202,7 +250,7 @@ class MisraChecker(Checker):
                                 function: FunctionInfo,
                                 report: CheckerReport) -> None:
         if function.name in function.calls:
-            report.findings.append(Finding(
+            report.emit(Finding(
                 rule="M17.2",
                 message=f"{function.name!r} calls itself recursively",
                 filename=unit.filename,
@@ -221,7 +269,7 @@ class MisraChecker(Checker):
                           if token.kind is TokenKind.IDENTIFIER}
         for parameter in function.parameters:
             if parameter.name and parameter.name not in used:
-                report.findings.append(Finding(
+                report.emit(Finding(
                     rule="M2.7",
                     message=(f"parameter {parameter.name!r} of "
                              f"{function.name!r} is unused"),
@@ -237,7 +285,7 @@ class MisraChecker(Checker):
         """M8.2: prototypes shall name their parameters."""
         for position, parameter in enumerate(function.parameters):
             if not parameter.name:
-                report.findings.append(Finding(
+                report.emit(Finding(
                     rule="M8.2",
                     message=(f"parameter {position + 1} of "
                              f"{function.name!r} is unnamed"),
@@ -268,7 +316,7 @@ class MisraChecker(Checker):
                         if entry.is_punct("=") \
                                 and not self._is_comparison_neighbor(
                                     body, position):
-                            report.findings.append(Finding(
+                            report.emit(Finding(
                                 rule="M13.4",
                                 message=(f"assignment used inside a "
                                          f"{token.text} condition"),
@@ -335,7 +383,7 @@ class MisraChecker(Checker):
                                 semicolons += 1
                             elif entry.text == "," and depth == 0 \
                                     and semicolons >= 2:
-                                report.findings.append(Finding(
+                                report.emit(Finding(
                                     rule="M12.3",
                                     message="comma operator in for-loop "
                                             "increment clause",
@@ -362,7 +410,7 @@ class MisraChecker(Checker):
                         after.is_punct("{")
                         or after.is_punct(";")  # empty loop body
                         or after.is_keyword("if")):  # handled at that `if`
-                    report.findings.append(Finding(
+                    report.emit(Finding(
                         rule="M15.6",
                         message=(f"{token.text} body is not a compound "
                                  f"statement"),
@@ -375,7 +423,7 @@ class MisraChecker(Checker):
                 after = body[index + 1] if index + 1 < len(body) else None
                 if after is not None and not (after.is_punct("{")
                                               or after.is_keyword("if")):
-                    report.findings.append(Finding(
+                    report.emit(Finding(
                         rule="M15.6",
                         message="else body is not a compound statement",
                         filename=unit.filename,
@@ -386,7 +434,7 @@ class MisraChecker(Checker):
             elif token.is_keyword("do"):
                 after = body[index + 1] if index + 1 < len(body) else None
                 if after is not None and not after.is_punct("{"):
-                    report.findings.append(Finding(
+                    report.emit(Finding(
                         rule="M15.6",
                         message="do body is not a compound statement",
                         filename=unit.filename,
@@ -467,7 +515,7 @@ class MisraChecker(Checker):
                 if token.text == "default":
                     has_default = True
                 if not last_terminator and clause_start_line:
-                    report.findings.append(Finding(
+                    report.emit(Finding(
                         rule="M16.3",
                         message=(f"switch clause starting at line "
                                  f"{clause_start_line} falls through"),
@@ -498,7 +546,7 @@ class MisraChecker(Checker):
                     last_terminator = False
             cursor += 1
         if not has_default:
-            report.findings.append(Finding(
+            report.emit(Finding(
                 rule="M16.4",
                 message="switch statement has no default label",
                 filename=unit.filename,
@@ -507,7 +555,7 @@ class MisraChecker(Checker):
                 function=function.qualified_name,
             ))
         if not last_terminator and clause_start_line:
-            report.findings.append(Finding(
+            report.emit(Finding(
                 rule="M16.3",
                 message=(f"final switch clause starting at line "
                          f"{clause_start_line} lacks a break"),

@@ -18,7 +18,27 @@ from __future__ import annotations
 import re
 
 from ..lang.cppmodel import TranslationUnit
+from ..rules import REGISTRY, Rule
 from .base import Checker, CheckerReport, Finding, Severity
+
+RULES = REGISTRY.register_many("naming", (
+    Rule("NC.type_name", "Type names shall be CamelCase",
+         Severity.MINOR, table="modeling_coding",
+         topic="naming_conventions"),
+    Rule("NC.constant_name", "Constants shall be kCamelCase or UPPER_CASE",
+         Severity.INFO, table="modeling_coding",
+         topic="naming_conventions"),
+    Rule("NC.global_name", "Mutable globals shall carry a scope prefix",
+         Severity.MINOR, table="modeling_coding",
+         topic="naming_conventions"),
+    Rule("NC.function_name", "Function names shall be CamelCase or "
+         "snake_case",
+         Severity.MINOR, table="modeling_coding",
+         topic="naming_conventions"),
+    Rule("NC.mixed_styles", "One file shall not mix function-name styles",
+         Severity.INFO, table="modeling_coding",
+         topic="naming_conventions"),
+))
 
 CAMEL_CASE = re.compile(r"^[A-Z][A-Za-z0-9]*$")
 SNAKE_CASE = re.compile(r"^[a-z][a-z0-9_]*$")
@@ -37,7 +57,7 @@ class NamingChecker(Checker):
     name = "naming"
 
     def check_unit(self, unit: TranslationUnit) -> CheckerReport:
-        report = CheckerReport(checker=self.name)
+        report = self.new_report((unit,))
         checked = 0
         violations = 0
 
@@ -46,39 +66,39 @@ class NamingChecker(Checker):
                 continue
             checked += 1
             if not CAMEL_CASE.match(class_info.name):
-                violations += 1
-                report.findings.append(Finding(
-                    rule="NC.type_name",
-                    message=(f"{class_info.kind} name {class_info.name!r} "
-                             f"is not CamelCase"),
-                    filename=unit.filename,
-                    line=class_info.start_line,
-                    severity=Severity.MINOR,
-                ))
+                if report.emit(Finding(
+                        rule="NC.type_name",
+                        message=(f"{class_info.kind} name "
+                                 f"{class_info.name!r} is not CamelCase"),
+                        filename=unit.filename,
+                        line=class_info.start_line,
+                        severity=Severity.MINOR,
+                )):
+                    violations += 1
 
         for variable in unit.globals:
             checked += 1
             if not variable.is_mutable_global:
                 if not CONSTANT_NAME.match(variable.name):
-                    violations += 1
-                    report.findings.append(Finding(
-                        rule="NC.constant_name",
-                        message=(f"constant {variable.name!r} should be "
-                                 f"kCamelCase or UPPER_CASE"),
+                    if report.emit(Finding(
+                            rule="NC.constant_name",
+                            message=(f"constant {variable.name!r} should "
+                                     f"be kCamelCase or UPPER_CASE"),
+                            filename=unit.filename,
+                            line=variable.line,
+                            severity=Severity.INFO,
+                    )):
+                        violations += 1
+            elif not variable.name.startswith(GLOBAL_PREFIXES):
+                if report.emit(Finding(
+                        rule="NC.global_name",
+                        message=(f"mutable global {variable.name!r} lacks "
+                                 f"a 'g_' or 'FLAGS_' prefix"),
                         filename=unit.filename,
                         line=variable.line,
-                        severity=Severity.INFO,
-                    ))
-            elif not variable.name.startswith(GLOBAL_PREFIXES):
-                violations += 1
-                report.findings.append(Finding(
-                    rule="NC.global_name",
-                    message=(f"mutable global {variable.name!r} lacks a "
-                             f"'g_' or 'FLAGS_' prefix"),
-                    filename=unit.filename,
-                    line=variable.line,
-                    severity=Severity.MINOR,
-                ))
+                        severity=Severity.MINOR,
+                )):
+                    violations += 1
 
         violations += self._check_function_styles(unit, report)
         checked += sum(1 for function in unit.functions
@@ -114,26 +134,26 @@ class NamingChecker(Checker):
             elif SNAKE_CASE.match(name):
                 style = "snake"
             else:
-                violations += 1
-                report.findings.append(Finding(
-                    rule="NC.function_name",
-                    message=(f"function name {name!r} matches neither "
-                             f"CamelCase nor snake_case"),
-                    filename=unit.filename,
-                    line=function.start_line,
-                    severity=Severity.MINOR,
-                    function=function.qualified_name,
-                ))
+                if report.emit(Finding(
+                        rule="NC.function_name",
+                        message=(f"function name {name!r} matches neither "
+                                 f"CamelCase nor snake_case"),
+                        filename=unit.filename,
+                        line=function.start_line,
+                        severity=Severity.MINOR,
+                        function=function.qualified_name,
+                )):
+                    violations += 1
                 continue
             if not function.is_gpu_code:
                 cpu_styles.add(style)
         if len(cpu_styles) > 1:
-            violations += 1
-            report.findings.append(Finding(
-                rule="NC.mixed_styles",
-                message="file mixes CamelCase and snake_case CPU "
-                        "function names",
-                filename=unit.filename,
-                severity=Severity.INFO,
-            ))
+            if report.emit(Finding(
+                    rule="NC.mixed_styles",
+                    message="file mixes CamelCase and snake_case CPU "
+                            "function names",
+                    filename=unit.filename,
+                    severity=Severity.INFO,
+            )):
+                violations += 1
         return violations

@@ -12,7 +12,25 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..lang.cppmodel import TranslationUnit
+from ..rules import REGISTRY, Rule
 from .base import Checker, CheckerReport, Finding, Severity
+
+RULES = REGISTRY.register_many("style", (
+    Rule("SG.line_length", "Lines shall fit the configured length limit",
+         Severity.INFO, table="modeling_coding", topic="style_guides"),
+    Rule("SG.tab", "Tabs shall not be used for whitespace",
+         Severity.INFO, table="modeling_coding", topic="style_guides"),
+    Rule("SG.trailing_ws", "Lines shall carry no trailing whitespace",
+         Severity.INFO, table="modeling_coding", topic="style_guides"),
+    Rule("SG.brace_own_line", "Opening braces end the previous line",
+         Severity.INFO, table="modeling_coding", topic="style_guides"),
+    Rule("SG.indent", "Indentation follows the configured width",
+         Severity.INFO, table="modeling_coding", topic="style_guides"),
+    Rule("SG.final_newline", "Files shall end with a newline",
+         Severity.INFO, table="modeling_coding", topic="style_guides"),
+    Rule("SG.header_guard", "Headers shall have an include guard",
+         Severity.MINOR, table="modeling_coding", topic="style_guides"),
+))
 
 
 @dataclass(frozen=True)
@@ -44,6 +62,7 @@ class StyleChecker(Checker):
     def for_units(self, units) -> "StyleChecker":
         """A copy carrying only the sources of ``units`` (see base)."""
         pruned = StyleChecker(self.config)
+        pruned.profile = self.profile
         for unit in units:
             source = self._sources.get(unit.filename)
             if source is not None:
@@ -51,7 +70,7 @@ class StyleChecker(Checker):
         return pruned
 
     def check_unit(self, unit: TranslationUnit) -> CheckerReport:
-        report = CheckerReport(checker=self.name)
+        report = self.new_report((unit,))
         source = self._sources.get(unit.filename)
         if source is None:
             # Reconstruct approximate lines from tokens is lossy; without
@@ -66,25 +85,25 @@ class StyleChecker(Checker):
             if line.strip():
                 previous = line
         if source and not source.endswith("\n"):
-            violations += 1
-            report.findings.append(Finding(
-                rule="SG.final_newline",
-                message="file does not end with a newline",
-                filename=unit.filename,
-                line=len(lines),
-                severity=Severity.INFO,
-            ))
+            if report.emit(Finding(
+                    rule="SG.final_newline",
+                    message="file does not end with a newline",
+                    filename=unit.filename,
+                    line=len(lines),
+                    severity=Severity.INFO,
+            )):
+                violations += 1
         if (self.config.require_header_guard
                 and unit.filename.endswith((".h", ".hpp", ".cuh"))
                 and source and not self._has_header_guard(source)):
-            violations += 1
-            report.findings.append(Finding(
-                rule="SG.header_guard",
-                message="header lacks an include guard or #pragma once",
-                filename=unit.filename,
-                line=1,
-                severity=Severity.MINOR,
-            ))
+            if report.emit(Finding(
+                    rule="SG.header_guard",
+                    message="header lacks an include guard or #pragma once",
+                    filename=unit.filename,
+                    line=1,
+                    severity=Severity.MINOR,
+            )):
+                violations += 1
         report.stats.update({
             "style_violations": violations,
             "checked_lines": len(lines),
@@ -107,10 +126,10 @@ class StyleChecker(Checker):
         def flag(rule: str, message: str,
                  severity: Severity = Severity.INFO) -> None:
             nonlocal violations
-            violations += 1
-            report.findings.append(Finding(
-                rule=rule, message=message, filename=unit.filename,
-                line=line_number, severity=severity))
+            if report.emit(Finding(
+                    rule=rule, message=message, filename=unit.filename,
+                    line=line_number, severity=severity)):
+                violations += 1
 
         if len(line) > self.config.max_line_length:
             flag("SG.line_length",

@@ -24,7 +24,31 @@ from typing import Dict, Iterable, List, Set, Tuple
 
 from ..lang.cppmodel import TYPE_KEYWORDS, FunctionInfo, TranslationUnit
 from ..lang.tokens import Token, TokenKind
+from ..rules import REGISTRY, Rule
 from .base import Checker, CheckerReport, Finding, Severity
+
+RULES = REGISTRY.register_many("unit_design", (
+    Rule("UD1.multi_exit", "One entry and one exit point per function",
+         Severity.MINOR, table="unit_design", topic="single_entry_exit"),
+    Rule("UD2.dynamic_alloc", "No dynamic objects or variables",
+         Severity.MAJOR, table="unit_design", topic="no_dynamic_objects"),
+    Rule("UD3.uninitialized", "Initialization of variables",
+         Severity.MAJOR, table="unit_design",
+         topic="variable_initialization"),
+    Rule("UD4.shadowing", "No multiple use of variable names",
+         Severity.MINOR, table="unit_design", topic="no_name_reuse"),
+    Rule("UD8.macro_flow", "No hidden data flow or control flow "
+         "(function-like macros)",
+         Severity.MINOR, table="unit_design", topic="no_hidden_flow"),
+    Rule("UD8.cond_compilation", "No hidden data flow or control flow "
+         "(conditional compilation)",
+         Severity.INFO, table="unit_design", topic="no_hidden_flow"),
+    Rule("UD9.goto", "No unconditional jumps",
+         Severity.MAJOR, table="unit_design",
+         topic="no_unconditional_jumps"),
+    Rule("UD10.recursion", "No recursions",
+         Severity.MAJOR, table="unit_design", topic="no_recursion"),
+))
 
 #: Scalar types whose declaration without initializer is flagged (item 3).
 _SCALAR_TYPES = TYPE_KEYWORDS - {"void", "auto"}
@@ -39,7 +63,7 @@ class UnitDesignChecker(Checker):
     name = "unit_design"
 
     def check_unit(self, unit: TranslationUnit) -> CheckerReport:
-        report = CheckerReport(checker=self.name)
+        report = self.new_report((unit,))
         multi_exit = 0
         dynamic = 0
         pointer_users = 0
@@ -47,43 +71,43 @@ class UnitDesignChecker(Checker):
         for function in unit.functions:
             body = unit.body_tokens(function)
             if function.has_multiple_exits:
-                multi_exit += 1
-                report.findings.append(Finding(
-                    rule="UD1.multi_exit",
-                    message=(f"{function.name!r} has "
-                             f"{function.exit_points} exit points"),
-                    filename=unit.filename,
-                    line=function.start_line,
-                    severity=Severity.MINOR,
-                    function=function.qualified_name,
-                ))
+                if report.emit(Finding(
+                        rule="UD1.multi_exit",
+                        message=(f"{function.name!r} has "
+                                 f"{function.exit_points} exit points"),
+                        filename=unit.filename,
+                        line=function.start_line,
+                        severity=Severity.MINOR,
+                        function=function.qualified_name,
+                )):
+                    multi_exit += 1
             if function.uses_dynamic_memory:
-                dynamic += 1
-                report.findings.append(Finding(
-                    rule="UD2.dynamic_alloc",
-                    message=(f"{function.name!r} allocates dynamically "
-                             f"({function.allocation_calls} calls, "
-                             f"{function.new_expressions} new)"),
-                    filename=unit.filename,
-                    line=function.start_line,
-                    severity=Severity.MAJOR,
-                    function=function.qualified_name,
-                ))
+                if report.emit(Finding(
+                        rule="UD2.dynamic_alloc",
+                        message=(f"{function.name!r} allocates dynamically "
+                                 f"({function.allocation_calls} calls, "
+                                 f"{function.new_expressions} new)"),
+                        filename=unit.filename,
+                        line=function.start_line,
+                        severity=Severity.MAJOR,
+                        function=function.qualified_name,
+                )):
+                    dynamic += 1
             uses_pointers = (function.pointer_operations > 0
                              or any(parameter.is_pointer
                                     for parameter in function.parameters))
             if uses_pointers:
                 pointer_users += 1
             if function.goto_count > 0:
-                goto_users += 1
-                report.findings.append(Finding(
-                    rule="UD9.goto",
-                    message=f"{function.name!r} uses goto",
-                    filename=unit.filename,
-                    line=function.start_line,
-                    severity=Severity.MAJOR,
-                    function=function.qualified_name,
-                ))
+                if report.emit(Finding(
+                        rule="UD9.goto",
+                        message=f"{function.name!r} uses goto",
+                        filename=unit.filename,
+                        line=function.start_line,
+                        severity=Severity.MAJOR,
+                        function=function.qualified_name,
+                )):
+                    goto_users += 1
             self._check_uninitialized(unit, function, body, report)
             self._check_shadowing(unit, function, body, report)
         hidden = self._check_hidden_flow(unit, report)
@@ -108,11 +132,11 @@ class UnitDesignChecker(Checker):
     def check_project(self,
                       units: Iterable[TranslationUnit]) -> CheckerReport:
         units = list(units)
-        report = CheckerReport(checker=self.name)
+        report = self.new_report(units, flag_deviations=False)
         for unit in units:
             report.merge(self.check_unit(unit))
-        recursive = self._check_recursion(units, report)
-        report.stats["recursive_functions"] = len(recursive)
+        report.stats["recursive_functions"] = \
+            self._check_recursion(units, report)
         self.finalize(report)
         return report
 
@@ -152,7 +176,7 @@ class UnitDesignChecker(Checker):
             terminator = body[index + 2]
             if name.kind is TokenKind.IDENTIFIER \
                     and terminator.is_punct(";"):
-                report.findings.append(Finding(
+                report.emit(Finding(
                     rule="UD3.uninitialized",
                     message=(f"local {name.text!r} declared without an "
                              f"initializer"),
@@ -186,7 +210,7 @@ class UnitDesignChecker(Checker):
                     name, line = declared
                     if any(name in scope for scope in scopes[:-1]) \
                             or name in scopes[-1]:
-                        report.findings.append(Finding(
+                        report.emit(Finding(
                             rule="UD4.shadowing",
                             message=(f"declaration of {name!r} shadows an "
                                      f"outer declaration"),
@@ -243,34 +267,40 @@ class UnitDesignChecker(Checker):
                 hidden_calls = [call for call in function.calls
                                 if call in macro_names]
                 if hidden_calls:
-                    sites += len(hidden_calls)
-                    report.findings.append(Finding(
-                        rule="UD8.macro_flow",
-                        message=(f"{function.name!r} invokes function-like "
-                                 f"macro(s) {sorted(set(hidden_calls))}"),
-                        filename=unit.filename,
-                        line=function.start_line,
-                        severity=Severity.MINOR,
-                        function=function.qualified_name,
-                    ))
+                    if report.emit(Finding(
+                            rule="UD8.macro_flow",
+                            message=(f"{function.name!r} invokes "
+                                     f"function-like macro(s) "
+                                     f"{sorted(set(hidden_calls))}"),
+                            filename=unit.filename,
+                            line=function.start_line,
+                            severity=Severity.MINOR,
+                            function=function.qualified_name,
+                    )):
+                        sites += len(hidden_calls)
         conditionals = unit.preprocessor.conditionals
         if conditionals:
-            sites += conditionals
-            report.findings.append(Finding(
-                rule="UD8.cond_compilation",
-                message=(f"{conditionals} conditional-compilation "
-                         f"directive(s) in translation unit"),
-                filename=unit.filename,
-                severity=Severity.INFO,
-            ))
+            if report.emit(Finding(
+                    rule="UD8.cond_compilation",
+                    message=(f"{conditionals} conditional-compilation "
+                             f"directive(s) in translation unit"),
+                    filename=unit.filename,
+                    severity=Severity.INFO,
+            )):
+                sites += conditionals
         return sites
 
     # ------------------------------------------------------------------
     # item 10: recursion (direct and indirect)
 
     def _check_recursion(self, units: List[TranslationUnit],
-                         report: CheckerReport) -> Set[str]:
-        """Functions on a call-graph cycle, matched by name project-wide."""
+                         report: CheckerReport) -> int:
+        """Report functions on a call-graph cycle; returns the count.
+
+        Names are matched project-wide; the count covers only findings
+        that actually landed (disabled or deviated ones are excluded
+        from the ``recursive_functions`` stat too).
+        """
         graph: Dict[str, Set[str]] = {}
         locations: Dict[str, Tuple[str, int]] = {}
         defined: Set[str] = set()
@@ -285,17 +315,19 @@ class UnitDesignChecker(Checker):
                 edges.update(call for call in function.calls
                              if call in defined)
         recursive = _functions_on_cycles(graph)
+        reported = 0
         for name in sorted(recursive):
             filename, line = locations.get(name, ("<unknown>", 0))
-            report.findings.append(Finding(
-                rule="UD10.recursion",
-                message=f"{name!r} participates in a call-graph cycle",
-                filename=filename,
-                line=line,
-                severity=Severity.MAJOR,
-                function=name,
-            ))
-        return recursive
+            if report.emit(Finding(
+                    rule="UD10.recursion",
+                    message=f"{name!r} participates in a call-graph cycle",
+                    filename=filename,
+                    line=line,
+                    severity=Severity.MAJOR,
+                    function=name,
+            )):
+                reported += 1
+        return reported
 
 
 def _functions_on_cycles(graph: Dict[str, Set[str]]) -> Set[str]:

@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..checkers.base import CheckerReport
+from ..rules import BaselineComparison, RuleProfile
 from ..iso26262.compliance import TableAssessment, Verdict
 from ..iso26262.evidence import EvidenceSet
 from ..iso26262.observations import Observation
@@ -31,6 +32,10 @@ class AssessmentResult:
     observations: List[Observation]
     unit_count: int = 0
     unparseable: List[str] = field(default_factory=list)
+    #: The rule profile the run was configured with, if any.
+    profile: Optional[RuleProfile] = None
+    #: Comparison against a finding baseline, when one was supplied.
+    baseline: Optional[BaselineComparison] = None
 
     # ------------------------------------------------------------------
 
@@ -57,6 +62,17 @@ class AssessmentResult:
                 counts[entry.verdict.value] += 1
         return counts
 
+    def suppressed_counts(self) -> Dict[str, int]:
+        """Per-checker counts of deviation-suppressed findings."""
+        return {name: len(report.suppressed)
+                for name, report in self.reports.items()
+                if report.suppressed}
+
+    @property
+    def total_suppressed(self) -> int:
+        return sum(len(report.suppressed)
+                   for report in self.reports.values())
+
     # ------------------------------------------------------------------
 
     def render_summary(self) -> str:
@@ -72,6 +88,16 @@ class AssessmentResult:
         if self.unparseable:
             lines.append(f"unparseable files          : "
                          f"{len(self.unparseable)}")
+            lines.append("")
+        if self.total_suppressed:
+            lines.append(f"deviation-suppressed       : "
+                         f"{self.total_suppressed}")
+            lines.append("")
+        if self.baseline is not None:
+            lines.append(f"baseline: {self.baseline.known} known finding(s)"
+                         f", {self.baseline.total_new} new")
+            for rule, count in sorted(self.baseline.new_by_rule().items()):
+                lines.append(f"  new [{rule}]: {count}")
             lines.append("")
         lines.append(f"{'module':<16}{'LOC':>8}{'functions':>11}"
                      f"{'cc>10':>7}{'cc>20':>7}{'cc>50':>7}")
@@ -93,7 +119,7 @@ class AssessmentResult:
         return "\n".join(lines)
 
     def to_dict(self) -> Dict:
-        return {
+        result = {
             "unit_count": self.unit_count,
             "total_loc": self.total_loc,
             "total_functions": self.total_functions,
@@ -106,3 +132,14 @@ class AssessmentResult:
             "checker_findings": {name: report.finding_count
                                  for name, report in self.reports.items()},
         }
+        # Rules-layer keys appear only when the feature was active, so a
+        # default run's JSON stays byte-identical to earlier releases.
+        if self.total_suppressed:
+            result["suppressed_findings"] = self.suppressed_counts()
+        if self.baseline is not None:
+            result["baseline"] = {
+                "known": self.baseline.known,
+                "new": self.baseline.total_new,
+                "new_by_rule": self.baseline.new_by_rule(),
+            }
+        return result

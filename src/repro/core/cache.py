@@ -33,7 +33,8 @@ PARSE_TAG = "parse:1"
 #: Stage tag for per-unit checker bundles; the bundle key additionally
 #: folds in every checker's :meth:`~repro.checkers.base.Checker.
 #: fingerprint`, so this only needs bumping for cross-checker changes.
-CHECK_TAG = "check:1"
+#: check:2 — CheckerReport grew ``suppressed``/``rules`` fields.
+CHECK_TAG = "check:2"
 
 #: Sentinel distinguishing "no entry" from a cached ``None``.
 CACHE_MISS = object()

@@ -10,6 +10,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import json
 import sys
 from typing import List, Optional
@@ -17,13 +18,14 @@ from typing import List, Optional
 from ..corpus.apollo import apollo_spec
 from ..corpus.generator import generate_corpus
 from ..corpus.writer import read_tree
-from ..errors import ConfigError, CorpusError
+from ..errors import BaselineError, ConfigError, CorpusError
 from ..obs import (
     Tracer,
     render_profile,
     render_span_tree,
     trace_document,
 )
+from ..rules import REGISTRY, Baseline, RuleProfile, render_rules
 from .cache import ResultCache
 from .config import PipelineConfig
 from .pipeline import AssessmentPipeline
@@ -83,9 +85,26 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--profile", action="store_true",
                         help="print the span tree plus the top slowest "
                              "spans by self time")
-    parser.add_argument("--top", type=int, default=10, metavar="N",
+    parser.add_argument("--top", type=int, default=None, metavar="N",
                         help="number of spans in the --profile table "
-                             "(default 10)")
+                             "(default 10; requires --profile)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the registered rules (id, checker, "
+                             "default severity, ISO 26262 topic) and "
+                             "exit")
+    parser.add_argument("--enable", action="append", metavar="GLOB",
+                        default=None,
+                        help="enable only rules matching GLOB "
+                             "(repeatable; default: all rules)")
+    parser.add_argument("--disable", action="append", metavar="GLOB",
+                        default=None,
+                        help="disable rules matching GLOB (repeatable; "
+                             "applied after --enable)")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="finding baseline to compare against; the "
+                             "summary then reports only new findings")
+    parser.add_argument("--write-baseline", metavar="FILE",
+                        help="write this run's finding baseline to FILE")
     parser.add_argument("--metrics-json", metavar="FILE",
                         help="write the telemetry document (spans, "
                              "counters, histograms, Chrome trace events) "
@@ -98,8 +117,37 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.list_rules:
+        print(render_rules())
+        return 0
+    if args.top is not None:
+        if args.top < 1:
+            print(f"--top must be a positive integer, got {args.top}",
+                  file=sys.stderr)
+            return 2
+        if not args.profile:
+            print("--top has no effect without --profile",
+                  file=sys.stderr)
+            return 2
     if args.corpus is None and args.path is None:
         parser.error("give a source tree path or --corpus SCALE")
+    profile = None
+    if args.enable or args.disable:
+        for pattern in (args.enable or []) + (args.disable or []):
+            if not any(fnmatch.fnmatchcase(rule.id, pattern)
+                       for rule in REGISTRY):
+                print(f"rule pattern {pattern!r} matches no registered "
+                      f"rule (see --list-rules)", file=sys.stderr)
+                return 2
+        profile = RuleProfile(enable=tuple(args.enable or ()),
+                              disable=tuple(args.disable or ()))
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except BaselineError as error:
+            print(str(error), file=sys.stderr)
+            return 2
     if args.corpus is not None:
         try:
             corpus = generate_corpus(apollo_spec(scale=args.corpus,
@@ -125,7 +173,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         pipeline = AssessmentPipeline(PipelineConfig(
             tracer=tracer, jobs=args.jobs, executor=args.executor,
-            cache=cache))
+            cache=cache, rules=profile, baseline=baseline))
     except ConfigError as error:
         print(f"bad pipeline configuration: {error}", file=sys.stderr)
         return 2
@@ -139,7 +187,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(render_span_tree(tracer))
     if args.profile:
         print()
-        print(render_profile(tracer, limit=args.top))
+        print(render_profile(
+            tracer, limit=args.top if args.top is not None else 10))
     if args.metrics_json:
         try:
             with open(args.metrics_json, "w", encoding="utf-8") as handle:
@@ -152,6 +201,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .remediation import plan_remediation, render_plan
         print()
         print(render_plan(plan_remediation(result.tables)))
+    if args.write_baseline:
+        try:
+            Baseline.from_reports(result.reports).save(args.write_baseline)
+        except BaselineError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        print(f"\nbaseline written to {args.write_baseline}")
     if args.json:
         try:
             with open(args.json, "w", encoding="utf-8") as handle:

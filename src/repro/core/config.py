@@ -10,6 +10,7 @@ from ..checkers.style import StyleConfig
 from ..iso26262.asil import Asil, TARGET_ASIL
 from ..iso26262.compliance import ComplianceThresholds
 from ..obs import Tracer
+from ..rules import Baseline, RuleProfile
 from .cache import ResultCache
 
 
@@ -39,6 +40,17 @@ class PipelineConfig:
         cache: optional content-addressed :class:`~repro.core.cache.
             ResultCache`; unchanged files short-circuit to cached parse
             results and per-unit checker reports.
+        rules: optional :class:`~repro.rules.RuleProfile` — enable/
+            disable globs and per-rule severity overrides applied at
+            finding-emission time.  ``None`` (the default) leaves every
+            registered rule at its registry defaults and keeps results
+            byte-identical to earlier releases; a profile also folds
+            into each checker's fingerprint so cached bundles
+            invalidate when the effective rule set changes.
+        baseline: optional :class:`~repro.rules.Baseline` snapshot of a
+            previous run's findings; when set, the assessment result
+            carries a comparison reporting only findings absent from
+            the snapshot.
     """
 
     target_asil: Asil = TARGET_ASIL
@@ -53,3 +65,5 @@ class PipelineConfig:
     jobs: int = 1
     executor: str = "thread"
     cache: Optional[ResultCache] = None
+    rules: Optional[RuleProfile] = None
+    baseline: Optional[Baseline] = None

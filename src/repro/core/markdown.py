@@ -6,6 +6,7 @@ from typing import List
 
 from ..iso26262.asil import TABLE_COLUMNS
 from ..iso26262.compliance import TableAssessment
+from ..rules import REGISTRY
 from .assessment import AssessmentResult
 from .remediation import plan_remediation, render_plan
 
@@ -27,6 +28,49 @@ def _table_markdown(assessment: TableAssessment) -> List[str]:
             f"| {entry.technique.index} | {entry.technique.title} | "
             f"{grades} | **{entry.verdict.value}** | "
             f"{entry.rationale} |")
+    lines.append("")
+    return lines
+
+
+def _rule_index_markdown(result: AssessmentResult) -> List[str]:
+    """The per-rule activity table, shown when the rules layer was used.
+
+    One row per registered rule: its effective severity under the run's
+    profile (``off`` when disabled), its ISO 26262 topic, and how many
+    findings it produced / had suppressed by deviations (plus how many
+    are new against the baseline, when one was compared).
+    """
+    findings: dict = {}
+    suppressed: dict = {}
+    for report in result.reports.values():
+        for rule, count in report.count_by_rule().items():
+            findings[rule] = findings.get(rule, 0) + count
+        for finding in report.suppressed:
+            suppressed[finding.rule] = suppressed.get(finding.rule, 0) + 1
+    new_by_rule = (result.baseline.new_by_rule()
+                   if result.baseline is not None else None)
+    header = "| rule | checker | severity | topic | findings | suppressed |"
+    divider = "|---|---|---|---|---|---|"
+    if new_by_rule is not None:
+        header += " new |"
+        divider += "---|"
+    lines = ["## Rule index", "", header, divider]
+    for rule in REGISTRY:
+        if result.profile is not None \
+                and not result.profile.enabled(rule.id):
+            severity = "off"
+        elif result.profile is not None:
+            severity = result.profile.severity_for(
+                rule.id, rule.severity).name
+        else:
+            severity = rule.severity.name
+        topic = f"{rule.table}/{rule.topic}" if rule.table else "-"
+        row = (f"| {rule.id} | {rule.checker} | {severity} | {topic} | "
+               f"{findings.get(rule.id, 0)} | "
+               f"{suppressed.get(rule.id, 0)} |")
+        if new_by_rule is not None:
+            row += f" {new_by_rule.get(rule.id, 0)} |"
+        lines.append(row)
     lines.append("")
     return lines
 
@@ -58,6 +102,10 @@ def render_markdown(result: AssessmentResult,
     lines += ["", "## Requirement tables", ""]
     for key in ("modeling_coding", "architectural_design", "unit_design"):
         lines.extend(_table_markdown(result.tables[key]))
+
+    if result.profile is not None or result.total_suppressed \
+            or result.baseline is not None:
+        lines.extend(_rule_index_markdown(result))
 
     lines += ["## Observations", ""]
     for observation in sorted(result.observations,

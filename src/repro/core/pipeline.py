@@ -25,7 +25,12 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Optional
 
 from ..checkers.architecture import ArchitectureChecker
-from ..checkers.base import Checker, CheckerReport, run_checkers
+from ..checkers.base import (
+    Checker,
+    CheckerReport,
+    require_unique_checker,
+    run_checkers,
+)
 from ..checkers.casts import CastChecker
 from ..checkers.defensive import DefensiveChecker
 from ..checkers.globals_check import GlobalVariableChecker
@@ -109,6 +114,8 @@ class AssessmentPipeline:
                 span.set("observations", len(observations))
             root.set("units", len(units))
             root.set("jobs", self.jobs)
+        baseline = (self.config.baseline.compare(reports)
+                    if self.config.baseline is not None else None)
         return AssessmentResult(
             modules=modules,
             reports=reports,
@@ -117,6 +124,8 @@ class AssessmentPipeline:
             observations=observations,
             unit_count=len(units),
             unparseable=unparseable,
+            profile=self.config.rules,
+            baseline=baseline,
         )
 
     # ------------------------------------------------------------------
@@ -231,7 +240,7 @@ class AssessmentPipeline:
         style = StyleChecker(self.config.style)
         for path, source in sources.items():
             style.add_source(path, source)
-        return [
+        checkers: List[Checker] = [
             MisraChecker(),
             CastChecker(),
             DefensiveChecker(),
@@ -243,6 +252,10 @@ class AssessmentPipeline:
                                 self.config.module_of),
             GpuSubsetChecker(),
         ]
+        if self.config.rules is not None:
+            for checker in checkers:
+                checker.profile = self.config.rules
+        return checkers
 
     def _run_checkers(self, sources: Mapping[str, str],
                       units: List[TranslationUnit]
@@ -303,11 +316,7 @@ class AssessmentPipeline:
 
         reports: Dict[str, CheckerReport] = {}
         for checker in checkers:
-            if checker.name in reports:
-                raise ValueError(
-                    f"duplicate checker name {checker.name!r}: its "
-                    f"report would silently overwrite an earlier "
-                    f"checker's")
+            require_unique_checker(checker, reports)
             with tracer.span("checker", name=checker.name) as span:
                 if checker.name in per_unit_names:
                     report = CheckerReport(checker=checker.name)
@@ -364,25 +373,22 @@ class AssessmentPipeline:
                 (module.complexity.max_complexity for module in modules),
                 default=0),
         }, source="metrics:complexity")
-        evidence.put("language_subset",
-                     reports["language_subset"].stats,
-                     source="checker:language_subset")
-        evidence.put("strong_typing", reports["casts"].stats,
-                     source="checker:casts")
-        evidence.put("defensive", reports["defensive"].stats,
-                     source="checker:defensive")
-        evidence.put("design_principles", reports["globals"].stats,
-                     source="checker:globals")
-        evidence.put("globals", reports["globals"].stats,
-                     source="checker:globals")
-        evidence.put("style", reports["style"].stats,
-                     source="checker:style")
-        evidence.put("naming", reports["naming"].stats,
-                     source="checker:naming")
-        evidence.put("unit_design", reports["unit_design"].stats,
-                     source="checker:unit_design")
-        evidence.put("architecture", reports["architecture"].stats,
-                     source="checker:architecture")
+        checker_backed = (
+            ("language_subset", "language_subset"),
+            ("strong_typing", "casts"),
+            ("defensive", "defensive"),
+            ("design_principles", "globals"),
+            ("globals", "globals"),
+            ("style", "style"),
+            ("naming", "naming"),
+            ("unit_design", "unit_design"),
+            ("architecture", "architecture"),
+        )
+        for key, checker in checker_backed:
+            report = reports[checker]
+            evidence.put(key, report.stats,
+                         source=f"checker:{checker}",
+                         rule_counts=report.count_by_rule())
         return evidence
 
 

@@ -95,5 +95,13 @@ class ConfigError(ReproError):
     """Raised on invalid assessment-pipeline configuration."""
 
 
+class RuleError(ReproError):
+    """Raised on conflicting rule registrations or unknown rule ids."""
+
+
+class BaselineError(ReproError):
+    """Raised when a finding baseline cannot be read or written."""
+
+
 class PerfModelError(ReproError):
     """Raised when a performance model is queried with an invalid workload."""

@@ -23,11 +23,15 @@ class EvidenceItem:
         key: the evidence key a table row refers to.
         stats: aggregate numbers (checker/metric statistics).
         source: human-readable origin, e.g. ``"checker:language_subset"``.
+        rule_counts: per-rule finding counts for checker-backed
+            evidence, so topic rationales can cite which rules fired
+            (empty for metric-backed evidence).
     """
 
     key: str
     stats: Dict[str, float] = field(default_factory=dict)
     source: str = ""
+    rule_counts: Dict[str, int] = field(default_factory=dict)
 
     def stat(self, name: str, default: Optional[float] = None) -> float:
         if name in self.stats:
@@ -51,9 +55,11 @@ class EvidenceSet:
         self._items[item.key] = item
 
     def put(self, key: str, stats: Dict[str, float],
-            source: str = "") -> None:
+            source: str = "",
+            rule_counts: Optional[Dict[str, int]] = None) -> None:
         """Convenience: add an item from raw stats."""
-        self.add(EvidenceItem(key=key, stats=dict(stats), source=source))
+        self.add(EvidenceItem(key=key, stats=dict(stats), source=source,
+                              rule_counts=dict(rule_counts or {})))
 
     def get(self, key: str) -> EvidenceItem:
         try:

@@ -1,0 +1,53 @@
+"""First-class rules: registry, profiles, deviations, and baselines.
+
+This package is the bottom layer of the checker stack (it imports
+nothing from :mod:`repro.checkers` or :mod:`repro.core`).  Checkers
+register their :class:`Rule` records in :data:`REGISTRY` at import time
+and route findings through it; the pipeline layers profiles
+(:class:`RuleProfile`), inline deviations (:func:`scan_deviations`), and
+finding baselines (:class:`Baseline`) on top.
+"""
+
+from .baseline import (
+    BASELINE_VERSION,
+    Baseline,
+    BaselineComparison,
+    finding_key,
+)
+from .deviations import (
+    DEVIATION_PATTERN,
+    Deviation,
+    DeviationIndex,
+    scan_deviations,
+)
+from .profile import RuleProfile
+from .registry import (
+    DEVIATION_RULES,
+    MISSING_RATIONALE,
+    REGISTRY,
+    Rule,
+    RuleRegistry,
+    Severity,
+    UNKNOWN_RULE,
+    render_rules,
+)
+
+__all__ = [
+    "BASELINE_VERSION",
+    "Baseline",
+    "BaselineComparison",
+    "DEVIATION_PATTERN",
+    "DEVIATION_RULES",
+    "Deviation",
+    "DeviationIndex",
+    "MISSING_RATIONALE",
+    "REGISTRY",
+    "Rule",
+    "RuleProfile",
+    "RuleRegistry",
+    "Severity",
+    "UNKNOWN_RULE",
+    "finding_key",
+    "render_rules",
+    "scan_deviations",
+]

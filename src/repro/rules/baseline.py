@@ -1,0 +1,155 @@
+"""Finding baselines: adopt the tooling on a legacy tree incrementally.
+
+The paper's remediation path (Observation 14) assumes "limited
+engineering effort" — which in practice means a large existing codebase
+cannot fix thousands of findings at once.  The standard industrial answer
+is a *baseline*: snapshot today's findings to JSON, then have later runs
+report only what is **new** relative to that snapshot, so the finding
+count can be ratcheted down without drowning reviews in legacy noise.
+
+Findings are matched by a line-free key (rule, file, function, message),
+so unrelated edits that shift line numbers do not resurrect baselined
+findings.  Keys are counted, not set-matched: a file with three identical
+violations baselines three, and a fourth occurrence is new.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, TYPE_CHECKING
+
+from ..errors import BaselineError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..checkers.base import CheckerReport, Finding
+
+#: Bump when the snapshot layout changes incompatibly.
+BASELINE_VERSION = 1
+
+
+def finding_key(finding: "Finding") -> str:
+    """Line-independent identity of a finding for baseline matching."""
+    return "|".join((finding.rule, finding.filename, finding.function,
+                     finding.message))
+
+
+@dataclass
+class BaselineComparison:
+    """The outcome of comparing a run's reports against a baseline.
+
+    Attributes:
+        new: findings absent from the snapshot, keyed by checker name
+            (checkers with nothing new are omitted).
+        known: how many findings the snapshot accounted for.
+    """
+
+    new: Dict[str, List["Finding"]] = field(default_factory=dict)
+    known: int = 0
+
+    @property
+    def total_new(self) -> int:
+        return sum(len(findings) for findings in self.new.values())
+
+    def new_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for findings in self.new.values():
+            for finding in findings:
+                counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+
+class Baseline:
+    """A serializable snapshot of one run's findings."""
+
+    def __init__(self,
+                 counts: Mapping[str, Mapping[str, int]] = ()) -> None:
+        #: ``{checker name: {finding key: occurrence count}}``.
+        self.counts: Dict[str, Dict[str, int]] = {
+            checker: dict(keys)
+            for checker, keys in dict(counts).items()}
+
+    @classmethod
+    def from_reports(cls, reports: Mapping[str, "CheckerReport"]
+                     ) -> "Baseline":
+        counts: Dict[str, Dict[str, int]] = {}
+        for name, report in reports.items():
+            keys: Dict[str, int] = {}
+            for finding in report.findings:
+                key = finding_key(finding)
+                keys[key] = keys.get(key, 0) + 1
+            if keys:
+                counts[name] = keys
+        return cls(counts)
+
+    # ------------------------------------------------------------------
+
+    def compare(self, reports: Mapping[str, "CheckerReport"]
+                ) -> BaselineComparison:
+        """Split the reports' findings into known-vs-new.
+
+        Within one key, the first ``count`` occurrences (in report
+        order) are known and any excess is new — deterministic, and
+        exact when occurrences are indistinguishable anyway.
+        """
+        comparison = BaselineComparison()
+        for name, report in reports.items():
+            remaining = dict(self.counts.get(name, {}))
+            fresh: List["Finding"] = []
+            for finding in report.findings:
+                key = finding_key(finding)
+                if remaining.get(key, 0) > 0:
+                    remaining[key] -= 1
+                    comparison.known += 1
+                else:
+                    fresh.append(finding)
+            if fresh:
+                comparison.new[name] = fresh
+        return comparison
+
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "version": BASELINE_VERSION,
+            "findings": {checker: dict(sorted(keys.items()))
+                         for checker, keys in sorted(self.counts.items())},
+        }
+
+    def save(self, path: str) -> None:
+        try:
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(self.to_dict(), handle, indent=2,
+                          sort_keys=True)
+                handle.write("\n")
+        except OSError as error:
+            raise BaselineError(
+                f"cannot write baseline {path!r}: {error}") from error
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except OSError as error:
+            raise BaselineError(
+                f"cannot read baseline {path!r}: {error}") from error
+        except ValueError as error:
+            raise BaselineError(
+                f"baseline {path!r} is not valid JSON: {error}") from error
+        if not isinstance(document, dict) \
+                or document.get("version") != BASELINE_VERSION \
+                or not isinstance(document.get("findings"), dict):
+            raise BaselineError(
+                f"baseline {path!r} is not a version-"
+                f"{BASELINE_VERSION} finding snapshot")
+        try:
+            counts = {
+                str(checker): {str(key): int(count)
+                               for key, count in keys.items()}
+                for checker, keys in document["findings"].items()}
+        except (AttributeError, TypeError, ValueError) as error:
+            raise BaselineError(
+                f"baseline {path!r} has a malformed findings map: "
+                f"{error}") from error
+        return cls(counts)

@@ -1,0 +1,90 @@
+"""Rule profiles: per-project enable/disable globs and severity overrides.
+
+MISRA compliance documents declare, per project, which rules apply and at
+what category; ISO 26262 audits work the same way.  A :class:`RuleProfile`
+captures that declaration: shell-style globs (``fnmatch``, case-sensitive)
+select the enabled rule ids, and ``severities`` remaps the default
+severity of matching rules.
+
+The default profile — enable everything, override nothing — is
+behaviorally identical to having no profile at all, and
+:meth:`RuleProfile.fingerprint_for` returns ``""`` for any checker whose
+rule resolution the profile leaves untouched, so the result cache keeps
+its entries for unaffected checkers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import Iterable, Mapping, Tuple, Union
+
+from .registry import Rule, Severity
+
+SeverityOverrides = Union[Mapping[str, Severity],
+                          Iterable[Tuple[str, Severity]]]
+
+
+@dataclass(frozen=True)
+class RuleProfile:
+    """Which rules apply, and at what severity.
+
+    Attributes:
+        enable: globs selecting the rules in force (default: all).
+        disable: globs removing rules from the enabled set; disable
+            wins over enable.
+        severities: ``(glob, Severity)`` pairs remapping the default
+            severity of matching enabled rules; the last matching pair
+            wins.  A mapping is accepted and normalized.
+    """
+
+    enable: Tuple[str, ...] = ("*",)
+    disable: Tuple[str, ...] = ()
+    severities: Tuple[Tuple[str, Severity], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "enable",
+                           tuple(self.enable) or ("*",))
+        object.__setattr__(self, "disable", tuple(self.disable))
+        overrides = self.severities
+        if isinstance(overrides, Mapping):
+            overrides = overrides.items()
+        object.__setattr__(
+            self, "severities",
+            tuple((pattern, Severity(level))
+                  for pattern, level in overrides))
+
+    # ------------------------------------------------------------------
+
+    def enabled(self, rule_id: str) -> bool:
+        """True when ``rule_id`` is in force under this profile."""
+        return (any(fnmatchcase(rule_id, glob) for glob in self.enable)
+                and not any(fnmatchcase(rule_id, glob)
+                            for glob in self.disable))
+
+    def severity_for(self, rule_id: str, default: Severity) -> Severity:
+        """The effective severity of ``rule_id`` (last override wins)."""
+        effective = default
+        for pattern, severity in self.severities:
+            if fnmatchcase(rule_id, pattern):
+                effective = severity
+        return effective
+
+    # ------------------------------------------------------------------
+
+    def fingerprint_for(self, rules: Iterable[Rule]) -> str:
+        """Cache-key material: how this profile alters ``rules``.
+
+        Returns ``""`` when the profile resolves every rule to its
+        registered default — the checker's output is then identical to
+        an unprofiled run, so its cached per-unit reports stay valid.
+        """
+        parts = []
+        for rule in sorted(rules, key=lambda rule: rule.id):
+            if not self.enabled(rule.id):
+                parts.append(f"-{rule.id}")
+            else:
+                severity = self.severity_for(rule.id, rule.severity)
+                if severity is not rule.severity:
+                    parts.append(f"{rule.id}={severity.name}")
+        return ",".join(parts)

@@ -212,6 +212,88 @@ class TestCheckerProtocol:
         assert pruned.config is style.config
 
 
+class TestFingerprintInvalidation:
+    """A profile (or version bump) must invalidate exactly the entries
+    of the checkers it affects — and an identical profile must hit."""
+
+    def test_profile_changes_affected_fingerprint_only(self):
+        from repro.rules import RuleProfile
+        style = StyleChecker()
+        globals_default = \
+            AssessmentPipeline()._checkers({})[3].fingerprint()
+        default = style.fingerprint()
+        style.profile = RuleProfile(disable=("SG.*",))
+        assert style.fingerprint() != default
+        # the same profile leaves checkers without SG rules untouched
+        checkers = AssessmentPipeline(PipelineConfig(
+            rules=RuleProfile(disable=("SG.*",))))._checkers({})
+        by_name = {checker.name: checker for checker in checkers}
+        assert by_name["globals"].fingerprint() == globals_default
+        assert by_name["style"].fingerprint() == style.fingerprint()
+
+    def test_version_bump_changes_fingerprint(self):
+        style = StyleChecker()
+        default = style.fingerprint()
+        style.version = "999-test"
+        assert style.fingerprint() != default
+        assert "999-test" in style.fingerprint()
+
+    def test_profile_invalidates_affected_bundles_only(self, tmp_path,
+                                                       corpus_sources):
+        from repro.rules import RuleProfile
+        AssessmentPipeline(PipelineConfig(
+            cache=ResultCache(str(tmp_path)))).run(corpus_sources)
+        files = len(corpus_sources)
+
+        # A profile touching a per-unit checker's rules: parse entries
+        # hit, every checker bundle misses (the bundle key joins all
+        # per-unit fingerprints).
+        cache = ResultCache(str(tmp_path))
+        AssessmentPipeline(PipelineConfig(
+            cache=cache,
+            rules=RuleProfile(disable=("SG.*",)))).run(corpus_sources)
+        assert cache.hits == files  # parse only
+        assert cache.misses == files  # every checker bundle
+
+        # Re-running with the identical profile hits everything.
+        rerun = ResultCache(str(tmp_path))
+        AssessmentPipeline(PipelineConfig(
+            cache=rerun,
+            rules=RuleProfile(disable=("SG.*",)))).run(corpus_sources)
+        assert rerun.misses == 0
+        assert rerun.hits == 2 * files
+
+    def test_project_only_profile_keeps_bundles(self, tmp_path,
+                                                corpus_sources):
+        from repro.rules import RuleProfile
+        AssessmentPipeline(PipelineConfig(
+            cache=ResultCache(str(tmp_path)))).run(corpus_sources)
+        # AR rules belong to the architecture checker, which is
+        # project-level: per-unit bundles stay valid.
+        cache = ResultCache(str(tmp_path))
+        AssessmentPipeline(PipelineConfig(
+            cache=cache,
+            rules=RuleProfile(disable=("AR2.*",)))).run(corpus_sources)
+        assert cache.misses == 0
+        assert cache.hits == 2 * len(corpus_sources)
+
+    def test_profiled_cached_run_matches_uncached(self, tmp_path,
+                                                  corpus_sources):
+        from repro.rules import RuleProfile
+        profile = RuleProfile(disable=("SG.*", "GV.*"))
+        reference = AssessmentPipeline(
+            PipelineConfig(rules=profile)).run(corpus_sources)
+        AssessmentPipeline(PipelineConfig(
+            cache=ResultCache(str(tmp_path)),
+            rules=profile)).run(corpus_sources)
+        warm = AssessmentPipeline(PipelineConfig(
+            cache=ResultCache(str(tmp_path)), jobs=3,
+            rules=profile)).run(corpus_sources)
+        assert_identical(warm, reference)
+        assert warm.reports["style"].finding_count == 0
+        assert warm.reports["globals"].finding_count == 0
+
+
 class TestParallelTelemetry:
     def test_worker_spans_and_cache_counters(self, tmp_path,
                                              corpus_sources):

@@ -1,0 +1,115 @@
+"""Tests for finding baselines (snapshot, compare, persistence)."""
+
+import json
+
+import pytest
+
+from repro.checkers import CheckerReport, Finding
+from repro.errors import BaselineError
+from repro.rules import BASELINE_VERSION, Baseline, finding_key
+
+
+def _report(checker, *findings):
+    report = CheckerReport(checker=checker)
+    report.findings = list(findings)
+    return report
+
+
+def _finding(rule="R.1", message="msg", filename="a.cc", line=1,
+             function=""):
+    return Finding(rule=rule, message=message, filename=filename,
+                   line=line, function=function)
+
+
+class TestFindingKey:
+    def test_key_ignores_line(self):
+        assert finding_key(_finding(line=1)) == finding_key(_finding(line=99))
+
+    def test_key_distinguishes_rule_file_function_message(self):
+        base = finding_key(_finding())
+        assert finding_key(_finding(rule="R.2")) != base
+        assert finding_key(_finding(filename="b.cc")) != base
+        assert finding_key(_finding(function="f")) != base
+        assert finding_key(_finding(message="other")) != base
+
+
+class TestCompare:
+    def test_identical_run_reports_nothing_new(self):
+        reports = {"x": _report("x", _finding(), _finding(rule="R.2"))}
+        comparison = Baseline.from_reports(reports).compare(reports)
+        assert comparison.total_new == 0
+        assert comparison.known == 2
+        assert comparison.new == {}
+
+    def test_new_finding_detected(self):
+        baseline = Baseline.from_reports({"x": _report("x", _finding())})
+        comparison = baseline.compare(
+            {"x": _report("x", _finding(), _finding(rule="R.9"))})
+        assert comparison.known == 1
+        assert [f.rule for f in comparison.new["x"]] == ["R.9"]
+        assert comparison.new_by_rule() == {"R.9": 1}
+
+    def test_moved_finding_stays_known(self):
+        baseline = Baseline.from_reports(
+            {"x": _report("x", _finding(line=10))})
+        comparison = baseline.compare(
+            {"x": _report("x", _finding(line=42))})
+        assert comparison.total_new == 0
+
+    def test_occurrences_are_counted_not_set_matched(self):
+        baseline = Baseline.from_reports(
+            {"x": _report("x", _finding(), _finding())})
+        comparison = baseline.compare(
+            {"x": _report("x", _finding(), _finding(), _finding())})
+        assert comparison.known == 2
+        assert comparison.total_new == 1
+
+    def test_unknown_checker_is_all_new(self):
+        comparison = Baseline().compare({"x": _report("x", _finding())})
+        assert comparison.total_new == 1
+        assert comparison.known == 0
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        reports = {"x": _report("x", _finding(), _finding(rule="R.2"))}
+        path = str(tmp_path / "base.json")
+        Baseline.from_reports(reports).save(path)
+        loaded = Baseline.load(path)
+        assert loaded.compare(reports).total_new == 0
+
+    def test_snapshot_is_stable_json(self, tmp_path):
+        reports = {"x": _report("x", _finding())}
+        path = str(tmp_path / "base.json")
+        Baseline.from_reports(reports).save(path)
+        document = json.loads((tmp_path / "base.json").read_text())
+        assert document["version"] == BASELINE_VERSION
+        assert list(document["findings"]) == ["x"]
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(BaselineError, match="cannot read"):
+            Baseline.load(str(tmp_path / "absent.json"))
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(BaselineError, match="not valid JSON"):
+            Baseline.load(str(path))
+
+    def test_wrong_version_raises(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"version": 999, "findings": {}}))
+        with pytest.raises(BaselineError, match="finding snapshot"):
+            Baseline.load(str(path))
+
+    def test_malformed_findings_raise(self, tmp_path):
+        path = tmp_path / "weird.json"
+        path.write_text(json.dumps(
+            {"version": BASELINE_VERSION,
+             "findings": {"x": ["not", "a", "mapping"]}}))
+        with pytest.raises(BaselineError, match="malformed"):
+            Baseline.load(str(path))
+
+    def test_unwritable_path_raises(self, tmp_path):
+        with pytest.raises(BaselineError, match="cannot write"):
+            Baseline().save(str(tmp_path / "no" / "such" / "dir" / "b.json"))

@@ -1,0 +1,171 @@
+"""Pipeline and CLI integration for profiles, deviations, and baselines."""
+
+import json
+
+import pytest
+
+from repro.core import PipelineConfig, assess_corpus, assess_sources
+from repro.core.cli import main
+from repro.core.markdown import render_markdown
+from repro.rules import Baseline, RuleProfile
+
+TREE = {
+    "perception/dev.cc": (
+        "int g_counter = 0;"
+        "  // DEVIATION(GV.mutable_global: legacy telemetry counter)\n"
+        "int plain_global = 1;\n"
+        "int Compute(int value) {\n"
+        "  if (value < 0) { return 0; }\n"
+        "  return value;\n"
+        "}\n"
+    ),
+}
+
+
+class TestDefaultRunUnchanged:
+    """The tentpole's compatibility pin: no profile => identical output."""
+
+    def test_all_default_profile_is_byte_identical(self, small_corpus,
+                                                   small_assessment):
+        profiled = assess_corpus(
+            small_corpus, PipelineConfig(rules=RuleProfile()))
+        assert json.dumps(profiled.to_dict(), sort_keys=True) \
+            == json.dumps(small_assessment.to_dict(), sort_keys=True)
+        assert profiled.render_summary() \
+            == small_assessment.render_summary()
+
+    def test_default_run_has_no_rules_artifacts(self, small_assessment):
+        document = small_assessment.to_dict()
+        assert "suppressed_findings" not in document
+        assert "baseline" not in document
+        assert small_assessment.profile is None
+        assert small_assessment.baseline is None
+        for report in small_assessment.reports.values():
+            assert report.suppressed == []
+            assert "deviations" not in report.stats
+        assert "## Rule index" not in render_markdown(small_assessment)
+
+
+class TestProfiledPipeline:
+    def test_disabled_rule_vanishes_everywhere(self):
+        default = assess_sources(TREE)
+        assert any(finding.rule == "GV.mutable_global"
+                   for finding in default.reports["globals"].findings)
+        assert default.evidence.get("globals").stats["mutable_globals"] \
+            >= 1
+
+        disabled = assess_sources(
+            TREE, PipelineConfig(rules=RuleProfile(disable=("GV.*",))))
+        assert not any(finding.rule == "GV.mutable_global"
+                       for finding in disabled.reports["globals"].findings)
+        assert disabled.evidence.get("globals").stats["mutable_globals"] \
+            == 0
+        assert "GV.mutable_global" \
+            not in disabled.evidence.get("globals").rule_counts
+        markdown = render_markdown(disabled)
+        assert "## Rule index" in markdown
+        assert "| GV.mutable_global | globals | off |" in markdown
+
+    def test_deviation_counted_and_suppressed(self):
+        result = assess_sources(TREE)
+        report = result.reports["globals"]
+        assert report.stats["deviations"] == 1
+        assert [finding.rule for finding in report.suppressed] \
+            == ["GV.mutable_global"]
+        assert result.total_suppressed == 1
+        assert result.to_dict()["suppressed_findings"] == {"globals": 1}
+        assert "deviation-suppressed       : 1" in result.render_summary()
+
+    def test_evidence_carries_rule_counts(self, small_assessment):
+        counts = small_assessment.evidence.get("globals").rule_counts
+        assert counts.get("GV.mutable_global", 0) \
+            == small_assessment.reports["globals"].finding_count
+
+    def test_baseline_comparison_through_config(self):
+        first = assess_sources(TREE)
+        baseline = Baseline.from_reports(first.reports)
+        grown = dict(TREE)
+        grown["perception/dev.cc"] += "int second_global = 2;\n"
+        second = assess_sources(grown,
+                                PipelineConfig(baseline=baseline))
+        assert second.baseline is not None
+        assert second.baseline.total_new >= 1
+        new_rules = second.baseline.new_by_rule()
+        assert new_rules.get("GV.mutable_global") == 1
+        document = second.to_dict()
+        assert document["baseline"]["new"] == second.baseline.total_new
+        assert "baseline:" in second.render_summary()
+
+
+def _write_tree(root):
+    for path, source in TREE.items():
+        target = root / path
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+
+
+class TestCliRules:
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "GV.mutable_global" in out
+        assert "rules registered" in out
+
+    def test_list_rules_wins_over_corpus(self, capsys):
+        assert main(["--corpus", "0.05", "--list-rules"]) == 0
+        assert "rules registered" in capsys.readouterr().out
+
+    def test_disable_drops_findings_from_json(self, tmp_path, capsys):
+        _write_tree(tmp_path)
+        out = tmp_path / "report.json"
+        assert main([str(tmp_path), "--disable", "GV.*",
+                     "--json", str(out)]) == 0
+        capsys.readouterr()
+        document = json.loads(out.read_text())
+        assert document["checker_findings"]["globals"] == 0
+
+    def test_unknown_rule_pattern_rejected(self, capsys):
+        assert main(["--corpus", "0.02", "--disable", "NOPE.*"]) == 2
+        assert "matches no registered rule" in capsys.readouterr().err
+
+    def test_baseline_round_trip(self, tmp_path, capsys):
+        _write_tree(tmp_path)
+        snapshot = tmp_path / "base.json"
+        assert main([str(tmp_path / "perception"),
+                     "--write-baseline", str(snapshot)]) == 0
+        assert snapshot.exists()
+        capsys.readouterr()
+        assert main([str(tmp_path / "perception"),
+                     "--baseline", str(snapshot)]) == 0
+        out = capsys.readouterr().out
+        assert ", 0 new" in out
+
+    def test_unreadable_baseline_exits_2(self, tmp_path, capsys):
+        assert main([str(tmp_path), "--baseline",
+                     str(tmp_path / "absent.json")]) == 2
+        assert "cannot read baseline" in capsys.readouterr().err
+
+
+class TestCliTopValidation:
+    """Satellite fix: --top was silently ignored without --profile."""
+
+    def test_top_without_profile_exits_2(self, capsys):
+        assert main(["--corpus", "0.02", "--top", "5"]) == 2
+        err = capsys.readouterr().err
+        assert err.strip() == "--top has no effect without --profile"
+
+    def test_top_zero_exits_2(self, capsys):
+        assert main(["--corpus", "0.02", "--profile", "--top", "0"]) == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_top_negative_exits_2(self, capsys):
+        assert main(["--corpus", "0.02", "--profile", "--top", "-3"]) == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_top_with_profile_accepted(self, capsys):
+        assert main(["--corpus", "0.02", "--profile", "--top", "3"]) == 0
+        assert "pipeline" in capsys.readouterr().out
+
+    def test_profile_without_top_defaults(self, capsys):
+        assert main(["--corpus", "0.02", "--profile"]) == 0
+        assert "pipeline" in capsys.readouterr().out

@@ -1,0 +1,183 @@
+"""Tests for rule profiles, deviation scanning, and emission routing."""
+
+from repro.checkers import (
+    GlobalVariableChecker,
+    MisraChecker,
+    Severity,
+)
+from repro.rules import (
+    MISSING_RATIONALE,
+    REGISTRY,
+    Rule,
+    RuleProfile,
+    UNKNOWN_RULE,
+    scan_deviations,
+)
+from repro.lang import parse_translation_unit
+
+
+class TestRuleProfile:
+    def test_default_enables_everything(self):
+        profile = RuleProfile()
+        assert profile.enabled("GV.mutable_global")
+        assert profile.enabled("anything.at.all")
+
+    def test_disable_wins_over_enable(self):
+        profile = RuleProfile(enable=("GV.*",), disable=("GV.mutable*",))
+        assert not profile.enabled("GV.mutable_global")
+
+    def test_enable_narrows(self):
+        profile = RuleProfile(enable=("M15.*",))
+        assert profile.enabled("M15.1")
+        assert not profile.enabled("GV.mutable_global")
+
+    def test_empty_enable_normalizes_to_all(self):
+        assert RuleProfile(enable=()).enabled("X.y")
+
+    def test_severity_override_last_match_wins(self):
+        profile = RuleProfile(severities=(
+            ("GV.*", Severity.INFO),
+            ("GV.mutable_global", Severity.CRITICAL),
+        ))
+        assert profile.severity_for("GV.mutable_global",
+                                    Severity.MAJOR) is Severity.CRITICAL
+        assert profile.severity_for("GV.other",
+                                    Severity.MAJOR) is Severity.INFO
+        assert profile.severity_for("NC.type_name",
+                                    Severity.MINOR) is Severity.MINOR
+
+    def test_severities_accepts_mapping(self):
+        profile = RuleProfile(severities={"GV.*": Severity.INFO})
+        assert profile.severity_for("GV.x",
+                                    Severity.MAJOR) is Severity.INFO
+
+    def test_fingerprint_empty_at_defaults(self):
+        rules = [Rule("A.1", "t", Severity.MINOR),
+                 Rule("A.2", "t", Severity.MAJOR)]
+        assert RuleProfile().fingerprint_for(rules) == ""
+
+    def test_fingerprint_records_disables_and_overrides(self):
+        rules = [Rule("A.1", "t", Severity.MINOR),
+                 Rule("A.2", "t", Severity.MAJOR)]
+        profile = RuleProfile(disable=("A.1",),
+                              severities=(("A.2", Severity.INFO),))
+        assert profile.fingerprint_for(rules) == "-A.1,A.2=INFO"
+
+
+GUARDED_SOURCE = """\
+int g_counter = 0;  // DEVIATION(GV.mutable_global: legacy HAL interop)
+int bare_global = 1;  // DEVIATION(GV.mutable_global)
+int orphan = 2;  // DEVIATION(ZZ.not_registered: whatever)
+int plain_global = 3;
+"""
+
+
+def _unit(source=GUARDED_SOURCE, filename="dev.cc"):
+    return parse_translation_unit(source, filename)
+
+
+class TestScanDeviations:
+    def test_scan_finds_sites_with_rationale(self):
+        index = scan_deviations(_unit().tokens, "dev.cc")
+        assert len(index) == 3
+        justified = index.suppressing("GV.mutable_global", "dev.cc", 1)
+        assert justified is not None
+        assert justified.rationale == "legacy HAL interop"
+
+    def test_unjustified_deviation_does_not_suppress(self):
+        index = scan_deviations(_unit().tokens, "dev.cc")
+        assert index.suppressing("GV.mutable_global", "dev.cc", 2) is None
+
+    def test_wrong_rule_or_line_does_not_suppress(self):
+        index = scan_deviations(_unit().tokens, "dev.cc")
+        assert index.suppressing("NC.global_name", "dev.cc", 1) is None
+        assert index.suppressing("GV.mutable_global", "dev.cc", 4) is None
+
+    def test_multiline_comment_line_offsets(self):
+        source = ("/* block\n"
+                  "   DEVIATION(GV.mutable_global: spans lines)\n"
+                  "*/\n"
+                  "int x;\n")
+        index = scan_deviations(_unit(source).tokens, "dev.cc")
+        (deviation,) = list(index)
+        assert deviation.line == 2
+
+
+class TestEmissionRouting:
+    def test_deviation_suppresses_exactly_its_line(self):
+        report = GlobalVariableChecker().check_unit(_unit())
+        flagged = {finding.line for finding in report.findings
+                   if finding.rule == "GV.mutable_global"}
+        assert flagged == {2, 3, 4}
+        assert [finding.line for finding in report.suppressed] == [1]
+        assert report.stats["deviations"] == 1
+        # Suppressed findings leave the evidence stats too.
+        assert report.stats["mutable_globals"] == 3
+
+    def test_missing_rationale_is_a_finding(self):
+        report = GlobalVariableChecker().check_unit(_unit())
+        missing = [finding for finding in report.findings
+                   if finding.rule == MISSING_RATIONALE]
+        assert [finding.line for finding in missing] == [2]
+        assert "states no rationale" in missing[0].message
+
+    def test_unknown_rule_flagged_by_auditor_only(self):
+        unit = _unit()
+        misra_report = MisraChecker().check_unit(unit)
+        unknown = [finding for finding in misra_report.findings
+                   if finding.rule == UNKNOWN_RULE]
+        assert [finding.line for finding in unknown] == [3]
+        globals_report = GlobalVariableChecker().check_unit(unit)
+        assert not any(finding.rule == UNKNOWN_RULE
+                       for finding in globals_report.findings)
+
+    def test_disabled_rule_vanishes_from_stats(self):
+        checker = GlobalVariableChecker()
+        checker.profile = RuleProfile(disable=("GV.*",))
+        report = checker.check_unit(_unit())
+        assert not any(finding.rule == "GV.mutable_global"
+                       for finding in report.findings)
+        assert report.stats["mutable_globals"] == 0
+        assert report.suppressed == []
+
+    def test_severity_override_rewrites_findings(self):
+        checker = GlobalVariableChecker()
+        checker.profile = RuleProfile(
+            severities=(("GV.mutable_global", Severity.INFO),))
+        report = checker.check_unit(_unit("int plain_global = 3;\n"))
+        (finding,) = report.findings
+        assert finding.severity is Severity.INFO
+
+    def test_no_profile_no_deviations_keeps_bare_report(self):
+        report = GlobalVariableChecker().check_unit(
+            _unit("int plain_global = 3;\n"))
+        assert report.rules is None
+        assert "deviations" not in report.stats
+
+
+class TestFingerprintWithProfile:
+    def test_unaffected_checker_fingerprint_unchanged(self):
+        checker = GlobalVariableChecker()
+        default = checker.fingerprint()
+        checker.profile = RuleProfile(disable=("NC.*",))
+        assert checker.fingerprint() == default
+
+    def test_affected_checker_fingerprint_changes(self):
+        checker = GlobalVariableChecker()
+        default = checker.fingerprint()
+        checker.profile = RuleProfile(disable=("GV.*",))
+        assert checker.fingerprint() != default
+        assert "@rules:" in checker.fingerprint()
+
+    def test_deviation_process_rules_fold_in(self):
+        checker = GlobalVariableChecker()
+        default = checker.fingerprint()
+        checker.profile = RuleProfile(disable=(MISSING_RATIONALE,))
+        assert checker.fingerprint() != default
+
+    def test_registry_owns_emitted_rules(self):
+        # Every rule id the routed checkers emit must be registered, or
+        # profiles could never address it.
+        for rule_id in ("GV.mutable_global", MISSING_RATIONALE,
+                        UNKNOWN_RULE):
+            assert rule_id in REGISTRY

@@ -1,0 +1,92 @@
+"""Tests for the rule registry and its renderer."""
+
+import pytest
+
+import repro.checkers  # noqa: F401  (populates the registry)
+from repro.errors import RuleError
+from repro.rules import (
+    DEVIATION_RULES,
+    MISSING_RATIONALE,
+    REGISTRY,
+    Rule,
+    RuleRegistry,
+    Severity,
+    UNKNOWN_RULE,
+    render_rules,
+)
+
+
+class TestRuleRegistry:
+    def test_register_returns_rule(self):
+        registry = RuleRegistry()
+        rule = Rule("X.one", "title", Severity.MINOR)
+        assert registry.register(rule) is rule
+        assert "X.one" in registry
+
+    def test_register_idempotent_for_equal_records(self):
+        registry = RuleRegistry()
+        registry.register(Rule("X.one", "title"))
+        registry.register(Rule("X.one", "title"))
+        assert len(registry) == 1
+
+    def test_conflicting_registration_rejected(self):
+        registry = RuleRegistry()
+        registry.register(Rule("X.one", "title"))
+        with pytest.raises(RuleError, match="conflicting registration"):
+            registry.register(Rule("X.one", "a different title"))
+
+    def test_register_many_injects_checker(self):
+        registry = RuleRegistry()
+        rules = registry.register_many("mychecker", (
+            Rule("X.b", "b"), Rule("X.a", "a")))
+        assert all(rule.checker == "mychecker" for rule in rules)
+        assert [rule.id for rule in registry.rules_for("mychecker")] \
+            == ["X.a", "X.b"]
+
+    def test_checker_of_unknown_is_empty(self):
+        registry = RuleRegistry()
+        assert registry.checker_of("NO.such") == ""
+
+    def test_iteration_is_deterministic(self):
+        registry = RuleRegistry()
+        registry.register_many("b", (Rule("B.1", "t"),))
+        registry.register_many("a", (Rule("A.2", "t"), Rule("A.1", "t")))
+        assert [rule.id for rule in registry] == ["A.1", "A.2", "B.1"]
+
+
+class TestGlobalRegistry:
+    def test_every_checker_registered_rules(self):
+        checkers = {rule.checker for rule in REGISTRY}
+        assert {"language_subset", "casts", "defensive", "globals",
+                "naming", "style", "unit_design", "architecture",
+                "gpu_subset", "deviation"} <= checkers
+
+    def test_known_rule_ids_present(self):
+        for rule_id in ("M15.1", "ST.c_cast", "GV.mutable_global",
+                        "UD10.recursion", "AR2.component_size", "GS3",
+                        MISSING_RATIONALE, UNKNOWN_RULE):
+            assert rule_id in REGISTRY
+
+    def test_deviation_process_rules(self):
+        assert [rule.id for rule in DEVIATION_RULES] \
+            == [MISSING_RATIONALE, UNKNOWN_RULE]
+        assert REGISTRY.checker_of(MISSING_RATIONALE) == "deviation"
+
+    def test_rules_carry_iso_mapping(self):
+        rule = REGISTRY.get("GV.mutable_global")
+        assert rule.table == "unit_design"
+        assert rule.topic == "avoid_globals"
+
+
+class TestRenderRules:
+    def test_lists_every_rule_with_footer(self):
+        text = render_rules()
+        for rule in REGISTRY:
+            assert rule.id in text
+        assert f"{len(REGISTRY)} rules registered" in text
+
+    def test_columns_do_not_collide(self):
+        for line in render_rules().splitlines()[2:-2]:
+            # Fixed-width columns leave at least two spaces between the
+            # topic column and the title.
+            assert "  " in line.strip()
