@@ -7,11 +7,14 @@ from .architecture import (
 )
 from .base import (
     Checker,
+    CheckerCrash,
     CheckerReport,
     Finding,
     RuleView,
     Severity,
+    crash_report,
     enclosing_function_name,
+    make_crash,
     require_unique_checker,
     run_checkers,
 )
@@ -29,6 +32,7 @@ __all__ = [
     "ArchitectureConfig",
     "CastChecker",
     "Checker",
+    "CheckerCrash",
     "CheckerReport",
     "DefensiveChecker",
     "Finding",
@@ -42,8 +46,10 @@ __all__ = [
     "StyleChecker",
     "StyleConfig",
     "UnitDesignChecker",
+    "crash_report",
     "cuda_intrinsic_violations",
     "enclosing_function_name",
+    "make_crash",
     "module_from_path",
     "project_validation_ratio",
     "require_unique_checker",

@@ -21,12 +21,15 @@ behavior.
 from __future__ import annotations
 
 import abc
+import traceback as traceback_module
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional
 
+from ..errors import ReproError
 from ..lang.cppmodel import TranslationUnit
 from ..obs import NULL_TRACER
 from ..rules import (
+    CHECKER_CRASH,
     DEVIATION_RULES,
     DeviationIndex,
     MISSING_RATIONALE,
@@ -39,11 +42,14 @@ from ..rules import (
 
 __all__ = [
     "Checker",
+    "CheckerCrash",
     "CheckerReport",
     "Finding",
     "RuleView",
     "Severity",
+    "crash_report",
     "enclosing_function_name",
+    "make_crash",
     "require_unique_checker",
     "run_checkers",
 ]
@@ -116,6 +122,51 @@ class RuleView:
         return True
 
 
+@dataclass(frozen=True)
+class CheckerCrash:
+    """One contained checker fault: what crashed, where, and how.
+
+    Plain strings only, so crash records survive process-pool result
+    queues, the result cache, and JSON serialization unchanged.
+
+    Attributes:
+        checker: name of the crashed checker (or ``"parse"`` for a
+            parser-internal fault).
+        stage: the call that raised — ``"check_unit"``,
+            ``"check_project"``, ``"finalize"``, or ``"parse"``.
+        exc_type: qualified exception class name.
+        message: ``str(exception)``.
+        path: file being processed when known, else ``""``.
+        traceback: the formatted traceback, for the degradation report.
+    """
+
+    checker: str
+    stage: str
+    exc_type: str
+    message: str
+    path: str = ""
+    traceback: str = ""
+
+    def describe(self) -> str:
+        where = f" on {self.path}" if self.path else ""
+        return (f"checker {self.checker!r} crashed in {self.stage}"
+                f"{where}: {self.exc_type}: {self.message}")
+
+
+def make_crash(checker: str, stage: str, error: BaseException,
+               path: str = "") -> CheckerCrash:
+    """A :class:`CheckerCrash` record for a just-caught exception."""
+    return CheckerCrash(
+        checker=checker,
+        stage=stage,
+        exc_type=type(error).__name__,
+        message=str(error),
+        path=path,
+        traceback="".join(traceback_module.format_exception(
+            type(error), error, error.__traceback__)),
+    )
+
+
 @dataclass
 class CheckerReport:
     """The outcome of running one checker over one or more units."""
@@ -126,6 +177,9 @@ class CheckerReport:
     #: Findings reclassified by a justified ``DEVIATION(...)`` comment;
     #: kept out of :attr:`findings` but reported separately.
     suppressed: List[Finding] = field(default_factory=list)
+    #: Contained faults this checker hit; a non-empty list marks the
+    #: owning assessment as degraded.
+    crashes: List[CheckerCrash] = field(default_factory=list)
     #: Routing context, or ``None`` for the direct (default) path.
     rules: Optional[RuleView] = field(default=None, repr=False,
                                       compare=False)
@@ -163,8 +217,28 @@ class CheckerReport:
                 f"{self.checker!r}")
         self.findings.extend(other.findings)
         self.suppressed.extend(other.suppressed)
+        self.crashes.extend(other.crashes)
         for key, value in other.stats.items():
             self.stats[key] = self.stats.get(key, 0) + value
+
+    def record_crash(self, crash: CheckerCrash) -> None:
+        """Attach a contained fault: crash record plus a
+        :data:`~repro.rules.CHECKER_CRASH` finding, bypassing profile
+        routing so a degraded run can never silence its own evidence."""
+        self.crashes.append(crash)
+        self.findings.append(Finding(
+            rule=CHECKER_CRASH,
+            message=crash.describe(),
+            filename=crash.path or "<internal>",
+            severity=Severity.CRITICAL,
+        ))
+
+
+def crash_report(checker: str, crash: CheckerCrash) -> CheckerReport:
+    """A fresh report carrying nothing but one contained crash."""
+    report = CheckerReport(checker=checker)
+    report.record_crash(crash)
+    return report
 
 
 def _unit_deviations(unit: TranslationUnit) -> DeviationIndex:
@@ -335,16 +409,24 @@ def require_unique_checker(checker: Checker,
 def run_checkers(checkers: Iterable[Checker],
                  units: Iterable[TranslationUnit],
                  tracer=None,
+                 strict: bool = False,
                  ) -> Dict[str, CheckerReport]:
     """Run several checkers over the same units; returns name -> report.
 
     Duplicate checker names are a :class:`ValueError` (see
     :func:`require_unique_checker`).
 
+    A checker that raises a non-:class:`~repro.errors.ReproError` is
+    *contained*: the crash becomes a :class:`CheckerCrash` record plus a
+    ``internal.checker_crash`` finding in that checker's report, and the
+    remaining checkers still run.  ``strict=True`` restores the old
+    abort-on-first-crash behavior (the original exception propagates).
+
     Args:
         tracer: optional :class:`~repro.obs.Tracer`; each checker gets a
             ``checker`` span with its finding count, and findings are
             counted under ``checker.findings{checker=...}``.
+        strict: re-raise checker crashes instead of containing them.
     """
     tracer = tracer if tracer is not None else NULL_TRACER
     units = list(units)
@@ -352,7 +434,17 @@ def run_checkers(checkers: Iterable[Checker],
     for checker in checkers:
         require_unique_checker(checker, reports)
         with tracer.span("checker", name=checker.name) as span:
-            report = checker.check_project(units)
+            try:
+                report = checker.check_project(units)
+            except ReproError:
+                raise
+            except Exception as error:
+                if strict:
+                    raise
+                report = crash_report(checker.name, make_crash(
+                    checker.name, "check_project", error))
+                tracer.metrics.counter("pipeline.checker_crashes").inc()
+                span.set("crashed", 1)
             span.set("findings", report.finding_count)
         tracer.metrics.counter("checker.findings",
                                checker=checker.name).inc(

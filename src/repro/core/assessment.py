@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..checkers.base import CheckerReport
+from ..checkers.base import CheckerCrash, CheckerReport
 from ..rules import BaselineComparison, RuleProfile
 from ..iso26262.compliance import TableAssessment, Verdict
 from ..iso26262.evidence import EvidenceSet
@@ -36,8 +36,18 @@ class AssessmentResult:
     profile: Optional[RuleProfile] = None
     #: Comparison against a finding baseline, when one was supplied.
     baseline: Optional[BaselineComparison] = None
+    #: Contained internal faults (checker crashes, parser-internal
+    #: errors) in pipeline order; non-empty marks the run degraded.
+    crashes: List[CheckerCrash] = field(default_factory=list)
 
     # ------------------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """True when the run completed but lost some analysis to a
+        contained fault — its findings are a lower bound, not the full
+        picture.  Degraded CLI runs exit with code 3."""
+        return bool(self.crashes)
 
     @property
     def total_loc(self) -> int:
@@ -88,6 +98,12 @@ class AssessmentResult:
         if self.unparseable:
             lines.append(f"unparseable files          : "
                          f"{len(self.unparseable)}")
+            lines.append("")
+        if self.degraded:
+            lines.append(f"DEGRADED RUN: {len(self.crashes)} contained "
+                         f"fault(s); findings are a lower bound")
+            for crash in self.crashes:
+                lines.append(f"  - {crash.describe()}")
             lines.append("")
         if self.total_suppressed:
             lines.append(f"deviation-suppressed       : "
@@ -142,4 +158,18 @@ class AssessmentResult:
                 "new": self.baseline.total_new,
                 "new_by_rule": self.baseline.new_by_rule(),
             }
+        # Degradation keys appear only on degraded runs, so a fault-free
+        # run's JSON stays byte-identical to earlier releases.
+        if self.degraded:
+            result["degraded"] = True
+            result["degradations"] = [
+                {
+                    "checker": crash.checker,
+                    "stage": crash.stage,
+                    "path": crash.path,
+                    "exception": crash.exc_type,
+                    "message": crash.message,
+                }
+                for crash in self.crashes
+            ]
         return result

@@ -28,16 +28,31 @@ SCHEMA_TAG = "repro-cache:1"
 
 #: Stage tag for parse results; bump when the fuzzy parser's output for
 #: an unchanged source can change (see :mod:`repro.lang.cppmodel`).
-PARSE_TAG = "parse:1"
+#: parse:2 — ParseOutcome grew the ``crash`` field.
+PARSE_TAG = "parse:2"
 
 #: Stage tag for per-unit checker bundles; the bundle key additionally
 #: folds in every checker's :meth:`~repro.checkers.base.Checker.
 #: fingerprint`, so this only needs bumping for cross-checker changes.
 #: check:2 — CheckerReport grew ``suppressed``/``rules`` fields.
-CHECK_TAG = "check:2"
+#: check:3 — CheckerReport grew the ``crashes`` field.
+CHECK_TAG = "check:3"
 
 #: Sentinel distinguishing "no entry" from a cached ``None``.
 CACHE_MISS = object()
+
+
+def _process_alive(pid: int) -> bool:
+    """Best-effort liveness probe for a temp file's writer."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True  # exists but not ours (EPERM) — treat as alive
+    return True
 
 
 class ResultCache:
@@ -53,6 +68,7 @@ class ResultCache:
         self.root = root
         self.hits = 0
         self.misses = 0
+        self._swept = False
 
     # ------------------------------------------------------------------
 
@@ -76,10 +92,47 @@ class ResultCache:
             digest.update(b"\x1f")
         return digest.hexdigest()
 
-    def _entry_path(self, key: str) -> str:
+    def entry_path(self, key: str) -> str:
+        """Filesystem path of the entry for ``key`` (may not exist)."""
         return os.path.join(self.root, key[:2], key + ".pkl")
 
+    # Backwards-compatible alias.
+    _entry_path = entry_path
+
     # ------------------------------------------------------------------
+
+    def sweep_stale(self) -> int:
+        """Remove ``*.tmp.<pid>`` leftovers from crashed writers.
+
+        A writer that dies between creating its temp file and the atomic
+        ``os.replace`` leaves the temp behind forever; enough crashed
+        runs and the cache directory fills with garbage.  A temp file is
+        stale when its owning process is gone (or its name is mangled).
+        Returns the number of files removed; never raises.
+        """
+        removed = 0
+        try:
+            directories = os.listdir(self.root)
+        except OSError:
+            return 0
+        for subdirectory in directories:
+            directory = os.path.join(self.root, subdirectory)
+            try:
+                names = os.listdir(directory)
+            except (OSError, NotADirectoryError):
+                continue
+            for name in names:
+                if ".tmp." not in name:
+                    continue
+                pid_text = name.rpartition(".tmp.")[2]
+                if pid_text.isdigit() and _process_alive(int(pid_text)):
+                    continue  # a concurrent writer; leave its temp alone
+                try:
+                    os.remove(os.path.join(directory, name))
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
 
     def get(self, key: str) -> Any:
         """The cached value for ``key``, or :data:`CACHE_MISS`.
@@ -88,7 +141,7 @@ class ResultCache:
         caller recomputes and overwrites them.
         """
         try:
-            with open(self._entry_path(key), "rb") as handle:
+            with open(self.entry_path(key), "rb") as handle:
                 value = pickle.load(handle)
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
                 ImportError, IndexError, ValueError):
@@ -101,9 +154,17 @@ class ResultCache:
         """Store ``value`` under ``key``; False when the write failed.
 
         The write is atomic and best-effort: cache trouble must never
-        fail an assessment.
+        fail an assessment.  That contract covers more than disk
+        trouble — an unpicklable ``value`` (``PicklingError`` or
+        ``TypeError``) and deeply recursive payloads
+        (``RecursionError``) are swallowed the same way, and the first
+        write of a process sweeps stale temp files left behind by
+        crashed writers.
         """
-        path = self._entry_path(key)
+        if not self._swept:
+            self._swept = True
+            self.sweep_stale()
+        path = self.entry_path(key)
         temporary = f"{path}.tmp.{os.getpid()}"
         try:
             os.makedirs(os.path.dirname(path), exist_ok=True)
@@ -111,7 +172,8 @@ class ResultCache:
                 pickle.dump(value, handle,
                             protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(temporary, path)
-        except OSError:
+        except (OSError, pickle.PicklingError, TypeError,
+                AttributeError, RecursionError):
             try:
                 os.remove(temporary)
             except OSError:

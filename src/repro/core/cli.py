@@ -73,6 +73,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the result cache even when "
                              "--cache is given")
+    parser.add_argument("--strict", action="store_true",
+                        help="abort on the first internal fault "
+                             "(checker crash, parser bug) instead of "
+                             "containing it; without this flag a "
+                             "faulted run completes degraded and "
+                             "exits 3")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-task deadline for --jobs > 1; a "
+                             "task exceeding it is abandoned and its "
+                             "chunk recomputed serially")
     parser.add_argument("--plan", action="store_true",
                         help="print the prioritized remediation plan")
     parser.add_argument("--experiments", action="store_true",
@@ -170,13 +181,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     tracer = Tracer() if telemetry else None
     cache = (ResultCache(args.cache)
              if args.cache and not args.no_cache else None)
+    if args.task_timeout is not None and args.task_timeout <= 0:
+        print(f"--task-timeout must be positive, got {args.task_timeout}",
+              file=sys.stderr)
+        return 2
     try:
         pipeline = AssessmentPipeline(PipelineConfig(
             tracer=tracer, jobs=args.jobs, executor=args.executor,
-            cache=cache, rules=profile, baseline=baseline))
+            cache=cache, rules=profile, baseline=baseline,
+            strict=args.strict, task_timeout=args.task_timeout))
     except ConfigError as error:
         print(f"bad pipeline configuration: {error}", file=sys.stderr)
         return 2
+    # Under --strict a contained fault is not contained: the original
+    # exception (and traceback) propagates out of run(), aborting here.
     result = pipeline.run(sources)
     print(result.render_summary())
     if cache is not None:
@@ -228,7 +246,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"Markdown written to {args.markdown}")
     if args.experiments:
         _print_experiments()
-    return 0
+    # Exit 3: the assessment completed, but one or more faults were
+    # contained along the way — the findings are a lower bound.  CI can
+    # distinguish "clean" (0), "unusable invocation" (2), and
+    # "complete but degraded" (3).
+    return 3 if result.degraded else 0
 
 
 def _print_experiments() -> None:

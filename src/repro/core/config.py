@@ -51,6 +51,22 @@ class PipelineConfig:
             previous run's findings; when set, the assessment result
             carries a comparison reporting only findings absent from
             the snapshot.
+        strict: abort on the first internal fault (a checker raising a
+            non-:class:`~repro.errors.ReproError`, a parser-internal
+            crash) instead of containing it.  The default ``False``
+            contains faults as :class:`~repro.checkers.base.
+            CheckerCrash` records: the run completes with the remaining
+            checkers and the result is marked
+            :attr:`~repro.core.assessment.AssessmentResult.degraded`.
+        task_timeout: per-task deadline in seconds for the worker pool
+            (``jobs > 1``); a task that exceeds it is abandoned and its
+            chunk recomputed serially in the parent.  ``None`` (the
+            default) waits forever.
+        extra_checkers: additional :class:`~repro.checkers.base.
+            Checker` instances appended after the built-in nine.  They
+            feed findings and degradations but no ISO evidence keys;
+            the fault-injection harness (:mod:`repro.testing.faults`)
+            uses this seam.
     """
 
     target_asil: Asil = TARGET_ASIL
@@ -67,3 +83,6 @@ class PipelineConfig:
     cache: Optional[ResultCache] = None
     rules: Optional[RuleProfile] = None
     baseline: Optional[Baseline] = None
+    strict: bool = False
+    task_timeout: Optional[float] = None
+    extra_checkers: tuple = ()

@@ -75,6 +75,31 @@ def _rule_index_markdown(result: AssessmentResult) -> List[str]:
     return lines
 
 
+def _degradations_markdown(result: AssessmentResult) -> List[str]:
+    """The contained-fault report, shown only on degraded runs.
+
+    One row per :class:`~repro.checkers.base.CheckerCrash`, so a reader
+    knows exactly which checker's evidence is incomplete (and where),
+    without digging through logs.
+    """
+    lines = [
+        "## Degradations",
+        "",
+        f"This run completed **degraded**: {len(result.crashes)} "
+        f"internal fault(s) were contained. Findings from the named "
+        f"checkers are a lower bound; every other checker ran in full.",
+        "",
+        "| checker | stage | file | exception |",
+        "|---|---|---|---|",
+    ]
+    for crash in result.crashes:
+        lines.append(f"| {crash.checker} | {crash.stage} | "
+                     f"{crash.path or '-'} | {crash.exc_type}: "
+                     f"{crash.message} |")
+    lines.append("")
+    return lines
+
+
 def render_markdown(result: AssessmentResult,
                     title: str = "ISO 26262-6 adherence assessment"
                     ) -> str:
@@ -90,6 +115,10 @@ def render_markdown(result: AssessmentResult,
         f"- functions with cyclomatic complexity > 10: "
         f"**{result.moderate_or_higher}**",
         "",
+    ]
+    if result.degraded:
+        lines.extend(_degradations_markdown(result))
+    lines += [
         "## Module metrics (Figure 3)",
         "",
         "| module | LOC | functions | cc>5 | cc>10 | cc>20 | cc>50 |",

@@ -23,6 +23,12 @@ forest and metrics are grafted back into the parent trace by
 Worker task functions are module-level so the ``process`` executor can
 pickle them; every payload (tasks, :class:`TranslationUnit` results,
 checker reports, worker tracers) is plain-dataclass picklable.
+
+The engine is additionally *fault-isolated* (see :func:`run_tasks` and
+:func:`check_unit_bundle`): a dead or hung worker costs one serial
+re-run of its chunk, and a crashing checker costs one
+``internal.checker_crash`` finding on the unit it crashed on — never
+the run.
 """
 
 from __future__ import annotations
@@ -32,8 +38,14 @@ from concurrent import futures
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..checkers.base import Checker, CheckerReport
-from ..errors import ConfigError, SourceError
+from ..checkers.base import (
+    Checker,
+    CheckerCrash,
+    CheckerReport,
+    crash_report,
+    make_crash,
+)
+from ..errors import ConfigError, ReproError, SourceError
 from ..lang.cppmodel import TranslationUnit, parse_translation_unit
 from ..obs import NULL_TRACER, Span, Tracer
 
@@ -74,12 +86,40 @@ def chunk_evenly(items: Sequence, chunks: int) -> List[List]:
     return result
 
 
+#: Internal sentinel for "this task has no pool result yet".
+_PENDING = object()
+
+
+def _count(metrics, name: str, **labels) -> None:
+    if metrics is not None:
+        metrics.counter(name, **labels).inc()
+
+
 def run_tasks(function: Callable, tasks: Sequence, *, jobs: int,
-              executor: str) -> List:
+              executor: str, timeout: Optional[float] = None,
+              metrics=None) -> List:
     """Run ``function`` over ``tasks`` on a pool; results in task order.
 
     ``jobs <= 1`` (or a single task) short-circuits to a plain loop —
     the serial path allocates no pool at all.
+
+    The pooled path is fault-isolated: a task whose worker dies
+    (``BrokenProcessPool`` — today that takes down the entire run),
+    whose result cannot cross the process boundary (pickling errors),
+    or that exceeds the per-task ``timeout`` is re-executed *serially*
+    in the calling process — a bounded retry (one in-process re-run per
+    failed task) that turns every worker-level fault into at worst a
+    slow chunk instead of a lost run.  An exception from the serial
+    re-run is genuine and propagates.
+
+    Args:
+        timeout: per-task result deadline in seconds; ``None`` waits
+            forever.  A timed-out worker task is abandoned (its pool
+            cannot interrupt it) and its chunk recomputed serially.
+        metrics: optional :class:`~repro.obs.MetricsRegistry`; failure
+            handling is counted under ``parallel.task_timeouts``,
+            ``parallel.worker_deaths``, ``parallel.task_errors``,
+            ``parallel.task_retries``, and ``parallel.serial_fallbacks``.
     """
     if executor not in EXECUTOR_KINDS:
         raise ConfigError(
@@ -88,8 +128,45 @@ def run_tasks(function: Callable, tasks: Sequence, *, jobs: int,
         return [function(task) for task in tasks]
     pool_class = (futures.ThreadPoolExecutor if executor == "thread"
                   else futures.ProcessPoolExecutor)
-    with pool_class(max_workers=min(jobs, len(tasks))) as pool:
-        return list(pool.map(function, tasks))
+    results: List = [_PENDING] * len(tasks)
+    pool = pool_class(max_workers=min(jobs, len(tasks)))
+    try:
+        pending = [pool.submit(function, task) for task in tasks]
+        for index, future in enumerate(pending):
+            try:
+                results[index] = future.result(timeout=timeout)
+            except futures.TimeoutError:
+                _count(metrics, "parallel.task_timeouts",
+                       executor=executor)
+                future.cancel()
+            except futures.BrokenExecutor:
+                _count(metrics, "parallel.worker_deaths",
+                       executor=executor)
+            except Exception:
+                # Thread pools have no IPC layer: an exception here IS
+                # the task's own, and re-running would repeat it (or,
+                # worse, silently succeed against already-consumed
+                # state) — propagate.  Process pools surface transport
+                # faults the same way (e.g. the worker's result failed
+                # to pickle), so there the serial re-run below — which
+                # never crosses a process boundary — is the recovery;
+                # a genuine task exception just re-raises from it.
+                if executor == "thread":
+                    raise
+                _count(metrics, "parallel.task_errors",
+                       executor=executor)
+    finally:
+        # wait=False: a hung worker must not hang the parent too.  A
+        # still-running abandoned task keeps its worker busy until it
+        # finishes, but the run no longer depends on it.
+        pool.shutdown(wait=False)
+    for index, task in enumerate(tasks):
+        if results[index] is _PENDING:
+            _count(metrics, "parallel.task_retries", executor=executor)
+            _count(metrics, "parallel.serial_fallbacks",
+                   executor=executor)
+            results[index] = function(task)
+    return results
 
 
 # ----------------------------------------------------------------------
@@ -98,11 +175,16 @@ def run_tasks(function: Callable, tasks: Sequence, *, jobs: int,
 
 @dataclass
 class ParseOutcome:
-    """What parsing one file produced: a unit, or the parse error."""
+    """What parsing one file produced: a unit, a parse error, or a
+    contained parser-internal crash."""
 
     path: str
     unit: Optional[TranslationUnit] = None
     error: Optional[SourceError] = None
+    #: A non-``SourceError`` raised inside the parser, contained (unless
+    #: the run is strict); the file counts as unparseable and the run
+    #: as degraded.
+    crash: Optional[CheckerCrash] = None
 
 
 @dataclass
@@ -112,12 +194,35 @@ class ParseTask:
     items: List[Tuple[str, str]]
     worker: int
     traced: bool = False
+    #: Re-raise parser-internal errors instead of containing them.
+    strict: bool = False
+
+
+def parse_one(path: str, source: str, strict: bool = False
+              ) -> ParseOutcome:
+    """Parse one file into an outcome, containing both failure modes.
+
+    An expected :class:`SourceError` (malformed input) lands in
+    ``error``; any other exception is a parser bug, contained as a
+    ``crash`` record unless ``strict``.
+    """
+    try:
+        unit = parse_translation_unit(source, path)
+    except SourceError as error:
+        return ParseOutcome(path, error=error)
+    except Exception as error:
+        if strict:
+            raise
+        return ParseOutcome(path, crash=make_crash(
+            "parse", "parse", error, path=path))
+    return ParseOutcome(path, unit=unit)
 
 
 def run_parse_task(task: ParseTask
                    ) -> Tuple[List[ParseOutcome], Optional[Tracer]]:
     """Parse one chunk of ``(path, source)`` pairs, catching per-file
-    :class:`SourceError` so a poisoned file never kills the pool."""
+    :class:`SourceError` (and, unless strict, parser-internal crashes)
+    so a poisoned file never kills the pool."""
     tracer = Tracer() if task.traced else NULL_TRACER
     timings = tracer.metrics.histogram("pipeline.parse_seconds")
     outcomes: List[ParseOutcome] = []
@@ -125,14 +230,11 @@ def run_parse_task(task: ParseTask
         failures = 0
         for path, source in task.items:
             with tracer.span("parse_file", path=path) as span:
-                try:
-                    unit = parse_translation_unit(source, path)
-                except SourceError as error:
+                outcome = parse_one(path, source, strict=task.strict)
+                if outcome.unit is None:
                     span.set("failed", 1)
                     failures += 1
-                    outcomes.append(ParseOutcome(path, error=error))
-                else:
-                    outcomes.append(ParseOutcome(path, unit=unit))
+                outcomes.append(outcome)
             if tracer.enabled:
                 timings.observe(span.duration)
         worker_span.set("files", len(task.items))
@@ -157,6 +259,8 @@ class CheckTask:
     units: List[TranslationUnit]
     worker: int
     traced: bool = False
+    #: Re-raise checker crashes instead of containing them per unit.
+    strict: bool = False
 
 
 def run_check_task(task: CheckTask
@@ -172,18 +276,43 @@ def run_check_task(task: CheckTask
     bundles: Dict[str, Dict[str, CheckerReport]] = {}
     with tracer.span("checker_worker", worker=task.worker) as span:
         for unit in task.units:
-            bundles[unit.filename] = {
-                checker.name: checker.check_unit(unit)
-                for checker in task.checkers}
+            bundles[unit.filename] = check_unit_bundle(
+                task.checkers, unit, strict=task.strict)
         span.set("units", len(task.units))
         span.set("checkers", len(task.checkers))
     return bundles, (tracer if task.traced else None)
 
 
-def check_unit_bundle(checkers: Sequence[Checker], unit: TranslationUnit
-                      ) -> Dict[str, CheckerReport]:
-    """The serial (and cache-fill) equivalent of one unit's fan-out."""
-    return {checker.name: checker.check_unit(unit) for checker in checkers}
+def check_unit_bundle(checkers: Sequence[Checker], unit: TranslationUnit,
+                      strict: bool = False) -> Dict[str, CheckerReport]:
+    """The serial (and cache-fill) equivalent of one unit's fan-out.
+
+    Containment is per checker *and* per unit: a checker that raises a
+    non-:class:`~repro.errors.ReproError` on this unit contributes a
+    :func:`~repro.checkers.base.crash_report` for it, and both the other
+    checkers on this unit and this checker on other units are
+    unaffected.  ``strict=True`` re-raises instead.
+    """
+    bundle: Dict[str, CheckerReport] = {}
+    for checker in checkers:
+        try:
+            bundle[checker.name] = checker.check_unit(unit)
+        except ReproError:
+            raise
+        except Exception as error:
+            if strict:
+                raise
+            bundle[checker.name] = crash_report(checker.name, make_crash(
+                checker.name, "check_unit", error, path=unit.filename))
+    return bundle
+
+
+def bundle_has_crash(bundle: Dict[str, CheckerReport]) -> bool:
+    """True when any report in a per-unit bundle contains a crash.
+
+    Crashed bundles are kept out of the result cache: the fault may be
+    transient (and, under ``--strict``, must reproduce, not replay)."""
+    return any(report.crashes for report in bundle.values())
 
 
 def split_checkers(checkers: Sequence[Checker]

@@ -27,7 +27,10 @@ from typing import Dict, List, Mapping, Optional
 from ..checkers.architecture import ArchitectureChecker
 from ..checkers.base import (
     Checker,
+    CheckerCrash,
     CheckerReport,
+    crash_report,
+    make_crash,
     require_unique_checker,
     run_checkers,
 )
@@ -39,7 +42,7 @@ from ..checkers.misra import MisraChecker
 from ..checkers.naming import NamingChecker
 from ..checkers.style import StyleChecker
 from ..checkers.unitdesign import UnitDesignChecker
-from ..errors import ConfigError, SourceError
+from ..errors import ConfigError, ReproError, SourceError
 from ..iso26262.compliance import ComplianceEngine
 from ..iso26262.evidence import EvidenceSet
 from ..iso26262.observations import generate_observations
@@ -54,6 +57,7 @@ from .parallel import (
     CheckTask,
     ParseOutcome,
     ParseTask,
+    bundle_has_crash,
     check_unit_bundle,
     chunk_evenly,
     graft_worker_trace,
@@ -96,12 +100,27 @@ class AssessmentPipeline:
     # ------------------------------------------------------------------
 
     def run(self, sources: Mapping[str, str]) -> AssessmentResult:
-        """Assess a codebase given as ``{path: source_text}``."""
+        """Assess a codebase given as ``{path: source_text}``.
+
+        Unless :attr:`PipelineConfig.strict` is set, internal faults
+        (a checker or the parser raising outside the
+        :class:`~repro.errors.ReproError` hierarchy) are contained: the
+        run completes with the surviving checkers and the result
+        carries the :class:`~repro.checkers.base.CheckerCrash` records
+        with :attr:`~repro.core.assessment.AssessmentResult.degraded`
+        set.
+        """
         tracer = self.tracer
+        crashes: List[CheckerCrash] = []
         with tracer.span("pipeline") as root:
-            units, unparseable = self._parse_all(sources)
+            units, unparseable = self._parse_all(sources, crashes)
             modules = self._measure_modules(sources, units)
             reports = self._run_checkers(sources, units)
+            for name in reports:
+                crashes.extend(reports[name].crashes)
+            if crashes:
+                tracer.metrics.counter("pipeline.crashes").inc(
+                    len(crashes))
             with tracer.span("evidence"):
                 evidence = self._assemble_evidence(modules, reports)
             with tracer.span("compliance"):
@@ -126,12 +145,14 @@ class AssessmentPipeline:
             unparseable=unparseable,
             profile=self.config.rules,
             baseline=baseline,
+            crashes=crashes,
         )
 
     # ------------------------------------------------------------------
     # stage 1: parse
 
-    def _parse_all(self, sources: Mapping[str, str]):
+    def _parse_all(self, sources: Mapping[str, str],
+                   crashes: List[CheckerCrash]):
         tracer = self.tracer
         cache = self.config.cache
         metrics = tracer.metrics
@@ -160,13 +181,19 @@ class AssessmentPipeline:
             for outcome in self._parse_pending(pending, sources,
                                                parse_span):
                 outcomes[outcome.path] = outcome
-                if cache is not None:
+                # Contained parser crashes are never cached: the fault
+                # may be transient, and strict runs must reproduce it.
+                if cache is not None and outcome.crash is None:
                     cache.put(cache.key_for(PARSE_TAG, outcome.path,
                                             sources[outcome.path]),
                               outcome)
             for path in paths:
                 outcome = outcomes[path]
-                if outcome.error is not None:
+                if outcome.crash is not None:
+                    failed.inc()
+                    unparseable.append(path)
+                    crashes.append(outcome.crash)
+                elif outcome.error is not None:
                     if not self.config.skip_unparseable:
                         raise outcome.error
                     failed.inc()
@@ -197,6 +224,12 @@ class AssessmentPipeline:
                     except SourceError as error:
                         span.set("failed", 1)
                         outcomes.append(ParseOutcome(path, error=error))
+                    except Exception as error:
+                        if self.config.strict:
+                            raise
+                        span.set("failed", 1)
+                        outcomes.append(ParseOutcome(path, crash=make_crash(
+                            "parse", "parse", error, path=path)))
                     else:
                         outcomes.append(ParseOutcome(path, unit=unit))
                 if tracer.enabled:
@@ -204,12 +237,15 @@ class AssessmentPipeline:
             return outcomes
         tasks = [
             ParseTask(items=[(path, sources[path]) for path in chunk],
-                      worker=index, traced=tracer.enabled)
+                      worker=index, traced=tracer.enabled,
+                      strict=self.config.strict)
             for index, chunk in enumerate(chunk_evenly(paths, self.jobs))]
         outcomes = []
         for chunk_outcomes, worker_tracer in run_tasks(
                 run_parse_task, tasks, jobs=self.jobs,
-                executor=self.config.executor):
+                executor=self.config.executor,
+                timeout=self.config.task_timeout,
+                metrics=tracer.metrics):
             outcomes.extend(chunk_outcomes)
             graft_worker_trace(tracer, parse_span, worker_tracer)
         return outcomes
@@ -252,6 +288,7 @@ class AssessmentPipeline:
                                 self.config.module_of),
             GpuSubsetChecker(),
         ]
+        checkers.extend(self.config.extra_checkers)
         if self.config.rules is not None:
             for checker in checkers:
                 checker.profile = self.config.rules
@@ -263,7 +300,8 @@ class AssessmentPipeline:
         checkers = self._checkers(sources)
         with self.tracer.span("checkers") as checkers_span:
             if self.jobs <= 1 and self.config.cache is None:
-                return run_checkers(checkers, units, tracer=self.tracer)
+                return run_checkers(checkers, units, tracer=self.tracer,
+                                    strict=self.config.strict)
             return self._run_checkers_engine(checkers, units, sources,
                                              checkers_span)
 
@@ -308,23 +346,40 @@ class AssessmentPipeline:
         fresh = self._check_pending(pending, per_unit, checkers_span)
         if cache is not None:
             for path, bundle in fresh.items():
-                cache.put(cache.key_for(CHECK_TAG, path,
-                                        sources.get(path, ""),
-                                        bundle_tag),
-                          bundle)
+                # Crashed bundles are never cached (see bundle_has_crash).
+                if not bundle_has_crash(bundle):
+                    cache.put(cache.key_for(CHECK_TAG, path,
+                                            sources.get(path, ""),
+                                            bundle_tag),
+                              bundle)
         bundles.update(fresh)
 
+        strict = self.config.strict
         reports: Dict[str, CheckerReport] = {}
         for checker in checkers:
             require_unique_checker(checker, reports)
             with tracer.span("checker", name=checker.name) as span:
-                if checker.name in per_unit_names:
-                    report = CheckerReport(checker=checker.name)
-                    for unit in units:
-                        report.merge(bundles[unit.filename][checker.name])
-                    checker.finalize(report)
-                else:
-                    report = checker.check_project(units)
+                try:
+                    if checker.name in per_unit_names:
+                        report = CheckerReport(checker=checker.name)
+                        for unit in units:
+                            report.merge(
+                                bundles[unit.filename][checker.name])
+                        stage = "finalize"
+                        checker.finalize(report)
+                    else:
+                        stage = "check_project"
+                        report = checker.check_project(units)
+                except ReproError:
+                    raise
+                except Exception as error:
+                    if strict:
+                        raise
+                    report = crash_report(checker.name, make_crash(
+                        checker.name, stage, error))
+                    tracer.metrics.counter(
+                        "pipeline.checker_crashes").inc()
+                    span.set("crashed", 1)
                 span.set("findings", report.finding_count)
             tracer.metrics.counter("checker.findings",
                                    checker=checker.name).inc(
@@ -339,20 +394,25 @@ class AssessmentPipeline:
         ``jobs > 1``; returns ``{path: {checker name: report}}``."""
         if not pending:
             return {}
+        strict = self.config.strict
         if self.jobs <= 1 or len(pending) <= 1:
-            return {unit.filename: check_unit_bundle(per_unit, unit)
+            return {unit.filename: check_unit_bundle(per_unit, unit,
+                                                     strict=strict)
                     for unit in pending}
         tracer = self.tracer
         tasks = [
             CheckTask(checkers=[checker.for_units(chunk)
                                 for checker in per_unit],
-                      units=chunk, worker=index, traced=tracer.enabled)
+                      units=chunk, worker=index, traced=tracer.enabled,
+                      strict=strict)
             for index, chunk in enumerate(
                 chunk_evenly(pending, self.jobs))]
         bundles: Dict[str, Dict[str, CheckerReport]] = {}
         for chunk_bundles, worker_tracer in run_tasks(
                 run_check_task, tasks, jobs=self.jobs,
-                executor=self.config.executor):
+                executor=self.config.executor,
+                timeout=self.config.task_timeout,
+                metrics=tracer.metrics):
             bundles.update(chunk_bundles)
             graft_worker_trace(tracer, checkers_span, worker_tracer)
         return bundles

@@ -17,6 +17,7 @@ class SourceError(ReproError):
     """An error tied to a location in analyzed source code.
 
     Attributes:
+        message: the bare description, without the location prefix.
         filename: name of the translation unit, or ``"<memory>"``.
         line: 1-based line number of the offending construct.
         column: 1-based column number.
@@ -24,11 +25,21 @@ class SourceError(ReproError):
 
     def __init__(self, message: str, filename: str = "<memory>",
                  line: int = 0, column: int = 0) -> None:
+        self.message = message
         self.filename = filename
         self.line = line
         self.column = column
         location = f"{filename}:{line}:{column}: " if line else ""
         super().__init__(f"{location}{message}")
+
+    def __reduce__(self):
+        # The formatted string lands in args[0], so the default reduce
+        # would rebuild via SourceError(formatted_msg): the location
+        # prefix doubles and filename/line/column reset to defaults.
+        # Instances cross process-pool result queues and the result
+        # cache, so round-trip with the original constructor arguments.
+        return (type(self),
+                (self.message, self.filename, self.line, self.column))
 
 
 class LexError(SourceError):

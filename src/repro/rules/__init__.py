@@ -22,7 +22,9 @@ from .deviations import (
 )
 from .profile import RuleProfile
 from .registry import (
+    CHECKER_CRASH,
     DEVIATION_RULES,
+    INTERNAL_RULES,
     MISSING_RATIONALE,
     REGISTRY,
     Rule,
@@ -36,10 +38,12 @@ __all__ = [
     "BASELINE_VERSION",
     "Baseline",
     "BaselineComparison",
+    "CHECKER_CRASH",
     "DEVIATION_PATTERN",
     "DEVIATION_RULES",
     "Deviation",
     "DeviationIndex",
+    "INTERNAL_RULES",
     "MISSING_RATIONALE",
     "REGISTRY",
     "Rule",

@@ -135,6 +135,19 @@ DEVIATION_RULES = REGISTRY.register_many("deviation", (
 ))
 
 
+#: Process rule for the fault-isolation layer: when a checker raises a
+#: non-:class:`~repro.errors.ReproError`, the crash is contained and
+#: surfaced as a finding under this id, so a degraded run still carries
+#: machine-readable evidence of what it could not analyze.
+CHECKER_CRASH = "internal.checker_crash"
+
+INTERNAL_RULES = REGISTRY.register_many("internal", (
+    Rule(CHECKER_CRASH,
+         "A checker crashed; its findings for the run are incomplete",
+         Severity.CRITICAL),
+))
+
+
 def render_rules(registry: Optional[RuleRegistry] = None) -> str:
     """A fixed-width rule index for ``repro-assess --list-rules``."""
     registry = registry if registry is not None else REGISTRY

@@ -1,0 +1,28 @@
+"""Test-support utilities shipped with the library.
+
+Production code never imports from here; the robustness suites (and
+anyone reproducing a degradation report) drive the deterministic
+fault-injection harness in :mod:`repro.testing.faults`.
+"""
+
+from .faults import (
+    Fault,
+    FaultInjected,
+    FaultPlan,
+    FaultyChecker,
+    WorkerExit,
+    corrupt_cache_entries,
+    plant_stale_tmp,
+    unpicklable_value,
+)
+
+__all__ = [
+    "Fault",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultyChecker",
+    "WorkerExit",
+    "corrupt_cache_entries",
+    "plant_stale_tmp",
+    "unpicklable_value",
+]

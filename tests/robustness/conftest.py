@@ -1,0 +1,40 @@
+"""Shared fixtures for the fault-isolation suites."""
+
+import pytest
+
+from repro.core import AssessmentPipeline, PipelineConfig
+from repro.corpus import apollo_spec, generate_corpus
+from repro.testing import FaultPlan, FaultyChecker
+
+
+@pytest.fixture(scope="package")
+def corpus_sources():
+    return generate_corpus(apollo_spec(scale=0.02)).sources()
+
+
+@pytest.fixture(scope="package")
+def target_path(corpus_sources):
+    """The deterministic file every path-triggered fault arms on."""
+    return sorted(corpus_sources)[0]
+
+
+@pytest.fixture(scope="package")
+def benign_result(corpus_sources):
+    """Reference run with the injector installed but never firing.
+
+    The valid baseline for faulted runs: same checker set, no faults.
+    """
+    return AssessmentPipeline(PipelineConfig(
+        extra_checkers=(FaultyChecker(FaultPlan()),))).run(corpus_sources)
+
+
+def assert_others_unchanged(result, reference, crashed="fault_injector"):
+    """Every checker except the crashed one matches the reference."""
+    assert list(result.reports) == list(reference.reports)
+    for name, reference_report in reference.reports.items():
+        if name == crashed:
+            continue
+        report = result.reports[name]
+        assert report.stats == reference_report.stats, name
+        assert [f.located() for f in report.findings] == \
+            [f.located() for f in reference_report.findings], name
