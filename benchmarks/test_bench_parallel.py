@@ -19,7 +19,8 @@ import time
 from repro.core import AssessmentPipeline, PipelineConfig, ResultCache
 from repro.corpus import apollo_spec, generate_corpus
 
-SCALE = 0.02
+#: Corpus scale; override with REPRO_BENCH_SCALE for bigger sweeps.
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.02"))
 ROUNDS = 3
 
 BENCH_FILE = os.path.join(os.path.dirname(__file__), os.pardir,

@@ -27,7 +27,7 @@ from typing import Dict, Iterable, List, Optional
 
 from ..errors import ReproError
 from ..lang.cppmodel import TranslationUnit
-from ..obs import NULL_TRACER
+from ..obs import NULL_LOG, NULL_TRACER
 from ..rules import (
     CHECKER_CRASH,
     DEVIATION_RULES,
@@ -410,6 +410,7 @@ def run_checkers(checkers: Iterable[Checker],
                  units: Iterable[TranslationUnit],
                  tracer=None,
                  strict: bool = False,
+                 log=None,
                  ) -> Dict[str, CheckerReport]:
     """Run several checkers over the same units; returns name -> report.
 
@@ -427,8 +428,11 @@ def run_checkers(checkers: Iterable[Checker],
             ``checker`` span with its finding count, and findings are
             counted under ``checker.findings{checker=...}``.
         strict: re-raise checker crashes instead of containing them.
+        log: optional :class:`~repro.obs.EventLog`; contained crashes
+            are logged as ``checker.crash`` events.
     """
     tracer = tracer if tracer is not None else NULL_TRACER
+    log = log if log is not None else NULL_LOG
     units = list(units)
     reports: Dict[str, CheckerReport] = {}
     for checker in checkers:
@@ -441,6 +445,9 @@ def run_checkers(checkers: Iterable[Checker],
             except Exception as error:
                 if strict:
                     raise
+                log.error("checker.crash", checker=checker.name,
+                          stage="check_project",
+                          error=f"{type(error).__name__}: {error}")
                 report = crash_report(checker.name, make_crash(
                     checker.name, "check_project", error))
                 tracer.metrics.counter("pipeline.checker_crashes").inc()

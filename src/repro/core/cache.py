@@ -23,6 +23,12 @@ import os
 import pickle
 from typing import Any
 
+from ..obs.log import NULL_LOG, EventLog
+from ..obs.metrics import MetricsRegistry, NullMetricsRegistry
+
+#: Shared no-op sink for unattached caches.
+_NULL_METRICS = NullMetricsRegistry()
+
 #: Bump to invalidate every cache entry (layout or pickle-schema change).
 SCHEMA_TAG = "repro-cache:1"
 
@@ -62,13 +68,39 @@ class ResultCache:
         root: cache directory (created lazily on first write).
         hits: entries served from disk this process.
         misses: lookups that found no (readable) entry.
+        puts: entries successfully written this process.
+        corrupt_entries: misses caused by an unreadable *existing*
+            entry (torn pickle, wrong schema) rather than absence.
+
+    The same accounting lands in an attached
+    :class:`~repro.obs.MetricsRegistry` (counters ``cache.hits``,
+    ``cache.misses``, ``cache.puts``, ``cache.corrupt_entries``) and
+    corruption/sweep incidents in an attached event log — see
+    :meth:`attach`; both default to shared no-ops.
     """
 
     def __init__(self, root: str) -> None:
         self.root = root
         self.hits = 0
         self.misses = 0
+        self.puts = 0
+        self.corrupt_entries = 0
+        self.metrics: MetricsRegistry = _NULL_METRICS
+        self.log: EventLog = NULL_LOG
         self._swept = False
+
+    def attach(self, metrics: MetricsRegistry = None,
+               log: EventLog = None) -> "ResultCache":
+        """Route accounting into a metrics registry and an event log.
+
+        The pipeline attaches its tracer's registry and configured log
+        here, so cache behavior shows up in ``--metrics-json``,
+        Prometheus output, and ``--log-json`` without the cache ever
+        importing the pipeline.  Returns ``self`` for chaining.
+        """
+        self.metrics = metrics if metrics is not None else _NULL_METRICS
+        self.log = log if log is not None else NULL_LOG
+        return self
 
     # ------------------------------------------------------------------
 
@@ -132,22 +164,40 @@ class ResultCache:
                     removed += 1
                 except OSError:
                     pass
+        if removed:
+            self.metrics.counter("cache.swept_tmp").inc(removed)
+            self.log.info("cache.sweep", root=self.root, removed=removed)
         return removed
 
     def get(self, key: str) -> Any:
         """The cached value for ``key``, or :data:`CACHE_MISS`.
 
         Corrupt, truncated, or unreadable entries count as misses — the
-        caller recomputes and overwrites them.
+        caller recomputes and overwrites them.  An entry that *exists*
+        but cannot be loaded is additionally counted as corrupt and
+        logged, so silent cache rot is visible in telemetry.
         """
+        path = self.entry_path(key)
         try:
-            with open(self.entry_path(key), "rb") as handle:
+            handle = open(path, "rb")
+        except OSError:
+            self.misses += 1
+            self.metrics.counter("cache.misses").inc()
+            return CACHE_MISS
+        try:
+            with handle:
                 value = pickle.load(handle)
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError, ValueError):
+                ImportError, IndexError, ValueError) as error:
             self.misses += 1
+            self.corrupt_entries += 1
+            self.metrics.counter("cache.misses").inc()
+            self.metrics.counter("cache.corrupt_entries").inc()
+            self.log.warning("cache.corrupt_entry", path=path,
+                             error=f"{type(error).__name__}: {error}")
             return CACHE_MISS
         self.hits += 1
+        self.metrics.counter("cache.hits").inc()
         return value
 
     def put(self, key: str, value: Any) -> bool:
@@ -179,4 +229,6 @@ class ResultCache:
             except OSError:
                 pass
             return False
+        self.puts += 1
+        self.metrics.counter("cache.puts").inc()
         return True

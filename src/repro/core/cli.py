@@ -13,6 +13,7 @@ import argparse
 import fnmatch
 import json
 import sys
+import time
 from typing import List, Optional
 
 from ..corpus.apollo import apollo_spec
@@ -20,8 +21,15 @@ from ..corpus.generator import generate_corpus
 from ..corpus.writer import read_tree
 from ..errors import BaselineError, ConfigError, CorpusError
 from ..obs import (
+    LEVELS,
+    EventLog,
+    RunLedger,
     Tracer,
+    build_run_record,
+    new_run_id,
+    render_hotspots,
     render_profile,
+    render_self_time,
     render_span_tree,
     trace_document,
 )
@@ -120,6 +128,21 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the telemetry document (spans, "
                              "counters, histograms, Chrome trace events) "
                              "as JSON")
+    parser.add_argument("--ledger", nargs="?", const=".repro",
+                        default=None, metavar="DIR",
+                        help="append this run's manifest (config "
+                             "fingerprints, stage times, fault and "
+                             "cache counters, finding counts) to "
+                             "DIR/runs.jsonl for repro-trends "
+                             "(default DIR: .repro)")
+    parser.add_argument("--log-json", metavar="FILE",
+                        help="write structured JSONL events (parse "
+                             "failures, checker crashes, worker "
+                             "faults, cache corruption) to FILE")
+    parser.add_argument("--log-level", choices=tuple(LEVELS),
+                        default=None,
+                        help="minimum level written to --log-json "
+                             "(default info)")
     parser.add_argument("--version", action="version",
                         version=f"%(prog)s {_package_version()}")
     return parser
@@ -140,6 +163,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             print("--top has no effect without --profile",
                   file=sys.stderr)
             return 2
+    if args.log_level is not None and not args.log_json:
+        print("--log-level has no effect without --log-json",
+              file=sys.stderr)
+        return 2
     if args.corpus is None and args.path is None:
         parser.error("give a source tree path or --corpus SCALE")
     profile = None
@@ -178,24 +205,54 @@ def main(argv: Optional[List[str]] = None) -> int:
                   file=sys.stderr)
             return 2
     telemetry = args.trace or args.profile or args.metrics_json
-    tracer = Tracer() if telemetry else None
+    # A ledgered run is traced even without --trace/--profile: the
+    # RunRecord needs per-stage wall times.  Stdout is unchanged.
+    tracer = (Tracer() if telemetry or args.ledger is not None
+              else None)
     cache = (ResultCache(args.cache)
              if args.cache and not args.no_cache else None)
     if args.task_timeout is not None and args.task_timeout <= 0:
         print(f"--task-timeout must be positive, got {args.task_timeout}",
               file=sys.stderr)
         return 2
+    run_id = new_run_id()
+    log_handle = None
+    event_log = None
+    if args.log_json:
+        try:
+            log_handle = open(args.log_json, "w", encoding="utf-8")
+        except OSError as error:
+            print(f"cannot open event log: {error}", file=sys.stderr)
+            return 2
+        event_log = EventLog(log_handle,
+                             level=args.log_level or "info",
+                             run_id=run_id)
+    try:
+        return _assess(args, sources, profile, baseline, tracer,
+                       cache, event_log, run_id)
+    finally:
+        if log_handle is not None:
+            log_handle.close()
+
+
+def _assess(args, sources, profile, baseline, tracer, cache,
+            event_log, run_id) -> int:
+    """Build and run the pipeline, print every report, and (when
+    enabled) append the run's manifest to the ledger."""
     try:
         pipeline = AssessmentPipeline(PipelineConfig(
-            tracer=tracer, jobs=args.jobs, executor=args.executor,
-            cache=cache, rules=profile, baseline=baseline,
-            strict=args.strict, task_timeout=args.task_timeout))
+            tracer=tracer, log=event_log, jobs=args.jobs,
+            executor=args.executor, cache=cache, rules=profile,
+            baseline=baseline, strict=args.strict,
+            task_timeout=args.task_timeout))
     except ConfigError as error:
         print(f"bad pipeline configuration: {error}", file=sys.stderr)
         return 2
     # Under --strict a contained fault is not contained: the original
     # exception (and traceback) propagates out of run(), aborting here.
+    start = time.perf_counter()
     result = pipeline.run(sources)
+    duration = time.perf_counter() - start
     print(result.render_summary())
     if cache is not None:
         print(f"\ncache: {cache.hits} hits, {cache.misses} misses "
@@ -204,9 +261,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         print()
         print(render_span_tree(tracer))
     if args.profile:
+        limit = args.top if args.top is not None else 10
         print()
-        print(render_profile(
-            tracer, limit=args.top if args.top is not None else 10))
+        print(render_profile(tracer, limit=limit))
+        print()
+        print(render_self_time(tracer, limit=limit))
+        print()
+        print(render_hotspots(tracer, limit=limit))
     if args.metrics_json:
         try:
             with open(args.metrics_json, "w", encoding="utf-8") as handle:
@@ -250,7 +311,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     # contained along the way — the findings are a lower bound.  CI can
     # distinguish "clean" (0), "unusable invocation" (2), and
     # "complete but degraded" (3).
-    return 3 if result.degraded else 0
+    exit_code = 3 if result.degraded else 0
+    trailer = "\n"
+    if args.ledger is not None:
+        record = build_run_record(
+            result, run_id=run_id, duration=duration,
+            exit_code=exit_code, config=pipeline.config,
+            tracer=tracer, cache=cache, files=len(sources))
+        try:
+            ledger_path = RunLedger(args.ledger).append(record)
+        except OSError as error:
+            print(f"cannot write run ledger: {error}", file=sys.stderr)
+            return 2
+        print(f"{trailer}run {run_id} recorded to {ledger_path}")
+        trailer = ""
+    if event_log is not None:
+        print(f"{trailer}event log written to {args.log_json}")
+    return exit_code
 
 
 def _print_experiments() -> None:

@@ -9,7 +9,7 @@ from ..checkers.architecture import ArchitectureConfig, module_from_path
 from ..checkers.style import StyleConfig
 from ..iso26262.asil import Asil, TARGET_ASIL
 from ..iso26262.compliance import ComplianceThresholds
-from ..obs import Tracer
+from ..obs import EventLog, Tracer
 from ..rules import Baseline, RuleProfile
 from .cache import ResultCache
 
@@ -31,6 +31,13 @@ class PipelineConfig:
         tracer: telemetry sink (spans + metrics) threaded through every
             pipeline stage; ``None`` means the zero-cost
             :data:`~repro.obs.NULL_TRACER`.
+        log: structured event sink (:class:`~repro.obs.EventLog`)
+            receiving leveled JSONL events from every load-bearing
+            failure-handling point (parse failures, checker crashes,
+            worker faults, cache corruption); ``None`` means the
+            zero-cost :data:`~repro.obs.NULL_LOG`.  Worker chunks
+            buffer their events and the pipeline grafts them back,
+            exactly as worker traces are grafted.
         jobs: worker count for the parse and per-unit checker fan-out;
             1 (the default) is the fully serial path, 0 means one
             worker per CPU.  Results are identical at any setting.
@@ -78,6 +85,7 @@ class PipelineConfig:
     module_of: Callable[[str], str] = module_from_path
     skip_unparseable: bool = True
     tracer: Optional[Tracer] = None
+    log: Optional[EventLog] = None
     jobs: int = 1
     executor: str = "thread"
     cache: Optional[ResultCache] = None

@@ -19,6 +19,11 @@ shared tracer's span stack is not thread-safe); the resulting span
 forest and metrics are grafted back into the parent trace by
 :func:`graft_worker_trace`, so ``--trace`` shows one ``parse_worker`` /
 ``checker_worker`` span per chunk with real per-file child spans.
+Structured log events follow the same fan-in: worker chunks record
+into a picklable :class:`~repro.obs.BufferLog` shipped back with the
+results, and the parent replays it via
+:meth:`~repro.obs.EventLog.graft` with the worker index stamped on
+every event.
 
 Worker task functions are module-level so the ``process`` executor can
 pickle them; every payload (tasks, :class:`TranslationUnit` results,
@@ -47,7 +52,7 @@ from ..checkers.base import (
 )
 from ..errors import ConfigError, ReproError, SourceError
 from ..lang.cppmodel import TranslationUnit, parse_translation_unit
-from ..obs import NULL_TRACER, Span, Tracer
+from ..obs import NULL_LOG, NULL_TRACER, BufferLog, EventLog, Span, Tracer
 
 #: Recognized ``PipelineConfig.executor`` values.  ``thread`` has no
 #: per-task pickling cost; ``process`` sidesteps the GIL for CPU-bound
@@ -97,7 +102,7 @@ def _count(metrics, name: str, **labels) -> None:
 
 def run_tasks(function: Callable, tasks: Sequence, *, jobs: int,
               executor: str, timeout: Optional[float] = None,
-              metrics=None) -> List:
+              metrics=None, log: EventLog = NULL_LOG) -> List:
     """Run ``function`` over ``tasks`` on a pool; results in task order.
 
     ``jobs <= 1`` (or a single task) short-circuits to a plain loop —
@@ -120,6 +125,10 @@ def run_tasks(function: Callable, tasks: Sequence, *, jobs: int,
             handling is counted under ``parallel.task_timeouts``,
             ``parallel.worker_deaths``, ``parallel.task_errors``,
             ``parallel.task_retries``, and ``parallel.serial_fallbacks``.
+        log: optional :class:`~repro.obs.EventLog`; the same failure
+            handling is logged as ``parallel.task_timeout``,
+            ``parallel.worker_death``, ``parallel.task_error``, and
+            ``parallel.serial_fallback`` events.
     """
     if executor not in EXECUTOR_KINDS:
         raise ConfigError(
@@ -138,10 +147,14 @@ def run_tasks(function: Callable, tasks: Sequence, *, jobs: int,
             except futures.TimeoutError:
                 _count(metrics, "parallel.task_timeouts",
                        executor=executor)
+                log.warning("parallel.task_timeout", task=index,
+                            executor=executor, timeout=timeout)
                 future.cancel()
             except futures.BrokenExecutor:
                 _count(metrics, "parallel.worker_deaths",
                        executor=executor)
+                log.error("parallel.worker_death", task=index,
+                          executor=executor)
             except Exception:
                 # Thread pools have no IPC layer: an exception here IS
                 # the task's own, and re-running would repeat it (or,
@@ -155,6 +168,8 @@ def run_tasks(function: Callable, tasks: Sequence, *, jobs: int,
                     raise
                 _count(metrics, "parallel.task_errors",
                        executor=executor)
+                log.error("parallel.task_error", task=index,
+                          executor=executor)
     finally:
         # wait=False: a hung worker must not hang the parent too.  A
         # still-running abandoned task keeps its worker busy until it
@@ -165,6 +180,8 @@ def run_tasks(function: Callable, tasks: Sequence, *, jobs: int,
             _count(metrics, "parallel.task_retries", executor=executor)
             _count(metrics, "parallel.serial_fallbacks",
                    executor=executor)
+            log.warning("parallel.serial_fallback", task=index,
+                        executor=executor)
             results[index] = function(task)
     return results
 
@@ -196,6 +213,8 @@ class ParseTask:
     traced: bool = False
     #: Re-raise parser-internal errors instead of containing them.
     strict: bool = False
+    #: Record structured events into a shipped-back worker buffer.
+    logged: bool = False
 
 
 def parse_one(path: str, source: str, strict: bool = False
@@ -219,11 +238,18 @@ def parse_one(path: str, source: str, strict: bool = False
 
 
 def run_parse_task(task: ParseTask
-                   ) -> Tuple[List[ParseOutcome], Optional[Tracer]]:
+                   ) -> Tuple[List[ParseOutcome], Optional[Tracer],
+                              Optional[List[Dict]]]:
     """Parse one chunk of ``(path, source)`` pairs, catching per-file
     :class:`SourceError` (and, unless strict, parser-internal crashes)
-    so a poisoned file never kills the pool."""
+    so a poisoned file never kills the pool.
+
+    Returns ``(outcomes, worker tracer or None, worker events or
+    None)``; the parent grafts the latter two back into its own trace
+    and event log.
+    """
     tracer = Tracer() if task.traced else NULL_TRACER
+    log = BufferLog(worker=task.worker) if task.logged else NULL_LOG
     timings = tracer.metrics.histogram("pipeline.parse_seconds")
     outcomes: List[ParseOutcome] = []
     with tracer.span("parse_worker", worker=task.worker) as worker_span:
@@ -239,7 +265,10 @@ def run_parse_task(task: ParseTask
                 timings.observe(span.duration)
         worker_span.set("files", len(task.items))
         worker_span.set("failures", failures)
-    return outcomes, (tracer if task.traced else None)
+        log.debug("worker.parse", files=len(task.items),
+                  failures=failures)
+    return (outcomes, tracer if task.traced else None,
+            log.events if task.logged else None)
 
 
 # ----------------------------------------------------------------------
@@ -261,37 +290,46 @@ class CheckTask:
     traced: bool = False
     #: Re-raise checker crashes instead of containing them per unit.
     strict: bool = False
+    #: Record structured events into a shipped-back worker buffer.
+    logged: bool = False
 
 
 def run_check_task(task: CheckTask
                    ) -> Tuple[Dict[str, Dict[str, CheckerReport]],
-                              Optional[Tracer]]:
+                              Optional[Tracer], Optional[List[Dict]]]:
     """Run every per-unit checker over one chunk of units.
 
-    Returns ``{path: {checker name: per-unit report}}`` — the raw
-    reports the parent merges in sorted-unit order and finalizes once,
-    mirroring the default ``check_project`` exactly.
+    Returns ``({path: {checker name: per-unit report}}, worker tracer
+    or None, worker events or None)`` — the raw reports the parent
+    merges in sorted-unit order and finalizes once, mirroring the
+    default ``check_project`` exactly.
     """
     tracer = Tracer() if task.traced else NULL_TRACER
+    log = BufferLog(worker=task.worker) if task.logged else NULL_LOG
     bundles: Dict[str, Dict[str, CheckerReport]] = {}
     with tracer.span("checker_worker", worker=task.worker) as span:
         for unit in task.units:
             bundles[unit.filename] = check_unit_bundle(
-                task.checkers, unit, strict=task.strict)
+                task.checkers, unit, strict=task.strict, log=log)
         span.set("units", len(task.units))
         span.set("checkers", len(task.checkers))
-    return bundles, (tracer if task.traced else None)
+        log.debug("worker.check", units=len(task.units),
+                  checkers=len(task.checkers))
+    return (bundles, tracer if task.traced else None,
+            log.events if task.logged else None)
 
 
 def check_unit_bundle(checkers: Sequence[Checker], unit: TranslationUnit,
-                      strict: bool = False) -> Dict[str, CheckerReport]:
+                      strict: bool = False,
+                      log: EventLog = NULL_LOG) -> Dict[str, CheckerReport]:
     """The serial (and cache-fill) equivalent of one unit's fan-out.
 
     Containment is per checker *and* per unit: a checker that raises a
     non-:class:`~repro.errors.ReproError` on this unit contributes a
     :func:`~repro.checkers.base.crash_report` for it, and both the other
     checkers on this unit and this checker on other units are
-    unaffected.  ``strict=True`` re-raises instead.
+    unaffected.  ``strict=True`` re-raises instead; a contained crash
+    is logged as a ``checker.crash`` event.
     """
     bundle: Dict[str, CheckerReport] = {}
     for checker in checkers:
@@ -302,6 +340,9 @@ def check_unit_bundle(checkers: Sequence[Checker], unit: TranslationUnit,
         except Exception as error:
             if strict:
                 raise
+            log.error("checker.crash", checker=checker.name,
+                      stage="check_unit", path=unit.filename,
+                      error=f"{type(error).__name__}: {error}")
             bundle[checker.name] = crash_report(checker.name, make_crash(
                 checker.name, "check_unit", error, path=unit.filename))
     return bundle

@@ -48,7 +48,7 @@ from ..iso26262.evidence import EvidenceSet
 from ..iso26262.observations import generate_observations
 from ..lang.cppmodel import TranslationUnit, parse_translation_unit
 from ..metrics.report import ModuleMetrics, measure_module
-from ..obs import NULL_TRACER, Span, Tracer
+from ..obs import NULL_LOG, NULL_TRACER, EventLog, Span, Tracer
 from .assessment import AssessmentResult
 from .cache import CACHE_MISS, CHECK_TAG, PARSE_TAG
 from .config import PipelineConfig
@@ -89,6 +89,9 @@ class AssessmentPipeline:
         self.tracer: Tracer = (self.config.tracer
                                if self.config.tracer is not None
                                else NULL_TRACER)
+        self.log: EventLog = (self.config.log
+                              if self.config.log is not None
+                              else NULL_LOG)
         #: Resolved worker count; jobs and executor are validated
         #: eagerly so a bad configuration fails before any work starts.
         self.jobs = worker_count(self.config.jobs)
@@ -96,6 +99,8 @@ class AssessmentPipeline:
             raise ConfigError(
                 f"executor must be one of {EXECUTOR_KINDS}, "
                 f"got {self.config.executor!r}")
+        if self.config.cache is not None:
+            self.config.cache.attach(self.tracer.metrics, self.log)
 
     # ------------------------------------------------------------------
 
@@ -111,7 +116,10 @@ class AssessmentPipeline:
         set.
         """
         tracer = self.tracer
+        log = self.log
         crashes: List[CheckerCrash] = []
+        log.info("run.start", files=len(sources), jobs=self.jobs,
+                 executor=self.config.executor)
         with tracer.span("pipeline") as root:
             units, unparseable = self._parse_all(sources, crashes)
             modules = self._measure_modules(sources, units)
@@ -121,6 +129,7 @@ class AssessmentPipeline:
             if crashes:
                 tracer.metrics.counter("pipeline.crashes").inc(
                     len(crashes))
+                log.warning("run.degraded", crashes=len(crashes))
             with tracer.span("evidence"):
                 evidence = self._assemble_evidence(modules, reports)
             with tracer.span("compliance"):
@@ -133,6 +142,10 @@ class AssessmentPipeline:
                 span.set("observations", len(observations))
             root.set("units", len(units))
             root.set("jobs", self.jobs)
+        log.info("run.finish", units=len(units),
+                 findings=sum(report.finding_count
+                              for report in reports.values()),
+                 degraded=bool(crashes))
         baseline = (self.config.baseline.compare(reports)
                     if self.config.baseline is not None else None)
         return AssessmentResult(
@@ -193,11 +206,18 @@ class AssessmentPipeline:
                     failed.inc()
                     unparseable.append(path)
                     crashes.append(outcome.crash)
+                    self.log.error(
+                        "parse.crash", path=path, span=parse_span.id,
+                        error=(f"{outcome.crash.exc_type}: "
+                               f"{outcome.crash.message}"))
                 elif outcome.error is not None:
                     if not self.config.skip_unparseable:
                         raise outcome.error
                     failed.inc()
                     unparseable.append(path)
+                    self.log.warning("parse.failure", path=path,
+                                     span=parse_span.id,
+                                     error=str(outcome.error))
                 else:
                     parsed.inc()
                     units.append(outcome.unit)
@@ -238,16 +258,18 @@ class AssessmentPipeline:
         tasks = [
             ParseTask(items=[(path, sources[path]) for path in chunk],
                       worker=index, traced=tracer.enabled,
-                      strict=self.config.strict)
+                      strict=self.config.strict,
+                      logged=self.log.enabled)
             for index, chunk in enumerate(chunk_evenly(paths, self.jobs))]
         outcomes = []
-        for chunk_outcomes, worker_tracer in run_tasks(
+        for chunk_outcomes, worker_tracer, worker_events in run_tasks(
                 run_parse_task, tasks, jobs=self.jobs,
                 executor=self.config.executor,
                 timeout=self.config.task_timeout,
-                metrics=tracer.metrics):
+                metrics=tracer.metrics, log=self.log):
             outcomes.extend(chunk_outcomes)
             graft_worker_trace(tracer, parse_span, worker_tracer)
+            self.log.graft(worker_events)
         return outcomes
 
     # ------------------------------------------------------------------
@@ -301,7 +323,8 @@ class AssessmentPipeline:
         with self.tracer.span("checkers") as checkers_span:
             if self.jobs <= 1 and self.config.cache is None:
                 return run_checkers(checkers, units, tracer=self.tracer,
-                                    strict=self.config.strict)
+                                    strict=self.config.strict,
+                                    log=self.log)
             return self._run_checkers_engine(checkers, units, sources,
                                              checkers_span)
 
@@ -375,6 +398,10 @@ class AssessmentPipeline:
                 except Exception as error:
                     if strict:
                         raise
+                    self.log.error(
+                        "checker.crash", checker=checker.name,
+                        stage=stage, span=span.id,
+                        error=f"{type(error).__name__}: {error}")
                     report = crash_report(checker.name, make_crash(
                         checker.name, stage, error))
                     tracer.metrics.counter(
@@ -397,24 +424,26 @@ class AssessmentPipeline:
         strict = self.config.strict
         if self.jobs <= 1 or len(pending) <= 1:
             return {unit.filename: check_unit_bundle(per_unit, unit,
-                                                     strict=strict)
+                                                     strict=strict,
+                                                     log=self.log)
                     for unit in pending}
         tracer = self.tracer
         tasks = [
             CheckTask(checkers=[checker.for_units(chunk)
                                 for checker in per_unit],
                       units=chunk, worker=index, traced=tracer.enabled,
-                      strict=strict)
+                      strict=strict, logged=self.log.enabled)
             for index, chunk in enumerate(
                 chunk_evenly(pending, self.jobs))]
         bundles: Dict[str, Dict[str, CheckerReport]] = {}
-        for chunk_bundles, worker_tracer in run_tasks(
+        for chunk_bundles, worker_tracer, worker_events in run_tasks(
                 run_check_task, tasks, jobs=self.jobs,
                 executor=self.config.executor,
                 timeout=self.config.task_timeout,
-                metrics=tracer.metrics):
+                metrics=tracer.metrics, log=self.log):
             bundles.update(chunk_bundles)
             graft_worker_trace(tracer, checkers_span, worker_tracer)
+            self.log.graft(worker_events)
         return bundles
 
     # ------------------------------------------------------------------

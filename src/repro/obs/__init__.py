@@ -22,7 +22,15 @@ from .export import (
     render_span_tree,
     trace_document,
 )
-from .profile import render_profile, top_spans
+from .log import LEVELS, NULL_LOG, BufferLog, EventLog, NullLog
+from .profile import (
+    hotspots,
+    render_hotspots,
+    render_profile,
+    render_self_time,
+    self_time_by_name,
+    top_spans,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -30,23 +38,44 @@ from .metrics import (
     MetricsRegistry,
     NullMetricsRegistry,
 )
+from .runlog import (
+    LEDGER_SCHEMA,
+    RunLedger,
+    RunRecord,
+    build_run_record,
+    new_run_id,
+)
 from .span import Span
 from .tracer import NULL_TRACER, NullTracer, Tracer
 
 __all__ = [
+    "BufferLog",
     "Counter",
+    "EventLog",
     "Gauge",
     "Histogram",
+    "LEDGER_SCHEMA",
+    "LEVELS",
     "MetricsRegistry",
+    "NullLog",
     "NullMetricsRegistry",
+    "NULL_LOG",
     "NULL_TRACER",
     "NullTracer",
+    "RunLedger",
+    "RunRecord",
     "Span",
     "Tracer",
+    "build_run_record",
     "chrome_trace",
+    "hotspots",
+    "new_run_id",
+    "render_hotspots",
     "render_profile",
     "render_prometheus",
+    "render_self_time",
     "render_span_tree",
+    "self_time_by_name",
     "top_spans",
     "trace_document",
 ]

@@ -63,20 +63,42 @@ def render_span_tree(source: Union[Tracer, List[Span]]) -> str:
 # Chrome trace_event
 
 
+def _worker_tid(span: Span, base_tid: int) -> Union[int, None]:
+    """The dedicated track for a grafted worker span forest, if any.
+
+    Worker root spans (``parse_worker``, ``checker_worker``) carry a
+    ``worker`` chunk index; each gets its own ``tid`` so parallel
+    chunks render as one row per worker in the trace viewer instead of
+    interleaving on the main track.
+    """
+    if not span.name.endswith("_worker"):
+        return None
+    try:
+        return base_tid + 1 + int(span.attributes["worker"])
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
 def chrome_trace(source: Union[Tracer, List[Span]],
                  pid: int = 1, tid: int = 1) -> List[Dict]:
     """Chrome ``trace_event`` complete ("X") events, one per span.
 
     Timestamps are microseconds relative to the earliest span start, so
-    the document is stable across runs modulo durations.
+    the document is stable across runs modulo durations.  Spans under a
+    grafted worker forest get a per-worker ``tid`` (worker N renders on
+    track ``tid + 1 + N``); everything else stays on ``tid``.
     """
     roots = source.roots if isinstance(source, Tracer) else list(source)
     spans = [span for root in roots for span in root.walk()]
     if not spans:
         return []
     epoch = min(span.start for span in spans)
-    events = []
-    for span in spans:
+    events: List[Dict] = []
+
+    def emit(span: Span, track: int) -> None:
+        worker_track = _worker_tid(span, tid)
+        if worker_track is not None:
+            track = worker_track
         events.append({
             "name": span.label(),
             "cat": span.name,
@@ -84,9 +106,14 @@ def chrome_trace(source: Union[Tracer, List[Span]],
             "ts": (span.start - epoch) * 1e6,
             "dur": span.duration * 1e6,
             "pid": pid,
-            "tid": tid,
+            "tid": track,
             "args": dict(span.attributes),
         })
+        for child in span.children:
+            emit(child, track)
+
+    for root in roots:
+        emit(root, tid)
     return events
 
 

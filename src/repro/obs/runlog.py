@@ -1,0 +1,316 @@
+"""The run ledger: one append-only manifest per assessment run.
+
+PR 2's tracer and metrics die with the process; the ledger is the
+cross-run memory.  Every assessment (when ``--ledger`` is enabled)
+appends one :class:`RunRecord` — a JSON line capturing *what was
+assessed, with what configuration, how long each stage took, what
+faults were absorbed, and what was found* — to ``<DIR>/runs.jsonl``.
+The trend layer (:mod:`repro.obs.trends`) reads the ledger back to
+plot finding counts per rule and stage timings over time and to gate
+CI on regressions.
+
+Design points:
+
+* **Append-only JSONL.**  One ``os.O_APPEND`` write per run keeps
+  concurrent assessments from torn interleaving on POSIX, and a
+  corrupt line (a crashed writer, a merge artifact) costs exactly that
+  line: :meth:`RunLedger.records` skips it and counts it.
+* **Schema-versioned.**  Every record carries ``schema``
+  (:data:`LEDGER_SCHEMA`); readers default missing fields so old
+  ledgers survive new readers and vice versa.
+* **Fingerprinted.**  ``config_fingerprint`` and ``rules_fingerprint``
+  let the trend layer refuse to compare apples to oranges — a finding
+  spike means nothing across a rule-profile change.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import uuid
+from dataclasses import asdict, dataclass, field, fields
+from datetime import datetime, timezone
+from typing import Dict, List, Optional
+
+__all__ = [
+    "LEDGER_FILENAME",
+    "LEDGER_SCHEMA",
+    "RunLedger",
+    "RunRecord",
+    "STAGE_NAMES",
+    "build_run_record",
+    "new_run_id",
+]
+
+#: Bump when a :class:`RunRecord` field changes meaning (readers
+#: tolerate added/removed fields without a bump).
+LEDGER_SCHEMA = 1
+
+#: Ledger file name inside the ledger directory.
+LEDGER_FILENAME = "runs.jsonl"
+
+#: The pipeline stages whose wall times a record carries, in order.
+STAGE_NAMES = ("parse", "metrics", "checkers", "evidence", "compliance",
+               "observations")
+
+#: Parallel-engine fault counters folded into every record.
+FAULT_COUNTERS = ("task_timeouts", "worker_deaths", "task_errors",
+                  "task_retries", "serial_fallbacks")
+
+
+def new_run_id() -> str:
+    """A fresh 12-hex-digit run id."""
+    return uuid.uuid4().hex[:12]
+
+
+@dataclass
+class RunRecord:
+    """One assessment run's manifest — everything the trend layer needs.
+
+    Attributes:
+        run_id: the run's correlation id (also stamped into the event
+            log and printed by the CLI).
+        timestamp: ISO-8601 UTC wall time the record was built.
+        schema: :data:`LEDGER_SCHEMA` at write time.
+        config_fingerprint: digest over the assessment-relevant pipeline
+            configuration (ASIL target, thresholds, style and
+            architecture limits, strictness).
+        rules_fingerprint: how the active rule profile deviates from
+            registry defaults (``""`` when no profile or no deviation).
+        corpus: input statistics — ``files``, ``units``,
+            ``unparseable``, ``loc``, ``functions``.
+        jobs / executor: the fan-out configuration the run used.
+        stages: per-stage wall seconds (:data:`STAGE_NAMES` keys;
+            empty when the run was not traced).
+        total_seconds: end-to-end assessment wall time.
+        faults: parallel fault counters (:data:`FAULT_COUNTERS`).
+        cache: result-cache accounting — ``hits``, ``misses``,
+            ``puts``, ``corrupt_entries`` (empty when no cache).
+        findings_by_rule: finding count per rule id.
+        findings_by_severity: finding count per severity name.
+        total_findings: sum over all checkers.
+        degradations: contained faults (checker crashes, parser bugs).
+        hotspots: top-K slowest files and checkers
+            (see :func:`repro.obs.profile.hotspots`).
+        exit_code: the CLI exit code the run reported (0 clean,
+            3 degraded).
+    """
+
+    run_id: str
+    timestamp: str
+    schema: int = LEDGER_SCHEMA
+    config_fingerprint: str = ""
+    rules_fingerprint: str = ""
+    corpus: Dict[str, int] = field(default_factory=dict)
+    jobs: int = 1
+    executor: str = "thread"
+    stages: Dict[str, float] = field(default_factory=dict)
+    total_seconds: float = 0.0
+    faults: Dict[str, int] = field(default_factory=dict)
+    cache: Dict[str, int] = field(default_factory=dict)
+    findings_by_rule: Dict[str, int] = field(default_factory=dict)
+    findings_by_severity: Dict[str, int] = field(default_factory=dict)
+    total_findings: int = 0
+    degradations: int = 0
+    hotspots: Dict[str, List] = field(default_factory=dict)
+    exit_code: int = 0
+
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """The JSON object written to the ledger (field order stable)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, document: Dict) -> "RunRecord":
+        """Rebuild a record, defaulting fields the document lacks.
+
+        Unknown keys are dropped, so newer writers do not break older
+        readers (and vice versa) — the schema-stability contract the
+        trend layer depends on.
+        """
+        known = {f.name for f in fields(cls)}
+        kept = {key: value for key, value in document.items()
+                if key in known}
+        kept.setdefault("run_id", "")
+        kept.setdefault("timestamp", "")
+        return cls(**kept)
+
+
+class RunLedger:
+    """Append-only JSONL store of :class:`RunRecord` manifests.
+
+    Attributes:
+        directory: the ledger directory (created on first append).
+        path: the ``runs.jsonl`` file inside it.
+        corrupt_lines: unparseable lines skipped by the last
+            :meth:`records` call.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        self.path = os.path.join(directory, LEDGER_FILENAME)
+        self.corrupt_lines = 0
+
+    # ------------------------------------------------------------------
+
+    def append(self, record: RunRecord) -> str:
+        """Write one record as a JSON line; returns the ledger path.
+
+        Raises :class:`OSError` when the directory or file cannot be
+        written — the CLI surfaces that as a clean exit 2, like any
+        other unwritable output path.
+        """
+        os.makedirs(self.directory, exist_ok=True)
+        line = json.dumps(record.to_dict()) + "\n"
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+        return self.path
+
+    def records(self) -> List[RunRecord]:
+        """Every parseable record, oldest first.
+
+        Corrupt lines are skipped and counted in :attr:`corrupt_lines`;
+        a missing or unreadable ledger raises :class:`OSError`.
+        """
+        self.corrupt_lines = 0
+        loaded: List[RunRecord] = []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    document = json.loads(line)
+                    if not isinstance(document, dict):
+                        raise ValueError("record is not an object")
+                    loaded.append(RunRecord.from_dict(document))
+                except (ValueError, TypeError):
+                    self.corrupt_lines += 1
+        return loaded
+
+    def tail(self, count: int) -> List[RunRecord]:
+        """The last ``count`` records, oldest first."""
+        records = self.records()
+        return records[-max(0, count):] if count else []
+
+
+# ----------------------------------------------------------------------
+# record assembly
+
+
+def _counter_total(metrics, name: str) -> int:
+    """A counter's value summed over every label set."""
+    return int(sum(counter.value for counter in metrics.counters
+                   if counter.name == name))
+
+
+def _config_fingerprint(config) -> str:
+    """Digest of the assessment-relevant configuration.
+
+    Covers what changes *verdicts or findings* for the same sources —
+    ASIL target, thresholds, style/architecture limits, strictness —
+    not what changes only the execution shape (jobs, executor, cache),
+    which the record carries as plain fields instead.
+    """
+    material = repr((config.target_asil, config.thresholds, config.style,
+                     config.architecture, config.strict,
+                     config.skip_unparseable))
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:12]
+
+
+def _rules_fingerprint(config) -> str:
+    if config.rules is None:
+        return ""
+    from ..rules import REGISTRY
+    return config.rules.fingerprint_for(list(REGISTRY))
+
+
+def build_run_record(result, *, run_id: str, duration: float,
+                     exit_code: int, config=None, tracer=None,
+                     cache=None, files: Optional[int] = None,
+                     timestamp: Optional[str] = None,
+                     hotspot_limit: int = 5) -> RunRecord:
+    """Assemble a :class:`RunRecord` from one finished assessment.
+
+    Args:
+        result: the :class:`~repro.core.assessment.AssessmentResult`.
+        run_id: the run's correlation id.
+        duration: end-to-end wall seconds.
+        exit_code: what the CLI is about to return.
+        config: the :class:`~repro.core.config.PipelineConfig` used
+            (``None`` skips the fingerprints and fan-out fields).
+        tracer: the run's :class:`~repro.obs.Tracer`; supplies stage
+            times, fault counters, and hotspots when present.
+        cache: the :class:`~repro.core.cache.ResultCache`, for its
+            hit/miss/put/corruption accounting.
+        files: input file count (defaults to units + unparseable).
+        timestamp: ISO timestamp override for deterministic tests.
+    """
+    findings_by_rule: Dict[str, int] = {}
+    findings_by_severity: Dict[str, int] = {}
+    total_findings = 0
+    for report in result.reports.values():
+        for rule, count in report.count_by_rule().items():
+            findings_by_rule[rule] = findings_by_rule.get(rule, 0) + count
+        for finding in report.findings:
+            name = finding.severity.name
+            findings_by_severity[name] = \
+                findings_by_severity.get(name, 0) + 1
+        total_findings += report.finding_count
+
+    stages: Dict[str, float] = {}
+    faults: Dict[str, int] = {}
+    hotspot_table: Dict[str, List] = {}
+    if tracer is not None and tracer.enabled:
+        for name in STAGE_NAMES:
+            spans = tracer.find(name)
+            if spans:
+                stages[name] = round(
+                    sum(span.duration for span in spans), 6)
+        for name in FAULT_COUNTERS:
+            faults[name] = _counter_total(tracer.metrics,
+                                          f"parallel.{name}")
+        from .profile import hotspots
+        hotspot_table = hotspots(tracer, limit=hotspot_limit)
+
+    cache_stats: Dict[str, int] = {}
+    if cache is not None:
+        cache_stats = {
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "puts": getattr(cache, "puts", 0),
+            "corrupt_entries": getattr(cache, "corrupt_entries", 0),
+        }
+
+    units = result.unit_count
+    unparseable = len(result.unparseable)
+    record = RunRecord(
+        run_id=run_id,
+        timestamp=timestamp if timestamp is not None else
+        datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        corpus={
+            "files": files if files is not None else units + unparseable,
+            "units": units,
+            "unparseable": unparseable,
+            "loc": result.total_loc,
+            "functions": result.total_functions,
+        },
+        stages=stages,
+        total_seconds=round(duration, 6),
+        faults=faults,
+        cache=cache_stats,
+        findings_by_rule=dict(sorted(findings_by_rule.items())),
+        findings_by_severity=dict(sorted(findings_by_severity.items())),
+        total_findings=total_findings,
+        degradations=len(result.crashes),
+        hotspots=hotspot_table,
+        exit_code=exit_code,
+    )
+    if config is not None:
+        record.config_fingerprint = _config_fingerprint(config)
+        record.rules_fingerprint = _rules_fingerprint(config)
+        record.jobs = config.jobs
+        record.executor = config.executor
+    return record

@@ -23,9 +23,13 @@ class Span:
         end: clock reading when the span closed, or ``None`` while open.
         children: sub-spans, in start order.
         parent: enclosing span, or ``None`` for a root.
+        id: tracer-assigned sequence number (unique within one tracer,
+            0 for unassigned spans) — the correlation key structured
+            log events use to reference a span.
     """
 
-    __slots__ = ("name", "attributes", "start", "end", "children", "parent")
+    __slots__ = ("name", "attributes", "start", "end", "children", "parent",
+                 "id")
 
     def __init__(self, name: str, attributes: Optional[Dict] = None,
                  start: float = 0.0,
@@ -36,6 +40,7 @@ class Span:
         self.end: Optional[float] = None
         self.children: List["Span"] = []
         self.parent = parent
+        self.id = 0
 
     # ------------------------------------------------------------------
 
@@ -79,6 +84,7 @@ class Span:
         """JSON-friendly recursive representation."""
         return {
             "name": self.name,
+            "id": self.id,
             "attributes": dict(self.attributes),
             "start": self.start,
             "duration": self.duration,

@@ -39,6 +39,7 @@ class Tracer:
         self._clock = clock
         self.roots: List[Span] = []
         self._stack: List[Span] = []
+        self._next_id = 1
         self.metrics: MetricsRegistry = MetricsRegistry()
 
     # ------------------------------------------------------------------
@@ -79,6 +80,8 @@ class Tracer:
     def _open(self, name: str, attributes: Dict) -> Span:
         span = Span(name, attributes, start=self._clock(),
                     parent=self.current)
+        span.id = self._next_id
+        self._next_id += 1
         if span.parent is not None:
             span.parent.children.append(span)
         else:

@@ -309,6 +309,42 @@ class TestParallelTelemetry:
         assert metrics.counter_value("cache.hits", stage="check") == files
         assert metrics.counter_value("cache.misses", stage="parse") == 0
 
+    def test_cache_level_counters_and_corruption_event(self, tmp_path,
+                                                       corpus_sources):
+        # the cache's own accounting lands as unlabeled counters (and
+        # Prometheus lines) next to the pipeline's stage-labeled ones
+        import io
+        import json
+        from repro.obs import EventLog, render_prometheus
+        from repro.testing import corrupt_cache_entries
+        AssessmentPipeline(PipelineConfig(
+            cache=ResultCache(str(tmp_path)))).run(corpus_sources)
+        assert corrupt_cache_entries(
+            ResultCache(str(tmp_path)), count=1) == 1
+        tracer = Tracer()
+        stream = io.StringIO()
+        cache = ResultCache(str(tmp_path))
+        AssessmentPipeline(PipelineConfig(
+            tracer=tracer, cache=cache,
+            log=EventLog(stream))).run(corpus_sources)
+        files = len(corpus_sources)
+        metrics = tracer.metrics
+        assert metrics.counter_value("cache.hits") == cache.hits \
+            == 2 * files - 1
+        assert metrics.counter_value("cache.misses") == 1
+        assert metrics.counter_value("cache.corrupt_entries") == 1
+        assert metrics.counter_value("cache.puts") == cache.puts == 1
+        text = render_prometheus(tracer)
+        assert "repro_cache_corrupt_entries 1" in text
+        assert "repro_cache_puts 1" in text
+        events = [json.loads(line) for line in
+                  stream.getvalue().splitlines()]
+        corrupt = [e for e in events
+                   if e["event"] == "cache.corrupt_entry"]
+        assert len(corrupt) == 1
+        assert corrupt[0]["level"] == "warning"
+        assert corrupt[0]["path"].endswith(".pkl")
+
     def test_parallel_run_has_worker_spans(self, corpus_sources):
         tracer = Tracer()
         AssessmentPipeline(PipelineConfig(
@@ -326,10 +362,13 @@ class TestParallelTelemetry:
         # the process executor's hard requirement
         from repro.core.parallel import ParseTask, run_parse_task
         task = ParseTask(items=sorted(corpus_sources.items())[:2],
-                         worker=0, traced=True)
-        outcomes, tracer = run_parse_task(pickle.loads(pickle.dumps(task)))
-        rebuilt, _ = pickle.loads(pickle.dumps((outcomes, tracer)))
+                         worker=0, traced=True, logged=True)
+        outcomes, tracer, events = run_parse_task(
+            pickle.loads(pickle.dumps(task)))
+        rebuilt, _, replayed = pickle.loads(
+            pickle.dumps((outcomes, tracer, events)))
         assert [o.path for o in rebuilt] == [o.path for o in outcomes]
+        assert replayed == events and events[-1]["event"] == "worker.parse"
 
 
 class TestCliParallelFlags:

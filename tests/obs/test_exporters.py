@@ -6,9 +6,13 @@ from repro.obs import (
     MetricsRegistry,
     Tracer,
     chrome_trace,
+    hotspots,
+    render_hotspots,
     render_profile,
     render_prometheus,
+    render_self_time,
     render_span_tree,
+    self_time_by_name,
     top_spans,
     trace_document,
 )
@@ -67,6 +71,47 @@ class TestProfile:
         assert "share" in rendered
         assert "%" in rendered
 
+    def test_self_time_by_name_attributes_every_second(self):
+        tracer = _sample_tracer()
+        totals = self_time_by_name(tracer)
+        assert totals["parse_file"]["count"] == 1
+        # exclusive attribution: per-name totals sum to the traced time
+        assert sum(entry["seconds"] for entry in totals.values()) == \
+            sum(span.self_time for span in tracer.spans())
+
+    def test_render_self_time(self):
+        rendered = render_self_time(_sample_tracer(), limit=3)
+        assert rendered.startswith("Self time by span name")
+        assert "parse_file" in rendered and "count" in rendered
+
+    def test_hotspots_rank_files_and_checkers(self):
+        tracer = Tracer(clock=FakeClock(step=0.5))
+        with tracer.span("pipeline"):
+            with tracer.span("parse_file", path="slow.cc"):
+                with tracer.span("parse_file", path="slow.cc"):
+                    pass
+            with tracer.span("parse_file", path="fast.cc"):
+                pass
+            with tracer.span("checker", name="style"):
+                pass
+        table = hotspots(tracer, limit=2)
+        assert [row["path"] for row in table["files"]] == \
+            ["slow.cc", "fast.cc"]
+        assert table["files"][0]["seconds"] > \
+            table["files"][1]["seconds"]
+        assert table["checkers"] == [{"checker": "style",
+                                      "seconds": 0.5}]
+        rendered = render_hotspots(tracer, limit=2)
+        assert "slowest files x checkers" in rendered
+        assert "slow.cc" in rendered and "style" in rendered
+
+    def test_hotspots_empty_trace(self):
+        table = hotspots(Tracer())
+        assert table == {"files": [], "checkers": []}
+        rendered = render_hotspots(Tracer())
+        assert "(no parse_file spans recorded)" in rendered
+        assert "(no checker spans recorded)" in rendered
+
 
 class TestChromeTrace:
     def test_events_match_spans(self):
@@ -86,6 +131,37 @@ class TestChromeTrace:
 
     def test_empty_tracer(self):
         assert chrome_trace(Tracer()) == []
+
+    def test_grafted_worker_forests_get_own_tid(self):
+        from repro.core.parallel import graft_worker_trace
+        tracer = Tracer(clock=FakeClock(step=0.5))
+        with tracer.span("pipeline"):
+            with tracer.span("parse"):
+                pass
+        parse = tracer.find("parse")[0]
+        for index in range(2):
+            worker = Tracer(clock=FakeClock(step=0.5))
+            with worker.span("parse_worker", worker=index):
+                with worker.span("parse_file", path=f"{index}.cc"):
+                    pass
+            graft_worker_trace(tracer, parse, worker)
+        events = chrome_trace(tracer)
+        assert len(events) == len(tracer.spans())  # no metadata events
+        by_cat = {}
+        for event in events:
+            by_cat.setdefault(event["cat"], []).append(event["tid"])
+        # worker N renders on track tid + 1 + N ...
+        assert sorted(by_cat["parse_worker"]) == [2, 3]
+        # ... its children inherit that track ...
+        assert sorted(by_cat["parse_file"]) == [2, 3]
+        # ... and the main flow stays on the base track
+        assert by_cat["pipeline"] == [1] and by_cat["parse"] == [1]
+
+    def test_untagged_worker_span_stays_on_parent_track(self):
+        tracer = Tracer(clock=FakeClock(step=0.5))
+        with tracer.span("checker_worker"):  # no worker attribute
+            pass
+        assert chrome_trace(tracer)[0]["tid"] == 1
 
     def test_document_is_json_serializable(self):
         document = trace_document(_sample_tracer())
