@@ -19,7 +19,12 @@ from typing import List, Optional
 from ..corpus.apollo import apollo_spec
 from ..corpus.generator import generate_corpus
 from ..corpus.writer import read_tree
-from ..errors import BaselineError, ConfigError, CorpusError
+from ..errors import (
+    BaselineError,
+    ConfigError,
+    CorpusError,
+    ReportError,
+)
 from ..obs import (
     LEVELS,
     EventLog,
@@ -32,6 +37,12 @@ from ..obs import (
     render_self_time,
     render_span_tree,
     trace_document,
+)
+from ..report import (
+    ReportTargets,
+    build_report_model,
+    collect_yolo_coverage,
+    configured_reporters,
 )
 from ..rules import REGISTRY, Baseline, RuleProfile, render_rules
 from .cache import ResultCache
@@ -66,6 +77,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also write the assessment as JSON")
     parser.add_argument("--markdown", metavar="FILE",
                         help="also write the assessment as Markdown")
+    parser.add_argument("--html", metavar="DIR",
+                        help="write the self-contained HTML dashboard "
+                             "(overview + per-module drilldowns + "
+                             "annotated coverage) into DIR")
+    parser.add_argument("--sarif", metavar="FILE",
+                        help="also write the findings as SARIF 2.1.0 "
+                             "(deviation suppressions included)")
+    parser.add_argument("--cobertura", metavar="FILE",
+                        help="also write the YOLO coverage experiment "
+                             "as Cobertura XML")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="workers for the parse/checker fan-out "
                              "(default 1 = serial, 0 = one per CPU); "
@@ -244,7 +265,11 @@ def _assess(args, sources, profile, baseline, tracer, cache,
             tracer=tracer, log=event_log, jobs=args.jobs,
             executor=args.executor, cache=cache, rules=profile,
             baseline=baseline, strict=args.strict,
-            task_timeout=args.task_timeout))
+            task_timeout=args.task_timeout,
+            report=ReportTargets(
+                json=args.json, markdown=args.markdown,
+                html=args.html, sarif=args.sarif,
+                cobertura=args.cobertura)))
     except ConfigError as error:
         print(f"bad pipeline configuration: {error}", file=sys.stderr)
         return 2
@@ -287,24 +312,24 @@ def _assess(args, sources, profile, baseline, tracer, cache,
             print(str(error), file=sys.stderr)
             return 2
         print(f"\nbaseline written to {args.write_baseline}")
-    if args.json:
-        try:
-            with open(args.json, "w", encoding="utf-8") as handle:
-                json.dump(result.to_dict(), handle, indent=2)
-        except OSError as error:
-            print(f"cannot write JSON report: {error}", file=sys.stderr)
-            return 2
-        print(f"\nJSON written to {args.json}")
-    if args.markdown:
-        from .markdown import render_markdown
-        try:
-            with open(args.markdown, "w", encoding="utf-8") as handle:
-                handle.write(render_markdown(result))
-        except OSError as error:
-            print(f"cannot write Markdown report: {error}",
-                  file=sys.stderr)
-            return 2
-        print(f"Markdown written to {args.markdown}")
+    # Every configured output surface renders from one shared model;
+    # the reporters own their (pre-bridge, pinned) announcement lines
+    # and error prefixes, so --json/--markdown stay byte-identical.
+    targets = pipeline.config.report
+    if targets.any():
+        coverage = (collect_yolo_coverage()
+                    if targets.needs_coverage() else None)
+        ledger = (RunLedger(args.ledger)
+                  if args.ledger is not None else None)
+        model = build_report_model(
+            result, sources, module_of=pipeline.config.module_of,
+            coverage=coverage, tracer=tracer, ledger=ledger)
+        for reporter, destination in configured_reporters(targets):
+            try:
+                print(reporter.write(model, destination))
+            except ReportError as error:
+                print(str(error), file=sys.stderr)
+                return 2
     if args.experiments:
         _print_experiments()
     # Exit 3: the assessment completed, but one or more faults were

@@ -10,6 +10,7 @@ from ..checkers.style import StyleConfig
 from ..iso26262.asil import Asil, TARGET_ASIL
 from ..iso26262.compliance import ComplianceThresholds
 from ..obs import EventLog, Tracer
+from ..report.base import ReportTargets
 from ..rules import Baseline, RuleProfile
 from .cache import ResultCache
 
@@ -74,6 +75,11 @@ class PipelineConfig:
             feed findings and degradations but no ISO evidence keys;
             the fault-injection harness (:mod:`repro.testing.faults`)
             uses this seam.
+        report: which output surfaces to write
+            (:class:`~repro.report.base.ReportTargets`): JSON,
+            Markdown, the HTML dashboard, SARIF, Cobertura.  All
+            ``None`` (the default) writes nothing — the console
+            summary is unaffected either way.
     """
 
     target_asil: Asil = TARGET_ASIL
@@ -94,3 +100,4 @@ class PipelineConfig:
     strict: bool = False
     task_timeout: Optional[float] = None
     extra_checkers: tuple = ()
+    report: ReportTargets = field(default_factory=ReportTargets)

@@ -1,4 +1,11 @@
-"""Markdown rendering of a complete assessment — the shareable report."""
+"""Markdown rendering of a complete assessment — the shareable report.
+
+The CLI writes this document through the reporter bridge
+(:class:`~repro.report.base.MarkdownReporter` calls
+:func:`render_markdown`), alongside the JSON, SARIF, Cobertura, and
+HTML-dashboard surfaces; the rendered bytes are pinned identical to the
+pre-bridge ad-hoc writer.
+"""
 
 from __future__ import annotations
 

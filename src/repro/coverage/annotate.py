@@ -8,10 +8,34 @@ real-scenario tests missed.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Dict, List, Set, Tuple
 
 from .branch import measure_branch_coverage
 from .probes import CoverageCollector
+
+
+def line_coverage_index(collector: CoverageCollector
+                        ) -> Tuple[Dict[int, int], Set[int], Set[int]]:
+    """Per-line coverage facts shared by every annotating surface.
+
+    Returns ``(hits_by_line, instrumented, partial_branch_lines)``:
+    the max statement hit count per line, the set of lines holding any
+    instrumented statement, and the lines owning a partially covered
+    branch.  Both the text annotator below and the HTML dashboard's
+    coverage pages render from this one index.
+    """
+    hits_by_line: Dict[int, int] = {}
+    instrumented: Set[int] = set()
+    for statement, hits in zip(collector.program.statements,
+                               collector.statement_hits):
+        line = statement.line
+        instrumented.add(line)
+        hits_by_line[line] = max(hits_by_line.get(line, 0), hits)
+    partial_branch_lines: Set[int] = {
+        record.line
+        for record in measure_branch_coverage(collector).records
+        if not record.covered}
+    return hits_by_line, instrumented, partial_branch_lines
 
 
 def annotate_source(source: str, collector: CoverageCollector) -> str:
@@ -24,18 +48,8 @@ def annotate_source(source: str, collector: CoverageCollector) -> str:
     and a trailing ``  <- branch not fully covered`` marker on lines
     owning partially covered branches.
     """
-    hits_by_line: Dict[int, int] = {}
-    instrumented: Set[int] = set()
-    for statement, hits in zip(collector.program.statements,
-                               collector.statement_hits):
-        line = statement.line
-        instrumented.add(line)
-        hits_by_line[line] = max(hits_by_line.get(line, 0), hits)
-
-    partial_branch_lines: Set[int] = {
-        record.line
-        for record in measure_branch_coverage(collector).records
-        if not record.covered}
+    hits_by_line, instrumented, partial_branch_lines = \
+        line_coverage_index(collector)
 
     rendered: List[str] = []
     for number, text in enumerate(source.split("\n"), start=1):

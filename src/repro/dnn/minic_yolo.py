@@ -696,11 +696,16 @@ def scenario_suite(filename: str, seed: int = 7) -> List[TestVector]:
     raise KeyError(f"no scenario suite for {filename!r}")
 
 
-def run_yolo_coverage(filenames=None, with_mcdc: bool = True,
-                      seed: int = 7) -> CoverageCampaign:
-    """Run the real-scenario suite over each YOLO file; Figure 5's data."""
+def yolo_runners(filenames=None, seed: int = 7
+                 ) -> Dict[str, CoverageRunner]:
+    """Run the real-scenario suite over each YOLO file.
+
+    Returns the executed :class:`CoverageRunner` per filename, raw
+    collectors intact, so callers can derive campaign percentages,
+    per-line annotation, or Cobertura hit counts from one execution.
+    """
     filenames = list(filenames or YOLO_FILES)
-    records: List[FileCoverage] = []
+    runners: Dict[str, CoverageRunner] = {}
     for filename in filenames:
         runner = CoverageRunner(YOLO_FILES[filename], filename)
         outcomes = runner.run_suite(scenario_suite(filename, seed))
@@ -710,6 +715,14 @@ def run_yolo_coverage(filenames=None, with_mcdc: bool = True,
                 f"{outcome.vector.label()}: {outcome.error}"
                 for outcome in failures)
             raise RuntimeError(f"scenario failures in {filename}: {details}")
-        records.append(runner.coverage(with_mcdc=with_mcdc,
-                                       exclude_uncalled=True))
+        runners[filename] = runner
+    return runners
+
+
+def run_yolo_coverage(filenames=None, with_mcdc: bool = True,
+                      seed: int = 7) -> CoverageCampaign:
+    """Run the real-scenario suite over each YOLO file; Figure 5's data."""
+    records: List[FileCoverage] = [
+        runner.coverage(with_mcdc=with_mcdc, exclude_uncalled=True)
+        for runner in yolo_runners(filenames, seed).values()]
     return CoverageCampaign(files=records)

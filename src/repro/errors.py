@@ -114,5 +114,9 @@ class BaselineError(ReproError):
     """Raised when a finding baseline cannot be read or written."""
 
 
+class ReportError(ReproError):
+    """Raised when a reporter cannot write its output surface."""
+
+
 class PerfModelError(ReproError):
     """Raised when a performance model is queried with an invalid workload."""

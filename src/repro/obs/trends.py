@@ -240,11 +240,28 @@ def render_trends(records: List[RunRecord],
 
 def trends_document(records: List[RunRecord],
                     regressions: List[Regression]) -> Dict:
-    """The machine-readable report written by ``--json``."""
+    """The machine-readable report written by ``--json``.
+
+    ``window`` lists the run ids the detectors actually compared;
+    ``window_meta`` says *why* that window is what it is — how many
+    records were read, how many matched the latest run's configuration,
+    and the config/rules fingerprint pair defining the match — so a
+    consumer can tell "quiet because stable" from "quiet because the
+    fingerprint changed and history restarted".
+    """
     window = comparable_window(records)
+    latest = records[-1] if records else None
     return {
         "runs": [record.to_dict() for record in records],
         "window": [record.run_id for record in window],
+        "window_meta": {
+            "size": len(records),
+            "matched": len(window),
+            "config_fingerprint": (latest.config_fingerprint
+                                   if latest else ""),
+            "rules_fingerprint": (latest.rules_fingerprint
+                                  if latest else ""),
+        },
         "regressions": [regression.to_dict()
                         for regression in regressions],
         "regressed": bool(regressions),

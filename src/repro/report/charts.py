@@ -1,0 +1,209 @@
+"""Inline-SVG chart primitives for the HTML dashboard.
+
+Every chart is a self-contained ``<svg>`` fragment — no script, no
+external assets — styled through CSS custom properties defined by the
+page (``--s1``..``--s3`` categorical slots, status colors, ink and grid
+tokens), so the one set of light/dark variables themes every chart.
+
+Design rules applied throughout (and deliberately boring): horizontal
+bars for labeled magnitudes, one hue per job (sequential blue for
+single-measure magnitude, the first three categorical slots for the
+coverage triple — the only multi-series chart), direct value labels
+instead of dense gridlines, 2px gaps between adjacent fills, native
+``<title>`` tooltips on every mark, and a legend only when there are
+two or more series.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Categorical slot CSS variables, fixed order (validated palette).
+SERIES_VARS = ("var(--s1)", "var(--s2)", "var(--s3)")
+
+#: Severity -> status-palette CSS variable.  INFO is not a state, so it
+#: wears neutral ink rather than impersonating ``good``.
+SEVERITY_VARS = {
+    "CRITICAL": "var(--critical)",
+    "MAJOR": "var(--serious)",
+    "MINOR": "var(--warning)",
+    "INFO": "var(--ink-muted)",
+}
+
+_BAR_HEIGHT = 18
+_BAR_GAP = 6
+_LABEL_WIDTH = 190
+_VALUE_WIDTH = 56
+_CHART_WIDTH = 640
+
+
+def _escape(text: str) -> str:
+    return html.escape(str(text), quote=True)
+
+
+def _truncate(label: str, limit: int = 26) -> str:
+    return label if len(label) <= limit else label[:limit - 1] + "…"
+
+
+def hbar_chart(rows: Sequence[Tuple[str, float]], *,
+               color: str = "var(--s1)",
+               unit: str = "",
+               fraction_digits: int = 0,
+               max_value: Optional[float] = None) -> str:
+    """A horizontal bar chart: one labeled magnitude per row.
+
+    Single series — sequential hue, direct value labels, no legend.
+    Each bar carries a native ``<title>`` tooltip with the full label
+    and exact value.
+    """
+    if not rows:
+        return "<p class=\"empty\">no data</p>"
+    peak = max_value if max_value is not None \
+        else max(value for _, value in rows) or 1.0
+    plot_width = _CHART_WIDTH - _LABEL_WIDTH - _VALUE_WIDTH
+    height = len(rows) * (_BAR_HEIGHT + _BAR_GAP)
+    parts = [f"<svg class=\"chart\" role=\"img\" "
+             f"viewBox=\"0 0 {_CHART_WIDTH} {height}\" "
+             f"width=\"{_CHART_WIDTH}\" height=\"{height}\">"]
+    for index, (label, value) in enumerate(rows):
+        y = index * (_BAR_HEIGHT + _BAR_GAP)
+        width = max(1.0, plot_width * (value / peak)) if value else 0.0
+        rendered = f"{value:.{fraction_digits}f}{unit}"
+        parts.append("<g>")
+        parts.append(f"<title>{_escape(label)}: {_escape(rendered)}"
+                     f"</title>")
+        parts.append(
+            f"<text x=\"{_LABEL_WIDTH - 8}\" y=\"{y + 13}\" "
+            f"text-anchor=\"end\" class=\"label\">"
+            f"{_escape(_truncate(label))}</text>")
+        if width:
+            parts.append(
+                f"<rect x=\"{_LABEL_WIDTH}\" y=\"{y}\" "
+                f"width=\"{width:.1f}\" height=\"{_BAR_HEIGHT}\" "
+                f"rx=\"2\" fill=\"{color}\"/>")
+        parts.append(
+            f"<text x=\"{_LABEL_WIDTH + width + 6:.1f}\" y=\"{y + 13}\" "
+            f"class=\"value\">{_escape(rendered)}</text>")
+        parts.append("</g>")
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def grouped_hbar_chart(labels: Sequence[str],
+                       series: Sequence[Tuple[str, str, Sequence[Optional[float]]]],
+                       *, unit: str = "%",
+                       max_value: float = 100.0) -> str:
+    """Grouped horizontal bars: up to three series per label.
+
+    ``series`` is ``[(name, css color, values)]`` with one value (or
+    ``None`` for not-measured) per label.  A legend is emitted above
+    the plot — identity is never color-alone.
+    """
+    if not labels:
+        return "<p class=\"empty\">no data</p>"
+    bar = 12
+    gap = 2
+    group = len(series) * (bar + gap) + 8
+    plot_width = _CHART_WIDTH - _LABEL_WIDTH - _VALUE_WIDTH
+    height = len(labels) * group
+    legend = "".join(
+        f"<span class=\"chip\"><span class=\"swatch\" "
+        f"style=\"background:{color}\"></span>{_escape(name)}</span>"
+        for name, color, _ in series)
+    parts = [f"<div class=\"legend\">{legend}</div>",
+             f"<svg class=\"chart\" role=\"img\" "
+             f"viewBox=\"0 0 {_CHART_WIDTH} {height}\" "
+             f"width=\"{_CHART_WIDTH}\" height=\"{height}\">"]
+    for index, label in enumerate(labels):
+        top = index * group
+        parts.append(
+            f"<text x=\"{_LABEL_WIDTH - 8}\" "
+            f"y=\"{top + group // 2 + 4}\" text-anchor=\"end\" "
+            f"class=\"label\">{_escape(_truncate(label))}</text>")
+        for offset, (name, color, values) in enumerate(series):
+            value = values[index]
+            y = top + offset * (bar + gap)
+            if value is None:
+                parts.append(
+                    f"<text x=\"{_LABEL_WIDTH}\" y=\"{y + 10}\" "
+                    f"class=\"value\">–</text>")
+                continue
+            width = max(1.0, plot_width * (value / max_value))
+            parts.append("<g>")
+            parts.append(f"<title>{_escape(label)} — {_escape(name)}: "
+                         f"{value:.1f}{unit}</title>")
+            parts.append(
+                f"<rect x=\"{_LABEL_WIDTH}\" y=\"{y}\" "
+                f"width=\"{width:.1f}\" height=\"{bar}\" rx=\"2\" "
+                f"fill=\"{color}\"/>")
+            parts.append(
+                f"<text x=\"{_LABEL_WIDTH + width + 6:.1f}\" "
+                f"y=\"{y + 10}\" class=\"value\">"
+                f"{value:.1f}{unit}</text>")
+            parts.append("</g>")
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def severity_stack(counts: Dict[str, int]) -> str:
+    """The severity mix: one stacked bar with 2px gaps plus count chips.
+
+    Severities wear the reserved status palette (critical/serious/
+    warning); each segment has a tooltip and the chips carry the icon-
+    free textual identity, so color never stands alone.
+    """
+    total = sum(counts.values())
+    if not total:
+        return "<p class=\"empty\">no findings</p>"
+    width = _CHART_WIDTH - 2 * len([c for c in counts.values() if c])
+    parts = [f"<svg class=\"chart\" role=\"img\" "
+             f"viewBox=\"0 0 {_CHART_WIDTH} 26\" "
+             f"width=\"{_CHART_WIDTH}\" height=\"26\">"]
+    x = 0.0
+    for name, count in counts.items():
+        if not count:
+            continue
+        segment = width * (count / total)
+        color = SEVERITY_VARS.get(name, "var(--ink-muted)")
+        parts.append("<g>")
+        parts.append(f"<title>{_escape(name)}: {count} "
+                     f"({100.0 * count / total:.1f}%)</title>")
+        parts.append(f"<rect x=\"{x:.1f}\" y=\"4\" "
+                     f"width=\"{segment:.1f}\" height=\"18\" rx=\"2\" "
+                     f"fill=\"{color}\"/>")
+        parts.append("</g>")
+        x += segment + 2
+    parts.append("</svg>")
+    chips = "".join(
+        f"<span class=\"chip\"><span class=\"swatch\" style=\"background:"
+        f"{SEVERITY_VARS.get(name, 'var(--ink-muted)')}\"></span>"
+        f"{_escape(name)} {count}</span>"
+        for name, count in counts.items() if count)
+    return "".join(parts) + f"<div class=\"legend\">{chips}</div>"
+
+
+def sparkline(values: Sequence[float], *, width: int = 140,
+              height: int = 28, label: str = "") -> str:
+    """A 2px polyline sparkline with a latest-value dot."""
+    if not values:
+        return ""
+    peak = max(values) or 1.0
+    n = len(values)
+    pad = 3
+    points = []
+    for index, value in enumerate(values):
+        x = pad + (width - 2 * pad) * (index / max(1, n - 1))
+        y = height - pad - (height - 2 * pad) * (value / peak)
+        points.append(f"{x:.1f},{y:.1f}")
+    series = " ".join(str(int(value)) for value in values)
+    title = f"{label}: {series}" if label else series
+    last_x, last_y = points[-1].split(",")
+    return (f"<svg class=\"spark\" role=\"img\" "
+            f"viewBox=\"0 0 {width} {height}\" width=\"{width}\" "
+            f"height=\"{height}\"><title>{_escape(title)}</title>"
+            f"<polyline points=\"{' '.join(points)}\" fill=\"none\" "
+            f"stroke=\"var(--s1)\" stroke-width=\"2\" "
+            f"stroke-linejoin=\"round\" stroke-linecap=\"round\"/>"
+            f"<circle cx=\"{last_x}\" cy=\"{last_y}\" r=\"2.5\" "
+            f"fill=\"var(--s1)\"/></svg>")

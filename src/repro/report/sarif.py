@@ -1,0 +1,154 @@
+"""SARIF 2.1.0 export: findings any code-review or CI surface can ingest.
+
+One ``run`` per assessment: the tool driver carries a ``rules`` array
+with exactly one entry per registered rule that produced a finding
+(active or deviation-suppressed), each mapped to its ISO 26262-6
+table/topic via rule properties; every result points back into that
+array by ``ruleIndex``; and deviation-suppressed findings are emitted
+as results carrying a ``suppressions`` entry (``kind: inSource``) so
+ingesting surfaces show them as reviewed-and-accepted rather than
+dropping them silently.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Dict, List
+
+from ..rules import REGISTRY, Severity
+from .base import Reporter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .model import ReportModel
+
+#: The SARIF spec version this exporter targets.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+#: Severity -> SARIF ``level``.  CRITICAL and MAJOR both block
+#: compliance, so both map to ``error``.
+LEVELS: Dict[Severity, str] = {
+    Severity.CRITICAL: "error",
+    Severity.MAJOR: "error",
+    Severity.MINOR: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _rule_entry(rule) -> Dict:
+    entry: Dict = {
+        "id": rule.id,
+        "name": rule.id.replace(".", "_"),
+        "shortDescription": {"text": rule.title},
+        "defaultConfiguration": {"level": LEVELS[rule.severity]},
+        "properties": {"checker": rule.checker},
+    }
+    if rule.table:
+        entry["properties"]["iso26262Table"] = rule.table
+        entry["properties"]["iso26262Topic"] = rule.topic
+    return entry
+
+
+def _location(finding) -> Dict:
+    physical: Dict = {
+        "artifactLocation": {
+            "uri": finding.filename.replace("\\", "/"),
+        },
+    }
+    if finding.line > 0:
+        physical["region"] = {"startLine": finding.line}
+    return {"physicalLocation": physical}
+
+
+def _result(finding, rule_index: Dict[str, int],
+            suppressed: bool) -> Dict:
+    result: Dict = {
+        "ruleId": finding.rule,
+        "level": LEVELS[finding.severity],
+        "message": {"text": finding.message},
+        "locations": [_location(finding)],
+    }
+    if finding.rule in rule_index:
+        result["ruleIndex"] = rule_index[finding.rule]
+    if finding.function:
+        result["properties"] = {"function": finding.function}
+    if suppressed:
+        result["suppressions"] = [{
+            "kind": "inSource",
+            "status": "accepted",
+            "justification": "suppressed by inline DEVIATION comment",
+        }]
+    return result
+
+
+def sarif_document(model: "ReportModel") -> Dict:
+    """The complete SARIF 2.1.0 log for one assessment."""
+    result = model.result
+    active_rules: List[str] = sorted({
+        finding.rule
+        for report in result.reports.values()
+        for finding in list(report.findings) + list(report.suppressed)})
+    rules_array: List[Dict] = []
+    rule_index: Dict[str, int] = {}
+    for rule_id in active_rules:
+        rule = REGISTRY.get(rule_id)
+        rule_index[rule_id] = len(rules_array)
+        if rule is not None:
+            rules_array.append(_rule_entry(rule))
+        else:
+            # A finding under an unregistered id (should not happen —
+            # emission routes through the registry) still keeps the
+            # rules array index-complete.
+            rules_array.append({"id": rule_id})
+
+    results: List[Dict] = []
+    for name in sorted(result.reports):
+        report = result.reports[name]
+        for finding in report.findings:
+            results.append(_result(finding, rule_index, suppressed=False))
+        for finding in report.suppressed:
+            results.append(_result(finding, rule_index, suppressed=True))
+
+    run: Dict = {
+        "tool": {
+            "driver": {
+                "name": "repro-assess",
+                "version": model.tool_version,
+                "informationUri":
+                    "https://github.com/repro/iso26262-adherence",
+                "rules": rules_array,
+            },
+        },
+        "columnKind": "utf16CodeUnits",
+        "results": results,
+    }
+    if result.degraded:
+        run["invocations"] = [{
+            "executionSuccessful": True,
+            "toolExecutionNotifications": [
+                {
+                    "level": "error",
+                    "message": {"text": crash.describe()},
+                }
+                for crash in result.crashes
+            ],
+        }]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [run],
+    }
+
+
+class SarifReporter(Reporter):
+    """Writes :func:`sarif_document` as indented JSON."""
+
+    format = "sarif"
+    error_label = "SARIF report"
+
+    def render(self, model: "ReportModel") -> str:
+        return json.dumps(sarif_document(model), indent=2)
+
+    def announce(self, destination: str) -> str:
+        return f"SARIF written to {destination}"

@@ -101,6 +101,25 @@ class TestRendering:
         assert document["window"] == ["r0", "r1"]
         assert document["regressed"] is False
 
+    def test_document_window_meta(self):
+        records = ([make_record(run_id=f"old{i}", config_fp="cfgA")
+                    for i in range(3)]
+                   + [make_record(run_id=f"new{i}", config_fp="cfgB",
+                                  rules_fp="prof1")
+                      for i in range(2)])
+        meta = trends_document(records, [])["window_meta"]
+        assert meta["size"] == 5
+        assert meta["matched"] == 2
+        assert meta["config_fingerprint"] == "cfgB"
+        assert meta["rules_fingerprint"] == "prof1"
+
+    def test_console_output_has_no_meta(self, capsys):
+        # the metadata is a --json addition; the table is unchanged
+        records = [make_record(run_id=f"r{i}") for i in range(2)]
+        text = render_trends(records, [])
+        assert "window_meta" not in text
+        assert "fingerprint" not in text
+
 
 class TestMain:
     def _seed_ledger(self, directory, spiked=False):

@@ -1,0 +1,91 @@
+"""Cobertura export: round-trips through xml.etree with true hit counts."""
+
+import xml.etree.ElementTree as ElementTree
+
+import pytest
+
+from repro.errors import ReportError
+from repro.report import CoberturaReporter, cobertura_xml
+from repro.report.cobertura import _branch_lines, _line_hits
+
+
+@pytest.fixture(scope="module")
+def parsed(yolo_coverage):
+    return ElementTree.fromstring(cobertura_xml(yolo_coverage))
+
+
+class TestDocumentShape:
+    def test_root_and_declaration(self, yolo_coverage):
+        text = cobertura_xml(yolo_coverage)
+        assert text.startswith('<?xml version="1.0" encoding="UTF-8"?>')
+        assert ElementTree.fromstring(text).tag == "coverage"
+
+    def test_one_class_per_covered_file(self, parsed, yolo_coverage):
+        classes = parsed.findall(".//class")
+        assert sorted(element.get("filename") for element in classes) \
+            == sorted(yolo_coverage.collectors)
+
+    def test_aggregate_counts_consistent(self, parsed):
+        lines_valid = int(parsed.get("lines-valid"))
+        lines_covered = int(parsed.get("lines-covered"))
+        assert 0 < lines_covered <= lines_valid
+        rate = float(parsed.get("line-rate"))
+        assert rate == pytest.approx(lines_covered / lines_valid,
+                                     abs=1e-4)
+
+    def test_branch_totals_consistent(self, parsed):
+        covered = int(parsed.get("branches-covered"))
+        valid = int(parsed.get("branches-valid"))
+        assert 0 < covered <= valid
+        assert float(parsed.get("branch-rate")) \
+            == pytest.approx(covered / valid, abs=1e-4)
+
+
+class TestLineRoundTrip:
+    def test_hits_match_collector(self, parsed, yolo_coverage):
+        for element in parsed.findall(".//class"):
+            collector = yolo_coverage.collectors[element.get("filename")]
+            expected = _line_hits(collector)
+            got = {int(line.get("number")): int(line.get("hits"))
+                   for line in element.find("lines")}
+            assert got == expected
+
+    def test_condition_coverage_matches_outcomes(self, parsed,
+                                                 yolo_coverage):
+        checked = 0
+        for element in parsed.findall(".//class"):
+            collector = yolo_coverage.collectors[element.get("filename")]
+            branches = _branch_lines(collector)
+            for line in element.find("lines"):
+                if line.get("branch") != "true":
+                    continue
+                covered, total = branches[int(line.get("number"))]
+                assert line.get("condition-coverage") \
+                    == (f"{int(round(100.0 * covered / total))}% "
+                        f"({covered}/{total})")
+                checked += 1
+        assert checked > 0
+
+    def test_methods_carry_entry_lines(self, parsed, yolo_coverage):
+        element = next(e for e in parsed.findall(".//class")
+                       if e.get("filename") == "gemm.c")
+        names = {method.get("name")
+                 for method in element.find("methods")}
+        collector = yolo_coverage.collectors["gemm.c"]
+        assert names == {function.name
+                         for function in collector.program.functions}
+
+
+class TestReporter:
+    def test_without_coverage_raises_report_error(self, report_model):
+        with pytest.raises(ReportError,
+                           match="no coverage data collected"):
+            CoberturaReporter().render(report_model)
+
+    def test_write_and_announce(self, tmp_path, coverage_model):
+        destination = tmp_path / "cov.xml"
+        line = CoberturaReporter().write(coverage_model,
+                                         str(destination))
+        assert line == f"Cobertura XML written to {destination}"
+        assert ElementTree.parse(str(destination)).getroot() \
+                          .tag == "coverage"

@@ -1,0 +1,108 @@
+"""SARIF 2.1.0 export: structure, rule index integrity, suppressions."""
+
+import json
+
+from repro.report import SarifReporter, sarif_document
+from repro.report.sarif import LEVELS, SARIF_VERSION
+from repro.rules import REGISTRY
+
+
+class TestDocumentStructure:
+    def test_top_level_fields(self, report_model):
+        document = sarif_document(report_model)
+        assert document["version"] == SARIF_VERSION
+        assert document["$schema"].endswith("sarif-schema-2.1.0.json")
+        assert len(document["runs"]) == 1
+
+    def test_driver_identity(self, report_model):
+        driver = sarif_document(report_model)["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-assess"
+        assert driver["version"] == report_model.tool_version
+
+    def test_render_is_valid_json(self, report_model):
+        rendered = SarifReporter().render(report_model)
+        assert json.loads(rendered)["version"] == SARIF_VERSION
+
+
+class TestRulesArray:
+    def test_one_entry_per_finding_producing_rule(self, report_model):
+        run = sarif_document(report_model)["runs"][0]
+        ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+        produced = {activity.rule.id for activity in report_model.rules
+                    if activity.findings or activity.suppressed}
+        assert sorted(ids) == sorted(produced)
+        assert len(ids) == len(set(ids))
+
+    def test_entries_carry_iso_topic_and_level(self, report_model):
+        run = sarif_document(report_model)["runs"][0]
+        for entry in run["tool"]["driver"]["rules"]:
+            rule = REGISTRY.get(entry["id"])
+            assert entry["defaultConfiguration"]["level"] \
+                == LEVELS[rule.severity]
+            assert entry["properties"]["checker"] == rule.checker
+            if rule.table:
+                assert entry["properties"]["iso26262Table"] == rule.table
+                assert entry["properties"]["iso26262Topic"] == rule.topic
+
+    def test_rule_index_integrity(self, report_model):
+        run = sarif_document(report_model)["runs"][0]
+        ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+        assert run["results"], "the corpus assessment produces findings"
+        for result in run["results"]:
+            assert ids[result["ruleIndex"]] == result["ruleId"]
+
+
+class TestResults:
+    def test_result_count_covers_active_and_suppressed(self,
+                                                       report_model):
+        run = sarif_document(report_model)["runs"][0]
+        expected = sum(
+            len(report.findings) + len(report.suppressed)
+            for report in report_model.result.reports.values())
+        assert len(run["results"]) == expected
+
+    def test_locations_and_levels(self, report_model):
+        run = sarif_document(report_model)["runs"][0]
+        for result in run["results"]:
+            location = result["locations"][0]["physicalLocation"]
+            assert location["artifactLocation"]["uri"]
+            if "region" in location:
+                assert location["region"]["startLine"] >= 1
+            assert result["level"] in ("error", "warning", "note")
+
+    def test_deviation_findings_become_suppressions(self,
+                                                    deviation_model):
+        run = sarif_document(deviation_model)["runs"][0]
+        suppressed = [result for result in run["results"]
+                      if "suppressions" in result]
+        assert [result["ruleId"] for result in suppressed] \
+            == ["GV.mutable_global"]
+        entry = suppressed[0]["suppressions"][0]
+        assert entry["kind"] == "inSource"
+        assert entry["status"] == "accepted"
+
+    def test_active_findings_carry_no_suppressions(self, report_model):
+        run = sarif_document(report_model)["runs"][0]
+        # the default corpus run has no deviations at all
+        assert not any("suppressions" in result
+                       for result in run["results"])
+
+
+class TestDegradedRuns:
+    def test_clean_run_has_no_invocations(self, report_model):
+        assert "invocations" not in sarif_document(report_model)["runs"][0]
+
+    def test_crashes_become_notifications(self, small_corpus):
+        from repro.core import AssessmentPipeline, PipelineConfig
+        from repro.report import build_report_model
+        from repro.testing import Fault, FaultPlan, FaultyChecker
+        sources = small_corpus.sources()
+        plan = FaultPlan([Fault(kind="raise")])
+        result = AssessmentPipeline(PipelineConfig(
+            extra_checkers=(FaultyChecker(plan),))).run(sources)
+        assert result.degraded
+        run = sarif_document(
+            build_report_model(result, sources))["runs"][0]
+        notes = run["invocations"][0]["toolExecutionNotifications"]
+        assert len(notes) == len(result.crashes)
+        assert all(note["level"] == "error" for note in notes)
