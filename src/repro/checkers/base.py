@@ -25,6 +25,7 @@ import traceback as traceback_module
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional
 
+from ..engine.index import function_line_index
 from ..errors import ReproError
 from ..lang.cppmodel import TranslationUnit
 from ..obs import NULL_LOG, NULL_TRACER
@@ -278,6 +279,42 @@ class Checker(abc.ABC):
     def check_unit(self, unit: TranslationUnit) -> CheckerReport:
         """Analyze one translation unit."""
 
+    def unit_visitor(self, unit: TranslationUnit, report: CheckerReport,
+                     sweep) -> bool:
+        """Register this checker's interests on a fused ``sweep``.
+
+        Called by :func:`repro.engine.driver.fused_unit_bundle` with a
+        fresh ``report`` (from :meth:`new_report`) that the registered
+        handlers emit into.  Return True when registered; the default
+        False sends the checker down the legacy :meth:`check_unit`
+        fallback, so external checkers keep working unchanged.
+
+        The contract is byte-identical output: the handlers must emit
+        exactly what :meth:`check_unit` emits, in the same order (the
+        sweep's phase ordering — see :class:`~repro.engine.interests.
+        UnitSweep` — plus buffering where the legacy order demands it).
+        """
+        return False
+
+    def finish_from_units(self, units: List[TranslationUnit],
+                          unit_reports: List[CheckerReport]
+                          ) -> CheckerReport:
+        """Assemble the project report from per-unit reports.
+
+        ``unit_reports`` are this checker's per-unit reports in unit
+        order — produced by :meth:`check_unit` or the fused engine, and
+        possibly replayed from the result cache.  The default merge +
+        :meth:`finalize` mirrors the base :meth:`check_project`; a
+        checker with extra project-level work (e.g. unit design's
+        call-graph recursion pass) overrides this so the pipeline can
+        still distribute and cache its per-unit portion.
+        """
+        report = CheckerReport(checker=self.name)
+        for unit_report in unit_reports:
+            report.merge(unit_report)
+        self.finalize(report)
+        return report
+
     def rules(self):
         """The :class:`~repro.rules.Rule` records this checker emits."""
         return REGISTRY.rules_for(self.name)
@@ -461,13 +498,12 @@ def run_checkers(checkers: Iterable[Checker],
 
 
 def enclosing_function_name(unit: TranslationUnit, line: int) -> str:
-    """Qualified name of the function containing ``line``, or ``""``."""
-    best: Optional[str] = None
-    best_span = 0
-    for function in unit.functions:
-        if function.start_line <= line <= function.end_line:
-            span = function.end_line - function.start_line
-            if best is None or span < best_span:
-                best = function.qualified_name
-                best_span = span
-    return best or ""
+    """Qualified name of the innermost function containing ``line``.
+
+    Backed by the memoized per-line index
+    (:func:`repro.engine.index.function_line_index`): the first call on
+    a unit flattens its function intervals, every further call is a
+    list access — the legacy per-call function scan made this O(units ×
+    findings × functions) across a run.
+    """
+    return function_line_index(unit).lookup(line)

@@ -50,6 +50,10 @@ TYPE_LIKE_IDENTIFIERS = frozenset({
 NAMED_CASTS = ("static_cast", "dynamic_cast", "const_cast",
                "reinterpret_cast")
 
+#: Builtin integer types whose float-literal initialization narrows.
+_INTEGER_TYPES = frozenset({"int", "long", "short", "char", "unsigned",
+                            "signed"})
+
 
 def _is_type_like(token: Token) -> bool:
     if token.kind is TokenKind.KEYWORD and token.text in TYPE_KEYWORDS:
@@ -117,6 +121,100 @@ class CastChecker(Checker):
             "implicit_narrowing_risks": narrowing,
         })
         return report
+
+    def unit_visitor(self, unit: TranslationUnit, report: CheckerReport,
+                     sweep) -> bool:
+        """Fused registration for the cast sweeps.
+
+        The legacy main sweep's elif chain is dispatch on disjoint token
+        categories (named-cast keywords, ``(``, type keywords), so three
+        independent text events reproduce it token for token.  The
+        narrowing check was a *second* full sweep in the legacy path, so
+        its findings buffer during the shared sweep and flush at the
+        end, landing after every main-sweep finding exactly as before.
+        """
+        code = unit.code
+        length = len(code)
+        counts = {"named": 0, "c": 0, "functional": 0}
+        narrowing_pending: List[Finding] = []
+
+        def on_named(index, token):
+            if report.emit(Finding(
+                    rule="ST.named_cast",
+                    message=f"{token.text} expression",
+                    filename=unit.filename,
+                    line=token.line,
+                    severity=Severity.MINOR,
+                    function=enclosing_function_name(unit, token.line),
+            )):
+                counts["named"] += 1
+
+        def on_open_paren(index, token):
+            if self._is_c_style_cast(code, index):
+                if report.emit(Finding(
+                        rule="ST.c_cast",
+                        message="C-style cast",
+                        filename=unit.filename,
+                        line=token.line,
+                        severity=Severity.MAJOR,
+                        function=enclosing_function_name(unit, token.line),
+                )):
+                    counts["c"] += 1
+
+        def on_type_keyword(index, token):
+            if (index + 1 < length and code[index + 1].is_punct("(")
+                    and not self._is_declaration_context(code, index)):
+                if report.emit(Finding(
+                        rule="ST.functional_cast",
+                        message=f"functional cast to {token.text}",
+                        filename=unit.filename,
+                        line=token.line,
+                        severity=Severity.MINOR,
+                        function=enclosing_function_name(unit, token.line),
+                )):
+                    counts["functional"] += 1
+            if token.text in _INTEGER_TYPES and index < length - 3:
+                name = code[index + 1]
+                equals = code[index + 2]
+                value = code[index + 3]
+                if (name.kind is TokenKind.IDENTIFIER
+                        and equals.is_punct("=")
+                        and value.kind is TokenKind.NUMBER
+                        and ("." in value.text or "e" in value.text.lower())
+                        and not value.text.lower().startswith("0x")):
+                    narrowing_pending.append(Finding(
+                        rule="ST.narrowing_init",
+                        message=(f"integer variable {name.text!r} "
+                                 f"initialized with floating literal "
+                                 f"{value.text}"),
+                        filename=unit.filename,
+                        line=token.line,
+                        severity=Severity.MAJOR,
+                        function=enclosing_function_name(unit, token.line),
+                    ))
+
+        for keyword in NAMED_CASTS:
+            sweep.on_text(keyword, on_named)
+        sweep.on_text("(", on_open_paren)
+        for keyword in TYPE_KEYWORDS:
+            sweep.on_text(keyword, on_type_keyword)
+
+        def finish():
+            narrowing = 0
+            for finding in narrowing_pending:
+                if report.emit(finding):
+                    narrowing += 1
+            report.stats.update({
+                "named_casts": counts["named"],
+                "c_style_casts": counts["c"],
+                "functional_casts": counts["functional"],
+                "explicit_casts": (counts["named"] + counts["c"]
+                                   + counts["functional"]),
+                "implicit_narrowing_risks": narrowing,
+            })
+
+        sweep.at_end(finish)
+        return True
 
     # ------------------------------------------------------------------
 
@@ -219,11 +317,10 @@ class CastChecker(Checker):
         """Count `int x = <float literal>` style initializations."""
         code = unit.code
         count = 0
-        integer_types = {"int", "long", "short", "char", "unsigned", "signed"}
         for index in range(len(code) - 3):
             token = code[index]
             if not (token.kind is TokenKind.KEYWORD
-                    and token.text in integer_types):
+                    and token.text in _INTEGER_TYPES):
                 continue
             name = code[index + 1]
             equals = code[index + 2]

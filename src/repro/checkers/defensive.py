@@ -16,7 +16,7 @@ functions they call.  Both properties are approximated statically:
 
 from __future__ import annotations
 
-from typing import Iterable, List, Set
+from typing import Iterable, List, Optional, Set
 
 from ..lang.cppmodel import FunctionInfo, TranslationUnit
 from ..lang.tokens import Token, TokenKind
@@ -86,17 +86,100 @@ class DefensiveChecker(Checker):
             report.stats.get("guarded_functions", 0),
             report.stats.get("guardable_functions", 0))
 
+    def unit_visitor(self, unit: TranslationUnit, report: CheckerReport,
+                     sweep) -> bool:
+        """Fused registration for the defensive checks.
+
+        Parameter validation rides the shared per-function phase (the
+        body slice is handed in, so ``body_tokens`` is not re-cut).
+        Unchecked-return candidates are recognized on ``(`` events
+        during the token sweep but buffered: the legacy path emits them
+        only after every per-function finding, so they flush from the
+        end hook.
+        """
+        code = unit.code
+        counts = {"guardable": 0, "guarded": 0}
+        unchecked_pending: List[Finding] = []
+        returning: Set[str] = set()
+        for function in unit.functions:
+            if function.return_count > 0 and self._returns_value(unit,
+                                                                 function):
+                returning.add(function.name)
+
+        if returning:
+            def on_open_paren(index, token):
+                if index < 2:
+                    return
+                name = code[index - 1]
+                if name.kind is not TokenKind.IDENTIFIER \
+                        or name.text not in returning:
+                    return
+                previous = code[index - 2]
+                if previous.kind is TokenKind.PUNCT \
+                        and previous.text in (";", "{", "}"):
+                    unchecked_pending.append(Finding(
+                        rule="DF.unchecked_return",
+                        message=(f"return value of {name.text!r} is "
+                                 f"discarded"),
+                        filename=unit.filename,
+                        line=name.line,
+                        severity=Severity.MINOR,
+                    ))
+            sweep.on_text("(", on_open_paren)
+
+        def on_function(function, body):
+            riskful = [parameter for parameter in function.parameters
+                       if parameter.name]
+            if not riskful:
+                return
+            counts["guardable"] += 1
+            if self._validates_parameters(unit, function, body):
+                counts["guarded"] += 1
+            else:
+                report.emit(Finding(
+                    rule="DF.unvalidated_params",
+                    message=(f"function {function.name!r} uses its "
+                             f"{len(riskful)} parameter(s) without a "
+                             f"leading validity check"),
+                    filename=unit.filename,
+                    line=function.start_line,
+                    severity=Severity.MAJOR,
+                    function=function.qualified_name,
+                ))
+        sweep.on_function(on_function)
+
+        def finish():
+            unchecked = 0
+            for finding in unchecked_pending:
+                if report.emit(finding):
+                    unchecked += 1
+            report.stats.update({
+                "guardable_functions": counts["guardable"],
+                "guarded_functions": counts["guarded"],
+                "unchecked_return_calls": unchecked,
+            })
+            self.finalize(report)
+        sweep.at_end(finish)
+        return True
+
     # ------------------------------------------------------------------
 
     def _validates_parameters(self, unit: TranslationUnit,
-                              function: FunctionInfo) -> bool:
-        """True when the body's leading region checks any parameter."""
+                              function: FunctionInfo,
+                              body: Optional[List[Token]] = None) -> bool:
+        """True when the body's leading region checks any parameter.
+
+        ``body`` is the precomputed token slice when the fused sweep
+        already cut it; omitted, it is sliced here.
+        """
         parameter_names: Set[str] = {parameter.name
                                      for parameter in function.parameters
                                      if parameter.name}
         if not parameter_names:
             return True
-        statements = self._leading_statements(unit.body_tokens(function))
+        if body is None:
+            body = unit.body_tokens(function)
+        statements = self._leading_statements(body)
         for statement in statements:
             if self._is_validation_statement(statement, parameter_names):
                 return True

@@ -26,6 +26,18 @@ class GlobalVariableChecker(Checker):
 
     def check_unit(self, unit: TranslationUnit) -> CheckerReport:
         report = self.new_report((unit,))
+        self._check_into(unit, report)
+        return report
+
+    def unit_visitor(self, unit: TranslationUnit, report: CheckerReport,
+                     sweep) -> bool:
+        """Global-variable evidence comes from the parsed model alone,
+        so the check runs whole from the end hook."""
+        sweep.at_end(lambda: self._check_into(unit, report))
+        return True
+
+    def _check_into(self, unit: TranslationUnit,
+                    report: CheckerReport) -> None:
         mutable = 0
         extern = 0
         static = 0
@@ -55,4 +67,3 @@ class GlobalVariableChecker(Checker):
             "const_globals": sum(1 for variable in unit.globals
                                  if not variable.is_mutable_global),
         })
-        return report

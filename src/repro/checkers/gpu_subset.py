@@ -370,6 +370,18 @@ class GpuSubsetChecker(Checker):
     def check_unit(self, unit: cppmodel.TranslationUnit) -> CheckerReport:
         """Fuzzy audit of a ``.cu`` unit: GS4/GS5 plus migration stats."""
         report = self.new_report((unit,))
+        self._check_into(unit, report)
+        return report
+
+    def unit_visitor(self, unit: cppmodel.TranslationUnit,
+                     report: CheckerReport, sweep) -> bool:
+        """The fuzzy audit reads kernel metadata from the parsed model,
+        so it runs whole from the end hook."""
+        sweep.at_end(lambda: self._check_into(unit, report))
+        return True
+
+    def _check_into(self, unit: cppmodel.TranslationUnit,
+                    report: CheckerReport) -> None:
         kernels = [function for function in unit.functions
                    if function.is_cuda_kernel]
         compliant = 0
@@ -406,4 +418,3 @@ class GpuSubsetChecker(Checker):
             "subset_compliant_kernels": compliant,
             "stream_rewrites_needed": rewrites,
         })
-        return report

@@ -16,7 +16,7 @@ numbering where a direct counterpart exists.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Dict, List, Set, Tuple
 
 from ..lang.cppmodel import FunctionInfo, TranslationUnit
 from ..lang.tokens import Token, TokenKind
@@ -101,6 +101,7 @@ class MisraChecker(Checker):
     """Statically decidable MISRA C:2012 subset, CUDA-aware."""
 
     name = "language_subset"
+    version = "2"  # v2: octal check sees through digit separators (0'123')
 
     #: This checker stewards the deviation mechanism's hygiene rules:
     #: it flags deviations naming rules no checker registered.
@@ -113,21 +114,55 @@ class MisraChecker(Checker):
         self._check_unions(unit, report)
         for function in unit.functions:
             body = unit.body_tokens(function)
-            self._check_goto(unit, function, report)
-            self._check_single_exit(unit, function, report)
-            self._check_banned_calls(unit, function, report)
-            self._check_dynamic_memory(unit, function, report)
-            self._check_direct_recursion(unit, function, report)
-            self._check_unused_parameters(unit, function, body, report)
-            self._check_unnamed_parameters(unit, function, report)
-            self._check_compound_bodies(unit, function, body, report)
-            self._check_switch_statements(unit, function, body, report)
-            self._check_assignment_in_condition(unit, function, body,
-                                                report)
-            self._check_comma_in_for_increment(unit, function, body,
-                                               report)
+            self._check_function(unit, function, body, report)
         self._summarize(unit, report)
         return report
+
+    def unit_visitor(self, unit: TranslationUnit, report: CheckerReport,
+                     sweep) -> bool:
+        """Fused registration, emission-ordered exactly as
+        :meth:`check_unit`: banned headers now, octal constants during
+        the token sweep, unions before the function phase, the
+        function-level rule battery per function, stats at the end."""
+        self._check_banned_headers(unit, report)
+        sweep.on_kind(TokenKind.NUMBER,
+                      lambda index, token, _unit=unit, _report=report:
+                      self._octal_token(_unit, token, _report))
+        sweep.at_functions(lambda: self._check_unions(unit, report))
+        sweep.on_function(lambda function, body:
+                          self._check_function(unit, function, body,
+                                               report))
+        sweep.at_end(lambda: self._summarize(unit, report))
+        return True
+
+    def _check_function(self, unit: TranslationUnit,
+                        function: FunctionInfo, body: List[Token],
+                        report: CheckerReport) -> None:
+        """The per-function rule battery, shared by both entry points.
+
+        The body is scanned up front — identifier spellings and keyword
+        positions — so the token-driven rules below walk the short
+        keyword list instead of re-walking the whole body each.
+        """
+        self._check_goto(unit, function, report)
+        self._check_single_exit(unit, function, report)
+        self._check_banned_calls(unit, function, report)
+        self._check_dynamic_memory(unit, function, report)
+        self._check_direct_recursion(unit, function, report)
+        identifier = TokenKind.IDENTIFIER
+        keyword = TokenKind.KEYWORD
+        used = {token.text for token in body if token.kind is identifier}
+        keywords = [(index, token) for index, token in enumerate(body)
+                    if token.kind is keyword]
+        self._check_unused_parameters(unit, function, body, used, report)
+        self._check_unnamed_parameters(unit, function, report)
+        self._check_compound_bodies(unit, function, body, keywords, report)
+        self._check_switch_statements(unit, function, body, keywords,
+                                      report)
+        self._check_assignment_in_condition(unit, function, body, keywords,
+                                            report)
+        self._check_comma_in_for_increment(unit, function, body, keywords,
+                                           report)
 
     def finalize(self, report: CheckerReport) -> None:
         lines = report.stats.get("analyzed_lines", 0)
@@ -155,19 +190,25 @@ class MisraChecker(Checker):
     def _check_octal_constants(self, unit: TranslationUnit,
                                report: CheckerReport) -> None:
         for token in unit.code:
-            if token.kind is not TokenKind.NUMBER:
-                continue
-            text = token.text
-            if (len(text) > 1 and text.startswith("0")
-                    and text[1].isdigit()
-                    and "." not in text and "e" not in text.lower()):
-                report.emit(Finding(
-                    rule="M7.1",
-                    message=f"octal constant {text} shall not be used",
-                    filename=unit.filename,
-                    line=token.line,
-                    severity=Severity.MINOR,
-                ))
+            if token.kind is TokenKind.NUMBER:
+                self._octal_token(unit, token, report)
+
+    @staticmethod
+    def _octal_token(unit: TranslationUnit, token: Token,
+                     report: CheckerReport) -> None:
+        """M7.1 for one NUMBER token (also the fused-sweep event)."""
+        # Digit separators don't change the base: 0'123' is octal.
+        digits = token.text.replace("'", "")
+        if (len(digits) > 1 and digits.startswith("0")
+                and digits[1].isdigit()
+                and "." not in digits and "e" not in digits.lower()):
+            report.emit(Finding(
+                rule="M7.1",
+                message=f"octal constant {token.text} shall not be used",
+                filename=unit.filename,
+                line=token.line,
+                severity=Severity.MINOR,
+            ))
 
     def _check_unions(self, unit: TranslationUnit,
                       report: CheckerReport) -> None:
@@ -261,12 +302,10 @@ class MisraChecker(Checker):
 
     def _check_unused_parameters(self, unit: TranslationUnit,
                                  function: FunctionInfo,
-                                 body: List[Token],
+                                 body: List[Token], used: Set[str],
                                  report: CheckerReport) -> None:
         if not body:
             return
-        used: Set[str] = {token.text for token in body
-                          if token.kind is TokenKind.IDENTIFIER}
         for parameter in function.parameters:
             if parameter.name and parameter.name not in used:
                 report.emit(Finding(
@@ -298,50 +337,54 @@ class MisraChecker(Checker):
     def _check_assignment_in_condition(self, unit: TranslationUnit,
                                        function: FunctionInfo,
                                        body: List[Token],
+                                       keywords: List[Tuple[int, Token]],
                                        report: CheckerReport) -> None:
         """M13.4: the result of an assignment shall not be used.
 
         Detects plain ``=`` inside the controlling expression of an
         ``if``/``while`` — the classic ``if (x = y)`` typo.
         """
-        index = 0
-        while index < len(body):
-            token = body[index]
-            if token.kind is TokenKind.KEYWORD and token.text in ("if",
-                                                                  "while"):
-                close = self._condition_span(body, index)
-                if close is not None:
-                    for position in range(index + 2, close):
-                        entry = body[position]
-                        if entry.is_punct("=") \
-                                and not self._is_comparison_neighbor(
-                                    body, position):
-                            report.emit(Finding(
-                                rule="M13.4",
-                                message=(f"assignment used inside a "
-                                         f"{token.text} condition"),
-                                filename=unit.filename,
-                                line=entry.line,
-                                severity=Severity.MAJOR,
-                                function=function.qualified_name,
-                            ))
-                    index = close
-            index += 1
+        resume = 0
+        for index, token in keywords:
+            if index < resume or token.text not in ("if", "while"):
+                continue
+            close = self._condition_span(body, index)
+            if close is None:
+                continue
+            for position in range(index + 2, close):
+                entry = body[position]
+                if entry.is_punct("=") \
+                        and not self._is_comparison_neighbor(
+                            body, position):
+                    report.emit(Finding(
+                        rule="M13.4",
+                        message=(f"assignment used inside a "
+                                 f"{token.text} condition"),
+                        filename=unit.filename,
+                        line=entry.line,
+                        severity=Severity.MAJOR,
+                        function=function.qualified_name,
+                    ))
+            resume = close + 1
 
     @staticmethod
     def _condition_span(body: List[Token], keyword_index: int):
         """Index of the ``)`` closing the condition after ``keyword``."""
+        length = len(body)
+        punct = TokenKind.PUNCT
         cursor = keyword_index + 1
-        if cursor >= len(body) or not body[cursor].is_punct("("):
+        if cursor >= length or not body[cursor].is_punct("("):
             return None
         depth = 0
-        while cursor < len(body):
-            if body[cursor].is_punct("("):
-                depth += 1
-            elif body[cursor].is_punct(")"):
-                depth -= 1
-                if depth == 0:
-                    return cursor
+        while cursor < length:
+            token = body[cursor]
+            if token.kind is punct:
+                if token.text == "(":
+                    depth += 1
+                elif token.text == ")":
+                    depth -= 1
+                    if depth == 0:
+                        return cursor
             cursor += 1
         return None
 
@@ -358,53 +401,54 @@ class MisraChecker(Checker):
     def _check_comma_in_for_increment(self, unit: TranslationUnit,
                                       function: FunctionInfo,
                                       body: List[Token],
+                                      keywords: List[Tuple[int, Token]],
                                       report: CheckerReport) -> None:
         """M12.3: the comma operator should not be used.
 
         Checked where it is unambiguous: the increment clause of a
         ``for`` header (``for (...; ...; i++, j++)``).
         """
-        index = 0
-        while index < len(body):
-            token = body[index]
-            if token.is_keyword("for"):
-                close = self._condition_span(body, index)
-                if close is not None:
-                    semicolons = 0
-                    depth = 0
-                    for position in range(index + 2, close):
-                        entry = body[position]
-                        if entry.kind is TokenKind.PUNCT:
-                            if entry.text in ("(", "["):
-                                depth += 1
-                            elif entry.text in (")", "]"):
-                                depth -= 1
-                            elif entry.text == ";" and depth == 0:
-                                semicolons += 1
-                            elif entry.text == "," and depth == 0 \
-                                    and semicolons >= 2:
-                                report.emit(Finding(
-                                    rule="M12.3",
-                                    message="comma operator in for-loop "
-                                            "increment clause",
-                                    filename=unit.filename,
-                                    line=entry.line,
-                                    severity=Severity.MINOR,
-                                    function=function.qualified_name,
-                                ))
-                    index = close
-            index += 1
+        resume = 0
+        for index, token in keywords:
+            if index < resume or token.text != "for":
+                continue
+            close = self._condition_span(body, index)
+            if close is None:
+                continue
+            semicolons = 0
+            depth = 0
+            for position in range(index + 2, close):
+                entry = body[position]
+                if entry.kind is TokenKind.PUNCT:
+                    if entry.text in ("(", "["):
+                        depth += 1
+                    elif entry.text in (")", "]"):
+                        depth -= 1
+                    elif entry.text == ";" and depth == 0:
+                        semicolons += 1
+                    elif entry.text == "," and depth == 0 \
+                            and semicolons >= 2:
+                        report.emit(Finding(
+                            rule="M12.3",
+                            message="comma operator in for-loop "
+                                    "increment clause",
+                            filename=unit.filename,
+                            line=entry.line,
+                            severity=Severity.MINOR,
+                            function=function.qualified_name,
+                        ))
+            resume = close + 1
 
     def _check_compound_bodies(self, unit: TranslationUnit,
                                function: FunctionInfo,
                                body: List[Token],
+                               keywords: List[Tuple[int, Token]],
                                report: CheckerReport) -> None:
         """M15.6: bodies of selection/iteration statements need braces."""
-        index = 0
-        while index < len(body):
-            token = body[index]
-            if token.kind is TokenKind.KEYWORD \
-                    and token.text in _LOOP_OR_SELECTION:
+        length = len(body)
+        for index, token in keywords:
+            text = token.text
+            if text in _LOOP_OR_SELECTION:
                 after = self._after_condition(body, index)
                 if after is not None and not (
                         after.is_punct("{")
@@ -419,8 +463,8 @@ class MisraChecker(Checker):
                         severity=Severity.MINOR,
                         function=function.qualified_name,
                     ))
-            elif token.is_keyword("else"):
-                after = body[index + 1] if index + 1 < len(body) else None
+            elif text == "else":
+                after = body[index + 1] if index + 1 < length else None
                 if after is not None and not (after.is_punct("{")
                                               or after.is_keyword("if")):
                     report.emit(Finding(
@@ -431,8 +475,8 @@ class MisraChecker(Checker):
                         severity=Severity.MINOR,
                         function=function.qualified_name,
                     ))
-            elif token.is_keyword("do"):
-                after = body[index + 1] if index + 1 < len(body) else None
+            elif text == "do":
+                after = body[index + 1] if index + 1 < length else None
                 if after is not None and not after.is_punct("{"):
                     report.emit(Finding(
                         rule="M15.6",
@@ -442,40 +486,47 @@ class MisraChecker(Checker):
                         severity=Severity.MINOR,
                         function=function.qualified_name,
                     ))
-            index += 1
 
     @staticmethod
     def _after_condition(body: List[Token], index: int):
         """Token just after the `( ... )` following body[index], or None."""
+        length = len(body)
+        punct = TokenKind.PUNCT
         cursor = index + 1
-        if cursor >= len(body) or not body[cursor].is_punct("("):
+        if cursor >= length or not body[cursor].is_punct("("):
             return None
         depth = 0
-        while cursor < len(body):
+        while cursor < length:
             token = body[cursor]
-            if token.is_punct("("):
-                depth += 1
-            elif token.is_punct(")"):
-                depth -= 1
-                if depth == 0:
-                    if cursor + 1 < len(body):
-                        return body[cursor + 1]
-                    return None
+            if token.kind is punct:
+                if token.text == "(":
+                    depth += 1
+                elif token.text == ")":
+                    depth -= 1
+                    if depth == 0:
+                        if cursor + 1 < length:
+                            return body[cursor + 1]
+                        return None
             cursor += 1
         return None
 
     def _check_switch_statements(self, unit: TranslationUnit,
                                  function: FunctionInfo,
                                  body: List[Token],
+                                 keywords: List[Tuple[int, Token]],
                                  report: CheckerReport) -> None:
-        """M16.3 (no fallthrough) and M16.4 (default label required)."""
-        index = 0
-        while index < len(body):
-            if body[index].is_keyword("switch"):
-                index = self._check_one_switch(unit, function, body, index,
-                                               report)
-            else:
-                index += 1
+        """M16.3 (no fallthrough) and M16.4 (default label required).
+
+        Nested switches are handled inside :meth:`_check_one_switch`'s
+        span, so keywords before its returned resume point are skipped —
+        exactly the legacy cursor jump.
+        """
+        resume = 0
+        for index, token in keywords:
+            if index < resume or token.text != "switch":
+                continue
+            resume = self._check_one_switch(unit, function, body, index,
+                                            report)
 
     def _check_one_switch(self, unit: TranslationUnit,
                           function: FunctionInfo, body: List[Token],

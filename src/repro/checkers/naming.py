@@ -58,6 +58,18 @@ class NamingChecker(Checker):
 
     def check_unit(self, unit: TranslationUnit) -> CheckerReport:
         report = self.new_report((unit,))
+        self._check_into(unit, report)
+        return report
+
+    def unit_visitor(self, unit: TranslationUnit, report: CheckerReport,
+                     sweep) -> bool:
+        """Naming checks read only the parsed model (classes, globals,
+        functions), so the whole battery runs from the end hook."""
+        sweep.at_end(lambda: self._check_into(unit, report))
+        return True
+
+    def _check_into(self, unit: TranslationUnit,
+                    report: CheckerReport) -> None:
         checked = 0
         violations = 0
 
@@ -109,7 +121,6 @@ class NamingChecker(Checker):
             "naming_violations": violations,
         })
         self.finalize(report)
-        return report
 
     def finalize(self, report: CheckerReport) -> None:
         checked = report.stats.get("checked_names", 0)

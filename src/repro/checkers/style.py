@@ -71,6 +71,18 @@ class StyleChecker(Checker):
 
     def check_unit(self, unit: TranslationUnit) -> CheckerReport:
         report = self.new_report((unit,))
+        self._check_into(unit, report)
+        return report
+
+    def unit_visitor(self, unit: TranslationUnit, report: CheckerReport,
+                     sweep) -> bool:
+        """Style checks read the registered raw source, not the token
+        stream, so the battery runs whole from the end hook."""
+        sweep.at_end(lambda: self._check_into(unit, report))
+        return True
+
+    def _check_into(self, unit: TranslationUnit,
+                    report: CheckerReport) -> None:
         source = self._sources.get(unit.filename)
         if source is None:
             # Reconstruct approximate lines from tokens is lossy; without
@@ -109,7 +121,6 @@ class StyleChecker(Checker):
             "checked_lines": len(lines),
         })
         self.finalize(report)
-        return report
 
     def finalize(self, report: CheckerReport) -> None:
         lines = report.stats.get("checked_lines", 0)

@@ -64,60 +64,78 @@ class UnitDesignChecker(Checker):
 
     def check_unit(self, unit: TranslationUnit) -> CheckerReport:
         report = self.new_report((unit,))
-        multi_exit = 0
-        dynamic = 0
-        pointer_users = 0
-        goto_users = 0
+        counts = {"multi_exit": 0, "dynamic": 0, "pointer": 0, "goto": 0}
         for function in unit.functions:
             body = unit.body_tokens(function)
-            if function.has_multiple_exits:
-                if report.emit(Finding(
-                        rule="UD1.multi_exit",
-                        message=(f"{function.name!r} has "
-                                 f"{function.exit_points} exit points"),
-                        filename=unit.filename,
-                        line=function.start_line,
-                        severity=Severity.MINOR,
-                        function=function.qualified_name,
-                )):
-                    multi_exit += 1
-            if function.uses_dynamic_memory:
-                if report.emit(Finding(
-                        rule="UD2.dynamic_alloc",
-                        message=(f"{function.name!r} allocates dynamically "
-                                 f"({function.allocation_calls} calls, "
-                                 f"{function.new_expressions} new)"),
-                        filename=unit.filename,
-                        line=function.start_line,
-                        severity=Severity.MAJOR,
-                        function=function.qualified_name,
-                )):
-                    dynamic += 1
-            uses_pointers = (function.pointer_operations > 0
-                             or any(parameter.is_pointer
-                                    for parameter in function.parameters))
-            if uses_pointers:
-                pointer_users += 1
-            if function.goto_count > 0:
-                if report.emit(Finding(
-                        rule="UD9.goto",
-                        message=f"{function.name!r} uses goto",
-                        filename=unit.filename,
-                        line=function.start_line,
-                        severity=Severity.MAJOR,
-                        function=function.qualified_name,
-                )):
-                    goto_users += 1
-            self._check_uninitialized(unit, function, body, report)
-            self._check_shadowing(unit, function, body, report)
-        hidden = self._check_hidden_flow(unit, report)
+            self._check_function(unit, function, body, counts, report)
+        self._finish_unit(unit, counts, report)
+        return report
 
+    def unit_visitor(self, unit: TranslationUnit, report: CheckerReport,
+                     sweep) -> bool:
+        """Fused registration: the per-function battery rides the shared
+        function phase; hidden-flow findings and the statistics block
+        come last, exactly as in :meth:`check_unit`."""
+        counts = {"multi_exit": 0, "dynamic": 0, "pointer": 0, "goto": 0}
+        sweep.on_function(lambda function, body:
+                          self._check_function(unit, function, body,
+                                               counts, report))
+        sweep.at_end(lambda: self._finish_unit(unit, counts, report))
+        return True
+
+    def _check_function(self, unit: TranslationUnit,
+                        function: FunctionInfo, body: List[Token],
+                        counts: Dict[str, int],
+                        report: CheckerReport) -> None:
+        if function.has_multiple_exits:
+            if report.emit(Finding(
+                    rule="UD1.multi_exit",
+                    message=(f"{function.name!r} has "
+                             f"{function.exit_points} exit points"),
+                    filename=unit.filename,
+                    line=function.start_line,
+                    severity=Severity.MINOR,
+                    function=function.qualified_name,
+            )):
+                counts["multi_exit"] += 1
+        if function.uses_dynamic_memory:
+            if report.emit(Finding(
+                    rule="UD2.dynamic_alloc",
+                    message=(f"{function.name!r} allocates dynamically "
+                             f"({function.allocation_calls} calls, "
+                             f"{function.new_expressions} new)"),
+                    filename=unit.filename,
+                    line=function.start_line,
+                    severity=Severity.MAJOR,
+                    function=function.qualified_name,
+            )):
+                counts["dynamic"] += 1
+        if function.pointer_operations > 0 \
+                or any(parameter.is_pointer
+                       for parameter in function.parameters):
+            counts["pointer"] += 1
+        if function.goto_count > 0:
+            if report.emit(Finding(
+                    rule="UD9.goto",
+                    message=f"{function.name!r} uses goto",
+                    filename=unit.filename,
+                    line=function.start_line,
+                    severity=Severity.MAJOR,
+                    function=function.qualified_name,
+            )):
+                counts["goto"] += 1
+        self._check_uninitialized(unit, function, body, report)
+        self._check_shadowing(unit, function, body, report)
+
+    def _finish_unit(self, unit: TranslationUnit, counts: Dict[str, int],
+                     report: CheckerReport) -> None:
+        hidden = self._check_hidden_flow(unit, report)
         report.stats.update({
             "functions": len(unit.functions),
-            "multi_exit_functions": multi_exit,
-            "dynamic_alloc_functions": dynamic,
-            "pointer_functions": pointer_users,
-            "goto_functions": goto_users,
+            "multi_exit_functions": counts["multi_exit"],
+            "dynamic_alloc_functions": counts["dynamic"],
+            "pointer_functions": counts["pointer"],
+            "goto_functions": counts["goto"],
             "uninitialized_declarations": sum(
                 1 for finding in report.findings
                 if finding.rule == "UD3.uninitialized"),
@@ -127,14 +145,24 @@ class UnitDesignChecker(Checker):
             "hidden_flow_sites": hidden,
             "mutable_globals": len(unit.mutable_globals),
         })
-        return report
 
     def check_project(self,
                       units: Iterable[TranslationUnit]) -> CheckerReport:
         units = list(units)
+        return self.finish_from_units(
+            units, [self.check_unit(unit) for unit in units])
+
+    def finish_from_units(self, units: List[TranslationUnit],
+                          unit_reports: List[CheckerReport]
+                          ) -> CheckerReport:
+        """Merge the per-unit reports, then run the project-wide
+        call-graph recursion pass — the part that genuinely needs every
+        unit at once.  Overriding this (rather than only
+        :meth:`check_project`) lets the pipeline distribute and cache
+        this checker's per-unit portion like any other."""
         report = self.new_report(units, flag_deviations=False)
-        for unit in units:
-            report.merge(self.check_unit(unit))
+        for unit_report in unit_reports:
+            report.merge(unit_report)
         report.stats["recursive_functions"] = \
             self._check_recursion(units, report)
         self.finalize(report)
@@ -196,15 +224,22 @@ class UnitDesignChecker(Checker):
         scopes: List[Set[str]] = [
             {parameter.name for parameter in function.parameters
              if parameter.name}]
+        punct = TokenKind.PUNCT
+        keyword = TokenKind.KEYWORD
         index = 1  # skip opening brace
-        while index < len(body) - 1:
+        stop = len(body) - 1
+        while index < stop:
             token = body[index]
-            if token.is_punct("{"):
-                scopes.append(set())
-            elif token.is_punct("}"):
-                if len(scopes) > 1:
+            kind = token.kind
+            if kind is punct:
+                text = token.text
+                if text == "{":
+                    scopes.append(set())
+                elif text == "}" and len(scopes) > 1:
                     scopes.pop()
-            else:
+            elif kind is keyword and token.text in _SCALAR_TYPES:
+                # Only a scalar-type keyword can open a declaration;
+                # _declared_name re-checks the full shape.
                 declared = self._declared_name(body, index)
                 if declared is not None:
                     name, line = declared

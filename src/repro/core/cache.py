@@ -35,14 +35,19 @@ SCHEMA_TAG = "repro-cache:1"
 #: Stage tag for parse results; bump when the fuzzy parser's output for
 #: an unchanged source can change (see :mod:`repro.lang.cppmodel`).
 #: parse:2 — ParseOutcome grew the ``crash`` field.
-PARSE_TAG = "parse:2"
+#: parse:3 — lexer rewrite: hex floats lex correctly, number
+#: maximal-munch edges changed, preprocessor summary built from the
+#: token stream.
+PARSE_TAG = "parse:3"
 
 #: Stage tag for per-unit checker bundles; the bundle key additionally
 #: folds in every checker's :meth:`~repro.checkers.base.Checker.
 #: fingerprint`, so this only needs bumping for cross-checker changes.
 #: check:2 — CheckerReport grew ``suppressed``/``rules`` fields.
 #: check:3 — CheckerReport grew the ``crashes`` field.
-CHECK_TAG = "check:3"
+#: check:4 — fused single-sweep engine fills bundles; unit_design's
+#: per-unit portion joined the bundle.
+CHECK_TAG = "check:4"
 
 #: Sentinel distinguishing "no entry" from a cached ``None``.
 CACHE_MISS = object()

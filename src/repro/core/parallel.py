@@ -9,10 +9,17 @@ serial run:
 * work is chunked from the already-sorted unit list and results are
   reassembled in that order, so checker reports merge in exactly the
   serial order;
-* only checkers that use the default per-unit
-  :meth:`~repro.checkers.base.Checker.check_project` are fanned out;
-  project-level checkers (architecture, unit design) see all units at
-  once, exactly as in a serial run.
+* only checkers whose project report can be replayed from per-unit
+  reports — the default per-unit
+  :meth:`~repro.checkers.base.Checker.check_project`, or an explicit
+  :meth:`~repro.checkers.base.Checker.finish_from_units` override (unit
+  design) — are fanned out; genuinely project-level checkers
+  (architecture) see all units at once, exactly as in a serial run.
+
+Per-unit chunks run through the fused single-sweep engine
+(:func:`repro.engine.driver.fused_unit_bundle`): one token walk per
+unit dispatches to every registered checker, byte-identical to running
+each checker's ``check_unit`` in sequence.
 
 Each worker chunk runs under its own :class:`~repro.obs.Tracer` (the
 shared tracer's span stack is not thread-safe); the resulting span
@@ -50,6 +57,7 @@ from ..checkers.base import (
     crash_report,
     make_crash,
 )
+from ..engine.driver import fused_unit_bundle
 from ..errors import ConfigError, ReproError, SourceError
 from ..lang.cppmodel import TranslationUnit, parse_translation_unit
 from ..obs import NULL_LOG, NULL_TRACER, BufferLog, EventLog, Span, Tracer
@@ -302,14 +310,15 @@ def run_check_task(task: CheckTask
     Returns ``({path: {checker name: per-unit report}}, worker tracer
     or None, worker events or None)`` — the raw reports the parent
     merges in sorted-unit order and finalizes once, mirroring the
-    default ``check_project`` exactly.
+    default ``check_project`` exactly.  Each unit is swept once by the
+    fused engine rather than once per checker.
     """
     tracer = Tracer() if task.traced else NULL_TRACER
     log = BufferLog(worker=task.worker) if task.logged else NULL_LOG
     bundles: Dict[str, Dict[str, CheckerReport]] = {}
     with tracer.span("checker_worker", worker=task.worker) as span:
         for unit in task.units:
-            bundles[unit.filename] = check_unit_bundle(
+            bundles[unit.filename] = fused_unit_bundle(
                 task.checkers, unit, strict=task.strict, log=log)
         span.set("units", len(task.units))
         span.set("checkers", len(task.checkers))
@@ -362,13 +371,21 @@ def split_checkers(checkers: Sequence[Checker]
 
     A checker that keeps the base class's :meth:`check_project` is a
     pure per-unit merge + finalize, which the engine can replay from
-    distributed (or cached) per-unit reports.  Anything overriding it
-    needs the whole unit set and stays on the serial path.
+    distributed (or cached) per-unit reports.  A checker that overrides
+    :meth:`finish_from_units` has declared its own replay: its per-unit
+    portion distributes, and the override runs the project-wide
+    remainder over the merged result (unit design's recursion pass).
+    Anything else overriding :meth:`check_project` needs the whole unit
+    set and stays on the serial path.
     """
-    per_unit = [checker for checker in checkers
-                if type(checker).check_project is Checker.check_project]
+    def distributable(checker: Checker) -> bool:
+        return (type(checker).check_project is Checker.check_project
+                or type(checker).finish_from_units
+                is not Checker.finish_from_units)
+
+    per_unit = [checker for checker in checkers if distributable(checker)]
     project = [checker for checker in checkers
-               if type(checker).check_project is not Checker.check_project]
+               if not distributable(checker)]
     return per_unit, project
 
 

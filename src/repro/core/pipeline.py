@@ -22,6 +22,7 @@ per-unit merge are distributed.
 
 from __future__ import annotations
 
+import gc
 from typing import Dict, List, Mapping, Optional
 
 from ..checkers.architecture import ArchitectureChecker
@@ -32,7 +33,6 @@ from ..checkers.base import (
     crash_report,
     make_crash,
     require_unique_checker,
-    run_checkers,
 )
 from ..checkers.casts import CastChecker
 from ..checkers.defensive import DefensiveChecker
@@ -46,6 +46,7 @@ from ..errors import ConfigError, ReproError, SourceError
 from ..iso26262.compliance import ComplianceEngine
 from ..iso26262.evidence import EvidenceSet
 from ..iso26262.observations import generate_observations
+from ..engine.driver import fused_unit_bundle
 from ..lang.cppmodel import TranslationUnit, parse_translation_unit
 from ..metrics.report import ModuleMetrics, measure_module
 from ..obs import NULL_LOG, NULL_TRACER, EventLog, Span, Tracer
@@ -58,7 +59,6 @@ from .parallel import (
     ParseOutcome,
     ParseTask,
     bundle_has_crash,
-    check_unit_bundle,
     chunk_evenly,
     graft_worker_trace,
     run_check_task,
@@ -120,6 +120,22 @@ class AssessmentPipeline:
         crashes: List[CheckerCrash] = []
         log.info("run.start", files=len(sources), jobs=self.jobs,
                  executor=self.config.executor)
+        # A cold run allocates millions of long-lived tokens and model
+        # objects; the cyclic collector re-scans them on every generation
+        # sweep for no benefit (the object graph is acyclic by
+        # construction).  Pause automatic collection for the batch and
+        # restore the caller's setting afterwards.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            return self._run(sources, crashes, tracer, log)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    def _run(self, sources: Mapping[str, str],
+             crashes: List[CheckerCrash], tracer, log) -> AssessmentResult:
         with tracer.span("pipeline") as root:
             units, unparseable = self._parse_all(sources, crashes)
             modules = self._measure_modules(sources, units)
@@ -321,10 +337,6 @@ class AssessmentPipeline:
                       ) -> Dict[str, CheckerReport]:
         checkers = self._checkers(sources)
         with self.tracer.span("checkers") as checkers_span:
-            if self.jobs <= 1 and self.config.cache is None:
-                return run_checkers(checkers, units, tracer=self.tracer,
-                                    strict=self.config.strict,
-                                    log=self.log)
             return self._run_checkers_engine(checkers, units, sources,
                                              checkers_span)
 
@@ -333,13 +345,15 @@ class AssessmentPipeline:
                              sources: Mapping[str, str],
                              checkers_span: Span
                              ) -> Dict[str, CheckerReport]:
-        """Distributed / cached checker stage.
+        """The checker stage: serial, fanned out, or cache-assisted.
 
-        Per-unit checkers are replayed from individual ``check_unit``
-        reports — gathered from the cache, computed inline, or fanned
-        out to workers — merged in sorted-unit order and finalized
-        once, which is exactly what the base ``check_project`` does.
-        Project-level checkers run serially over all units, as always.
+        Per-unit checkers are replayed from individual per-unit
+        reports — gathered from the cache, computed inline by the fused
+        single-sweep engine, or fanned out to workers — merged in
+        sorted-unit order and handed to each checker's
+        ``finish_from_units`` (for most, exactly the base
+        ``check_project``: merge + finalize).  Project-level checkers
+        run serially over all units, as always.
         """
         tracer = self.tracer
         cache = self.config.cache
@@ -384,12 +398,11 @@ class AssessmentPipeline:
             with tracer.span("checker", name=checker.name) as span:
                 try:
                     if checker.name in per_unit_names:
-                        report = CheckerReport(checker=checker.name)
-                        for unit in units:
-                            report.merge(
-                                bundles[unit.filename][checker.name])
                         stage = "finalize"
-                        checker.finalize(report)
+                        report = checker.finish_from_units(
+                            units,
+                            [bundles[unit.filename][checker.name]
+                             for unit in units])
                     else:
                         stage = "check_project"
                         report = checker.check_project(units)
@@ -423,7 +436,7 @@ class AssessmentPipeline:
             return {}
         strict = self.config.strict
         if self.jobs <= 1 or len(pending) <= 1:
-            return {unit.filename: check_unit_bundle(per_unit, unit,
+            return {unit.filename: fused_unit_bundle(per_unit, unit,
                                                      strict=strict,
                                                      log=self.log)
                     for unit in pending}

@@ -1,0 +1,18 @@
+"""Fused single-sweep checker engine.
+
+One :class:`~repro.engine.interests.UnitSweep` per translation unit
+drives all checkers in a single token walk (see
+:mod:`repro.engine.driver` for the entry point,
+:func:`~repro.engine.driver.fused_unit_bundle`).
+
+This package's ``__init__`` deliberately re-exports only the leaf
+modules (:mod:`.interests`, :mod:`.index`): the driver imports the
+checker base class, which itself imports :mod:`.index` for the
+enclosing-function line index — importing the driver here would close
+that loop.  Import the driver explicitly as ``repro.engine.driver``.
+"""
+
+from .index import FunctionLineIndex, function_line_index
+from .interests import UnitSweep
+
+__all__ = ["FunctionLineIndex", "UnitSweep", "function_line_index"]

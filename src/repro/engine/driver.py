@@ -1,0 +1,110 @@
+"""The fused checker driver: all checkers over one unit in one sweep.
+
+:func:`fused_unit_bundle` is the drop-in successor of
+:func:`repro.core.parallel.check_unit_bundle`: same signature, same
+``{checker name: per-unit report}`` result, byte-identical reports —
+but instead of calling ``checker.check_unit(unit)`` N times (N
+redundant walks of ``unit.tokens`` / ``unit.code`` /
+``body_tokens(function)``), it builds one :class:`~repro.engine.
+interests.UnitSweep`, lets every checker register its interests, and
+walks the unit once.  Checkers that do not implement
+:meth:`~repro.checkers.base.Checker.unit_visitor` (external
+``extra_checkers``) transparently fall back to their ``check_unit``.
+
+Crash containment matches the legacy per-checker contract: a checker
+whose handler raises outside the :class:`~repro.errors.ReproError`
+hierarchy is contained to a ``crash_report`` for this unit while every
+other checker's report is unaffected.  Because a fused sweep
+interleaves checkers, containment is retry-based: the sweep aborts,
+the crashed checker is dropped, and the unit is re-swept with the
+survivors — their reports are rebuilt from scratch, which discards the
+aborted sweep's partial emissions exactly as the legacy path discards
+a crashed ``check_unit``'s partial report.  Crashes are rare (fault
+injection and genuine bugs), so the retry costs nothing in the steady
+state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..checkers.base import (
+    Checker,
+    CheckerReport,
+    crash_report,
+    make_crash,
+)
+from ..errors import ReproError
+from ..lang.cppmodel import TranslationUnit
+from ..obs import NULL_LOG, EventLog
+from .interests import UnitSweep
+
+__all__ = ["fused_unit_bundle"]
+
+
+def fused_unit_bundle(checkers: Sequence[Checker], unit: TranslationUnit,
+                      strict: bool = False,
+                      log: EventLog = NULL_LOG
+                      ) -> Dict[str, CheckerReport]:
+    """Run every checker over one unit in a single fused sweep.
+
+    Returns ``{checker name: report}`` with each report byte-identical
+    to ``checker.check_unit(unit)``.  ``strict=True`` re-raises checker
+    crashes instead of containing them; a contained crash is logged as
+    a ``checker.crash`` event at stage ``"check_unit"``, matching the
+    legacy bundle's containment exactly.
+    """
+    checkers = list(checkers)
+    active = checkers
+    crashed: Dict[str, CheckerReport] = {}
+    while True:
+        sweep = UnitSweep(unit)
+        try:
+            fresh = _sweep_unit(active, unit, sweep)
+        except ReproError:
+            raise
+        except Exception as error:
+            owner = sweep.owner
+            if strict or owner is None:
+                raise
+            log.error("checker.crash", checker=owner.name,
+                      stage="check_unit", path=unit.filename,
+                      error=f"{type(error).__name__}: {error}")
+            crashed[owner.name] = crash_report(owner.name, make_crash(
+                owner.name, "check_unit", error, path=unit.filename))
+            active = [checker for checker in active
+                      if checker is not owner]
+            continue
+        break
+    if not crashed:
+        return fresh
+    return {checker.name: crashed.get(checker.name,
+                                      fresh.get(checker.name))
+            for checker in checkers}
+
+
+def _sweep_unit(checkers: List[Checker], unit: TranslationUnit,
+                sweep: UnitSweep) -> Dict[str, CheckerReport]:
+    """One attempt: register every checker, run the sweep once.
+
+    ``sweep.owner`` tracks whose code is executing at all times, so the
+    caller can attribute an escape to the offending checker.
+    """
+    reports: Dict[str, CheckerReport] = {}
+    fallback: List[Checker] = []
+    for checker in checkers:
+        sweep.owner = checker
+        if type(checker).unit_visitor is Checker.unit_visitor:
+            # No visitor: the legacy check_unit runs after the sweep.
+            fallback.append(checker)
+            continue
+        report = checker.new_report((unit,))
+        if checker.unit_visitor(unit, report, sweep):
+            reports[checker.name] = report
+        else:
+            fallback.append(checker)
+    sweep.run()
+    for checker in fallback:
+        sweep.owner = checker
+        reports[checker.name] = checker.check_unit(unit)
+    return reports

@@ -23,6 +23,7 @@ from .preprocessor import (
     MacroDefinition,
     PreprocessorSummary,
     summarize,
+    summarize_tokens,
 )
 from .tokens import Token, TokenKind
 
@@ -41,5 +42,6 @@ __all__ = [
     "code_tokens",
     "parse_translation_unit",
     "summarize",
+    "summarize_tokens",
     "tokenize",
 ]

@@ -259,7 +259,7 @@ class CppModelBuilder:
             classes=self.classes,
             namespaces=self.namespaces,
             globals=self.globals,
-            preprocessor=_preprocessor.summarize(self.source, self.filename),
+            preprocessor=_preprocessor.summarize_tokens(self.tokens),
             line_count=line_count,
         )
 
@@ -269,37 +269,47 @@ class CppModelBuilder:
     def _scan(self, start: int, end: int) -> None:
         """Scan tokens in [start, end) at namespace/class scope."""
         index = start
+        code = self.code
+        keyword = TokenKind.KEYWORD
+        punct = TokenKind.PUNCT
         while index < end:
-            token = self.code[index]
-            if token.is_keyword("namespace"):
-                index = self._handle_namespace(index, end)
-            elif (token.kind is TokenKind.KEYWORD
-                  and token.text in ("class", "struct", "union")):
-                index = self._handle_class(index, end)
-            elif token.is_keyword("enum"):
-                index = self._skip_enum(index, end)
-            elif token.is_keyword("template"):
-                index = self._skip_template_header(index, end)
-            elif token.kind is TokenKind.KEYWORD and token.text in ("typedef",
-                                                                    "using"):
-                index = self._skip_to_semicolon(index, end)
-            elif token.is_keyword("extern") and index + 1 < end \
-                    and self.code[index + 1].kind is TokenKind.STRING:
-                index = self._handle_extern_c(index, end)
-            elif (token.kind is TokenKind.KEYWORD
-                  and token.text in ("public", "private", "protected")
-                  and index + 1 < end and self.code[index + 1].is_punct(":")):
-                if self._scopes and self._scopes[-1].kind == "class":
-                    self._scopes[-1].access = token.text
-                index += 2
-            elif token.is_punct("{"):
-                index = self._match_brace(index, end) + 1
-            elif token.is_punct("}"):
-                if self._scopes:
-                    self._scopes.pop()
-                index += 1
-            elif token.is_punct(";"):
-                index += 1
+            token = code[index]
+            kind = token.kind
+            if kind is keyword:
+                text = token.text
+                if text == "namespace":
+                    index = self._handle_namespace(index, end)
+                elif text in ("class", "struct", "union"):
+                    index = self._handle_class(index, end)
+                elif text == "enum":
+                    index = self._skip_enum(index, end)
+                elif text == "template":
+                    index = self._skip_template_header(index, end)
+                elif text in ("typedef", "using"):
+                    index = self._skip_to_semicolon(index, end)
+                elif text == "extern" and index + 1 < end \
+                        and code[index + 1].kind is TokenKind.STRING:
+                    index = self._handle_extern_c(index, end)
+                elif (text in ("public", "private", "protected")
+                      and index + 1 < end
+                      and code[index + 1].is_punct(":")):
+                    if self._scopes and self._scopes[-1].kind == "class":
+                        self._scopes[-1].access = text
+                    index += 2
+                else:
+                    index = self._handle_declaration(index, end)
+            elif kind is punct:
+                text = token.text
+                if text == "{":
+                    index = self._match_brace(index, end) + 1
+                elif text == "}":
+                    if self._scopes:
+                        self._scopes.pop()
+                    index += 1
+                elif text == ";":
+                    index += 1
+                else:
+                    index = self._handle_declaration(index, end)
             else:
                 index = self._handle_declaration(index, end)
 
@@ -399,30 +409,35 @@ class CppModelBuilder:
         head_start = index
         cursor = index
         operator_name: Optional[str] = None
+        code = self.code
+        punct = TokenKind.PUNCT
         while cursor < end:
-            token = self.code[cursor]
-            if token.is_punct("["):
-                cursor = self._match_bracket(cursor, end) + 1
-                continue
-            if token.is_punct("<"):
-                matched = self._try_match_angle(cursor, end)
-                if matched >= 0:
-                    cursor = matched + 1
+            token = code[cursor]
+            kind = token.kind
+            if kind is punct:
+                text = token.text
+                if text == "[":
+                    cursor = self._match_bracket(cursor, end) + 1
                     continue
-                return cursor + 1
-            if token.is_keyword("operator"):
+                if text == "<":
+                    matched = self._try_match_angle(cursor, end)
+                    if matched >= 0:
+                        cursor = matched + 1
+                        continue
+                    return cursor + 1
+                if text == "(":
+                    return self._after_head_paren(head_start, cursor, end,
+                                                  operator_name)
+                if text == "=" or text == ";":
+                    return self._record_variable(head_start, cursor, end)
+                if text == "{" or text == "}":
+                    return cursor  # let _scan handle scope changes
+                if text == ":" and not self._is_class_scope():
+                    # Stray label-like construct at namespace scope; skip it.
+                    return cursor + 1
+            elif kind is TokenKind.KEYWORD and token.text == "operator":
                 operator_name, cursor = self._scan_operator_name(cursor, end)
                 continue
-            if token.is_punct("("):
-                return self._after_head_paren(head_start, cursor, end,
-                                              operator_name)
-            if token.is_punct("=") or token.is_punct(";"):
-                return self._record_variable(head_start, cursor, end)
-            if token.is_punct("{") or token.is_punct("}"):
-                return cursor  # let _scan handle scope changes
-            if token.is_punct(":") and not self._is_class_scope():
-                # Stray label-like construct at namespace scope; skip it.
-                return cursor + 1
             cursor += 1
         return end
 
@@ -634,47 +649,55 @@ class CppModelBuilder:
         depth = 0
         max_depth = 0
         lines = set()
-        for index in range(open_index, close_index + 1):
-            token = self.code[index]
-            lines.add(token.line)
-            if token.kind is TokenKind.KEYWORD:
-                if token.text in _DECISION_KEYWORDS:
+        add_line = lines.add
+        keyword = TokenKind.KEYWORD
+        punct = TokenKind.PUNCT
+        identifier = TokenKind.IDENTIFIER
+        previous = None
+        for token in self.code[open_index:close_index + 1]:
+            add_line(token.line)
+            kind = token.kind
+            if kind is keyword:
+                text = token.text
+                if text in _DECISION_KEYWORDS:
                     complexity += 1
-                elif token.text == "return":
+                elif text == "return":
                     function.return_count += 1
-                elif token.text == "goto":
+                elif text == "goto":
                     function.goto_count += 1
-                elif token.text == "break":
+                elif text == "break":
                     function.break_count += 1
-                elif token.text == "continue":
+                elif text == "continue":
                     function.continue_count += 1
-                elif token.text == "throw":
+                elif text == "throw":
                     function.throw_count += 1
-                elif token.text == "new":
+                elif text == "new":
                     function.new_expressions += 1
-                elif token.text == "delete":
+                elif text == "delete":
                     function.delete_expressions += 1
-            elif token.kind is TokenKind.PUNCT:
-                if token.text in _DECISION_PUNCTS:
+            elif kind is punct:
+                text = token.text
+                if text in _DECISION_PUNCTS:
                     complexity += 1
-                elif token.text == "{":
+                elif text == "{":
                     depth += 1
-                    max_depth = max(max_depth, depth)
-                elif token.text == "}":
+                    if depth > max_depth:
+                        max_depth = depth
+                elif text == "}":
                     depth -= 1
-                elif token.text in ("*", "->"):
+                elif text == "*" or text == "->":
                     function.pointer_operations += 1
-                elif token.text == "<<<":
+                elif text == "<<<":
                     function.kernel_launches += 1
-            elif token.kind is TokenKind.IDENTIFIER:
-                next_token = (self.code[index + 1]
-                              if index + 1 <= close_index else None)
-                if next_token is not None and next_token.is_punct("("):
-                    function.calls.append(token.text)
-                    if token.text in ALLOCATION_CALLS:
+                elif text == "(" and previous is not None \
+                        and previous.kind is identifier:
+                    name = previous.text
+                    function.calls.append(name)
+                    if name in ALLOCATION_CALLS:
                         function.allocation_calls += 1
-                    elif token.text in DEALLOCATION_CALLS:
+                    elif name in DEALLOCATION_CALLS:
                         function.deallocation_calls += 1
+            previous = token
         function.cyclomatic_complexity = complexity
         function.token_count = close_index - open_index + 1
         function.nloc = len(lines)
@@ -730,14 +753,18 @@ class CppModelBuilder:
                     close_text: str) -> int:
         depth = 0
         cursor = index
+        code = self.code
+        punct = TokenKind.PUNCT
         while cursor < end:
-            token = self.code[cursor]
-            if token.is_punct(open_text):
-                depth += 1
-            elif token.is_punct(close_text):
-                depth -= 1
-                if depth == 0:
-                    return cursor
+            token = code[cursor]
+            if token.kind is punct:
+                text = token.text
+                if text == open_text:
+                    depth += 1
+                elif text == close_text:
+                    depth -= 1
+                    if depth == 0:
+                        return cursor
             cursor += 1
         return end - 1
 

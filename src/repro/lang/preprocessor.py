@@ -10,7 +10,7 @@ signal flagged by MISRA.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Iterable, List, Optional
 
 from .lexer import Lexer
 from .tokens import Token, TokenKind
@@ -139,13 +139,17 @@ def _parse_define(directive: Directive) -> Optional[MacroDefinition]:
                            body=body, line=directive.line)
 
 
-def summarize(source: str, filename: str = "<memory>") -> PreprocessorSummary:
-    """Extract directive-level facts from one translation unit."""
+def summarize_tokens(tokens: Iterable[Token]) -> PreprocessorSummary:
+    """Extract directive-level facts from an existing token stream.
+
+    Accepts any token iterable (PREPROCESSOR tokens are picked out, END
+    sentinels ignored), so a caller that already lexed the unit — the
+    cpp model builder in particular — pays no second lexer pass.
+    """
     summary = PreprocessorSummary()
-    lexer = Lexer(source, filename, strict=False)
-    for token in lexer.tokens():
-        if token.kind is TokenKind.END:
-            break
+    for token in tokens:
+        if token.kind is not TokenKind.PREPROCESSOR:
+            continue
         directive = parse_directive(token)
         if directive is None:
             continue
@@ -161,3 +165,8 @@ def summarize(source: str, filename: str = "<memory>") -> PreprocessorSummary:
         elif directive.name in _CONDITIONAL_NAMES:
             summary.conditionals += 1
     return summary
+
+
+def summarize(source: str, filename: str = "<memory>") -> PreprocessorSummary:
+    """Extract directive-level facts from one translation unit."""
+    return summarize_tokens(Lexer(source, filename, strict=False).tokenize())

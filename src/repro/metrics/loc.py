@@ -63,14 +63,27 @@ def count_lines(source: str, tokens: Iterable[Token]) -> LineCounts:
     code_lines: Set[int] = set()
     comment_lines: Set[int] = set()
     directive_lines: Set[int] = set()
+    comment = TokenKind.COMMENT
+    preprocessor = TokenKind.PREPROCESSOR
+    end = TokenKind.END
     for token in tokens:
-        span = range(token.line, token.end_line + 1)
-        if token.kind is TokenKind.COMMENT:
-            comment_lines.update(span)
-        elif token.kind is TokenKind.PREPROCESSOR:
-            directive_lines.update(span)
-        elif token.kind is not TokenKind.END:
-            code_lines.update(span)
+        kind = token.kind
+        if kind is comment:
+            lines = comment_lines
+        elif kind is preprocessor:
+            lines = directive_lines
+        elif kind is not end:
+            lines = code_lines
+        else:
+            continue
+        line = token.line
+        # Almost every token sits on one line; only multi-line tokens
+        # (block comments, continued directives, raw strings) pay for a
+        # span update.
+        if "\n" in token.text:
+            lines.update(range(line, line + token.text.count("\n") + 1))
+        else:
+            lines.add(line)
     occupied = code_lines | comment_lines | directive_lines
     blank = max(0, total - len(occupied))
     return LineCounts(

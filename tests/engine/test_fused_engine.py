@@ -1,0 +1,176 @@
+"""The fused single-sweep engine's contract: byte-identical output.
+
+One token walk per unit dispatches to every registered checker;
+everything a checker emits — findings, order, stats, suppressions —
+must match running its ``check_unit`` alone.  These tests pin that
+equivalence on the synthetic Apollo corpus, plus the engine's crash
+containment, the legacy fallback for visitor-less checkers, and the
+function-line index backing ``enclosing_function_name``.
+"""
+
+from typing import Optional
+
+import pytest
+
+from repro.checkers.base import (
+    Checker,
+    CheckerReport,
+    Finding,
+    Severity,
+    enclosing_function_name,
+    run_checkers,
+)
+from repro.core import AssessmentPipeline, PipelineConfig
+from repro.core.parallel import check_unit_bundle, split_checkers
+from repro.corpus import apollo_spec, generate_corpus
+from repro.engine.driver import fused_unit_bundle
+from repro.engine.index import FunctionLineIndex, function_line_index
+from repro.lang.cppmodel import TranslationUnit, parse_translation_unit
+
+
+@pytest.fixture(scope="module")
+def corpus_sources():
+    return generate_corpus(apollo_spec(scale=0.02)).sources()
+
+
+@pytest.fixture(scope="module")
+def units(corpus_sources):
+    return [parse_translation_unit(source, path)
+            for path, source in sorted(corpus_sources.items())]
+
+
+def builtin_checkers(sources):
+    return AssessmentPipeline(PipelineConfig())._checkers(sources)
+
+
+class TestByteIdentical:
+    def test_bundles_match_legacy_per_checker_path(self, corpus_sources,
+                                                   units):
+        per_unit, _ = split_checkers(builtin_checkers(corpus_sources))
+        reference = builtin_checkers(corpus_sources)
+        legacy_per_unit, _ = split_checkers(reference)
+        for unit in units:
+            fused = fused_unit_bundle(per_unit, unit)
+            legacy = check_unit_bundle(legacy_per_unit, unit)
+            assert set(fused) == set(legacy), unit.filename
+            for name in legacy:
+                assert fused[name] == legacy[name], \
+                    f"{unit.filename}: {name}"
+
+    def test_pipeline_matches_legacy_run_checkers(self, corpus_sources,
+                                                  units):
+        result = AssessmentPipeline(PipelineConfig()).run(corpus_sources)
+        reference = run_checkers(builtin_checkers(corpus_sources), units)
+        assert set(result.reports) == set(reference)
+        for name, report in reference.items():
+            assert result.reports[name] == report, name
+
+    def test_every_builtin_per_unit_checker_registers(self,
+                                                      corpus_sources):
+        per_unit, project = split_checkers(
+            builtin_checkers(corpus_sources))
+        for checker in per_unit:
+            assert type(checker).unit_visitor \
+                is not Checker.unit_visitor, checker.name
+        assert [checker.name for checker in project] == ["architecture"]
+
+
+class _VisitorLess(Checker):
+    """An external-style checker that never learned about sweeps."""
+
+    name = "visitor_less"
+
+    def check_unit(self, unit: TranslationUnit) -> CheckerReport:
+        report = self.new_report((unit,))
+        report.stats["functions_seen"] = len(unit.functions)
+        return report
+
+
+class _SweepCrasher(Checker):
+    """Registers a token handler that explodes on the Nth event."""
+
+    name = "sweep_crasher"
+
+    def __init__(self, fuse: int = 3) -> None:
+        self.fuse = fuse
+        self._seen = 0
+
+    def check_unit(self, unit: TranslationUnit) -> CheckerReport:
+        raise AssertionError("engine should use the visitor")
+
+    def unit_visitor(self, unit, report, sweep) -> bool:
+        def on_punct(index, token):
+            self._seen += 1
+            if self._seen >= self.fuse:
+                raise RuntimeError("boom in the shared sweep")
+            report.emit(Finding(
+                rule="internal.checker_crash", message="pre-crash noise",
+                filename=unit.filename, line=token.line,
+                severity=Severity.INFO))
+        sweep.on_text(";", on_punct)
+        return True
+
+
+class TestFallbackAndContainment:
+    def test_visitorless_checker_takes_legacy_path(self, units):
+        unit = units[0]
+        bundle = fused_unit_bundle([_VisitorLess()], unit)
+        assert bundle["visitor_less"] == _VisitorLess().check_unit(unit)
+
+    def test_crash_is_contained_and_attributed(self, corpus_sources,
+                                               units):
+        per_unit, _ = split_checkers(builtin_checkers(corpus_sources))
+        unit = units[0]
+        clean = fused_unit_bundle(per_unit, unit)
+        bundle = fused_unit_bundle(per_unit + [_SweepCrasher()], unit)
+        crashed = bundle["sweep_crasher"]
+        assert crashed.crashes
+        assert crashed.crashes[0].stage == "check_unit"
+        assert crashed.crashes[0].path == unit.filename
+        # No partial emissions survive from the crashed checker, and the
+        # re-swept survivors are untouched by its earlier handlers.
+        assert [f.rule for f in crashed.findings] == \
+            ["internal.checker_crash"]
+        for name, report in clean.items():
+            assert bundle[name] == report, name
+
+    def test_strict_reraises_sweep_crash(self, corpus_sources, units):
+        per_unit, _ = split_checkers(builtin_checkers(corpus_sources))
+        with pytest.raises(RuntimeError):
+            fused_unit_bundle(per_unit + [_SweepCrasher()], units[0],
+                              strict=True)
+
+
+def _legacy_enclosing(unit: TranslationUnit, line: int) -> str:
+    """The pre-index implementation, verbatim, as the oracle."""
+    best: Optional[str] = None
+    best_span = 0
+    for function in unit.functions:
+        if function.start_line <= line <= function.end_line:
+            span = function.end_line - function.start_line
+            if best is None or span < best_span:
+                best = function.qualified_name
+                best_span = span
+    return best or ""
+
+
+class TestFunctionLineIndex:
+    def test_matches_legacy_scan_on_corpus(self, units):
+        for unit in units[:12]:
+            top = max((function.end_line for function in unit.functions),
+                      default=0)
+            for line in range(0, top + 3):
+                assert enclosing_function_name(unit, line) == \
+                    _legacy_enclosing(unit, line), \
+                    f"{unit.filename}:{line}"
+
+    def test_memoized_per_unit(self, units):
+        unit = units[0]
+        assert function_line_index(unit) is function_line_index(unit)
+
+    def test_empty_unit(self):
+        unit = parse_translation_unit("int g_x = 1;", "empty.cc")
+        index = FunctionLineIndex(unit.functions)
+        assert index.lookup(1) == ""
+        assert index.lookup(-5) == ""
+        assert index.lookup(10_000) == ""

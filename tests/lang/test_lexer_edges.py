@@ -1,0 +1,120 @@
+"""Edge-of-grammar lexer tests: hex floats, digit separators, and
+maximal-munch boundaries for number literals.
+
+These pin the corrected behaviors shipped with the fused-engine PR:
+the previous lexer mis-lexed hexadecimal floating literals (``0x1p3``
+became NUMBER + IDENTIFIER) and accepted malformed separator
+placements (``0x'1'``, trailing ``'``) into a single NUMBER token.
+"""
+
+import pytest
+
+from repro.checkers.misra import MisraChecker
+from repro.errors import LexError
+from repro.lang.cppmodel import parse_translation_unit
+from repro.lang.lexer import Lexer, tokenize
+from repro.lang.tokens import TokenKind
+
+
+def shapes(source, strict=True):
+    return [(token.kind.name, token.text)
+            for token in Lexer(source, "<test>", strict=strict).tokenize()]
+
+
+class TestHexFloats:
+    @pytest.mark.parametrize("literal", [
+        "0x1p3", "0x1P3", "0x1p+3", "0x1P-3", "0x1.8p-3", "0X.8p2",
+        "0x1.p0", "0xA.Bp+1f", "0x1P+2f",
+    ])
+    def test_hex_float_is_one_number(self, literal):
+        assert shapes(literal) == [("NUMBER", literal)]
+
+    def test_hex_fraction_without_exponent(self):
+        # Not valid C++ (a hex fraction requires an exponent) but a
+        # lexer-level maximal munch keeps the digits together.
+        assert shapes("0x1.8") == [("NUMBER", "0x1.8")]
+
+    def test_p_without_digits_is_not_an_exponent(self):
+        assert shapes("0x1p") == [("NUMBER", "0x1"), ("IDENTIFIER", "p")]
+        assert shapes("0x1p-") == [("NUMBER", "0x1"), ("IDENTIFIER", "p"),
+                                   ("PUNCT", "-")]
+
+    def test_hex_float_in_expression(self):
+        assert shapes("float f = 0x1.8p-3;") == [
+            ("KEYWORD", "float"), ("IDENTIFIER", "f"), ("PUNCT", "="),
+            ("NUMBER", "0x1.8p-3"), ("PUNCT", ";")]
+
+
+class TestMaximalMunchEdges:
+    def test_bare_hex_prefix_splits(self):
+        assert shapes("0x") == [("NUMBER", "0"), ("IDENTIFIER", "x")]
+        assert shapes("0x.p3") == [("NUMBER", "0"), ("IDENTIFIER", "x"),
+                                   ("PUNCT", "."), ("IDENTIFIER", "p3")]
+
+    def test_separator_must_sit_between_digits(self):
+        # A separator directly after the 0x prefix is not part of the
+        # number; the quote starts a character literal.
+        assert shapes("0x'1'") == [("NUMBER", "0"), ("IDENTIFIER", "x"),
+                                   ("CHAR", "'1'")]
+
+    def test_trailing_separator_is_not_consumed(self):
+        assert shapes("1'", strict=False) == [("NUMBER", "1"),
+                                              ("CHAR", "'")]
+
+    def test_range_like_double_dot(self):
+        assert shapes("1..2") == [("NUMBER", "1."), ("NUMBER", ".2")]
+
+    def test_second_dot_after_exponent_splits(self):
+        assert shapes("1e5.2") == [("NUMBER", "1e5"), ("NUMBER", ".2")]
+        assert shapes("1.2.3") == [("NUMBER", "1.2"), ("NUMBER", ".3")]
+
+    def test_octal_with_separators_is_one_number(self):
+        assert shapes("0'123'456") == [("NUMBER", "0'123'456")]
+
+    def test_decimal_separators_with_suffix(self):
+        assert shapes("1'000'000ull") == [("NUMBER", "1'000'000ull")]
+
+    def test_member_access_still_splits(self):
+        assert shapes("a.b") == [("IDENTIFIER", "a"), ("PUNCT", "."),
+                                 ("IDENTIFIER", "b")]
+
+
+class TestRecoveryPaths:
+    def test_unterminated_raw_string_strict(self):
+        with pytest.raises(LexError):
+            Lexer('R"(abc', "<test>", strict=True).tokenize()
+
+    def test_unterminated_raw_string_lenient(self):
+        assert shapes('R"(abc', strict=False) == [("STRING", 'R"(abc')]
+
+    def test_raw_string_with_embedded_quote(self):
+        assert shapes('R"(a")" x') == [("STRING", 'R"(a")"'),
+                                       ("IDENTIFIER", "x")]
+
+    def test_line_continued_line_comment(self):
+        tokens = tokenize("// a \\\nb\nc")
+        assert [(t.kind.name, t.text) for t in tokens] == [
+            ("COMMENT", "// a \\\nb"), ("IDENTIFIER", "c")]
+
+    def test_positions_survive_batched_line_accounting(self):
+        tokens = tokenize('auto s = R"(x\ny\nz)";\nint a;')
+        int_token = next(t for t in tokens if t.text == "int")
+        assert (int_token.line, int_token.column) == (4, 1)
+
+
+class TestOctalSeparatorFinding:
+    """The misra octal check sees through digit separators (M7.1)."""
+
+    def _rules(self, source):
+        unit = parse_translation_unit(source, "edge.cc")
+        return {finding.rule
+                for finding in MisraChecker().check_unit(unit).findings}
+
+    def test_separated_octal_flagged(self):
+        assert "M7.1" in self._rules("void f() { int x = 0'123'456; }")
+
+    def test_separated_decimal_not_flagged(self):
+        assert "M7.1" not in self._rules("void f() { int x = 1'000'000; }")
+
+    def test_separated_hex_not_flagged(self):
+        assert "M7.1" not in self._rules("void f() { int x = 0x1'2'3; }")

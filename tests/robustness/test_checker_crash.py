@@ -25,8 +25,9 @@ class TestContainment:
         assert result.degraded
         crash = result.crashes[0]
         assert crash.checker == "fault_injector"
-        # Serial (no-engine) containment wraps the whole check_project.
-        assert crash.stage == "check_project"
+        # Serial runs go through the fused engine too, so containment
+        # is per unit: the crash names the file it happened on.
+        assert (crash.stage, crash.path) == ("check_unit", target_path)
         assert "FaultInjected" in crash.exc_type
         assert crash.traceback  # the original traceback is preserved
         assert_others_unchanged(result, benign_result)
