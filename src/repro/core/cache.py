@@ -8,29 +8,24 @@ version tag, so a changed file, a changed checker implementation, or a
 changed checker configuration each invalidate exactly the entries they
 affect and nothing else.
 
-Entries are pickled under ``root/<key[:2]>/<key>.pkl`` (two-level fanout
-keeps directories small on big trees).  Writes are atomic (temp file +
-``os.replace``) so concurrent assessments sharing a cache directory
-never observe torn entries; any unreadable or corrupt entry is treated
-as a miss and rewritten.  The cache is best-effort by design: an
-unwritable directory degrades to a cold run, never to a crash.
+Since the store refactor, :class:`ResultCache` is a thin facade over
+the sharded persistence layer: all mechanics — the atomic two-level
+fanout object layout, hit/miss/corrupt accounting, stale-temp
+sweeping, shard redirection, merge and GC — live in
+:class:`repro.store.objects.ObjectStore`.  What this module owns is
+the cache *semantics*: the stage version tags below, and the
+backwards-compatible flat layout (``ResultCache(root)`` keeps its
+entries directly under ``root``, exactly as before, while a
+``--store`` run keeps them under ``<store>/objects`` beside the run
+history and shards).
 """
 
 from __future__ import annotations
 
-import hashlib
-import os
-import pickle
-from typing import Any
+from ..store.objects import CACHE_MISS, SCHEMA_TAG, ObjectStore
 
-from ..obs.log import NULL_LOG, EventLog
-from ..obs.metrics import MetricsRegistry, NullMetricsRegistry
-
-#: Shared no-op sink for unattached caches.
-_NULL_METRICS = NullMetricsRegistry()
-
-#: Bump to invalidate every cache entry (layout or pickle-schema change).
-SCHEMA_TAG = "repro-cache:1"
+__all__ = ["CACHE_MISS", "CHECK_TAG", "PARSE_TAG", "ResultCache",
+           "SCHEMA_TAG"]
 
 #: Stage tag for parse results; bump when the fuzzy parser's output for
 #: an unchanged source can change (see :mod:`repro.lang.cppmodel`).
@@ -49,191 +44,16 @@ PARSE_TAG = "parse:3"
 #: per-unit portion joined the bundle.
 CHECK_TAG = "check:4"
 
-#: Sentinel distinguishing "no entry" from a cached ``None``.
-CACHE_MISS = object()
 
+class ResultCache(ObjectStore):
+    """The pipeline's result cache: an object store rooted in place.
 
-def _process_alive(pid: int) -> bool:
-    """Best-effort liveness probe for a temp file's writer."""
-    if pid <= 0:
-        return False
-    try:
-        os.kill(pid, 0)
-    except ProcessLookupError:
-        return False
-    except OSError:
-        return True  # exists but not ours (EPERM) — treat as alive
-    return True
-
-
-class ResultCache:
-    """A content-addressed pickle store with hit/miss accounting.
-
-    Attributes:
-        root: cache directory (created lazily on first write).
-        hits: entries served from disk this process.
-        misses: lookups that found no (readable) entry.
-        puts: entries successfully written this process.
-        corrupt_entries: misses caused by an unreadable *existing*
-            entry (torn pickle, wrong schema) rather than absence.
-
-    The same accounting lands in an attached
-    :class:`~repro.obs.MetricsRegistry` (counters ``cache.hits``,
-    ``cache.misses``, ``cache.puts``, ``cache.corrupt_entries``) and
-    corruption/sweep incidents in an attached event log — see
-    :meth:`attach`; both default to shared no-ops.
+    ``ResultCache(root)`` is the classic ``--cache DIR`` shape —
+    entries live directly under ``root`` in the two-level fanout, with
+    hit/miss/put/corruption accounting and atomic best-effort writes
+    (see the base class for the full contract).  A store-backed cache
+    (``--store DIR``) is built through
+    :meth:`repro.store.store.Store.object_store` instead, which roots
+    the same machinery in the store's shared object area and can
+    redirect writes into a per-process shard.
     """
-
-    def __init__(self, root: str) -> None:
-        self.root = root
-        self.hits = 0
-        self.misses = 0
-        self.puts = 0
-        self.corrupt_entries = 0
-        self.metrics: MetricsRegistry = _NULL_METRICS
-        self.log: EventLog = NULL_LOG
-        self._swept = False
-
-    def attach(self, metrics: MetricsRegistry = None,
-               log: EventLog = None) -> "ResultCache":
-        """Route accounting into a metrics registry and an event log.
-
-        The pipeline attaches its tracer's registry and configured log
-        here, so cache behavior shows up in ``--metrics-json``,
-        Prometheus output, and ``--log-json`` without the cache ever
-        importing the pipeline.  Returns ``self`` for chaining.
-        """
-        self.metrics = metrics if metrics is not None else _NULL_METRICS
-        self.log = log if log is not None else NULL_LOG
-        return self
-
-    # ------------------------------------------------------------------
-
-    @staticmethod
-    def key_for(stage_tag: str, path: str, source: str,
-                fingerprint: str = "") -> str:
-        """The cache key for one per-file result.
-
-        Args:
-            stage_tag: versioned stage name (:data:`PARSE_TAG` /
-                :data:`CHECK_TAG`).
-            path: the file's tree-relative path (findings embed it, so
-                the same text at a different path is a different entry).
-            source: the full source text.
-            fingerprint: extra key material — for checker bundles, the
-                joined checker fingerprints.
-        """
-        digest = hashlib.sha256()
-        for part in (SCHEMA_TAG, stage_tag, fingerprint, path, source):
-            digest.update(part.encode("utf-8"))
-            digest.update(b"\x1f")
-        return digest.hexdigest()
-
-    def entry_path(self, key: str) -> str:
-        """Filesystem path of the entry for ``key`` (may not exist)."""
-        return os.path.join(self.root, key[:2], key + ".pkl")
-
-    # Backwards-compatible alias.
-    _entry_path = entry_path
-
-    # ------------------------------------------------------------------
-
-    def sweep_stale(self) -> int:
-        """Remove ``*.tmp.<pid>`` leftovers from crashed writers.
-
-        A writer that dies between creating its temp file and the atomic
-        ``os.replace`` leaves the temp behind forever; enough crashed
-        runs and the cache directory fills with garbage.  A temp file is
-        stale when its owning process is gone (or its name is mangled).
-        Returns the number of files removed; never raises.
-        """
-        removed = 0
-        try:
-            directories = os.listdir(self.root)
-        except OSError:
-            return 0
-        for subdirectory in directories:
-            directory = os.path.join(self.root, subdirectory)
-            try:
-                names = os.listdir(directory)
-            except (OSError, NotADirectoryError):
-                continue
-            for name in names:
-                if ".tmp." not in name:
-                    continue
-                pid_text = name.rpartition(".tmp.")[2]
-                if pid_text.isdigit() and _process_alive(int(pid_text)):
-                    continue  # a concurrent writer; leave its temp alone
-                try:
-                    os.remove(os.path.join(directory, name))
-                    removed += 1
-                except OSError:
-                    pass
-        if removed:
-            self.metrics.counter("cache.swept_tmp").inc(removed)
-            self.log.info("cache.sweep", root=self.root, removed=removed)
-        return removed
-
-    def get(self, key: str) -> Any:
-        """The cached value for ``key``, or :data:`CACHE_MISS`.
-
-        Corrupt, truncated, or unreadable entries count as misses — the
-        caller recomputes and overwrites them.  An entry that *exists*
-        but cannot be loaded is additionally counted as corrupt and
-        logged, so silent cache rot is visible in telemetry.
-        """
-        path = self.entry_path(key)
-        try:
-            handle = open(path, "rb")
-        except OSError:
-            self.misses += 1
-            self.metrics.counter("cache.misses").inc()
-            return CACHE_MISS
-        try:
-            with handle:
-                value = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError, ValueError) as error:
-            self.misses += 1
-            self.corrupt_entries += 1
-            self.metrics.counter("cache.misses").inc()
-            self.metrics.counter("cache.corrupt_entries").inc()
-            self.log.warning("cache.corrupt_entry", path=path,
-                             error=f"{type(error).__name__}: {error}")
-            return CACHE_MISS
-        self.hits += 1
-        self.metrics.counter("cache.hits").inc()
-        return value
-
-    def put(self, key: str, value: Any) -> bool:
-        """Store ``value`` under ``key``; False when the write failed.
-
-        The write is atomic and best-effort: cache trouble must never
-        fail an assessment.  That contract covers more than disk
-        trouble — an unpicklable ``value`` (``PicklingError`` or
-        ``TypeError``) and deeply recursive payloads
-        (``RecursionError``) are swallowed the same way, and the first
-        write of a process sweeps stale temp files left behind by
-        crashed writers.
-        """
-        if not self._swept:
-            self._swept = True
-            self.sweep_stale()
-        path = self.entry_path(key)
-        temporary = f"{path}.tmp.{os.getpid()}"
-        try:
-            os.makedirs(os.path.dirname(path), exist_ok=True)
-            with open(temporary, "wb") as handle:
-                pickle.dump(value, handle,
-                            protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(temporary, path)
-        except (OSError, pickle.PicklingError, TypeError,
-                AttributeError, RecursionError):
-            try:
-                os.remove(temporary)
-            except OSError:
-                pass
-            return False
-        self.puts += 1
-        self.metrics.counter("cache.puts").inc()
-        return True

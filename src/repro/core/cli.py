@@ -45,9 +45,23 @@ from ..report import (
     configured_reporters,
 )
 from ..rules import REGISTRY, Baseline, RuleProfile, render_rules
+from ..store import Store, default_shard_name, merge_into
 from .cache import ResultCache
 from .config import PipelineConfig
 from .pipeline import AssessmentPipeline
+
+
+def _shard_name(shard: Optional[str]) -> Optional[str]:
+    """The shard directory name for a ``--shard K/N`` run.
+
+    The slice is folded into the name (``shard-<host>-<pid>-1of2``) so
+    one process driving several slices — CI matrix legs on one runner,
+    or the in-process test harness — writes each slice into its own
+    shard directory.
+    """
+    if not shard:
+        return None
+    return default_shard_name(shard.replace("/", "of"))
 
 
 def _package_version() -> str:
@@ -102,6 +116,24 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the result cache even when "
                              "--cache is given")
+    parser.add_argument("--store", metavar="DIR",
+                        help="sharded content-addressed result store: "
+                             "caches parse/checker results under "
+                             "DIR/objects, records this run's manifest "
+                             "to DIR/runs.jsonl, and accepts shard "
+                             "merges (see repro-store)")
+    parser.add_argument("--shard", metavar="K/N",
+                        help="assess only the Kth of N round-robin "
+                             "corpus slices (1-based; requires "
+                             "--store); results land in a private "
+                             "shard directory for a later "
+                             "repro-store merge")
+    parser.add_argument("--merge-from", dest="merge_from",
+                        action="append", default=[], metavar="DIR",
+                        help="merge DIR (another store, shard, or "
+                             "object area) into --store before "
+                             "assessing, so its results are reused "
+                             "(repeatable; sources are only read)")
     parser.add_argument("--strict", action="store_true",
                         help="abort on the first internal fault "
                              "(checker crash, parser bug) instead of "
@@ -225,13 +257,31 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"no C/C++/CUDA sources found under {args.path}",
                   file=sys.stderr)
             return 2
+    store = None
+    if args.store:
+        if args.cache and not args.no_cache:
+            print("--store and --cache are mutually exclusive (a store "
+                  "contains its own object area)", file=sys.stderr)
+            return 2
+        store = Store(args.store)
+    else:
+        if args.shard:
+            print("--shard requires --store (shard results need a "
+                  "store to merge into)", file=sys.stderr)
+            return 2
+        if args.merge_from:
+            print("--merge-from requires --store", file=sys.stderr)
+            return 2
     telemetry = args.trace or args.profile or args.metrics_json
-    # A ledgered run is traced even without --trace/--profile: the
-    # RunRecord needs per-stage wall times.  Stdout is unchanged.
+    # A ledgered (or store-backed) run is traced even without
+    # --trace/--profile: the RunRecord needs per-stage wall times.
+    # Stdout is unchanged.
     tracer = (Tracer() if telemetry or args.ledger is not None
-              else None)
+              or store is not None else None)
     cache = (ResultCache(args.cache)
              if args.cache and not args.no_cache else None)
+    if store is not None and not args.no_cache:
+        cache = store.object_store(shard=_shard_name(args.shard))
     if args.task_timeout is not None and args.task_timeout <= 0:
         print(f"--task-timeout must be positive, got {args.task_timeout}",
               file=sys.stderr)
@@ -248,22 +298,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         event_log = EventLog(log_handle,
                              level=args.log_level or "info",
                              run_id=run_id)
+    if args.merge_from:
+        try:
+            stats = merge_into(store, sources=args.merge_from,
+                               remove_shards=False)
+        except OSError as error:
+            print(f"cannot merge into store: {error}", file=sys.stderr)
+            return 2
+        print(f"merged {len(args.merge_from)} source(s) into "
+              f"{args.store} ({stats.objects_added} objects, "
+              f"{stats.runs_added} runs added)")
     try:
         return _assess(args, sources, profile, baseline, tracer,
-                       cache, event_log, run_id)
+                       cache, event_log, run_id, store)
     finally:
         if log_handle is not None:
             log_handle.close()
 
 
 def _assess(args, sources, profile, baseline, tracer, cache,
-            event_log, run_id) -> int:
+            event_log, run_id, store=None) -> int:
     """Build and run the pipeline, print every report, and (when
     enabled) append the run's manifest to the ledger."""
     try:
         pipeline = AssessmentPipeline(PipelineConfig(
             tracer=tracer, log=event_log, jobs=args.jobs,
-            executor=args.executor, cache=cache, rules=profile,
+            executor=args.executor, cache=cache, shard=args.shard,
+            rules=profile,
             baseline=baseline, strict=args.strict,
             task_timeout=args.task_timeout,
             report=ReportTargets(
@@ -320,7 +381,8 @@ def _assess(args, sources, profile, baseline, tracer, cache,
         coverage = (collect_yolo_coverage()
                     if targets.needs_coverage() else None)
         ledger = (RunLedger(args.ledger)
-                  if args.ledger is not None else None)
+                  if args.ledger is not None
+                  else store.history() if store is not None else None)
         model = build_report_model(
             result, sources, module_of=pipeline.config.module_of,
             coverage=coverage, tracer=tracer, ledger=ledger)
@@ -338,18 +400,38 @@ def _assess(args, sources, profile, baseline, tracer, cache,
     # "complete but degraded" (3).
     exit_code = 3 if result.degraded else 0
     trailer = "\n"
-    if args.ledger is not None:
+    if args.ledger is not None or store is not None:
         record = build_run_record(
             result, run_id=run_id, duration=duration,
             exit_code=exit_code, config=pipeline.config,
-            tracer=tracer, cache=cache, files=len(sources))
-        try:
-            ledger_path = RunLedger(args.ledger).append(record)
-        except OSError as error:
-            print(f"cannot write run ledger: {error}", file=sys.stderr)
-            return 2
-        print(f"{trailer}run {run_id} recorded to {ledger_path}")
-        trailer = ""
+            tracer=tracer, cache=cache,
+            # A shard run's manifest describes its slice, not the full
+            # input (the default counts what was actually assessed).
+            files=len(sources) if not args.shard else None)
+        if args.ledger is not None:
+            try:
+                ledger_path = RunLedger(args.ledger).append(record)
+            except OSError as error:
+                print(f"cannot write run ledger: {error}",
+                      file=sys.stderr)
+                return 2
+            print(f"{trailer}run {run_id} recorded to {ledger_path}")
+            trailer = ""
+        if store is not None:
+            # A shard run's manifest lives beside its objects, in its
+            # own shard directory: concurrent shard processes never
+            # contend on the master table, and the merge unions the
+            # manifests by run id.
+            history = (store.shard(_shard_name(args.shard))
+                       if args.shard else store.history())
+            try:
+                store_path = history.append(record)
+            except OSError as error:
+                print(f"cannot record run to store: {error}",
+                      file=sys.stderr)
+                return 2
+            print(f"{trailer}run {run_id} recorded to {store_path}")
+            trailer = ""
     if event_log is not None:
         print(f"{trailer}event log written to {args.log_json}")
     return exit_code

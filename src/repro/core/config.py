@@ -47,7 +47,15 @@ class PipelineConfig:
             parallelism; payloads cross process boundaries).
         cache: optional content-addressed :class:`~repro.core.cache.
             ResultCache`; unchanged files short-circuit to cached parse
-            results and per-unit checker reports.
+            results and per-unit checker reports.  A store-backed cache
+            (:meth:`repro.store.store.Store.object_store`) additionally
+            redirects writes into a per-process shard directory for
+            later ``repro-store merge``.
+        shard: optional ``"K/N"`` slice — assess only every Nth file
+            of the sorted corpus starting at the Kth (1-based), so N
+            cooperating processes cover the corpus disjointly and a
+            merge of their stores replays byte-identically.  ``None``
+            (the default) assesses everything.
         rules: optional :class:`~repro.rules.RuleProfile` — enable/
             disable globs and per-rule severity overrides applied at
             finding-emission time.  ``None`` (the default) leaves every
@@ -95,6 +103,7 @@ class PipelineConfig:
     jobs: int = 1
     executor: str = "thread"
     cache: Optional[ResultCache] = None
+    shard: Optional[str] = None
     rules: Optional[RuleProfile] = None
     baseline: Optional[Baseline] = None
     strict: bool = False

@@ -61,6 +61,7 @@ from ..engine.driver import fused_unit_bundle
 from ..errors import ConfigError, ReproError, SourceError
 from ..lang.cppmodel import TranslationUnit, parse_translation_unit
 from ..obs import NULL_LOG, NULL_TRACER, BufferLog, EventLog, Span, Tracer
+from ..store.objects import ObjectStore
 
 #: Recognized ``PipelineConfig.executor`` values.  ``thread`` has no
 #: per-task pickling cost; ``process`` sidesteps the GIL for CPU-bound
@@ -223,6 +224,13 @@ class ParseTask:
     strict: bool = False
     #: Record structured events into a shipped-back worker buffer.
     logged: bool = False
+    #: Store-backed fan-out: with both set, the worker persists each
+    #: non-crashed outcome itself, into a private object area the
+    #: parent absorbs on join (no second pickling in the parent, and a
+    #: killed run leaves mergeable shards behind).  ``cache_keys``
+    #: aligns with ``items``.
+    cache_keys: Optional[List[str]] = None
+    shard_dir: Optional[str] = None
 
 
 def parse_one(path: str, source: str, strict: bool = False
@@ -259,16 +267,23 @@ def run_parse_task(task: ParseTask
     tracer = Tracer() if task.traced else NULL_TRACER
     log = BufferLog(worker=task.worker) if task.logged else NULL_LOG
     timings = tracer.metrics.histogram("pipeline.parse_seconds")
+    area = (ObjectStore(task.shard_dir)
+            if task.shard_dir is not None and task.cache_keys is not None
+            else None)
     outcomes: List[ParseOutcome] = []
     with tracer.span("parse_worker", worker=task.worker) as worker_span:
         failures = 0
-        for path, source in task.items:
+        for index, (path, source) in enumerate(task.items):
             with tracer.span("parse_file", path=path) as span:
                 outcome = parse_one(path, source, strict=task.strict)
                 if outcome.unit is None:
                     span.set("failed", 1)
                     failures += 1
                 outcomes.append(outcome)
+                # Contained parser crashes are never cached: the fault
+                # may be transient, and strict runs must reproduce it.
+                if area is not None and outcome.crash is None:
+                    area.put(task.cache_keys[index], outcome)
             if tracer.enabled:
                 timings.observe(span.duration)
         worker_span.set("files", len(task.items))
@@ -300,6 +315,10 @@ class CheckTask:
     strict: bool = False
     #: Record structured events into a shipped-back worker buffer.
     logged: bool = False
+    #: Store-backed fan-out, exactly as on :class:`ParseTask`;
+    #: ``cache_keys`` aligns with ``units``.
+    cache_keys: Optional[List[str]] = None
+    shard_dir: Optional[str] = None
 
 
 def run_check_task(task: CheckTask
@@ -315,11 +334,18 @@ def run_check_task(task: CheckTask
     """
     tracer = Tracer() if task.traced else NULL_TRACER
     log = BufferLog(worker=task.worker) if task.logged else NULL_LOG
+    area = (ObjectStore(task.shard_dir)
+            if task.shard_dir is not None and task.cache_keys is not None
+            else None)
     bundles: Dict[str, Dict[str, CheckerReport]] = {}
     with tracer.span("checker_worker", worker=task.worker) as span:
-        for unit in task.units:
-            bundles[unit.filename] = fused_unit_bundle(
+        for index, unit in enumerate(task.units):
+            bundle = fused_unit_bundle(
                 task.checkers, unit, strict=task.strict, log=log)
+            bundles[unit.filename] = bundle
+            # Crashed bundles are never cached (see bundle_has_crash).
+            if area is not None and not bundle_has_crash(bundle):
+                area.put(task.cache_keys[index], bundle)
         span.set("units", len(task.units))
         span.set("checkers", len(task.checkers))
         log.debug("worker.check", units=len(task.units),

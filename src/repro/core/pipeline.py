@@ -23,7 +23,9 @@ per-unit merge are distributed.
 from __future__ import annotations
 
 import gc
-from typing import Dict, List, Mapping, Optional
+import os
+import shutil
+from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from ..checkers.architecture import ArchitectureChecker
 from ..checkers.base import (
@@ -50,6 +52,7 @@ from ..engine.driver import fused_unit_bundle
 from ..lang.cppmodel import TranslationUnit, parse_translation_unit
 from ..metrics.report import ModuleMetrics, measure_module
 from ..obs import NULL_LOG, NULL_TRACER, EventLog, Span, Tracer
+from ..store.layout import OBJECTS_DIRNAME, default_shard_name
 from .assessment import AssessmentResult
 from .cache import CACHE_MISS, CHECK_TAG, PARSE_TAG
 from .config import PipelineConfig
@@ -67,6 +70,43 @@ from .parallel import (
     split_checkers,
     worker_count,
 )
+
+
+def parse_shard_spec(spec: Optional[str]) -> Optional[Tuple[int, int]]:
+    """Validate a ``"K/N"`` shard slice into ``(K, N)``.
+
+    ``K`` is 1-based; ``1 <= K <= N``.  ``None`` (and ``"1/1"``'s
+    degenerate cousins) mean "the whole corpus".  Raises
+    :class:`~repro.errors.ConfigError` on anything else, so a bad
+    ``--shard`` fails before any work starts.
+    """
+    if spec is None:
+        return None
+    head, separator, tail = spec.partition("/")
+    if (not separator or not head.strip().isdigit()
+            or not tail.strip().isdigit()):
+        raise ConfigError(
+            f"shard must look like K/N (e.g. 2/4), got {spec!r}")
+    index, count = int(head), int(tail)
+    if count < 1 or not 1 <= index <= count:
+        raise ConfigError(
+            f"shard K/N needs 1 <= K <= N, got {spec!r}")
+    return index, count
+
+
+def shard_slice(paths: List[str], shard: Optional[Tuple[int, int]]
+                ) -> List[str]:
+    """This shard's slice of the sorted path list.
+
+    Round-robin (``sorted(paths)[K-1::N]``): every path lands in
+    exactly one of the N shards, and the N slices concatenate —
+    order aside — to the full corpus, so N shard runs plus a merge
+    cover exactly what one full run covers.
+    """
+    if shard is None:
+        return paths
+    index, count = shard
+    return paths[index - 1::count]
 
 
 class AssessmentPipeline:
@@ -99,6 +139,8 @@ class AssessmentPipeline:
             raise ConfigError(
                 f"executor must be one of {EXECUTOR_KINDS}, "
                 f"got {self.config.executor!r}")
+        #: Validated ``(K, N)`` corpus slice, or ``None`` for all files.
+        self.shard = parse_shard_spec(self.config.shard)
         if self.config.cache is not None:
             self.config.cache.attach(self.tracer.metrics, self.log)
 
@@ -117,9 +159,18 @@ class AssessmentPipeline:
         """
         tracer = self.tracer
         log = self.log
+        if self.shard is not None:
+            # The shard's slice IS its corpus: every stage, report, and
+            # manifest below sees only these files, and the cache
+            # entries it writes are exactly the ones a later merged
+            # full run replays.
+            sliced = shard_slice(sorted(sources), self.shard)
+            sources = {path: sources[path] for path in sliced}
         crashes: List[CheckerCrash] = []
         log.info("run.start", files=len(sources), jobs=self.jobs,
-                 executor=self.config.executor)
+                 executor=self.config.executor,
+                 **({"shard": self.config.shard}
+                    if self.shard is not None else {}))
         # A cold run allocates millions of long-lived tokens and model
         # objects; the cyclic collector re-scans them on every generation
         # sweep for no benefit (the object graph is acyclic by
@@ -207,12 +258,16 @@ class AssessmentPipeline:
                     else:
                         hits.inc()
                         outcomes[path] = value
-            for outcome in self._parse_pending(pending, sources,
-                                               parse_span):
+            fresh, persisted = self._parse_pending(pending, sources,
+                                                   parse_span)
+            for outcome in fresh:
                 outcomes[outcome.path] = outcome
                 # Contained parser crashes are never cached: the fault
                 # may be transient, and strict runs must reproduce it.
-                if cache is not None and outcome.crash is None:
+                # Outcomes a worker already persisted into its shard
+                # (and the parent absorbed) are not written twice.
+                if (cache is not None and outcome.crash is None
+                        and outcome.path not in persisted):
                     cache.put(cache.key_for(PARSE_TAG, outcome.path,
                                             sources[outcome.path]),
                               outcome)
@@ -243,10 +298,17 @@ class AssessmentPipeline:
 
     def _parse_pending(self, paths: List[str],
                        sources: Mapping[str, str],
-                       parse_span: Span) -> List[ParseOutcome]:
-        """Parse the cache-missed files, fanned out when ``jobs > 1``."""
+                       parse_span: Span
+                       ) -> Tuple[List[ParseOutcome], Set[str]]:
+        """Parse the cache-missed files, fanned out when ``jobs > 1``.
+
+        Returns ``(outcomes, persisted paths)`` — the second element
+        names the files whose outcomes store-backed workers already
+        wrote (and the parent absorbed), so the caller skips its own
+        put for them.
+        """
         if not paths:
-            return []
+            return [], set()
         tracer = self.tracer
         if self.jobs <= 1 or len(paths) <= 1:
             # Serial path: byte-for-byte the pre-engine behavior (and the
@@ -270,13 +332,18 @@ class AssessmentPipeline:
                         outcomes.append(ParseOutcome(path, unit=unit))
                 if tracer.enabled:
                     timings.observe(span.duration)
-            return outcomes
+            return outcomes, set()
+        cache = self.config.cache
         tasks = [
             ParseTask(items=[(path, sources[path]) for path in chunk],
                       worker=index, traced=tracer.enabled,
                       strict=self.config.strict,
                       logged=self.log.enabled)
             for index, chunk in enumerate(chunk_evenly(paths, self.jobs))]
+        shard_dirs = self._worker_shards(
+            tasks, lambda task: [
+                cache.key_for(PARSE_TAG, path, source)
+                for path, source in task.items])
         outcomes = []
         for chunk_outcomes, worker_tracer, worker_events in run_tasks(
                 run_parse_task, tasks, jobs=self.jobs,
@@ -286,7 +353,48 @@ class AssessmentPipeline:
             outcomes.extend(chunk_outcomes)
             graft_worker_trace(tracer, parse_span, worker_tracer)
             self.log.graft(worker_events)
-        return outcomes
+        self._absorb_worker_shards(shard_dirs)
+        if not shard_dirs:
+            return outcomes, set()
+        return outcomes, {outcome.path for outcome in outcomes
+                          if outcome.crash is None}
+
+    # ------------------------------------------------------------------
+    # store-backed worker fan-out
+
+    def _worker_shards(self, tasks, keys_for) -> List[str]:
+        """Arm pooled tasks with private object areas, when store-backed.
+
+        With a :attr:`~repro.store.objects.ObjectStore.
+        worker_shard_base` configured (a ``--store`` run), each task
+        gets its cache keys and a ``shard-<host>-<pid>-w<index>/
+        objects`` area under the store root: the worker persists its
+        own results, the parent absorbs the areas on join, and a killed
+        run leaves behind valid shard directories ``repro-store merge``
+        folds in.  Plain ``--cache`` runs (no base) are untouched.
+        Returns the armed shard directories (empty when inactive).
+        """
+        cache = self.config.cache
+        base = (getattr(cache, "worker_shard_base", None)
+                if cache is not None else None)
+        if base is None:
+            return []
+        shard_dirs: List[str] = []
+        for task in tasks:
+            task.cache_keys = keys_for(task)
+            task.shard_dir = os.path.join(
+                base, default_shard_name(f"w{task.worker}"),
+                OBJECTS_DIRNAME)
+            shard_dirs.append(task.shard_dir)
+        return shard_dirs
+
+    def _absorb_worker_shards(self, shard_dirs: List[str]) -> None:
+        """Fold worker object areas back into the cache's write area."""
+        cache = self.config.cache
+        for shard_dir in shard_dirs:
+            cache.absorb(shard_dir)
+            shutil.rmtree(os.path.dirname(shard_dir),
+                          ignore_errors=True)
 
     # ------------------------------------------------------------------
     # stage 2: metrics
@@ -364,6 +472,7 @@ class AssessmentPipeline:
 
         bundles: Dict[str, Dict[str, CheckerReport]] = {}
         pending: List[TranslationUnit] = []
+        key_by_path: Dict[str, str] = {}
         if cache is None:
             pending = units
         else:
@@ -377,18 +486,18 @@ class AssessmentPipeline:
                 if value is CACHE_MISS:
                     misses.inc()
                     pending.append(unit)
+                    key_by_path[unit.filename] = key
                 else:
                     hits.inc()
                     bundles[unit.filename] = value
-        fresh = self._check_pending(pending, per_unit, checkers_span)
+        fresh, persisted = self._check_pending(pending, per_unit,
+                                               checkers_span, key_by_path)
         if cache is not None:
             for path, bundle in fresh.items():
-                # Crashed bundles are never cached (see bundle_has_crash).
-                if not bundle_has_crash(bundle):
-                    cache.put(cache.key_for(CHECK_TAG, path,
-                                            sources.get(path, ""),
-                                            bundle_tag),
-                              bundle)
+                # Crashed bundles are never cached (see bundle_has_crash);
+                # worker-persisted ones are not written twice.
+                if not bundle_has_crash(bundle) and path not in persisted:
+                    cache.put(key_by_path[path], bundle)
         bundles.update(fresh)
 
         strict = self.config.strict
@@ -428,18 +537,21 @@ class AssessmentPipeline:
         return reports
 
     def _check_pending(self, pending: List[TranslationUnit],
-                       per_unit: List[Checker], checkers_span: Span
-                       ) -> Dict[str, Dict[str, CheckerReport]]:
+                       per_unit: List[Checker], checkers_span: Span,
+                       key_by_path: Dict[str, str]
+                       ) -> Tuple[Dict[str, Dict[str, CheckerReport]],
+                                  Set[str]]:
         """Per-unit reports for the cache-missed units, fanned out when
-        ``jobs > 1``; returns ``{path: {checker name: report}}``."""
+        ``jobs > 1``; returns ``({path: {checker name: report}},
+        worker-persisted paths)`` (see :meth:`_parse_pending`)."""
         if not pending:
-            return {}
+            return {}, set()
         strict = self.config.strict
         if self.jobs <= 1 or len(pending) <= 1:
             return {unit.filename: fused_unit_bundle(per_unit, unit,
                                                      strict=strict,
                                                      log=self.log)
-                    for unit in pending}
+                    for unit in pending}, set()
         tracer = self.tracer
         tasks = [
             CheckTask(checkers=[checker.for_units(chunk)
@@ -448,6 +560,9 @@ class AssessmentPipeline:
                       strict=strict, logged=self.log.enabled)
             for index, chunk in enumerate(
                 chunk_evenly(pending, self.jobs))]
+        shard_dirs = self._worker_shards(
+            tasks, lambda task: [key_by_path[unit.filename]
+                                 for unit in task.units])
         bundles: Dict[str, Dict[str, CheckerReport]] = {}
         for chunk_bundles, worker_tracer, worker_events in run_tasks(
                 run_check_task, tasks, jobs=self.jobs,
@@ -457,7 +572,11 @@ class AssessmentPipeline:
             bundles.update(chunk_bundles)
             graft_worker_trace(tracer, checkers_span, worker_tracer)
             self.log.graft(worker_events)
-        return bundles
+        self._absorb_worker_shards(shard_dirs)
+        if not shard_dirs:
+            return bundles, set()
+        return bundles, {path for path, bundle in bundles.items()
+                         if not bundle_has_crash(bundle)}
 
     # ------------------------------------------------------------------
     # stage 4: evidence

@@ -1,37 +1,43 @@
 """The run ledger: one append-only manifest per assessment run.
 
 PR 2's tracer and metrics die with the process; the ledger is the
-cross-run memory.  Every assessment (when ``--ledger`` is enabled)
-appends one :class:`RunRecord` — a JSON line capturing *what was
-assessed, with what configuration, how long each stage took, what
-faults were absorbed, and what was found* — to ``<DIR>/runs.jsonl``.
-The trend layer (:mod:`repro.obs.trends`) reads the ledger back to
-plot finding counts per rule and stage timings over time and to gate
-CI on regressions.
+cross-run memory.  Every assessment (when ``--ledger`` or ``--store``
+is enabled) appends one :class:`RunRecord` — a JSON line capturing
+*what was assessed, with what configuration, how long each stage took,
+what faults were absorbed, and what was found* — to
+``<DIR>/runs.jsonl``.  The trend layer (:mod:`repro.obs.trends`) reads
+the ledger back to plot finding counts per rule and stage timings over
+time and to gate CI on regressions.
 
-Design points:
+Since the store refactor, the table mechanics live in
+:class:`repro.store.history.RunHistory` — the run-history side of the
+sharded persistence layer — and :class:`RunLedger` is that class under
+its historical name.  The on-disk format is unchanged (every old
+ledger directory is a valid history), and the store adds what a single
+JSONL file could not: per-shard run tables unioned on read, canonical
+order-independent merging of many machines' histories
+(``repro-store merge``, including ``--from-ledger`` imports of legacy
+directories), and run-manifest object references that pin a run's
+cache entries against GC.
 
-* **Append-only JSONL.**  One ``os.O_APPEND`` write per run keeps
-  concurrent assessments from torn interleaving on POSIX, and a
-  corrupt line (a crashed writer, a merge artifact) costs exactly that
-  line: :meth:`RunLedger.records` skips it and counts it.
-* **Schema-versioned.**  Every record carries ``schema``
-  (:data:`LEDGER_SCHEMA`); readers default missing fields so old
-  ledgers survive new readers and vice versa.
-* **Fingerprinted.**  ``config_fingerprint`` and ``rules_fingerprint``
-  let the trend layer refuse to compare apples to oranges — a finding
-  spike means nothing across a rule-profile change.
+What stays here is the *assembly*: :func:`build_run_record` knows the
+pipeline, tracer, and cache shapes well enough to distill one finished
+assessment into a schema-stable manifest.
 """
 
 from __future__ import annotations
 
 import hashlib
-import json
-import os
-import uuid
-from dataclasses import asdict, dataclass, field, fields
 from datetime import datetime, timezone
 from typing import Dict, List, Optional
+
+from ..store.history import (
+    LEDGER_FILENAME,
+    LEDGER_SCHEMA,
+    RunHistory,
+    RunRecord,
+    new_run_id,
+)
 
 __all__ = [
     "LEDGER_FILENAME",
@@ -43,13 +49,6 @@ __all__ = [
     "new_run_id",
 ]
 
-#: Bump when a :class:`RunRecord` field changes meaning (readers
-#: tolerate added/removed fields without a bump).
-LEDGER_SCHEMA = 1
-
-#: Ledger file name inside the ledger directory.
-LEDGER_FILENAME = "runs.jsonl"
-
 #: The pipeline stages whose wall times a record carries, in order.
 STAGE_NAMES = ("parse", "metrics", "checkers", "evidence", "compliance",
                "observations")
@@ -59,141 +58,15 @@ FAULT_COUNTERS = ("task_timeouts", "worker_deaths", "task_errors",
                   "task_retries", "serial_fallbacks")
 
 
-def new_run_id() -> str:
-    """A fresh 12-hex-digit run id."""
-    return uuid.uuid4().hex[:12]
-
-
-@dataclass
-class RunRecord:
-    """One assessment run's manifest — everything the trend layer needs.
-
-    Attributes:
-        run_id: the run's correlation id (also stamped into the event
-            log and printed by the CLI).
-        timestamp: ISO-8601 UTC wall time the record was built.
-        schema: :data:`LEDGER_SCHEMA` at write time.
-        config_fingerprint: digest over the assessment-relevant pipeline
-            configuration (ASIL target, thresholds, style and
-            architecture limits, strictness).
-        rules_fingerprint: how the active rule profile deviates from
-            registry defaults (``""`` when no profile or no deviation).
-        corpus: input statistics — ``files``, ``units``,
-            ``unparseable``, ``loc``, ``functions``.
-        jobs / executor: the fan-out configuration the run used.
-        stages: per-stage wall seconds (:data:`STAGE_NAMES` keys;
-            empty when the run was not traced).
-        total_seconds: end-to-end assessment wall time.
-        faults: parallel fault counters (:data:`FAULT_COUNTERS`).
-        cache: result-cache accounting — ``hits``, ``misses``,
-            ``puts``, ``corrupt_entries`` (empty when no cache).
-        findings_by_rule: finding count per rule id.
-        findings_by_severity: finding count per severity name.
-        total_findings: sum over all checkers.
-        degradations: contained faults (checker crashes, parser bugs).
-        hotspots: top-K slowest files and checkers
-            (see :func:`repro.obs.profile.hotspots`).
-        exit_code: the CLI exit code the run reported (0 clean,
-            3 degraded).
-    """
-
-    run_id: str
-    timestamp: str
-    schema: int = LEDGER_SCHEMA
-    config_fingerprint: str = ""
-    rules_fingerprint: str = ""
-    corpus: Dict[str, int] = field(default_factory=dict)
-    jobs: int = 1
-    executor: str = "thread"
-    stages: Dict[str, float] = field(default_factory=dict)
-    total_seconds: float = 0.0
-    faults: Dict[str, int] = field(default_factory=dict)
-    cache: Dict[str, int] = field(default_factory=dict)
-    findings_by_rule: Dict[str, int] = field(default_factory=dict)
-    findings_by_severity: Dict[str, int] = field(default_factory=dict)
-    total_findings: int = 0
-    degradations: int = 0
-    hotspots: Dict[str, List] = field(default_factory=dict)
-    exit_code: int = 0
-
-    # ------------------------------------------------------------------
-
-    def to_dict(self) -> Dict:
-        """The JSON object written to the ledger (field order stable)."""
-        return asdict(self)
-
-    @classmethod
-    def from_dict(cls, document: Dict) -> "RunRecord":
-        """Rebuild a record, defaulting fields the document lacks.
-
-        Unknown keys are dropped, so newer writers do not break older
-        readers (and vice versa) — the schema-stability contract the
-        trend layer depends on.
-        """
-        known = {f.name for f in fields(cls)}
-        kept = {key: value for key, value in document.items()
-                if key in known}
-        kept.setdefault("run_id", "")
-        kept.setdefault("timestamp", "")
-        return cls(**kept)
-
-
-class RunLedger:
+class RunLedger(RunHistory):
     """Append-only JSONL store of :class:`RunRecord` manifests.
 
-    Attributes:
-        directory: the ledger directory (created on first append).
-        path: the ``runs.jsonl`` file inside it.
-        corrupt_lines: unparseable lines skipped by the last
-            :meth:`records` call.
+    The historical name for :class:`repro.store.history.RunHistory`:
+    ``append`` writes one ``os.O_APPEND`` JSON line per run,
+    ``records``/``tail`` read them back oldest-first (skipping and
+    counting corrupt lines), and — when the directory is a sharded
+    store root — per-shard run tables are unioned in by run id.
     """
-
-    def __init__(self, directory: str) -> None:
-        self.directory = directory
-        self.path = os.path.join(directory, LEDGER_FILENAME)
-        self.corrupt_lines = 0
-
-    # ------------------------------------------------------------------
-
-    def append(self, record: RunRecord) -> str:
-        """Write one record as a JSON line; returns the ledger path.
-
-        Raises :class:`OSError` when the directory or file cannot be
-        written — the CLI surfaces that as a clean exit 2, like any
-        other unwritable output path.
-        """
-        os.makedirs(self.directory, exist_ok=True)
-        line = json.dumps(record.to_dict()) + "\n"
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(line)
-        return self.path
-
-    def records(self) -> List[RunRecord]:
-        """Every parseable record, oldest first.
-
-        Corrupt lines are skipped and counted in :attr:`corrupt_lines`;
-        a missing or unreadable ledger raises :class:`OSError`.
-        """
-        self.corrupt_lines = 0
-        loaded: List[RunRecord] = []
-        with open(self.path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    document = json.loads(line)
-                    if not isinstance(document, dict):
-                        raise ValueError("record is not an object")
-                    loaded.append(RunRecord.from_dict(document))
-                except (ValueError, TypeError):
-                    self.corrupt_lines += 1
-        return loaded
-
-    def tail(self, count: int) -> List[RunRecord]:
-        """The last ``count`` records, oldest first."""
-        records = self.records()
-        return records[-max(0, count):] if count else []
 
 
 # ----------------------------------------------------------------------
@@ -210,13 +83,21 @@ def _config_fingerprint(config) -> str:
     """Digest of the assessment-relevant configuration.
 
     Covers what changes *verdicts or findings* for the same sources —
-    ASIL target, thresholds, style/architecture limits, strictness —
-    not what changes only the execution shape (jobs, executor, cache),
-    which the record carries as plain fields instead.
+    ASIL target, thresholds, style/architecture limits, strictness,
+    and the shard slice (a shard run assesses a different corpus, so
+    its trends must never be compared against a full run's) — not what
+    changes only the execution shape (jobs, executor, cache), which
+    the record carries as plain fields instead.
     """
     material = repr((config.target_asil, config.thresholds, config.style,
                      config.architecture, config.strict,
                      config.skip_unparseable))
+    shard = getattr(config, "shard", None)
+    if shard:
+        # Appended (rather than folded into the tuple) so full-run
+        # fingerprints are byte-identical to pre-store releases and
+        # existing trend windows survive the upgrade.
+        material += f"|shard:{shard}"
     return hashlib.sha256(material.encode("utf-8")).hexdigest()[:12]
 
 
@@ -243,8 +124,11 @@ def build_run_record(result, *, run_id: str, duration: float,
             (``None`` skips the fingerprints and fan-out fields).
         tracer: the run's :class:`~repro.obs.Tracer`; supplies stage
             times, fault counters, and hotspots when present.
-        cache: the :class:`~repro.core.cache.ResultCache`, for its
-            hit/miss/put/corruption accounting.
+        cache: the :class:`~repro.core.cache.ResultCache` (or any
+            :class:`~repro.store.objects.ObjectStore`), for its
+            hit/miss/put/corruption accounting; a store-backed cache
+            (``record_references`` set) additionally pins the object
+            keys it touched into the manifest, for GC retention.
         files: input file count (defaults to units + unparseable).
         timestamp: ISO timestamp override for deterministic tests.
     """
@@ -276,6 +160,7 @@ def build_run_record(result, *, run_id: str, duration: float,
         hotspot_table = hotspots(tracer, limit=hotspot_limit)
 
     cache_stats: Dict[str, int] = {}
+    object_keys: List[str] = []
     if cache is not None:
         cache_stats = {
             "hits": cache.hits,
@@ -283,6 +168,8 @@ def build_run_record(result, *, run_id: str, duration: float,
             "puts": getattr(cache, "puts", 0),
             "corrupt_entries": getattr(cache, "corrupt_entries", 0),
         }
+        if getattr(cache, "record_references", False):
+            object_keys = sorted(getattr(cache, "referenced", ()))
 
     units = result.unit_count
     unparseable = len(result.unparseable)
@@ -307,10 +194,12 @@ def build_run_record(result, *, run_id: str, duration: float,
         degradations=len(result.crashes),
         hotspots=hotspot_table,
         exit_code=exit_code,
+        objects=object_keys,
     )
     if config is not None:
         record.config_fingerprint = _config_fingerprint(config)
         record.rules_fingerprint = _rules_fingerprint(config)
         record.jobs = config.jobs
         record.executor = config.executor
+        record.shard = getattr(config, "shard", None) or ""
     return record

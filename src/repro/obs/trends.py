@@ -279,6 +279,11 @@ def build_parser() -> argparse.ArgumentParser:
                     "run ledger; exits 1 when the latest run regressed.")
     parser.add_argument("--ledger", default=".repro", metavar="DIR",
                         help="ledger directory (default .repro)")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="read a repro-assess --store directory "
+                             "instead of --ledger; unmerged shard run "
+                             "tables are unioned in by run id, so "
+                             "trends cover the fleet's merged history")
     parser.add_argument("--last", type=int, default=DEFAULT_LAST,
                         metavar="N",
                         help=f"look-back window in runs "
@@ -316,7 +321,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"--last must be a positive integer, got {args.last}",
               file=sys.stderr)
         return 2
-    ledger = RunLedger(args.ledger)
+    # A store root is also a valid history directory (same runs.jsonl
+    # plus shard tables), so both flags read through one class.
+    ledger = RunLedger(args.store if args.store else args.ledger)
     try:
         records = ledger.tail(args.last)
     except OSError as error:

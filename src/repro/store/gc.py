@@ -1,0 +1,153 @@
+"""Store garbage collection: bounded size, bounded age, pinned runs.
+
+Object areas grow without bound: every changed file writes two fresh
+entries (parse + checker bundle) and nothing ever removed the old
+ones.  :func:`collect_garbage` implements ``repro-store gc``:
+
+* ``max_age_days`` — entries whose mtime is older are swept;
+* ``max_size_mb`` — newest-first (LRU by mtime), entries beyond the
+  byte budget are swept;
+* **retention** — an entry referenced by any run manifest in the
+  store's history (master or shard tables) is never swept, whatever
+  its age: a recorded run stays replayable until its manifest is gone.
+
+Sweep counts surface through the existing ``cache.*`` metrics
+(``cache.gc_swept``, ``cache.gc_bytes``, plus ``cache.swept_tmp`` from
+the stale-temp sweep that runs alongside) when a registry is attached
+to the returned object store, and in the :class:`GcStats` the CLI
+prints.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from .objects import ObjectStore
+from .store import Store
+
+__all__ = ["GcStats", "collect_garbage", "retained_keys"]
+
+
+@dataclass
+class GcStats:
+    """One sweep's outcome.
+
+    Attributes:
+        examined: entries considered.
+        swept: entries removed (would be removed under ``dry_run``).
+        swept_bytes: their total size.
+        kept_referenced: entries spared because a run manifest pins
+            them.
+        kept_fresh: entries spared by being inside both budgets.
+        tmp_swept: stale ``*.tmp.<pid>`` files removed alongside.
+    """
+
+    examined: int = 0
+    swept: int = 0
+    swept_bytes: int = 0
+    kept_referenced: int = 0
+    kept_fresh: int = 0
+    tmp_swept: int = 0
+
+    def to_dict(self) -> Dict:
+        return {
+            "examined": self.examined,
+            "swept": self.swept,
+            "swept_bytes": self.swept_bytes,
+            "kept_referenced": self.kept_referenced,
+            "kept_fresh": self.kept_fresh,
+            "tmp_swept": self.tmp_swept,
+        }
+
+
+def retained_keys(store: Store) -> Set[str]:
+    """Object keys pinned by any run manifest in the store's history.
+
+    Reads the master table and every shard table; a missing history
+    simply pins nothing.
+    """
+    retained: Set[str] = set()
+    try:
+        documents = store.history().raw_records()
+    except OSError:
+        return retained
+    for document in documents:
+        objects = document.get("objects")
+        if isinstance(objects, list):
+            retained.update(key for key in objects
+                            if isinstance(key, str))
+    return retained
+
+
+def collect_garbage(store: Store, max_age_days: Optional[float] = None,
+                    max_size_mb: Optional[float] = None,
+                    dry_run: bool = False, now: Optional[float] = None,
+                    area: Optional[ObjectStore] = None) -> GcStats:
+    """Sweep the master object area by age and size, sparing pinned keys.
+
+    Args:
+        store: the store to collect.
+        max_age_days: sweep entries older than this many days
+            (``None`` = no age bound).
+        max_size_mb: keep at most this many megabytes, newest first
+            (``None`` = no size bound).
+        dry_run: count what would be swept without removing anything.
+        now: clock override for deterministic tests.
+        area: object-store view to sweep through (defaults to the
+            store's master area); pass an attached one to surface
+            ``cache.gc_swept`` / ``cache.gc_bytes`` counters.
+    """
+    stats = GcStats()
+    if max_age_days is None and max_size_mb is None:
+        return stats
+    area = area if area is not None else ObjectStore(store.objects_root)
+    if not dry_run:
+        stats.tmp_swept = area.sweep_stale(store.objects_root)
+    pinned = retained_keys(store)
+    reference = time.time() if now is None else now
+    age_floor = (reference - max_age_days * 86400.0
+                 if max_age_days is not None else None)
+    budget = (int(max_size_mb * 1024 * 1024)
+              if max_size_mb is not None else None)
+
+    entries: List[Tuple[float, int, str, str]] = []
+    for key, path in area.entries(store.objects_root):
+        try:
+            status = os.stat(path)
+        except OSError:
+            continue
+        entries.append((status.st_mtime, status.st_size, key, path))
+    # Newest first: the size budget keeps the most recently used
+    # entries, exactly an LRU eviction in bulk.
+    entries.sort(key=lambda entry: (-entry[0], entry[2]))
+
+    kept_bytes = 0
+    for mtime, size, key, path in entries:
+        stats.examined += 1
+        too_old = age_floor is not None and mtime < age_floor
+        over_budget = budget is not None and kept_bytes + size > budget
+        if not too_old and not over_budget:
+            kept_bytes += size
+            stats.kept_fresh += 1
+            continue
+        if key in pinned:
+            kept_bytes += size
+            stats.kept_referenced += 1
+            continue
+        stats.swept += 1
+        stats.swept_bytes += size
+        if not dry_run:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+    if stats.swept:
+        area.metrics.counter("cache.gc_swept").inc(stats.swept)
+        area.metrics.counter("cache.gc_bytes").inc(stats.swept_bytes)
+        area.log.info("cache.gc", root=store.objects_root,
+                      swept=stats.swept, bytes=stats.swept_bytes,
+                      dry_run=dry_run)
+    return stats

@@ -1,0 +1,113 @@
+"""Garbage collection: age and size bounds, manifest pinning, dry runs."""
+
+import os
+
+from repro.store import ObjectStore, RunHistory, RunRecord, Store, collect_garbage
+from repro.store.gc import retained_keys
+
+NOW = 1_700_000_000.0
+DAY = 86400.0
+
+
+def put_aged(area, key, value, age_days):
+    area.put(key, value)
+    path = area.entry_path(key)
+    stamp = NOW - age_days * DAY
+    os.utime(path, (stamp, stamp))
+    return path
+
+
+def make_store(tmp_path):
+    store = Store(str(tmp_path / "store"))
+    area = ObjectStore(store.objects_root)
+    return store, area
+
+
+class TestAgeBound:
+    def test_old_entries_swept_fresh_kept(self, tmp_path):
+        store, area = make_store(tmp_path)
+        old = put_aged(area, ObjectStore.key_for("t", "old.cc", "s"),
+                       "x" * 100, age_days=30)
+        fresh = put_aged(area, ObjectStore.key_for("t", "new.cc", "s"),
+                         "y" * 100, age_days=1)
+        stats = collect_garbage(store, max_age_days=7, now=NOW)
+        assert stats.examined == 2
+        assert stats.swept == 1 and stats.kept_fresh == 1
+        assert not os.path.exists(old) and os.path.exists(fresh)
+
+    def test_no_bounds_is_a_noop(self, tmp_path):
+        store, area = make_store(tmp_path)
+        put_aged(area, ObjectStore.key_for("t", "a.cc", "s"), 1,
+                 age_days=1000)
+        stats = collect_garbage(store)
+        assert stats.examined == 0 and stats.swept == 0
+        assert len(list(area.entries())) == 1
+
+
+class TestSizeBound:
+    def test_lru_keeps_newest_within_budget(self, tmp_path):
+        store, area = make_store(tmp_path)
+        paths = {}
+        # ~1KiB each, ages 0..9 days (newest first in LRU order)
+        for index in range(10):
+            key = ObjectStore.key_for("t", f"f{index}.cc", "s")
+            paths[index] = put_aged(area, key, "z" * 1024,
+                                    age_days=index)
+        stats = collect_garbage(store, max_size_mb=0.004, now=NOW)
+        assert stats.swept > 0
+        assert stats.kept_fresh + stats.swept == 10
+        # the newest entries survive, the oldest are gone
+        survivors = {index for index, path in paths.items()
+                     if os.path.exists(path)}
+        assert survivors == set(range(stats.kept_fresh))
+
+    def test_zero_budget_sweeps_everything_unpinned(self, tmp_path):
+        store, area = make_store(tmp_path)
+        for index in range(3):
+            put_aged(area, ObjectStore.key_for("t", f"f{index}.cc", "s"),
+                     "p" * 64, age_days=index)
+        stats = collect_garbage(store, max_size_mb=0, now=NOW)
+        assert stats.swept == 3
+        assert list(area.entries()) == []
+
+
+class TestManifestPinning:
+    def test_referenced_entries_never_swept(self, tmp_path):
+        store, area = make_store(tmp_path)
+        pinned_key = ObjectStore.key_for("t", "pinned.cc", "s")
+        loose_key = ObjectStore.key_for("t", "loose.cc", "s")
+        pinned = put_aged(area, pinned_key, "a" * 64, age_days=365)
+        loose = put_aged(area, loose_key, "b" * 64, age_days=365)
+        RunHistory(store.root).append(RunRecord(
+            run_id="r1", timestamp="2026-01-01T00:00:00+00:00",
+            objects=[pinned_key]))
+        assert retained_keys(store) == {pinned_key}
+        stats = collect_garbage(store, max_age_days=7, now=NOW)
+        assert stats.swept == 1 and stats.kept_referenced == 1
+        assert os.path.exists(pinned) and not os.path.exists(loose)
+
+    def test_shard_manifests_pin_too(self, tmp_path):
+        store, area = make_store(tmp_path)
+        key = ObjectStore.key_for("t", "shardpin.cc", "s")
+        path = put_aged(area, key, "c" * 64, age_days=365)
+        RunHistory(store.shard_path("shard-a")).append(RunRecord(
+            run_id="r2", timestamp="2026-01-01T00:00:00+00:00",
+            objects=[key]))
+        stats = collect_garbage(store, max_age_days=7, now=NOW)
+        assert stats.swept == 0 and stats.kept_referenced == 1
+        assert os.path.exists(path)
+
+    def test_missing_history_pins_nothing(self, tmp_path):
+        store, _area = make_store(tmp_path)
+        assert retained_keys(store) == set()
+
+
+class TestDryRun:
+    def test_dry_run_counts_without_removing(self, tmp_path):
+        store, area = make_store(tmp_path)
+        path = put_aged(area, ObjectStore.key_for("t", "a.cc", "s"),
+                        "d" * 64, age_days=365)
+        stats = collect_garbage(store, max_age_days=7, dry_run=True,
+                                now=NOW)
+        assert stats.swept == 1
+        assert os.path.exists(path)
