@@ -1,9 +1,17 @@
 """The assessment pipeline: the paper's methodology as one call."""
 
 from .assessment import AssessmentResult
-from .cache import CACHE_MISS, ResultCache
+from .cache import CACHE_MISS, MemoryCache, ResultCache
 from .config import PipelineConfig
-from .diff import AssessmentDiff, VerdictTransition, diff_assessments, gap_reduction
+from .diff import (
+    AssessmentDiff,
+    AssessmentView,
+    VerdictTransition,
+    assessment_view_from_dict,
+    diff_assessments,
+    gap_reduction,
+    load_assessment_view,
+)
 from .markdown import render_markdown
 from .remediation import (
     Effort,
@@ -17,13 +25,17 @@ from .pipeline import AssessmentPipeline, assess_corpus, assess_sources
 
 __all__ = [
     "CACHE_MISS",
+    "MemoryCache",
     "ResultCache",
     "chunk_evenly",
     "worker_count",
     "AssessmentDiff",
+    "AssessmentView",
     "VerdictTransition",
+    "assessment_view_from_dict",
     "diff_assessments",
     "gap_reduction",
+    "load_assessment_view",
     "Effort",
     "RemediationItem",
     "effort_histogram",

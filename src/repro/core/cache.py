@@ -22,10 +22,12 @@ history and shards).
 
 from __future__ import annotations
 
+from typing import Any, Dict, Iterator, Optional, Tuple
+
 from ..store.objects import CACHE_MISS, SCHEMA_TAG, ObjectStore
 
-__all__ = ["CACHE_MISS", "CHECK_TAG", "PARSE_TAG", "ResultCache",
-           "SCHEMA_TAG"]
+__all__ = ["CACHE_MISS", "CHECK_TAG", "MemoryCache", "PARSE_TAG",
+           "ResultCache", "SCHEMA_TAG"]
 
 #: Stage tag for parse results; bump when the fuzzy parser's output for
 #: an unchanged source can change (see :mod:`repro.lang.cppmodel`).
@@ -57,3 +59,66 @@ class ResultCache(ObjectStore):
     the same machinery in the store's shared object area and can
     redirect writes into a per-process shard.
     """
+
+
+class MemoryCache(ResultCache):
+    """A process-lifetime result cache: same contract, no disk.
+
+    The warm heart of ``repro-serve``: the daemon keeps parse outcomes
+    and per-unit checker bundles in a plain dict, so a repeat ``assess``
+    of an unchanged tree recomputes nothing and never touches the
+    filesystem or a pickle.  Values are stored *by reference* — the
+    pipeline treats cached outcomes and bundles as immutable, exactly
+    as it treats entries round-tripped through the on-disk store.
+
+    Hit/miss/put accounting matches :class:`ResultCache` (including
+    :meth:`attach`-routed metrics counters), so the serve layer's
+    per-request cache deltas read the same whether the backend is
+    memory, a flat ``--cache`` directory, or a sharded ``--store``.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(":memory:")
+        self._entries: Dict[str, Any] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def sweep_stale(self, root: Optional[str] = None) -> int:
+        return 0  # nothing on disk to sweep
+
+    def get(self, key: str) -> Any:
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            self.metrics.counter("cache.misses").inc()
+            return CACHE_MISS
+        self.hits += 1
+        self.metrics.counter("cache.hits").inc()
+        self.referenced.add(key)
+        return value
+
+    def put(self, key: str, value: Any) -> bool:
+        self._entries[key] = value
+        self.puts += 1
+        self.metrics.counter("cache.puts").inc()
+        self.referenced.add(key)
+        return True
+
+    def entries(self, root: Optional[str] = None
+                ) -> Iterator[Tuple[str, str]]:
+        return iter(())  # no filesystem entries to merge or GC
+
+    def absorb(self, area_root: str) -> int:
+        return 0
+
+    def clear(self) -> int:
+        """Drop every entry (an explicit ``serve`` cache reset).
+
+        Accounting is preserved — a reset is an operational event, not
+        a new process.  Returns the number of entries dropped.
+        """
+        dropped = len(self._entries)
+        self._entries.clear()
+        return dropped

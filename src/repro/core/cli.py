@@ -10,7 +10,6 @@ Examples::
 from __future__ import annotations
 
 import argparse
-import fnmatch
 import json
 import sys
 import time
@@ -24,6 +23,7 @@ from ..errors import (
     ConfigError,
     CorpusError,
     ReportError,
+    RuleError,
 )
 from ..obs import (
     LEVELS,
@@ -44,10 +44,11 @@ from ..report import (
     collect_yolo_coverage,
     configured_reporters,
 )
-from ..rules import REGISTRY, Baseline, RuleProfile, render_rules
+from ..rules import REGISTRY, Baseline, profile_from_globs, render_rules
 from ..store import Store, default_shard_name, merge_into
 from .cache import ResultCache
 from .config import PipelineConfig
+from .diff import diff_assessments, gap_reduction, load_assessment_view
 from .pipeline import AssessmentPipeline
 
 
@@ -177,6 +178,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "summary then reports only new findings")
     parser.add_argument("--write-baseline", metavar="FILE",
                         help="write this run's finding baseline to FILE")
+    parser.add_argument("--diff-baseline", dest="diff_baseline",
+                        metavar="FILE",
+                        help="diff this run's verdicts against a saved "
+                             "--json document: print the improved/"
+                             "regressed techniques and the weighted "
+                             "gap reduction")
     parser.add_argument("--metrics-json", metavar="FILE",
                         help="write the telemetry document (spans, "
                              "counters, histograms, Chrome trace events) "
@@ -222,40 +229,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
     if args.corpus is None and args.path is None:
         parser.error("give a source tree path or --corpus SCALE")
-    profile = None
-    if args.enable or args.disable:
-        for pattern in (args.enable or []) + (args.disable or []):
-            if not any(fnmatch.fnmatchcase(rule.id, pattern)
-                       for rule in REGISTRY):
-                print(f"rule pattern {pattern!r} matches no registered "
-                      f"rule (see --list-rules)", file=sys.stderr)
-                return 2
-        profile = RuleProfile(enable=tuple(args.enable or ()),
-                              disable=tuple(args.disable or ()))
+    try:
+        profile = profile_from_globs(args.enable, args.disable, REGISTRY)
+    except RuleError as error:
+        print(str(error), file=sys.stderr)
+        return 2
     baseline = None
     if args.baseline:
         try:
             baseline = Baseline.load(args.baseline)
         except BaselineError as error:
             print(str(error), file=sys.stderr)
-            return 2
-    if args.corpus is not None:
-        try:
-            corpus = generate_corpus(apollo_spec(scale=args.corpus,
-                                                 seed=args.seed))
-        except CorpusError as error:
-            print(f"cannot generate corpus: {error}", file=sys.stderr)
-            return 2
-        sources = corpus.sources()
-    else:
-        try:
-            sources = read_tree(args.path)
-        except (CorpusError, OSError) as error:
-            print(f"cannot read source tree: {error}", file=sys.stderr)
-            return 2
-        if not sources:
-            print(f"no C/C++/CUDA sources found under {args.path}",
-                  file=sys.stderr)
             return 2
     store = None
     if args.store:
@@ -298,17 +282,42 @@ def main(argv: Optional[List[str]] = None) -> int:
         event_log = EventLog(log_handle,
                              level=args.log_level or "info",
                              run_id=run_id)
-    if args.merge_from:
-        try:
-            stats = merge_into(store, sources=args.merge_from,
-                               remove_shards=False)
-        except OSError as error:
-            print(f"cannot merge into store: {error}", file=sys.stderr)
-            return 2
-        print(f"merged {len(args.merge_from)} source(s) into "
-              f"{args.store} ({stats.objects_added} objects, "
-              f"{stats.runs_added} runs added)")
     try:
+        # Sources are read *after* the event log exists, so per-file
+        # skips (a file vanishing or turning unreadable mid-walk) are
+        # recorded as parse.skipped_unreadable warnings instead of
+        # aborting the run.
+        if args.corpus is not None:
+            try:
+                corpus = generate_corpus(apollo_spec(scale=args.corpus,
+                                                     seed=args.seed))
+            except CorpusError as error:
+                print(f"cannot generate corpus: {error}",
+                      file=sys.stderr)
+                return 2
+            sources = corpus.sources()
+        else:
+            try:
+                sources = read_tree(args.path, log=event_log)
+            except CorpusError as error:
+                print(f"cannot read source tree: {error}",
+                      file=sys.stderr)
+                return 2
+            if not sources:
+                print(f"no C/C++/CUDA sources found under {args.path}",
+                      file=sys.stderr)
+                return 2
+        if args.merge_from:
+            try:
+                stats = merge_into(store, sources=args.merge_from,
+                                   remove_shards=False)
+            except OSError as error:
+                print(f"cannot merge into store: {error}",
+                      file=sys.stderr)
+                return 2
+            print(f"merged {len(args.merge_from)} source(s) into "
+                  f"{args.store} ({stats.objects_added} objects, "
+                  f"{stats.runs_added} runs added)")
         return _assess(args, sources, profile, baseline, tracer,
                        cache, event_log, run_id, store)
     finally:
@@ -343,6 +352,18 @@ def _assess(args, sources, profile, baseline, tracer, cache,
     if cache is not None:
         print(f"\ncache: {cache.hits} hits, {cache.misses} misses "
               f"({cache.root})")
+    if args.diff_baseline:
+        try:
+            before = load_assessment_view(args.diff_baseline)
+        except BaselineError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        print()
+        print(diff_assessments(before, result).render())
+        reduction = gap_reduction(before, result)
+        print(f"weighted gap: {reduction['before']} -> "
+              f"{reduction['after']} "
+              f"(reduced by {reduction['reduction']})")
     if args.trace or args.profile:
         print()
         print(render_span_tree(tracer))

@@ -4,13 +4,27 @@ Compares two :class:`~repro.core.assessment.AssessmentResult` objects
 (e.g. baseline vs. remediated codebase) technique by technique, reporting
 verdict transitions and residual gaps — the evidence a safety case would
 attach to a remediation milestone.
+
+Two user-facing surfaces consume this module:
+
+* ``repro-assess --diff-baseline FILE`` diffs the current run against a
+  previous run's ``--json`` document (rehydrated through
+  :func:`assessment_view_from_dict`);
+* the ``repro-serve`` ``diff`` verb and ``--watch`` stream diff each
+  fresh assessment against the daemon's in-memory previous one.
+
+Both accept anything shaped like an assessment — a live
+:class:`~repro.core.assessment.AssessmentResult` or the lightweight
+view rebuilt from JSON — because :func:`diff_assessments` and
+:func:`gap_reduction` only walk ``tables -> assessments -> technique``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List
 
+from ..errors import BaselineError
 from ..iso26262.compliance import GapSeverity, Verdict
 from .assessment import AssessmentResult
 
@@ -45,6 +59,19 @@ class VerdictTransition:
     @property
     def unchanged(self) -> bool:
         return self.before is self.after
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready shape (what the serve ``diff`` verb replies)."""
+        return {
+            "table": self.table_key,
+            "technique": self.technique_key,
+            "title": self.title,
+            "before": self.before.value,
+            "after": self.after.value,
+            "direction": ("improved" if self.improved
+                          else "regressed" if self.regressed
+                          else "unchanged"),
+        }
 
 
 @dataclass
@@ -85,10 +112,27 @@ class AssessmentDiff:
                 lines.append(f"  - {entry.title} ({entry.after.value})")
         return "\n".join(lines)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready rollup: transitions plus the summary counts."""
+        return {
+            "transitions": [entry.to_dict()
+                            for entry in self.transitions
+                            if not entry.unchanged],
+            "improved": len(self.improved),
+            "regressed": len(self.regressed),
+            "residual_gaps": [entry.to_dict()
+                              for entry in self.residual_gaps],
+        }
+
 
 def diff_assessments(before: AssessmentResult,
                      after: AssessmentResult) -> AssessmentDiff:
-    """Compare two assessments over the same requirement tables."""
+    """Compare two assessments over the same requirement tables.
+
+    Either side may be a live result or a JSON-rehydrated view
+    (:func:`assessment_view_from_dict`); only the
+    ``tables -> assessments -> technique`` shape is consulted.
+    """
     transitions: List[VerdictTransition] = []
     for table_key, before_table in before.tables.items():
         after_table = after.tables[table_key]
@@ -106,7 +150,10 @@ def diff_assessments(before: AssessmentResult,
 
 def gap_reduction(before: AssessmentResult,
                   after: AssessmentResult) -> Dict[str, int]:
-    """Weighted-gap totals before/after (minor=1, major=2, critical=3)."""
+    """Weighted-gap totals before/after (minor=1, major=2, critical=3).
+
+    ``reduction`` is signed: negative means the gaps *grew*.
+    """
     def weighted(result: AssessmentResult) -> int:
         total = 0
         for table in result.tables.values():
@@ -119,4 +166,117 @@ def gap_reduction(before: AssessmentResult,
                     total += 3
         return total
 
-    return {"before": weighted(before), "after": weighted(after)}
+    before_total = weighted(before)
+    after_total = weighted(after)
+    return {"before": before_total, "after": after_total,
+            "reduction": before_total - after_total}
+
+
+# ----------------------------------------------------------------------
+# JSON rehydration: diff against a saved ``--json`` document
+
+
+@dataclass(frozen=True)
+class _TechniqueView:
+    """Just enough of a technique for :func:`diff_assessments`."""
+
+    key: str
+    title: str
+
+
+@dataclass(frozen=True)
+class _EntryView:
+    """One rehydrated technique assessment (verdict + gap)."""
+
+    technique: _TechniqueView
+    verdict: Verdict
+    gap: GapSeverity
+
+
+@dataclass
+class _TableView:
+    """One rehydrated table: ordered entries plus keyed lookup."""
+
+    assessments: List[_EntryView] = field(default_factory=list)
+
+    def assessment(self, technique_key: str) -> _EntryView:
+        for entry in self.assessments:
+            if entry.technique.key == technique_key:
+                return entry
+        raise KeyError(technique_key)
+
+
+@dataclass
+class AssessmentView:
+    """An assessment rebuilt from its ``--json`` document.
+
+    Carries exactly what :func:`diff_assessments` and
+    :func:`gap_reduction` consume, so a finished run can be diffed
+    against a historical document without re-running the baseline.
+    """
+
+    tables: Dict[str, _TableView] = field(default_factory=dict)
+
+
+def assessment_view_from_dict(document: Dict) -> AssessmentView:
+    """Rebuild the diffable view of a saved assessment document.
+
+    Accepts the object ``repro-assess --json`` writes (the
+    :meth:`~repro.core.assessment.AssessmentResult.to_dict` shape).
+
+    Raises:
+        BaselineError: when the document is not such an object —
+            missing ``tables``, a technique without key/verdict, or a
+            verdict/gap value this version does not know.
+    """
+    tables = document.get("tables") if isinstance(document, dict) else None
+    if not isinstance(tables, dict) or not tables:
+        raise BaselineError(
+            "diff baseline is not an assessment document "
+            "(expected the repro-assess --json shape with a "
+            "'tables' object)")
+    view = AssessmentView()
+    for table_key, table in tables.items():
+        techniques = (table.get("techniques")
+                      if isinstance(table, dict) else None)
+        if not isinstance(techniques, list):
+            raise BaselineError(
+                f"diff baseline table {table_key!r} has no "
+                f"'techniques' list")
+        entries: List[_EntryView] = []
+        for technique in techniques:
+            try:
+                entries.append(_EntryView(
+                    technique=_TechniqueView(
+                        key=technique["key"],
+                        title=technique.get("title", technique["key"])),
+                    verdict=Verdict(technique["verdict"]),
+                    gap=GapSeverity[technique.get("gap", "NONE")],
+                ))
+            except (KeyError, TypeError, ValueError) as error:
+                raise BaselineError(
+                    f"diff baseline table {table_key!r} holds a "
+                    f"malformed technique entry: {error}")
+        view.tables[table_key] = _TableView(assessments=entries)
+    return view
+
+
+def load_assessment_view(path: str) -> AssessmentView:
+    """Load a ``--json`` document from disk as a diffable view.
+
+    Raises:
+        BaselineError: unreadable file, invalid JSON, or a document
+            that is not an assessment (see
+            :func:`assessment_view_from_dict`).
+    """
+    import json
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as error:
+        raise BaselineError(f"cannot read diff baseline: {error}")
+    except ValueError as error:
+        raise BaselineError(
+            f"diff baseline {path!r} is not valid JSON: {error}")
+    return assessment_view_from_dict(document)

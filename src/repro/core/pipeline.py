@@ -345,15 +345,21 @@ class AssessmentPipeline:
                 cache.key_for(PARSE_TAG, path, source)
                 for path, source in task.items])
         outcomes = []
-        for chunk_outcomes, worker_tracer, worker_events in run_tasks(
-                run_parse_task, tasks, jobs=self.jobs,
-                executor=self.config.executor,
-                timeout=self.config.task_timeout,
-                metrics=tracer.metrics, log=self.log):
-            outcomes.extend(chunk_outcomes)
-            graft_worker_trace(tracer, parse_span, worker_tracer)
-            self.log.graft(worker_events)
-        self._absorb_worker_shards(shard_dirs)
+        # Absorb-or-remove the worker shard areas even when the pool is
+        # torn down mid-flight (KeyboardInterrupt, SIGTERM): whatever
+        # the workers already persisted folds back into the parent's
+        # write area instead of leaking shard-<host>-<pid>-w* dirs.
+        try:
+            for chunk_outcomes, worker_tracer, worker_events in run_tasks(
+                    run_parse_task, tasks, jobs=self.jobs,
+                    executor=self.config.executor,
+                    timeout=self.config.task_timeout,
+                    metrics=tracer.metrics, log=self.log):
+                outcomes.extend(chunk_outcomes)
+                graft_worker_trace(tracer, parse_span, worker_tracer)
+                self.log.graft(worker_events)
+        finally:
+            self._absorb_worker_shards(shard_dirs)
         if not shard_dirs:
             return outcomes, set()
         return outcomes, {outcome.path for outcome in outcomes
@@ -564,15 +570,19 @@ class AssessmentPipeline:
             tasks, lambda task: [key_by_path[unit.filename]
                                  for unit in task.units])
         bundles: Dict[str, Dict[str, CheckerReport]] = {}
-        for chunk_bundles, worker_tracer, worker_events in run_tasks(
-                run_check_task, tasks, jobs=self.jobs,
-                executor=self.config.executor,
-                timeout=self.config.task_timeout,
-                metrics=tracer.metrics, log=self.log):
-            bundles.update(chunk_bundles)
-            graft_worker_trace(tracer, checkers_span, worker_tracer)
-            self.log.graft(worker_events)
-        self._absorb_worker_shards(shard_dirs)
+        # As in _parse_pending: fold worker shard areas back in a
+        # finally, so an interrupted pool never leaks them.
+        try:
+            for chunk_bundles, worker_tracer, worker_events in run_tasks(
+                    run_check_task, tasks, jobs=self.jobs,
+                    executor=self.config.executor,
+                    timeout=self.config.task_timeout,
+                    metrics=tracer.metrics, log=self.log):
+                bundles.update(chunk_bundles)
+                graft_worker_trace(tracer, checkers_span, worker_tracer)
+                self.log.graft(worker_events)
+        finally:
+            self._absorb_worker_shards(shard_dirs)
         if not shard_dirs:
             return bundles, set()
         return bundles, {path for path, bundle in bundles.items()

@@ -4,7 +4,7 @@ from .apollo import APOLLO_MODULES, APOLLO_SPEC, EXPECTED_OVER_TEN, apollo_remed
 from .autoware import AUTOWARE_MODULES, AUTOWARE_SPEC, autoware_spec
 from .generator import Corpus, CorpusFile, generate_corpus
 from .spec import ComplexityProfile, CorpusSpec, ModuleSpec
-from .writer import SOURCE_EXTENSIONS, read_tree, write_corpus
+from .writer import SOURCE_EXTENSIONS, iter_tree_files, read_tree, write_corpus
 
 __all__ = [
     "APOLLO_MODULES",
@@ -22,6 +22,7 @@ __all__ = [
     "apollo_remediated_spec",
     "apollo_spec",
     "generate_corpus",
+    "iter_tree_files",
     "read_tree",
     "write_corpus",
 ]

@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 import os
-from typing import List
+from typing import Iterator, List, Optional, Tuple
 
 from ..errors import CorpusError
+from ..obs.log import NULL_LOG, EventLog
 from .generator import Corpus
 
 
@@ -39,17 +40,21 @@ def write_corpus(corpus: Corpus, root: str,
 #: Every C, C++, and CUDA suffix an industrial tree uses for sources
 #: and headers.  Plain C and the alternate C++ spellings matter: Apollo
 #: vendors C libraries, and dropping them silently under-reports LOC.
+#: Matching is case-insensitive (see :func:`iter_tree_files`), so the
+#: upper-case spellings (``.C``, ``.CPP``, ``.HH``) common in older
+#: industrial trees need no entries of their own.
 SOURCE_EXTENSIONS = (".cc", ".cu", ".h", ".cpp", ".cuh",
                      ".c", ".hpp", ".cxx", ".hh")
 
 
-def read_tree(root: str, extensions=SOURCE_EXTENSIONS) -> dict:
-    """Load a source tree back into a path -> source mapping.
+def iter_tree_files(root: str, extensions=SOURCE_EXTENSIONS
+                    ) -> Iterator[Tuple[str, str]]:
+    """Yield ``(relative, full)`` for every source file under ``root``.
 
-    Files are decoded as UTF-8 with invalid bytes replaced by U+FFFD:
-    industrial trees contain latin-1 comments and the odd embedded
-    blob, and a single such file must degrade to fuzzy-parser noise,
-    not kill the whole sweep with a ``UnicodeDecodeError``.
+    Extensions are matched case-insensitively: industrial trees mix
+    ``.C``/``.CPP``/``.HH`` (old Unix C++ conventions, DOS-era exports)
+    with the lower-case spellings, and a case-sensitive walk silently
+    drops them from the corpus.
 
     Raises:
         CorpusError: when ``root`` does not exist or is not a directory
@@ -59,14 +64,54 @@ def read_tree(root: str, extensions=SOURCE_EXTENSIONS) -> dict:
         raise CorpusError(f"source tree {root!r} does not exist")
     if not os.path.isdir(root):
         raise CorpusError(f"source tree {root!r} is not a directory")
-    sources = {}
+    suffixes = tuple(extension.lower() for extension in extensions)
     for directory, _, filenames in os.walk(root):
         for filename in filenames:
-            if not filename.endswith(tuple(extensions)):
+            if not filename.lower().endswith(suffixes):
                 continue
             full = os.path.join(directory, filename)
             relative = os.path.relpath(full, root).replace(os.sep, "/")
+            yield relative, full
+
+
+def read_tree(root: str, extensions=SOURCE_EXTENSIONS,
+              log: Optional[EventLog] = None,
+              skipped: Optional[List[str]] = None) -> dict:
+    """Load a source tree back into a path -> source mapping.
+
+    Files are decoded as UTF-8 with invalid bytes replaced by U+FFFD:
+    industrial trees contain latin-1 comments and the odd embedded
+    blob, and a single such file must degrade to fuzzy-parser noise,
+    not kill the whole sweep with a ``UnicodeDecodeError``.
+
+    A file that vanishes or turns unreadable between the walk and the
+    read — an editor's atomic-rename save racing a watch daemon, a
+    broken symlink, a permissions hole — is *skipped*, not fatal: it is
+    recorded in ``skipped`` (when a list is passed) and emitted as a
+    ``parse.skipped_unreadable`` warning event on ``log``.
+
+    Args:
+        root: tree root to walk.
+        extensions: source suffixes to load (case-insensitive).
+        log: optional :class:`~repro.obs.log.EventLog` receiving one
+            ``parse.skipped_unreadable`` warning per skipped file.
+        skipped: optional list the skipped relative paths are appended
+            to, for stats accounting.
+
+    Raises:
+        CorpusError: when ``root`` does not exist or is not a directory
+            (``os.walk`` would silently yield nothing).
+    """
+    log = log if log is not None else NULL_LOG
+    sources = {}
+    for relative, full in iter_tree_files(root, extensions):
+        try:
             with open(full, "r", encoding="utf-8",
                       errors="replace") as handle:
                 sources[relative] = handle.read()
+        except OSError as error:
+            log.warning("parse.skipped_unreadable", path=relative,
+                        error=f"{type(error).__name__}: {error}")
+            if skipped is not None:
+                skipped.append(relative)
     return sources

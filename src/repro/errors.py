@@ -120,3 +120,11 @@ class ReportError(ReproError):
 
 class PerfModelError(ReproError):
     """Raised when a performance model is queried with an invalid workload."""
+
+
+class ServeError(ReproError):
+    """Raised on an invalid ``repro-serve`` request or configuration.
+
+    Request-scoped by design: the daemon maps it to an ``ok: false``
+    reply for the offending request and keeps serving.
+    """

@@ -15,8 +15,11 @@ The contract mirrors the tracer's:
   defaults to :data:`NULL_LOG`, so logging is strictly opt-in and
   zero-cost (and output byte-identical) when disabled;
 * events are emitted at the *load-bearing* points only — parse
-  failures, checker crashes, worker deaths and timeouts, serial
-  fallbacks, cache corruption — not per unit of work;
+  failures, unreadable-file skips (``parse.skipped_unreadable``),
+  checker crashes, worker deaths and timeouts, serial fallbacks, cache
+  corruption and dead-shard sweeps (``cache.sweep_shards``), serve
+  request faults (``serve.request_error``, ``serve.crash``) — not per
+  unit of work;
 * worker chunks log into a picklable :class:`BufferLog`; the parent
   grafts the buffered events back with :meth:`EventLog.graft`, exactly
   as :func:`~repro.core.parallel.graft_worker_trace` does for spans.

@@ -20,7 +20,7 @@ from .deviations import (
     DeviationIndex,
     scan_deviations,
 )
-from .profile import RuleProfile
+from .profile import RuleProfile, profile_from_globs
 from .registry import (
     CHECKER_CRASH,
     DEVIATION_RULES,
@@ -52,6 +52,7 @@ __all__ = [
     "Severity",
     "UNKNOWN_RULE",
     "finding_key",
+    "profile_from_globs",
     "render_rules",
     "scan_deviations",
 ]

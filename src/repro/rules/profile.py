@@ -17,8 +17,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fnmatch import fnmatchcase
-from typing import Iterable, Mapping, Tuple, Union
+from typing import Iterable, Mapping, Optional, Sequence, Tuple, Union
 
+from ..errors import RuleError
 from .registry import Rule, Severity
 
 SeverityOverrides = Union[Mapping[str, Severity],
@@ -88,3 +89,29 @@ class RuleProfile:
                 if severity is not rule.severity:
                     parts.append(f"{rule.id}={severity.name}")
         return ",".join(parts)
+
+
+def profile_from_globs(enable: Optional[Sequence[str]],
+                       disable: Optional[Sequence[str]],
+                       registry: Iterable[Rule]
+                       ) -> Optional[RuleProfile]:
+    """Build the profile behind ``--enable``/``--disable`` flags.
+
+    Shared by ``repro-assess`` and ``repro-serve``: every pattern must
+    match at least one registered rule (a typo'd glob silently enabling
+    nothing is worse than an error), and no patterns at all means no
+    profile (``None``), keeping default runs byte-identical.
+
+    Raises:
+        RuleError: when a pattern matches no registered rule.
+    """
+    if not enable and not disable:
+        return None
+    rules = list(registry)
+    for pattern in tuple(enable or ()) + tuple(disable or ()):
+        if not any(fnmatchcase(rule.id, pattern) for rule in rules):
+            raise RuleError(
+                f"rule pattern {pattern!r} matches no registered rule "
+                f"(see --list-rules)")
+    return RuleProfile(enable=tuple(enable or ()),
+                       disable=tuple(disable or ()))

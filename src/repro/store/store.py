@@ -15,12 +15,19 @@ correctly-wired views of each:
 from __future__ import annotations
 
 import os
+import shutil
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from .history import LEDGER_FILENAME, RunHistory
-from .layout import OBJECTS_DIRNAME, default_shard_name, list_shards
-from .objects import ObjectStore
+from .layout import (
+    OBJECTS_DIRNAME,
+    default_shard_name,
+    list_shards,
+    parse_worker_shard,
+    safe_hostname,
+)
+from .objects import ObjectStore, _process_alive
 
 
 @dataclass(frozen=True)
@@ -93,7 +100,43 @@ class Store:
         area = ObjectStore(self.objects_root, shard_root=shard_root)
         area.worker_shard_base = self.root
         area.record_references = True
+        self.sweep_dead_worker_shards(area)
         return area
+
+    def sweep_dead_worker_shards(self, area: ObjectStore) -> int:
+        """Absorb worker sub-shards whose owning process is gone.
+
+        A parallel store-backed run arms per-worker
+        ``shard-<host>-<pid>-w<index>/`` areas and folds them back on
+        join; a run killed mid-pool can still leak them (the absorb
+        runs in a ``finally``, but ``SIGKILL`` skips even that).  On
+        the next store open, any such directory belonging to a dead
+        process *on this host* is absorbed into ``area``'s write area
+        and removed — mirroring the stale ``*.tmp.<pid>`` sweep, and
+        losing nothing because entries are content-addressed.
+
+        ``K/N`` corpus shards and foreign hosts' shards are never
+        touched: the former await an explicit ``repro-store merge``,
+        and the latter's PIDs cannot be probed from here.  Returns the
+        number of shard directories swept; never raises.
+        """
+        host = safe_hostname()
+        swept = 0
+        for shard_dir in list_shards(self.root):
+            owner = parse_worker_shard(os.path.basename(shard_dir))
+            if owner is None:
+                continue
+            shard_host, pid = owner
+            if shard_host != host or _process_alive(pid):
+                continue
+            area.absorb(os.path.join(shard_dir, OBJECTS_DIRNAME))
+            shutil.rmtree(shard_dir, ignore_errors=True)
+            swept += 1
+        if swept:
+            area.metrics.counter("cache.swept_shards").inc(swept)
+            area.log.info("cache.sweep_shards", root=self.root,
+                          removed=swept)
+        return swept
 
     def history(self) -> RunHistory:
         """The master run table (shard tables unioned on read)."""

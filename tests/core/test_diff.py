@@ -1,8 +1,17 @@
 """Tests for the remediation round trip and assessment diffing."""
 
+import json
+
 import pytest
 
-from repro.core import assess_corpus, diff_assessments, gap_reduction
+from repro.core import (
+    assess_corpus,
+    assessment_view_from_dict,
+    diff_assessments,
+    gap_reduction,
+    load_assessment_view,
+)
+from repro.errors import BaselineError
 from repro.corpus import apollo_remediated_spec, generate_corpus
 from repro.iso26262 import Verdict
 
@@ -77,6 +86,18 @@ class TestDiff:
                                   remediated_assessment)
         assert reduction["after"] < reduction["before"]
         assert reduction["after"] > 0  # research gaps remain
+        assert reduction["reduction"] == \
+            reduction["before"] - reduction["after"]
+
+    def test_to_dict_rollup(self, diff):
+        document = diff.to_dict()
+        assert document["improved"] == len(diff.improved)
+        assert document["regressed"] == 0
+        assert all(entry["direction"] == "improved"
+                   for entry in document["transitions"])
+        residual_keys = {entry["technique"]
+                         for entry in document["residual_gaps"]}
+        assert "language_subsets" in residual_keys
 
     def test_render(self, diff):
         rendered = diff.render()
@@ -88,3 +109,151 @@ class TestDiff:
         assert diff.improved == []
         assert diff.regressed == []
         assert all(entry.unchanged for entry in diff.transitions)
+
+
+def document(**verdicts):
+    """A minimal --json-shaped document with one table."""
+    return {"tables": {"t": {"techniques": [
+        {"key": key, "title": key.title(), "verdict": verdict,
+         "gap": gap}
+        for key, (verdict, gap) in verdicts.items()]}}}
+
+
+class TestTransitionSemantics:
+    """Pin the verdict ranking on synthetic rehydrated documents."""
+
+    def diff_single(self, before, after):
+        view_before = assessment_view_from_dict(
+            document(x=(before, "NONE")))
+        view_after = assessment_view_from_dict(
+            document(x=(after, "NONE")))
+        [transition] = diff_assessments(view_before, view_after).transitions
+        return transition
+
+    @pytest.mark.parametrize("before,after", [
+        ("non-compliant", "compliant"),
+        ("non-compliant", "partial"),
+        ("unknown", "partial"),
+        ("partial", "compliant"),
+        ("partial", "not applicable"),
+    ])
+    def test_improvements(self, before, after):
+        transition = self.diff_single(before, after)
+        assert transition.improved and not transition.regressed
+
+    @pytest.mark.parametrize("before,after", [
+        ("compliant", "partial"),
+        ("partial", "non-compliant"),
+        ("compliant", "non-compliant"),
+        ("partial", "unknown"),
+    ])
+    def test_regressions(self, before, after):
+        transition = self.diff_single(before, after)
+        assert transition.regressed and not transition.improved
+
+    def test_compliant_to_not_applicable_is_lateral(self):
+        transition = self.diff_single("compliant", "not applicable")
+        assert not transition.improved
+        assert not transition.regressed
+        assert not transition.unchanged
+        assert transition.to_dict()["direction"] == "unchanged"
+
+    def test_gap_reduction_weights(self):
+        before = assessment_view_from_dict(document(
+            a=("non-compliant", "CRITICAL"), b=("partial", "MAJOR"),
+            c=("partial", "MINOR"), d=("compliant", "NONE")))
+        after = assessment_view_from_dict(document(
+            a=("non-compliant", "MAJOR"), b=("compliant", "NONE"),
+            c=("partial", "MINOR"), d=("compliant", "NONE")))
+        assert gap_reduction(before, after) == \
+            {"before": 6, "after": 3, "reduction": 3}
+
+
+class TestRehydration:
+    def test_round_trip_diffs_as_unchanged(self, small_assessment):
+        view = assessment_view_from_dict(small_assessment.to_dict())
+        diff = diff_assessments(small_assessment, view)
+        assert all(entry.unchanged for entry in diff.transitions)
+        assert gap_reduction(small_assessment, view)["reduction"] == 0
+
+    def test_view_works_on_either_side(self, small_assessment):
+        view = assessment_view_from_dict(small_assessment.to_dict())
+        diff = diff_assessments(view, small_assessment)
+        assert diff.improved == [] and diff.regressed == []
+
+    def test_json_serialized_round_trip(self, small_assessment,
+                                        tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(small_assessment.to_dict()),
+                        encoding="utf-8")
+        view = load_assessment_view(str(path))
+        assert all(entry.unchanged for entry in
+                   diff_assessments(small_assessment, view).transitions)
+
+    def test_missing_gap_defaults_to_none(self):
+        raw = document(x=("compliant", "NONE"))
+        del raw["tables"]["t"]["techniques"][0]["gap"]
+        view = assessment_view_from_dict(raw)
+        assert gap_reduction(view, view) == \
+            {"before": 0, "after": 0, "reduction": 0}
+
+    @pytest.mark.parametrize("raw", [
+        {},
+        {"tables": {}},
+        {"tables": {"t": {}}},
+        {"tables": {"t": {"techniques": [{"title": "no key"}]}}},
+        {"tables": {"t": {"techniques": [
+            {"key": "x", "verdict": "sideways"}]}}},
+        {"tables": {"t": {"techniques": [
+            {"key": "x", "verdict": "compliant", "gap": "HUGE"}]}}},
+    ])
+    def test_malformed_documents_raise(self, raw):
+        with pytest.raises(BaselineError):
+            assessment_view_from_dict(raw)
+
+    def test_unreadable_file_raises(self, tmp_path):
+        with pytest.raises(BaselineError, match="cannot read"):
+            load_assessment_view(str(tmp_path / "absent.json"))
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("not json", encoding="utf-8")
+        with pytest.raises(BaselineError):
+            load_assessment_view(str(path))
+
+
+class TestDiffBaselineCli:
+    def write_tree(self, root, text):
+        root.mkdir(exist_ok=True)
+        (root / "a.cpp").write_text(text, encoding="utf-8")
+        return str(root)
+
+    def test_diff_baseline_prints_transitions(self, tmp_path, capsys):
+        from repro.core.cli import main
+        tree = self.write_tree(
+            tmp_path / "tree", "int f() { goto e; e: return 1; }\n")
+        baseline = str(tmp_path / "base.json")
+        assert main([tree, "--json", baseline]) == 0
+        capsys.readouterr()
+        self.write_tree(tmp_path / "tree", "int f() { return 1; }\n")
+        assert main([tree, "--diff-baseline", baseline]) == 0
+        out = capsys.readouterr().out
+        assert "Assessment diff" in out
+        assert "No unconditional jumps: non-compliant -> compliant" in out
+        assert "weighted gap:" in out
+        assert "reduced by" in out
+
+    def test_missing_baseline_exits_2(self, tmp_path, capsys):
+        from repro.core.cli import main
+        tree = self.write_tree(tmp_path / "tree", "int x;\n")
+        assert main([tree, "--diff-baseline",
+                     str(tmp_path / "absent.json")]) == 2
+        assert "cannot read diff baseline" in capsys.readouterr().err
+
+    def test_non_assessment_document_exits_2(self, tmp_path, capsys):
+        from repro.core.cli import main
+        tree = self.write_tree(tmp_path / "tree", "int x;\n")
+        junk = tmp_path / "junk.json"
+        junk.write_text('{"not": "an assessment"}', encoding="utf-8")
+        assert main([tree, "--diff-baseline", str(junk)]) == 2
+        assert "not an assessment" in capsys.readouterr().err

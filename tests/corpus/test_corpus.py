@@ -1,5 +1,6 @@
 """Tests for the synthetic corpus generator."""
 
+import os
 import random
 
 import pytest
@@ -214,3 +215,44 @@ class TestWriter:
         loaded = read_tree(str(tmp_path))
         assert "int x;" in loaded["latin1.cc"]
         assert "�" in loaded["latin1.cc"]
+
+    def test_upper_case_extensions_loaded(self, tmp_path):
+        # Old Unix C++ (.C), DOS-era exports (.CPP, .HH): matching is
+        # case-insensitive, so these need no SOURCE_EXTENSIONS entries.
+        for name in ("olden.C", "exported.CPP", "iface.HH",
+                     "Mixed.CxX", "plain.cpp"):
+            (tmp_path / name).write_text(f"// {name}\n")
+        (tmp_path / "NOTES.TXT").write_text("not source\n")
+        loaded = read_tree(str(tmp_path))
+        assert set(loaded) == {"olden.C", "exported.CPP", "iface.HH",
+                               "Mixed.CxX", "plain.cpp"}
+
+    def test_default_case_corpus_stays_byte_identical(self, tmp_path):
+        """Case-insensitive matching must not perturb the lower-case
+        default corpus: same files, same bytes, same order."""
+        corpus = generate_corpus(apollo_spec(scale=0.02))
+        write_corpus(corpus, str(tmp_path))
+        assert read_tree(str(tmp_path)) == corpus.sources()
+
+    def test_unreadable_file_is_skipped_not_fatal(self, tmp_path):
+        from repro.obs import BufferLog
+        (tmp_path / "good.cc").write_text("int x;\n")
+        # A dangling symlink: the walk sees the name, the open fails
+        # with OSError — the same shape as a file vanishing (atomic-
+        # rename race) or turning unreadable between walk and read.
+        os.symlink(str(tmp_path / "no-such-target"),
+                   str(tmp_path / "ghost.cc"))
+        log = BufferLog()
+        skipped = []
+        loaded = read_tree(str(tmp_path), log=log, skipped=skipped)
+        assert loaded == {"good.cc": "int x;\n"}
+        assert skipped == ["ghost.cc"]
+        events = [event for event in log.events
+                  if event["event"] == "parse.skipped_unreadable"]
+        assert len(events) == 1
+        assert events[0]["path"] == "ghost.cc"
+        assert "FileNotFoundError" in events[0]["error"]
+
+    def test_skip_accounting_is_optional(self, tmp_path):
+        os.symlink(str(tmp_path / "gone"), str(tmp_path / "ghost.cc"))
+        assert read_tree(str(tmp_path)) == {}

@@ -1,0 +1,274 @@
+"""AssessmentServer: verbs, hot-cache guarantees, containment boundary."""
+
+import io
+import json
+import os
+import pickle
+
+import pytest
+
+from repro.core import MemoryCache, ResultCache
+from repro.rules import REGISTRY, RuleProfile
+from repro.serve import AssessmentServer, encode_reply, run_stdio
+from repro.store import Store
+from repro.testing import Fault, FaultPlan, FaultyChecker
+
+from .conftest import CLEAN, GOTO, write
+
+#: Reply keys that legitimately differ between two identical assesses.
+VOLATILE = ("seconds", "cache", "run", "id")
+
+
+def stable(reply):
+    return encode_reply({key: value for key, value in reply.items()
+                         if key not in VOLATILE})
+
+
+def assess(server, **extra):
+    reply = server.handle_line(json.dumps({"id": 1, "verb": "assess",
+                                           **extra}))
+    assert reply["ok"], reply
+    return reply
+
+
+class TestAssessVerb:
+    def test_first_assess_reports_findings(self, tree):
+        reply = assess(AssessmentServer(tree))
+        assert reply["files"] == 2
+        assert reply["units"] == 2
+        assert any("UD9.goto" in finding
+                   for finding in reply["findings"]["unit_design"])
+        assert reply["degraded"] is False
+
+    def test_repeat_assess_is_byte_identical_and_all_hits(self, tree):
+        """Acceptance pin: an unchanged tree recomputes *nothing* and
+        replies byte-identically."""
+        server = AssessmentServer(tree)
+        first = assess(server)
+        second = assess(server)
+        assert stable(first) == stable(second)
+        assert second["cache"]["misses"] == 0
+        assert second["cache"]["puts"] == 0
+        assert second["cache"]["hits"] == first["cache"]["puts"]
+
+    def test_single_file_edit_recomputes_only_that_file(self, tree):
+        """Acceptance pin: one edited file means exactly one parse and
+        one check bundle recomputed; the other file stays cached."""
+        server = AssessmentServer(tree)
+        first = assess(server)
+        per_file = first["cache"]["puts"] // first["files"]
+        write(tree, "clean.cpp", GOTO + CLEAN)
+        third = assess(server)
+        assert third["cache"]["misses"] == per_file
+        assert third["cache"]["hits"] == per_file
+        assert any("UD9.goto" in finding
+                   for finding in third["findings"]["unit_design"])
+
+    def test_explicit_path_overrides_default_root(self, tree, tmp_path):
+        other = tmp_path / "other"
+        other.mkdir()
+        write(other, "only.cpp", CLEAN)
+        server = AssessmentServer(tree)
+        reply = assess(server, path=str(other))
+        assert reply["files"] == 1
+
+    def test_no_root_anywhere_is_a_request_error(self, tree):
+        server = AssessmentServer()  # no default root
+        reply = server.handle_line('{"verb": "assess"}')
+        assert reply["ok"] is False
+        assert "no tree to assess" in reply["error"]
+
+    def test_empty_tree_is_a_request_error(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        server = AssessmentServer(str(empty))
+        reply = server.handle_line('{"verb": "assess"}')
+        assert reply["ok"] is False
+        assert "no C/C++/CUDA sources" in reply["error"]
+
+    def test_profile_shapes_served_findings(self, tree):
+        profile = RuleProfile(disable=("UD9.*",))
+        server = AssessmentServer(tree, profile=profile)
+        reply = assess(server)
+        assert not any("UD9.goto" in finding
+                       for findings in reply["findings"].values()
+                       for finding in findings)
+
+
+class TestContainment:
+    def test_checker_crash_degrades_one_reply_not_the_daemon(self, tree):
+        plan = FaultPlan(faults=[Fault("raise", path="dirty.cpp")])
+        server = AssessmentServer(
+            tree, extra_checkers=(FaultyChecker(plan),))
+        reply = assess(server)
+        assert reply["degraded"] is True
+        assert any("fault_injector" in note
+                   for note in reply["degradations"])
+        # the plan is spent: the daemon keeps serving, now cleanly
+        write(tree, "dirty.cpp", GOTO * 2)
+        again = assess(server)
+        assert again["degraded"] is False
+        stats = server.handle_line('{"verb": "stats"}')
+        assert stats["degraded_replies"] == 1
+        assert stats["requests"] == 3
+
+    def test_corrupt_cache_entry_degrades_nothing_fatal(self, tree,
+                                                        tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        server = AssessmentServer(tree, cache=cache)
+        first = assess(server)
+        # rot every on-disk entry, then force re-reads
+        for _, path in cache.entries():
+            with open(path, "wb") as handle:
+                handle.write(b"not a pickle")
+        second = assess(server)
+        assert second["ok"] is True
+        assert second["cache"]["corrupt_entries"] > 0
+        assert stable(first) == stable(second)  # recomputed, same answer
+
+    def test_unexpected_server_bug_is_an_error_reply(self, tree,
+                                                     monkeypatch):
+        server = AssessmentServer(tree)
+
+        def explode(self, root, refresh=True):
+            raise RuntimeError("wires crossed")
+
+        monkeypatch.setattr(AssessmentServer, "assess", explode)
+        reply = server.handle_line('{"id": 4, "verb": "assess"}')
+        assert reply["ok"] is False
+        assert reply["degraded"] is True
+        assert "wires crossed" in reply["error"]
+        # daemon is still up
+        assert server.handle_line('{"verb": "ping"}')["ok"] is True
+
+    def test_malformed_line_is_an_error_reply(self, tree):
+        server = AssessmentServer(tree)
+        reply = server.handle_line("}{")
+        assert reply["ok"] is False
+        assert server.handle_line('{"verb": "ping"}')["pong"] is True
+
+
+class TestDiffVerb:
+    def test_diff_needs_two_assessments(self, tree):
+        server = AssessmentServer(tree)
+        reply = server.handle_line('{"verb": "diff"}')
+        assert reply["ok"] is False
+        assert "nothing assessed yet" in reply["error"]
+        assess(server)
+        reply = server.handle_line('{"verb": "diff"}')
+        assert reply["ok"] is False
+        assert "needs two" in reply["error"]
+
+    def test_diff_names_exactly_the_changed_rules(self, tree):
+        server = AssessmentServer(tree)
+        assess(server)
+        write(tree, "clean.cpp",
+              "int g() { int x; goto end; end: return x; }\n")
+        assess(server)
+        reply = server.handle_line('{"verb": "diff"}')
+        assert reply["ok"] is True
+        changed = reply["findings"]["rules_changed"]
+        assert "UD9.goto" in changed
+        assert "UD3.uninitialized" in changed
+        # every streamed finding concerns the edited file only
+        assert all("clean.cpp" in finding
+                   for finding in reply["findings"]["new"])
+        assert all("clean.cpp" in finding
+                   for finding in reply["findings"]["fixed"])
+        assert {"before", "after", "reduction"} <= \
+            set(reply["gap_reduction"])
+
+    def test_identical_reassess_diffs_empty(self, tree):
+        server = AssessmentServer(tree)
+        assess(server)
+        assess(server)
+        reply = server.handle_line('{"verb": "diff"}')
+        assert reply["findings"] == {"new": [], "fixed": [],
+                                     "rules_changed": []}
+        assert reply["verdicts"]["transitions"] == []
+
+    def test_diff_against_baseline_document(self, tree, tmp_path):
+        server = AssessmentServer(tree)
+        assess(server)
+        document = server.results[os.path.abspath(tree)].to_dict()
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(document), encoding="utf-8")
+        reply = server.handle_line(json.dumps(
+            {"verb": "diff", "baseline": str(baseline)}))
+        assert reply["ok"] is True
+        assert reply["verdicts"]["improved"] == 0
+        assert reply["verdicts"]["regressed"] == 0
+        assert reply["gap_reduction"]["reduction"] == 0
+
+    def test_bad_baseline_is_a_request_error(self, tree, tmp_path):
+        server = AssessmentServer(tree)
+        assess(server)
+        reply = server.handle_line(json.dumps(
+            {"verb": "diff", "baseline": str(tmp_path / "absent.json")}))
+        assert reply["ok"] is False
+
+
+class TestOtherVerbs:
+    def test_ping(self, tree):
+        reply = AssessmentServer(tree).handle_line('{"verb": "ping"}')
+        assert reply["pong"] is True
+
+    def test_rules_lists_the_registry(self, tree):
+        reply = AssessmentServer(tree).handle_line('{"verb": "rules"}')
+        assert reply["count"] == len(REGISTRY)
+        assert all(rule["enabled"] for rule in reply["rules"])
+
+    def test_rules_reflect_profile(self, tree):
+        server = AssessmentServer(
+            tree, profile=RuleProfile(disable=("UD9.*",)))
+        reply = server.handle_line('{"verb": "rules"}')
+        disabled = [rule["id"] for rule in reply["rules"]
+                    if not rule["enabled"]]
+        assert disabled and all(r.startswith("UD9.") for r in disabled)
+
+    def test_stats_counts_and_cache_backend(self, tree):
+        server = AssessmentServer(tree)
+        assess(server)
+        reply = server.handle_line('{"verb": "stats"}')
+        assert reply["assessments"] == 1
+        assert reply["cache"]["backend"] == "MemoryCache"
+        assert reply["roots"][os.path.abspath(tree)]["files"] == 2
+
+
+class TestStoreBackedServing:
+    def test_each_assess_appends_a_run_record(self, tree, tmp_path):
+        store = Store(str(tmp_path / "store"))
+        server = AssessmentServer(tree, store=store)
+        first = assess(server)
+        second = assess(server)
+        assert "run" in first and "run" in second
+        records = list(store.history().records())
+        assert [record.run_id for record in records] == \
+            [first["run"], second["run"]]
+        # per-request deltas, not process-lifetime totals
+        assert records[0].cache["misses"] > 0
+        assert records[1].cache["misses"] == 0
+        assert records[1].cache["hits"] == records[0].cache["puts"]
+
+    def test_ledger_dir_serving(self, tree, tmp_path):
+        from repro.obs import RunLedger
+        ledger_dir = str(tmp_path / "ledger")
+        server = AssessmentServer(tree, ledger_dir=ledger_dir)
+        assess(server)
+        assert len(list(RunLedger(ledger_dir).records())) == 1
+
+
+class TestStdioLoop:
+    def test_serves_until_shutdown(self, tree):
+        server = AssessmentServer(tree)
+        stdin = io.StringIO(
+            '{"id": 1, "verb": "ping"}\n'
+            "\n"  # blank lines are ignored
+            '{"id": 2, "verb": "shutdown"}\n'
+            '{"id": 3, "verb": "ping"}\n')
+        stdout = io.StringIO()
+        assert run_stdio(server, stdin, stdout) == 2
+        lines = stdout.getvalue().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["pong"] is True
+        assert json.loads(lines[1])["closing"] is True
